@@ -1,0 +1,48 @@
+// Ablation A4 — batching: amortizing the invocation tax.
+//
+// The paper's §4 accounting is per-datum; the obvious engineering response
+// to an expensive location-independent invocation is to move several records
+// per Transfer. This ablation sweeps the batch factor b on the Figure-2
+// pipeline (n = 3): messages fall as (n+1)/b while the marginal payload
+// bytes rise, so the virtual cost per datum approaches the pure byte cost.
+// The crossover against the conventional discipline does NOT move: both
+// disciplines batch equally well, and the 2x structural ratio persists at
+// every b (also visible in bench_claim_invocations).
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_BatchSweep(benchmark::State& state) {
+  int64_t batch = state.range(0);
+  bool conventional = state.range(1) != 0;
+  int items = 2000;
+  PipelineRunStats run;
+  for (auto _ : state) {
+    PipelineOptions options;
+    options.discipline =
+        conventional ? Discipline::kConventional : Discipline::kReadOnly;
+    options.batch = batch;
+    options.work_ahead = static_cast<size_t>(batch) * 2;
+    options.pipe_capacity = static_cast<size_t>(batch) * 4;
+    run = RunPipelineMeasured(KernelOptions(), BenchLines(items), CopyChain(3),
+                              options);
+    benchmark::DoNotOptimize(run.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  state.counters["inv_per_datum"] =
+      static_cast<double>(run.delta.invocations_sent) / items;
+  state.counters["bytes_per_datum"] =
+      static_cast<double>(run.delta.total_bytes()) / items;
+  state.counters["vus_per_datum"] =
+      static_cast<double>(run.virtual_time) / items;
+}
+BENCHMARK(BM_BatchSweep)
+    ->ArgsProduct({{1, 2, 4, 8, 16, 32, 64}, {0, 1}})
+    ->ArgNames({"batch", "conventional"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

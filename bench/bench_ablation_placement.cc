@@ -1,0 +1,106 @@
+// Ablation A2 — placement of pipeline Ejects across nodes.
+//
+// The paper's Eden ran on "several VAX processors connected together by
+// 10 Mbit ethernet", and §4 notes that invocation cost is high *because*
+// invocation is location-independent. This ablation quantifies what
+// placement does to a read-only pipeline under that model:
+//
+//   colocated    every Eject on one node (no hop latency)
+//   split        source+filters on node A, sink on node B (one WAN junction)
+//   distributed  every Eject on its own node (every junction pays a hop)
+//
+// Messages counts are identical in all three — location independence — but
+// virtual latency is not; with per-stage look-ahead the pipeline hides most
+// of it.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+enum class Placement { kColocated, kSplit, kDistributed };
+
+PipelineRunStats RunPlacement(Placement placement, size_t lookahead) {
+  KernelOptions kernel_options;
+  kernel_options.costs.cross_node_latency = 400;
+  Kernel kernel(kernel_options);
+  int items = 1000;
+
+  NodeId far = kernel.AddNode("far");
+
+  PipelineOptions options;
+  options.discipline = Discipline::kReadOnly;
+  options.lookahead = lookahead;
+  options.work_ahead = std::max<size_t>(lookahead, 1);
+  options.batch = 4;
+
+  // Build by hand to control placement.
+  VectorSource::Options source_options;
+  source_options.work_ahead = options.work_ahead;
+  NodeId source_node = 0;
+  VectorSource& source =
+      kernel.Create<VectorSource>(source_node, BenchLines(items), source_options);
+
+  Uid upstream = source.uid();
+  std::vector<Uid> ejects = {source.uid()};
+  for (int i = 0; i < 2; ++i) {
+    NodeId node = placement == Placement::kDistributed
+                      ? kernel.AddNode("f" + std::to_string(i))
+                      : NodeId{0};
+    ReadOnlyFilter::Options filter_options;
+    filter_options.source = upstream;
+    filter_options.batch = options.batch;
+    filter_options.lookahead = options.lookahead;
+    filter_options.work_ahead = options.work_ahead;
+    ReadOnlyFilter& filter = kernel.Create<ReadOnlyFilter>(
+        node,
+        std::make_unique<LambdaTransform>(
+            "copy",
+            [](const Value& v, const Transform::EmitFn& emit) { emit(kChanOut, v); }),
+        filter_options);
+    upstream = filter.uid();
+    ejects.push_back(filter.uid());
+  }
+  NodeId sink_node = placement == Placement::kColocated ? NodeId{0} : far;
+  PullSink::Options sink_options;
+  sink_options.batch = options.batch;
+  sink_options.lookahead = options.lookahead;
+  PullSink& sink = kernel.Create<PullSink>(sink_node, upstream,
+                                           Value(std::string(kChanOut)), sink_options);
+
+  Stats before = kernel.stats();
+  Tick start = kernel.now();
+  kernel.RunUntil([&] { return sink.done(); });
+
+  PipelineRunStats result;
+  result.delta = kernel.stats() - before;
+  result.virtual_time = kernel.now() - start;
+  result.items_out = sink.items().size();
+  return result;
+}
+
+void BM_Placement(benchmark::State& state) {
+  Placement placement = static_cast<Placement>(state.range(0));
+  size_t lookahead = static_cast<size_t>(state.range(1));
+  PipelineRunStats run;
+  for (auto _ : state) {
+    run = RunPlacement(placement, lookahead);
+    benchmark::DoNotOptimize(run.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["vus_per_datum"] =
+      static_cast<double>(run.virtual_time) / static_cast<double>(run.items_out);
+  state.counters["msgs_per_datum"] =
+      static_cast<double>(run.delta.total_messages()) /
+      static_cast<double>(run.items_out);
+  state.counters["cross_node_msgs"] =
+      static_cast<double>(run.delta.cross_node_messages);
+}
+BENCHMARK(BM_Placement)
+    ->ArgsProduct({{0, 1, 2}, {0, 8}})
+    ->ArgNames({"placement", "lookahead"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Experiment C2 — the §4 cost argument.
+//
+// "The cost of an invocation must inevitably be higher than that of a
+//  system call in an ordinary operating system (because invocation is
+//  location-independent), so such saving may be significant in Eden."
+//
+// Sweep the invocation cost (relative to a fixed intra-Eject local step)
+// and measure virtual completion time for the same 3-filter pipeline in the
+// read-only and conventional disciplines. As invocation cost dominates, the
+// read-only speedup tends to the message ratio (2n+2)/(n+1) = 2.
+// A second sweep distributes the pipeline across nodes, adding network
+// latency — the regime the paper's Eden prototype (VAXen on Ethernet)
+// actually ran in.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_CostModelSweep(benchmark::State& state) {
+  Tick invocation_cost = state.range(0);
+  bool distributed = state.range(1) != 0;
+  int items = 1000;
+  constexpr size_t kStages = 3;
+
+  double speedup = 0;
+  Tick readonly_time = 0;
+  Tick conventional_time = 0;
+  for (auto _ : state) {
+    KernelOptions kernel_options;
+    kernel_options.costs.invocation_send = invocation_cost;
+    kernel_options.costs.local_step = 1;
+    kernel_options.costs.context_switch = 5;
+    kernel_options.costs.cross_node_latency = distributed ? 400 : 0;
+
+    PipelineOptions readonly_options;
+    readonly_options.discipline = Discipline::kReadOnly;
+    readonly_options.distinct_nodes = distributed;
+    readonly_options.work_ahead = 8;
+    PipelineRunStats readonly_run = RunPipelineMeasured(
+        kernel_options, BenchLines(items), CopyChain(kStages), readonly_options);
+
+    PipelineOptions conventional_options;
+    conventional_options.discipline = Discipline::kConventional;
+    conventional_options.distinct_nodes = distributed;
+    conventional_options.pipe_capacity = 8;
+    PipelineRunStats conventional_run =
+        RunPipelineMeasured(kernel_options, BenchLines(items), CopyChain(kStages),
+                            conventional_options);
+
+    readonly_time = readonly_run.virtual_time;
+    conventional_time = conventional_run.virtual_time;
+    speedup = static_cast<double>(conventional_time) /
+              static_cast<double>(readonly_time);
+    benchmark::DoNotOptimize(speedup);
+  }
+  state.SetItemsProcessed(state.iterations() * items * 2);
+  state.counters["readonly_vtime_per_datum"] =
+      static_cast<double>(readonly_time) / items;
+  state.counters["conventional_vtime_per_datum"] =
+      static_cast<double>(conventional_time) / items;
+  state.counters["readonly_speedup"] = speedup;
+  state.counters["invocation_cost"] = static_cast<double>(invocation_cost);
+}
+BENCHMARK(BM_CostModelSweep)
+    ->ArgsProduct({{1, 10, 100, 1000, 10000}, {0, 1}})
+    ->ArgNames({"inv_cost", "distributed"})
+    ->Unit(benchmark::kMillisecond);
+
+// Intra-Eject vs inter-Eject cost ratio: the §4 observation that language
+// processes and internal queues are far cheaper than invocations — this is
+// what makes "merging each passive buffer with its source" profitable.
+void BM_LocalVsInvocationCost(benchmark::State& state) {
+  int items = 1000;
+  PipelineRunStats run;
+  for (auto _ : state) {
+    PipelineOptions options;
+    options.discipline = Discipline::kReadOnly;
+    run = RunPipelineMeasured(KernelOptions(), BenchLines(items), CopyChain(3),
+                              options);
+    benchmark::DoNotOptimize(run.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  state.counters["local_steps_per_datum"] =
+      static_cast<double>(run.delta.local_steps) / items;
+  state.counters["inv_per_datum"] =
+      static_cast<double>(run.delta.invocations_sent) / items;
+  // With the default cost model, one invocation costs 100 ticks + bytes
+  // while a local step costs 1: the merged design trades messages for steps.
+  state.counters["tick_ratio_inv_to_local"] = 100.0;
+}
+BENCHMARK(BM_LocalVsInvocationCost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

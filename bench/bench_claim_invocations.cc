@@ -1,0 +1,66 @@
+// Experiments C1 & C7 — the §4 counting claims.
+//
+// "a sequence of n filters, a source and a sink can all be implemented by
+//  n+2 Ejects ... only n+1 invocations are needed to transfer a datum from
+//  one end of the pipeline to the other. Conversely, if each filter were to
+//  perform active output as well as active input, 2n+2 invocations would be
+//  needed, as would n+1 passive buffer Ejects."
+//
+// And C7: merging each passive buffer with its source also (roughly) halves
+// context switches per datum. Counters expose measured vs predicted for
+// every n; batching divides the message counts proportionally.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void RunClaim(benchmark::State& state, Discipline discipline) {
+  size_t stages = static_cast<size_t>(state.range(0));
+  int64_t batch = state.range(1);
+  int items = 2000;
+  PipelineRunStats last;
+  for (auto _ : state) {
+    PipelineOptions options;
+    options.discipline = discipline;
+    options.batch = batch;
+    options.work_ahead = static_cast<size_t>(batch) * 4;
+    last = RunPipelineMeasured(KernelOptions(), BenchLines(items), CopyChain(stages),
+                               options);
+    benchmark::DoNotOptimize(last.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  ReportPipelineCounters(state, last, stages, discipline);
+  state.counters["predicted_inv"] =
+      static_cast<double>(PredictedInvocationsPerDatum(discipline, stages)) /
+      static_cast<double>(batch);
+  state.counters["predicted_ejects"] =
+      static_cast<double>(PredictedEjectCount(discipline, stages));
+}
+
+void BM_ReadOnlyInvocations(benchmark::State& state) {
+  RunClaim(state, Discipline::kReadOnly);
+}
+void BM_WriteOnlyInvocations(benchmark::State& state) {
+  RunClaim(state, Discipline::kWriteOnly);
+}
+void BM_ConventionalInvocations(benchmark::State& state) {
+  RunClaim(state, Discipline::kConventional);
+}
+
+BENCHMARK(BM_ReadOnlyInvocations)
+    ->ArgsProduct({{0, 1, 2, 4, 8, 16}, {1, 8}})
+    ->ArgNames({"n", "batch"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WriteOnlyInvocations)
+    ->ArgsProduct({{0, 1, 2, 4, 8, 16}, {1, 8}})
+    ->ArgNames({"n", "batch"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConventionalInvocations)
+    ->ArgsProduct({{0, 1, 2, 4, 8, 16}, {1, 8}})
+    ->ArgNames({"n", "batch"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment C3 — §4 laziness and buffer-ahead.
+//
+// "No data flows until a sink is connected to the pipeline... Laziness,
+//  however, is not desirable in a system which permits parallel execution.
+//  Instead ... each Eject in a pipeline should read some input and buffer-up
+//  some output, and then suspend processing pending a request for output."
+//
+// Sweep the work-ahead allowance k = 0..32 on a distributed 3-filter
+// pipeline. k = 0 is fully lazy (lowest pre-sink work, highest per-datum
+// latency: every Transfer walks to the source); larger k overlaps stages.
+// Counters: time-to-first-datum, total completion time, and the amount of
+// work done before any sink existed.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_WorkAheadSweep(benchmark::State& state) {
+  size_t work_ahead = static_cast<size_t>(state.range(0));
+  int items = 1000;
+  PipelineRunStats run;
+  for (auto _ : state) {
+    KernelOptions kernel_options;
+    kernel_options.costs.cross_node_latency = 400;
+    PipelineOptions options;
+    options.discipline = Discipline::kReadOnly;
+    // "each Eject in a pipeline should read some input and buffer-up some
+    // output" (§4): the sweep applies the allowance k to both sides.
+    options.work_ahead = work_ahead;
+    options.lookahead = work_ahead;
+    options.distinct_nodes = true;  // overlap only pays off with real latency
+    // Each filter does real (virtual) work per item; buffering ahead lets
+    // that work overlap the Transfer round trips.
+    options.processing_cost = 600;
+    run = RunPipelineMeasured(kernel_options, BenchLines(items), CopyChain(3),
+                              options);
+    benchmark::DoNotOptimize(run.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  state.counters["work_ahead"] = static_cast<double>(work_ahead);
+  state.counters["first_item_at_vus"] = static_cast<double>(run.first_item_at);
+  state.counters["completion_vus"] = static_cast<double>(run.virtual_time);
+  state.counters["vus_per_datum"] =
+      static_cast<double>(run.virtual_time) / items;
+}
+BENCHMARK(BM_WorkAheadSweep)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// "No data flows until a sink is connected": build source + filters with
+// start_on_demand, run the kernel to quiescence WITHOUT a sink, then attach
+// one. Counters report items produced before vs after.
+void BM_NoSinkNoData(benchmark::State& state) {
+  int items = 500;
+  uint64_t produced_before_sink = 0;
+  uint64_t produced_after_sink = 0;
+  for (auto _ : state) {
+    Kernel kernel;
+    VectorSource::Options source_options;
+    source_options.start_on_demand = true;
+    source_options.work_ahead = 4;
+    VectorSource& source =
+        kernel.CreateLocal<VectorSource>(BenchLines(items), source_options);
+    ReadOnlyFilter::Options filter_options;
+    filter_options.source = source.uid();
+    filter_options.start_on_demand = true;
+    filter_options.work_ahead = 4;
+    ReadOnlyFilter& filter = kernel.CreateLocal<ReadOnlyFilter>(
+        std::make_unique<LambdaTransform>(
+            "copy",
+            [](const Value& v, const Transform::EmitFn& emit) { emit(kChanOut, v); }),
+        filter_options);
+
+    kernel.Run();  // quiesce without a sink
+    produced_before_sink = source.produced_count();
+
+    PullSink& sink = kernel.CreateLocal<PullSink>(filter.uid(),
+                                                  Value(std::string(kChanOut)));
+    kernel.RunUntil([&] { return sink.done(); });
+    produced_after_sink = source.produced_count();
+    benchmark::DoNotOptimize(produced_after_sink);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  state.counters["produced_before_sink"] =
+      static_cast<double>(produced_before_sink);
+  state.counters["produced_after_sink"] = static_cast<double>(produced_after_sink);
+}
+BENCHMARK(BM_NoSinkNoData)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

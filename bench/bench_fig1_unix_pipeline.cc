@@ -1,0 +1,80 @@
+// Experiment F1 — Figure 1: "A Pipeline in Unix."
+//
+// The conventional discipline: filters perform active input AND active
+// output, so every junction needs a passive-buffer Eject (the Unix pipe).
+// For n filters this costs 2n+3 Ejects and 2n+2 invocations per datum.
+//
+// Sweep: pipeline length n = 1..16 (the paper's figure shows n = 3), with
+// the 3-filter row being the direct Figure 1 reproduction.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_Fig1UnixPipeline(benchmark::State& state) {
+  size_t stages = static_cast<size_t>(state.range(0));
+  int items = 2000;
+  PipelineRunStats last;
+  for (auto _ : state) {
+    PipelineOptions options;
+    options.discipline = Discipline::kConventional;
+    last = RunPipelineMeasured(KernelOptions(), BenchLines(items), CopyChain(stages),
+                               options);
+    benchmark::DoNotOptimize(last.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  ReportPipelineCounters(state, last, stages, Discipline::kConventional);
+}
+BENCHMARK(BM_Fig1UnixPipeline)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// The same Figure 1 pipeline with realistic filters rather than copies:
+// grep | upper | nl (three filters, matching the figure's F1 F2 F3).
+void BM_Fig1RealFilters(benchmark::State& state) {
+  std::vector<TransformFactory> chain = {
+      [] {
+        return std::make_unique<LambdaTransform>(
+            "grep", [](const Value& v, const Transform::EmitFn& emit) {
+              if (v.StrOr("").find('=') != std::string::npos) {
+                emit(kChanOut, v);
+              }
+            });
+      },
+      [] {
+        return std::make_unique<LambdaTransform>(
+            "upper", [](const Value& v, const Transform::EmitFn& emit) {
+              std::string s = v.StrOr("");
+              for (char& c : s) {
+                c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+              }
+              emit(kChanOut, Value(std::move(s)));
+            });
+      },
+      [] {
+        struct Nl : Transform {
+          int64_t n = 0;
+          void OnItem(const Value& v, const EmitFn& emit) override {
+            emit(kChanOut, Value(std::to_string(++n) + "\t" + v.StrOr("")));
+          }
+          std::string name() const override { return "nl"; }
+        };
+        return std::make_unique<Nl>();
+      },
+  };
+  int items = 2000;
+  PipelineRunStats last;
+  for (auto _ : state) {
+    PipelineOptions options;
+    options.discipline = Discipline::kConventional;
+    last = RunPipelineMeasured(KernelOptions(), BenchLines(items), chain, options);
+    benchmark::DoNotOptimize(last.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  ReportPipelineCounters(state, last, 3, Discipline::kConventional);
+}
+BENCHMARK(BM_Fig1RealFilters)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

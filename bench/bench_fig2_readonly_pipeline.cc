@@ -1,0 +1,57 @@
+// Experiment F2 — Figure 2: "The same Pipeline in Eden with 'read only'
+// Transput."
+//
+// Active input + passive output only: no passive buffers, n+2 Ejects,
+// n+1 invocations per datum. Compare each row with the matching row of
+// bench_fig1_unix_pipeline: the invocation ratio approaches 2x as n grows.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_Fig2ReadOnlyPipeline(benchmark::State& state) {
+  size_t stages = static_cast<size_t>(state.range(0));
+  int items = 2000;
+  PipelineRunStats last;
+  for (auto _ : state) {
+    PipelineOptions options;
+    options.discipline = Discipline::kReadOnly;
+    last = RunPipelineMeasured(KernelOptions(), BenchLines(items), CopyChain(stages),
+                               options);
+    benchmark::DoNotOptimize(last.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  ReportPipelineCounters(state, last, stages, Discipline::kReadOnly);
+}
+BENCHMARK(BM_Fig2ReadOnlyPipeline)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Head-to-head at Figure 1/2's n = 3: the counter "saving_vs_unix" is the
+// §4 "roughly half as many invocations" claim, measured.
+void BM_Fig2VsFig1Saving(benchmark::State& state) {
+  int items = 2000;
+  double saving = 0;
+  for (auto _ : state) {
+    PipelineOptions readonly_options;
+    readonly_options.discipline = Discipline::kReadOnly;
+    PipelineRunStats readonly_run = RunPipelineMeasured(
+        KernelOptions(), BenchLines(items), CopyChain(3), readonly_options);
+
+    PipelineOptions unix_options;
+    unix_options.discipline = Discipline::kConventional;
+    PipelineRunStats unix_run = RunPipelineMeasured(
+        KernelOptions(), BenchLines(items), CopyChain(3), unix_options);
+
+    saving = static_cast<double>(unix_run.delta.invocations_sent) /
+             static_cast<double>(readonly_run.delta.invocations_sent);
+    benchmark::DoNotOptimize(saving);
+  }
+  state.SetItemsProcessed(state.iterations() * items * 2);
+  state.counters["saving_vs_unix"] = saving;  // predicted (2n+2)/(n+1) = 2.0
+}
+BENCHMARK(BM_Fig2VsFig1Saving)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

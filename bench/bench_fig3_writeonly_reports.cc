@@ -1,0 +1,83 @@
+// Experiment F3 — Figure 3: "An Eden pipeline in the write-only discipline,
+// with Report Streams."
+//
+// Topology (as in the figure): source and F1 produce reports as well as
+// normal output; F2 is pure. The reports from source and F1 are directed to
+// a common destination ("perhaps a window on a display"). In the write-only
+// discipline fan-OUT is native: the producers simply Push to the window.
+#include "bench/bench_util.h"
+#include "src/filters/transforms.h"
+
+namespace eden {
+namespace {
+
+struct Fig3Result {
+  Stats delta;
+  Tick virtual_time;
+  size_t output_items;
+  size_t report_items;
+  size_t ejects;
+};
+
+Fig3Result RunFigure3(int items, int report_every) {
+  Kernel kernel;
+  Stats before = kernel.stats();
+
+  PushSource::Options source_options;
+  source_options.report_every = report_every;
+  PushSource& source =
+      kernel.CreateLocal<PushSource>(BenchLines(items), source_options);
+
+  WriteOnlyFilter& f1 = kernel.CreateLocal<WriteOnlyFilter>(
+      std::make_unique<ReportingTransform>(std::make_unique<CopyTransform>(),
+                                           report_every));
+  WriteOnlyFilter& f2 =
+      kernel.CreateLocal<WriteOnlyFilter>(std::make_unique<CopyTransform>());
+
+  PushSink& sink = kernel.CreateLocal<PushSink>();
+  PushSink& window = kernel.CreateLocal<PushSink>();
+
+  f2.BindOutput(std::string(kChanOut), sink.uid(), Value(std::string(kChanIn)));
+  f1.BindOutput(std::string(kChanOut), f2.uid(), Value(std::string(kChanIn)));
+  f1.BindOutput(std::string(kChanReport), window.uid(), Value(std::string(kChanIn)));
+  source.BindOutput(f1.uid(), Value(std::string(kChanIn)));
+  source.BindReport(window.uid(), Value(std::string(kChanIn)));
+
+  kernel.RunUntil([&] { return sink.done(); });
+  kernel.Run(1'000'000);  // drain report streams
+
+  Fig3Result result;
+  result.delta = kernel.stats() - before;
+  result.virtual_time = kernel.now();
+  result.output_items = sink.items().size();
+  result.report_items = window.items().size();
+  result.ejects = 6;  // source, f1, f2, sink, window... (window + sink + 4)
+  result.ejects = kernel.stats().ejects_created;
+  return result;
+}
+
+void BM_Fig3WriteOnlyReports(benchmark::State& state) {
+  int items = 2000;
+  int report_every = static_cast<int>(state.range(0));
+  Fig3Result last{};
+  for (auto _ : state) {
+    last = RunFigure3(items, report_every);
+    benchmark::DoNotOptimize(last.output_items);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  state.counters["ejects"] = static_cast<double>(last.ejects);
+  state.counters["output_items"] = static_cast<double>(last.output_items);
+  state.counters["report_items"] = static_cast<double>(last.report_items);
+  state.counters["inv_per_datum"] =
+      static_cast<double>(last.delta.invocations_sent) /
+      static_cast<double>(last.output_items);
+  state.counters["virtual_us_per_datum"] =
+      static_cast<double>(last.virtual_time) / static_cast<double>(last.output_items);
+}
+BENCHMARK(BM_Fig3WriteOnlyReports)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Experiment F4 — Figure 4: "The pipeline of Figure 3 in the read-only
+// discipline", using channel identifiers.
+//
+// Same function as Figure 3, but every stream is pulled: the sink reads
+// Read(Output) from F2, and the multi-source Report Window issues
+// Read(ReportStream) requests against source and F1 directly. No passive
+// buffers appear, and the Eject census equals Figure 3's.
+#include "bench/bench_util.h"
+#include "src/devices/devices.h"
+#include "src/filters/transforms.h"
+
+namespace eden {
+namespace {
+
+struct Fig4Result {
+  Stats delta;
+  Tick virtual_time;
+  size_t output_items;
+  size_t report_items;
+  size_t ejects;
+};
+
+Fig4Result RunFigure4(int items, int report_every, bool capability_channels) {
+  Kernel kernel;
+  Stats before = kernel.stats();
+
+  VectorSource::Options source_options;
+  source_options.report_every = report_every;
+  source_options.capability_only_channels = capability_channels;
+  VectorSource& source =
+      kernel.CreateLocal<VectorSource>(BenchLines(items), source_options);
+
+  ReadOnlyFilter::Options f1_options;
+  f1_options.source = source.uid();
+  f1_options.capability_only_channels = capability_channels;
+  if (capability_channels) {
+    f1_options.source_channel = Value(*source.server().MintCapability(
+        std::string(kChanOut)));
+  }
+  ReadOnlyFilter& f1 = kernel.CreateLocal<ReadOnlyFilter>(
+      std::make_unique<ReportingTransform>(std::make_unique<CopyTransform>(),
+                                           report_every),
+      f1_options);
+
+  ReadOnlyFilter::Options f2_options;
+  f2_options.source = f1.uid();
+  if (capability_channels) {
+    f2_options.source_channel =
+        Value(*f1.server().MintCapability(std::string(kChanOut)));
+  }
+  ReadOnlyFilter& f2 = kernel.CreateLocal<ReadOnlyFilter>(
+      std::make_unique<CopyTransform>(), f2_options);
+
+  PullSink& sink = kernel.CreateLocal<PullSink>(
+      f2.uid(), Value(std::string(kChanOut)));
+  ReportWindow& window = kernel.CreateLocal<ReportWindow>();
+  Value source_report = Value(std::string(kChanReport));
+  Value f1_report = Value(std::string(kChanReport));
+  if (capability_channels) {
+    source_report = Value(*source.server().MintCapability(std::string(kChanReport)));
+    f1_report = Value(*f1.server().MintCapability(std::string(kChanReport)));
+  }
+  window.Attach(source.uid(), source_report, "source");
+  window.Attach(f1.uid(), f1_report, "F1");
+
+  kernel.RunUntil([&] { return sink.done() && window.idle(); });
+
+  Fig4Result result;
+  result.delta = kernel.stats() - before;
+  result.virtual_time = kernel.now();
+  result.output_items = sink.items().size();
+  result.report_items = window.lines().size();
+  result.ejects = kernel.stats().ejects_created;
+  return result;
+}
+
+void BM_Fig4ReadOnlyChannels(benchmark::State& state) {
+  int items = 2000;
+  int report_every = static_cast<int>(state.range(0));
+  bool capabilities = state.range(1) != 0;
+  Fig4Result last{};
+  for (auto _ : state) {
+    last = RunFigure4(items, report_every, capabilities);
+    benchmark::DoNotOptimize(last.output_items);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  state.counters["ejects"] = static_cast<double>(last.ejects);
+  state.counters["output_items"] = static_cast<double>(last.output_items);
+  state.counters["report_items"] = static_cast<double>(last.report_items);
+  state.counters["inv_per_datum"] =
+      static_cast<double>(last.delta.invocations_sent) /
+      static_cast<double>(last.output_items);
+  state.counters["virtual_us_per_datum"] =
+      static_cast<double>(last.virtual_time) / static_cast<double>(last.output_items);
+}
+BENCHMARK(BM_Fig4ReadOnlyChannels)
+    ->ArgsProduct({{10, 100, 1000}, {0, 1}})
+    ->ArgNames({"report_every", "capabilities"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

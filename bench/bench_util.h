@@ -1,0 +1,95 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// Every benchmark reports simulation-level counters (invocations per datum,
+// Eject census, virtual microseconds) rather than host wall time alone: the
+// paper's claims are about message structure, and the DES makes those counts
+// exact. Host time still measures simulator throughput.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/eden/random.h"
+
+namespace eden {
+
+// A deterministic line workload (the "10k lines of Fortran" style input the
+// paper's §3 filters were motivated by).
+inline ValueList BenchLines(int n, uint64_t seed = 83) {
+  Rng rng(seed);
+  ValueList items;
+  items.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string line = rng.Chance(0.25) ? "C " : "      ";
+    line += rng.Word(3, 10) + " = " + rng.Word(1, 6);
+    items.push_back(Value(std::move(line)));
+  }
+  return items;
+}
+
+inline std::vector<TransformFactory> CopyChain(size_t n) {
+  std::vector<TransformFactory> chain;
+  for (size_t i = 0; i < n; ++i) {
+    chain.push_back([] { return std::make_unique<LambdaTransform>(
+                             "copy", [](const Value& v, const Transform::EmitFn& emit) {
+                               emit(kChanOut, v);
+                             }); });
+  }
+  return chain;
+}
+
+struct PipelineRunStats {
+  Stats delta;
+  Tick virtual_time = 0;
+  size_t items_out = 0;
+  size_t ejects = 0;
+  size_t passive_buffers = 0;
+  Tick first_item_at = -1;
+};
+
+// Builds and runs one pipeline to completion, returning the stat deltas.
+inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
+                                            ValueList input,
+                                            const std::vector<TransformFactory>& chain,
+                                            const PipelineOptions& options) {
+  Kernel kernel(kernel_options);
+  Stats before = kernel.stats();
+  Tick start = kernel.now();
+  PipelineHandle handle = BuildPipeline(kernel, std::move(input), chain, options);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  PipelineRunStats result;
+  result.delta = kernel.stats() - before;
+  result.virtual_time = kernel.now() - start;
+  result.items_out = handle.output().size();
+  result.ejects = handle.eject_count();
+  result.passive_buffers = handle.passive_buffer_count;
+  result.first_item_at = handle.first_item_at();
+  return result;
+}
+
+// Attaches the standard counter set to a benchmark state.
+inline void ReportPipelineCounters(benchmark::State& state,
+                                   const PipelineRunStats& run, size_t stage_count,
+                                   Discipline discipline) {
+  double items = static_cast<double>(run.items_out);
+  state.counters["inv_per_datum"] =
+      static_cast<double>(run.delta.invocations_sent) / items;
+  state.counters["predicted_inv"] =
+      static_cast<double>(PredictedInvocationsPerDatum(discipline, stage_count));
+  state.counters["msgs_per_datum"] =
+      static_cast<double>(run.delta.total_messages()) / items;
+  state.counters["switches_per_datum"] =
+      static_cast<double>(run.delta.context_switches) / items;
+  state.counters["ejects"] = static_cast<double>(run.ejects);
+  state.counters["passive_buffers"] = static_cast<double>(run.passive_buffers);
+  state.counters["virtual_us_per_datum"] =
+      static_cast<double>(run.virtual_time) / items;
+}
+
+}  // namespace eden
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,73 @@
+// An interactive(-ish) Eden shell session.
+//
+// Runs a scripted demonstration by default; pass commands as arguments to
+// run your own pipeline (quote the whole pipeline):
+//
+//   $ ./eden_shell
+//   $ ./eden_shell "echo hello world | upper | collect"
+//   $ ./eden_shell "random 7 20 | grep a | nl | terminal"
+#include <cstdio>
+
+#include "src/eden/kernel.h"
+#include "src/fs/directory.h"
+#include "src/fs/file.h"
+#include "src/shell/shell.h"
+
+namespace {
+
+void RunAndShow(eden::EdenShell& shell, const std::string& command) {
+  std::printf("eden$ %s\n", command.c_str());
+  eden::ShellResult result = shell.Run(command);
+  if (!result.ok) {
+    std::printf("  error: %s\n", result.error.c_str());
+    return;
+  }
+  for (const std::string& line : result.output) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("  (%zu ejects created)\n", result.ejects_created);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eden::Kernel kernel;
+  eden::HostFs host;
+  host.Put("/etc/motd",
+           "Welcome to Eden.\n"
+           "All entities here are Ejects.\n"
+           "Invocation is the only mechanism.\n");
+  eden::EdenShell shell(kernel, &host);
+
+  // A home directory with a couple of files, bound into the shell.
+  eden::FileEject& notes = kernel.CreateLocal<eden::FileEject>(
+      "beta\nalpha\nbeta\ngamma\nalpha\n");
+  eden::FileEject& scratch = kernel.CreateLocal<eden::FileEject>();
+  shell.Bind("notes", notes.uid());
+  shell.Bind("scratch", scratch.uid());
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      RunAndShow(shell, argv[i]);
+    }
+    return 0;
+  }
+
+  RunAndShow(shell, "echo 'Hello from the read-only discipline' | upper | terminal");
+  RunAndShow(shell, "cat notes | sort | uniq | collect");
+  RunAndShow(shell, "cat notes | sort | uniq | tofile scratch");
+  RunAndShow(shell, "cat scratch | nl | collect");
+  RunAndShow(shell, "unixfs /etc/motd | grep Eject | collect");
+  RunAndShow(shell, "unixfs /etc/motd | rot13 | usestream /tmp/motd.rot13");
+  RunAndShow(shell, "unixfs /tmp/motd.rot13 | rot13 | collect");
+  RunAndShow(shell, "random 42 8 | report 3 wc report>monitor | collect");
+  if (eden::ReportWindow* window = shell.window("monitor")) {
+    std::printf("-- report window 'monitor' --\n");
+    for (const std::string& line : window->lines()) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+  RunAndShow(shell, "clock | head 4 | terminal");
+  std::printf("\nfinal stats: %s\n", kernel.stats().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Renders Figure 2's message flow as an ASCII sequence chart.
+//
+// Builds the paper's read-only pipeline (source <- F1 <- F2 <- sink) for a
+// three-item stream, records every invocation and reply, and prints the
+// chart: you can watch the sink's Transfer "suck data through the filter"
+// and the demand propagate upstream (§4's pump metaphor, made visible).
+//
+//   $ ./trace_figure2
+#include <cstdio>
+
+#include "src/core/filter_eject.h"
+#include "src/core/pipeline.h"
+#include "src/eden/trace.h"
+#include "src/filters/transforms.h"
+
+int main() {
+  eden::Kernel kernel;
+  eden::TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+
+  eden::ValueList input;
+  for (int i = 0; i < 3; ++i) {
+    input.push_back(eden::Value("item " + std::to_string(i)));
+  }
+  eden::PipelineOptions options;
+  options.discipline = eden::Discipline::kReadOnly;
+  options.work_ahead = 0;  // fully lazy: demand visibly walks the chain
+  std::vector<eden::TransformFactory> stages = {
+      [] { return std::make_unique<eden::CopyTransform>(); },
+      [] { return std::make_unique<eden::CopyTransform>(); },
+  };
+  eden::PipelineHandle handle =
+      eden::BuildPipeline(kernel, std::move(input), stages, options);
+  kernel.RunUntil([&handle] { return handle.done(); });
+
+  recorder.Label(handle.ejects[0], "source");
+  recorder.Label(handle.ejects[1], "F1");
+  recorder.Label(handle.ejects[2], "F2");
+  recorder.Label(handle.ejects[3], "sink");
+
+  std::printf("Figure 2, executed (read-only, work-ahead 0, %zu items out):\n\n",
+              handle.output().size());
+  std::printf("%s", recorder.Render(60).c_str());
+  std::printf(
+      "\nEvery data movement is one Transfer (solid) and its reply (dotted):\n"
+      "n+1 = 3 invocations per datum for n = 2 filters. The sink initiates\n"
+      "everything — sources and filters only ever respond. (§4)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Sequence-protocol conformance checking.
+//
+// §2's behavioural view of type says a Source is *anything* that answers
+// Transfer correctly — so the library ships an executable definition of
+// "correctly". CheckSourceConformance drives an arbitrary Eject through the
+// observable requirements of the passive-output machine (PROTOCOL.md) and
+// reports every violation. The test suite runs it against every source-like
+// Eject in the repository; downstream users can run it against theirs.
+//
+// Checked properties (for a finite stream):
+//   1. Transfer returns a batch Value {items, end}.
+//   2. Batch sizes never exceed the requested max.
+//   3. The stream terminates (end:true arrives within `max_transfers`).
+//   4. After end, further Transfers answer empty+end (or a clean error),
+//      not items — unless the source documents rewind semantics, in which
+//      case the second pass must equal the first.
+//   5. An unknown channel identifier is refused with NO_SUCH_CHANNEL.
+//   6. max is respected for several values, and the concatenation of
+//      batches is independent of the batch size used to fetch it.
+#ifndef SRC_CORE_CONFORMANCE_H_
+#define SRC_CORE_CONFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/stream.h"
+#include "src/eden/kernel.h"
+
+namespace eden {
+
+// What a conformant source may do after serving end-of-stream.
+enum class PostEndBehavior {
+  kEmptyEnd,  // every later Transfer answers {items:[], end:true}
+  kRewind,    // the shared cursor rewinds: a second pass equals the first
+  kVanish,    // the Eject deactivates (bootstrap UnixFiles): NO_SUCH_EJECT
+};
+
+struct ConformanceOptions {
+  Value channel = Value(std::string(kChanOut));
+  PostEndBehavior post_end = PostEndBehavior::kEmptyEnd;
+  // Abort if the stream has not ended after this many Transfers.
+  int max_transfers = 10000;
+  // Skip the unknown-channel probe (for single-channel ad-hoc sources that
+  // accept anything).
+  bool check_unknown_channel = true;
+};
+
+struct ConformanceReport {
+  bool conformant = true;
+  std::vector<std::string> violations;
+  ValueList items;  // the stream content, batch-1 pass
+
+  void Violate(std::string what) {
+    conformant = false;
+    violations.push_back(std::move(what));
+  }
+  std::string Summary() const;
+};
+
+// Runs the kernel as needed; the source must already exist.
+ConformanceReport CheckSourceConformance(Kernel& kernel, Uid source,
+                                         const ConformanceOptions& options = {});
+
+}  // namespace eden
+
+#endif  // SRC_CORE_CONFORMANCE_H_

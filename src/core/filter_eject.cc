@@ -1,0 +1,192 @@
+#include "src/core/filter_eject.h"
+
+#include <cassert>
+
+namespace eden {
+
+EmittedItems ApplyItem(Transform& transform, const Value& item) {
+  EmittedItems emitted;
+  transform.OnItem(item, [&emitted](std::string_view channel, Value v) {
+    emitted.emplace_back(std::string(channel), std::move(v));
+  });
+  return emitted;
+}
+
+EmittedItems ApplyEnd(Transform& transform) {
+  EmittedItems emitted;
+  transform.OnEnd([&emitted](std::string_view channel, Value v) {
+    emitted.emplace_back(std::string(channel), std::move(v));
+  });
+  return emitted;
+}
+
+// ------------------------------------------------------------ ReadOnlyFilter
+
+ReadOnlyFilter::ReadOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
+                               Options options)
+    : Eject(kernel, kType),
+      transform_(std::move(transform)),
+      options_(std::move(options)),
+      reader_(*this, options_.source, options_.source_channel,
+              StreamReader::Options{options_.batch, options_.lookahead}),
+      server_(*this),
+      demand_(*this) {
+  assert(transform_ != nullptr);
+  std::vector<std::string> channels = transform_->output_channels();
+  assert(!channels.empty());
+  primary_channel_ = channels.front();
+  for (const std::string& name : channels) {
+    StreamServer::ChannelOptions channel_options;
+    channel_options.capacity = options_.work_ahead;
+    channel_options.capability_only = options_.capability_only_channels;
+    server_.DeclareChannel(name, channel_options);
+  }
+  server_.InstallOps();
+  if (options_.start_on_demand) {
+    server_.set_on_first_demand([this] { demand_.Open(); });
+  } else {
+    demand_.Open();
+  }
+}
+
+void ReadOnlyFilter::OnStart() { Spawn(Run()); }
+
+Task<void> ReadOnlyFilter::Run() {
+  // §4 laziness: "each Eject may be programmed so as not to do any work
+  // until it is asked for output."
+  co_await demand_.Wait();
+  for (;;) {
+    std::optional<Value> item = co_await reader_.Next();
+    if (!item) {
+      break;
+    }
+    items_processed_++;
+    if (options_.processing_cost > 0) {
+      co_await Sleep(options_.processing_cost);
+    }
+    for (auto& [channel, value] : ApplyItem(*transform_, *item)) {
+      co_await server_.Write(channel, std::move(value));
+    }
+    if (transform_->Done()) {
+      break;  // lazy pull: stop issuing Transfers; even infinite upstreams end
+    }
+  }
+  if (!reader_.status().ok_or_end()) {
+    // Upstream crashed mid-stream: propagate the failure instead of
+    // masquerading as a clean end.
+    server_.AbortAll(reader_.status());
+    co_return;
+  }
+  for (auto& [channel, value] : ApplyEnd(*transform_)) {
+    co_await server_.Write(channel, std::move(value));
+  }
+  server_.CloseAll();
+}
+
+// ----------------------------------------------------------- WriteOnlyFilter
+
+WriteOnlyFilter::WriteOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
+                                 Options options)
+    : Eject(kernel, kType),
+      transform_(std::move(transform)),
+      options_(options),
+      acceptor_(*this) {
+  assert(transform_ != nullptr);
+  StreamAcceptor::ChannelOptions in;
+  in.capacity = options_.input_capacity;
+  acceptor_.DeclareChannel(std::string(kChanIn), in);
+  acceptor_.InstallOps();
+}
+
+void WriteOnlyFilter::BindOutput(const std::string& channel, Uid sink,
+                                 Value sink_channel) {
+  writers_[channel] = std::make_unique<StreamWriter>(
+      *this, sink, std::move(sink_channel), StreamWriter::Options{options_.batch});
+}
+
+void WriteOnlyFilter::OnStart() { Spawn(Run()); }
+
+Task<void> WriteOnlyFilter::Run() {
+  for (;;) {
+    std::optional<Value> item = co_await acceptor_.Next(kChanIn);
+    if (!item) {
+      break;
+    }
+    if (transform_->Done()) {
+      continue;  // cannot stop an active-output upstream: drain and discard
+    }
+    items_processed_++;
+    if (options_.processing_cost > 0) {
+      co_await Sleep(options_.processing_cost);
+    }
+    for (auto& [channel, value] : ApplyItem(*transform_, *item)) {
+      auto it = writers_.find(channel);
+      if (it != writers_.end()) {
+        co_await it->second->Write(std::move(value));
+      }
+    }
+  }
+  for (auto& [channel, value] : ApplyEnd(*transform_)) {
+    auto it = writers_.find(channel);
+    if (it != writers_.end()) {
+      co_await it->second->Write(std::move(value));
+    }
+  }
+  for (auto& [channel, writer] : writers_) {
+    co_await writer->End();
+  }
+}
+
+// -------------------------------------------------------- ConventionalFilter
+
+ConventionalFilter::ConventionalFilter(Kernel& kernel,
+                                       std::unique_ptr<Transform> transform,
+                                       Options options)
+    : Eject(kernel, kType),
+      transform_(std::move(transform)),
+      options_(std::move(options)),
+      reader_(*this, options_.source, options_.source_channel,
+              StreamReader::Options{options_.batch, options_.lookahead}) {
+  assert(transform_ != nullptr);
+}
+
+void ConventionalFilter::BindOutput(const std::string& channel, Uid sink,
+                                    Value sink_channel) {
+  writers_[channel] = std::make_unique<StreamWriter>(
+      *this, sink, std::move(sink_channel), StreamWriter::Options{options_.batch});
+}
+
+void ConventionalFilter::OnStart() { Spawn(Run()); }
+
+Task<void> ConventionalFilter::Run() {
+  for (;;) {
+    std::optional<Value> item = co_await reader_.Next();
+    if (!item) {
+      break;
+    }
+    items_processed_++;
+    if (options_.processing_cost > 0) {
+      co_await Sleep(options_.processing_cost);
+    }
+    for (auto& [channel, value] : ApplyItem(*transform_, *item)) {
+      auto it = writers_.find(channel);
+      if (it != writers_.end()) {
+        co_await it->second->Write(std::move(value));
+      }
+    }
+    if (transform_->Done()) {
+      break;  // stop pulling; the upstream pipe simply stays full
+    }
+  }
+  for (auto& [channel, value] : ApplyEnd(*transform_)) {
+    auto it = writers_.find(channel);
+    if (it != writers_.end()) {
+      co_await it->second->Write(std::move(value));
+    }
+  }
+  for (auto& [channel, writer] : writers_) {
+    co_await writer->End();
+  }
+}
+
+}  // namespace eden

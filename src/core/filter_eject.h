@@ -1,0 +1,151 @@
+// Filter Ejects: one per transput discipline, all wrapping the same
+// Transform.
+//
+//  * ReadOnlyFilter     — active input + passive output (paper §4, Figure 2)
+//  * WriteOnlyFilter    — passive input + active output (paper §5, Figure 3)
+//  * ConventionalFilter — active input + active output  (paper §3, Figure 1;
+//                         needs PassiveBuffers for its correspondents)
+//
+// Because the Transform is shared, a pipeline built in any discipline from
+// the same factories produces identical output — the invocation *structure*
+// is the only thing that changes, which is precisely the paper's subject.
+#ifndef SRC_CORE_FILTER_EJECT_H_
+#define SRC_CORE_FILTER_EJECT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/stream_acceptor.h"
+#include "src/core/stream_reader.h"
+#include "src/core/stream_server.h"
+#include "src/core/stream_writer.h"
+#include "src/core/transform.h"
+#include "src/eden/eject.h"
+
+namespace eden {
+
+// Items emitted by one Transform step, tagged with their channel.
+using EmittedItems = std::vector<std::pair<std::string, Value>>;
+
+EmittedItems ApplyItem(Transform& transform, const Value& item);
+EmittedItems ApplyEnd(Transform& transform);
+
+// ---------------------------------------------------------------------------
+// Read-only discipline: the paper's preferred filter shape.
+struct ReadOnlyFilterOptions {
+  Uid source;                       // upstream Eject (must passively output)
+  Value source_channel = Value(std::string(kChanOut));
+  int64_t batch = 1;                // items per upstream Transfer
+  size_t lookahead = 0;             // reader prefetch depth
+  size_t work_ahead = 4;            // output buffer beyond demand (0 = lazy)
+  bool start_on_demand = false;     // do no work until first Transfer (§4)
+  bool capability_only_channels = false;  // §5 channel security
+  // Virtual compute charged per input item (models the filter's real work;
+  // what work-ahead buffering overlaps with communication, §4).
+  Tick processing_cost = 0;
+};
+
+class ReadOnlyFilter : public Eject {
+ public:
+  static constexpr const char* kType = "ReadOnlyFilter";
+
+  using Options = ReadOnlyFilterOptions;
+
+  ReadOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
+                 Options options);
+
+  void OnStart() override;
+
+  StreamServer& server() { return server_; }
+  const std::string& primary_channel() const { return primary_channel_; }
+  uint64_t items_processed() const { return items_processed_; }
+
+ private:
+  Task<void> Run();
+
+  std::unique_ptr<Transform> transform_;
+  Options options_;
+  StreamReader reader_;
+  StreamServer server_;
+  Gate demand_;
+  std::string primary_channel_;
+  uint64_t items_processed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Write-only discipline: the dual arrangement of §5.
+struct WriteOnlyFilterOptions {
+  size_t input_capacity = 8;
+  int64_t batch = 1;  // items per downstream Push
+  Tick processing_cost = 0;  // virtual compute per input item
+};
+
+class WriteOnlyFilter : public Eject {
+ public:
+  static constexpr const char* kType = "WriteOnlyFilter";
+
+  using Options = WriteOnlyFilterOptions;
+
+  WriteOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
+                  Options options = {});
+
+  // Directs output channel `channel` at `sink` (wire channel `sink_channel`).
+  // Must be called before data arrives. Unbound channels discard.
+  void BindOutput(const std::string& channel, Uid sink, Value sink_channel);
+
+  void OnStart() override;
+
+  StreamAcceptor& acceptor() { return acceptor_; }
+  uint64_t items_processed() const { return items_processed_; }
+
+ private:
+  Task<void> Run();
+
+  std::unique_ptr<Transform> transform_;
+  Options options_;
+  StreamAcceptor acceptor_;
+  std::map<std::string, std::unique_ptr<StreamWriter>> writers_;
+  uint64_t items_processed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Conventional discipline: active both ways; the data pump of §3.
+class ConventionalFilter : public Eject {
+ public:
+  static constexpr const char* kType = "ConventionalFilter";
+
+  struct Options {
+    Uid source;
+    Value source_channel = Value(std::string(kChanOut));
+    int64_t batch = 1;
+    size_t lookahead = 0;
+    Tick processing_cost = 0;  // virtual compute per input item
+  };
+
+  ConventionalFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
+                     Options options);
+
+  // The downstream correspondent must perform passive input (a PassiveBuffer
+  // or a PushSink).
+  void BindOutput(const std::string& channel, Uid sink, Value sink_channel);
+
+  void OnStart() override;
+
+  uint64_t items_processed() const { return items_processed_; }
+
+ private:
+  Task<void> Run();
+
+  std::unique_ptr<Transform> transform_;
+  Options options_;
+  StreamReader reader_;
+  std::map<std::string, std::unique_ptr<StreamWriter>> writers_;
+  uint64_t items_processed_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_CORE_FILTER_EJECT_H_

@@ -1,0 +1,105 @@
+#include "src/core/framing.h"
+
+namespace eden {
+
+ValueList SplitLines(std::string_view text) {
+  ValueList lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(Value(std::string(text.substr(start))));
+      break;
+    }
+    lines.push_back(Value(std::string(text.substr(start, nl - start))));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const ValueList& lines) {
+  std::string text;
+  for (const Value& line : lines) {
+    if (const std::string* s = line.AsStr()) {
+      text += *s;
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+ValueList FrameFixed(const Bytes& data, size_t record_size) {
+  ValueList records;
+  if (record_size == 0) {
+    return records;
+  }
+  for (size_t offset = 0; offset < data.size(); offset += record_size) {
+    size_t n = std::min(record_size, data.size() - offset);
+    records.push_back(Value(Bytes(data.begin() + static_cast<long>(offset),
+                                  data.begin() + static_cast<long>(offset + n))));
+  }
+  return records;
+}
+
+Bytes UnframeFixed(const ValueList& records) {
+  Bytes data;
+  for (const Value& record : records) {
+    if (const Bytes* b = record.AsBytes()) {
+      data.insert(data.end(), b->begin(), b->end());
+    }
+  }
+  return data;
+}
+
+namespace {
+
+void PutVarint(uint64_t v, Bytes& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const uint8_t*& p, const uint8_t* end, uint64_t& out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (p < end && shift <= 63) {
+    uint8_t b = *p++;
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+Bytes FrameLengthPrefixed(const std::vector<Bytes>& records) {
+  Bytes out;
+  for (const Bytes& record : records) {
+    PutVarint(record.size(), out);
+    out.insert(out.end(), record.begin(), record.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<Bytes>> UnframeLengthPrefixed(const Bytes& data) {
+  std::vector<Bytes> records;
+  const uint8_t* p = data.data();
+  const uint8_t* end = p + data.size();
+  while (p < end) {
+    uint64_t n;
+    if (!GetVarint(p, end, n) || static_cast<uint64_t>(end - p) < n) {
+      return std::nullopt;
+    }
+    records.emplace_back(p, p + n);
+    p += n;
+  }
+  return records;
+}
+
+}  // namespace eden

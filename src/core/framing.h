@@ -1,0 +1,40 @@
+// Framing: converting between byte streams and record streams.
+//
+// Paper §6: "Nothing I have said about Eden transput constrains Eden streams
+// to be streams of bytes. Streams of arbitrary records fit into the protocol
+// just as well, provided only that they are homogeneous."
+//
+// The file system stores byte content; pipelines mostly process line
+// records. These helpers convert both ways, plus two record framings over
+// raw bytes (fixed-size and length-prefixed) used by the record-stream
+// tests.
+#ifndef SRC_CORE_FRAMING_H_
+#define SRC_CORE_FRAMING_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/eden/value.h"
+
+namespace eden {
+
+// Splits text into line records (Value strings, newline stripped). A final
+// fragment without a trailing newline is still a record.
+ValueList SplitLines(std::string_view text);
+
+// Joins line records back into text, one '\n' after each record.
+std::string JoinLines(const ValueList& lines);
+
+// Fixed-size records over a byte string; the final record may be short.
+ValueList FrameFixed(const Bytes& data, size_t record_size);
+Bytes UnframeFixed(const ValueList& records);
+
+// Length-prefixed (varint) records.
+Bytes FrameLengthPrefixed(const std::vector<Bytes>& records);
+std::optional<std::vector<Bytes>> UnframeLengthPrefixed(const Bytes& data);
+
+}  // namespace eden
+
+#endif  // SRC_CORE_FRAMING_H_

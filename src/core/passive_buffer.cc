@@ -1,0 +1,36 @@
+#include "src/core/passive_buffer.h"
+
+#include <utility>
+
+namespace eden {
+
+PassiveBuffer::PassiveBuffer(Kernel& kernel, Options options)
+    : Eject(kernel, kType), options_(options), acceptor_(*this), server_(*this) {
+  StreamAcceptor::ChannelOptions in;
+  in.capacity = options_.capacity;
+  acceptor_.DeclareChannel(std::string(kChanIn), in);
+  acceptor_.InstallOps();
+
+  StreamServer::ChannelOptions out;
+  // The pipe's store is split across its input and output buffers; giving
+  // the output side the full capacity lets batched Transfers drain whole
+  // batches, as a Unix read(2) on a pipe would.
+  out.capacity = options_.capacity;
+  server_.DeclareChannel(std::string(kChanOut), out);
+  server_.InstallOps();
+}
+
+void PassiveBuffer::OnStart() { Spawn(CopyLoop()); }
+
+Task<void> PassiveBuffer::CopyLoop() {
+  for (;;) {
+    std::optional<Value> item = co_await acceptor_.Next(kChanIn);
+    if (!item) {
+      break;
+    }
+    co_await server_.Write(kChanOut, std::move(*item));
+  }
+  server_.Close(std::string(kChanOut));
+}
+
+}  // namespace eden

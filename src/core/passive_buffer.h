@@ -1,0 +1,50 @@
+// PassiveBuffer: the Unix pipe rebuilt as an Eject (paper §3, Figure 1).
+//
+// "Because entities like Unix pipes perform both buffering and passive
+//  transput, I will refer to them as passive buffers."          (paper §3)
+//
+// It performs passive input (accepts Push) and passive output (answers
+// Transfer), with a bounded capacity providing pipe-style flow control.
+// The conventional-discipline pipelines interpose one of these between
+// every pair of active Ejects — which is exactly the structural overhead
+// the read-only discipline eliminates.
+#ifndef SRC_CORE_PASSIVE_BUFFER_H_
+#define SRC_CORE_PASSIVE_BUFFER_H_
+
+#include <string>
+
+#include "src/core/stream_acceptor.h"
+#include "src/core/stream_server.h"
+#include "src/eden/eject.h"
+
+namespace eden {
+
+struct PassiveBufferOptions {
+  size_t capacity = 16;
+};
+
+class PassiveBuffer : public Eject {
+ public:
+  static constexpr const char* kType = "PassiveBuffer";
+
+  using Options = PassiveBufferOptions;
+
+  explicit PassiveBuffer(Kernel& kernel, Options options = {});
+
+  void OnStart() override;
+
+  uint64_t items_through() const { return server_.items_delivered(); }
+
+ private:
+  // Copies items from the input buffer to the output buffer; closes the
+  // output when the input ends. Intra-Eject communication only.
+  Task<void> CopyLoop();
+
+  Options options_;
+  StreamAcceptor acceptor_;
+  StreamServer server_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_CORE_PASSIVE_BUFFER_H_

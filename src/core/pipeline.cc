@@ -1,0 +1,221 @@
+#include "src/core/pipeline.h"
+
+#include <cassert>
+#include <utility>
+
+namespace eden {
+
+std::string_view DisciplineName(Discipline discipline) {
+  switch (discipline) {
+    case Discipline::kReadOnly:
+      return "read-only";
+    case Discipline::kWriteOnly:
+      return "write-only";
+    case Discipline::kConventional:
+      return "conventional";
+  }
+  return "unknown";
+}
+
+namespace {
+
+NodeId PlaceNext(Kernel& kernel, const PipelineOptions& options, int& counter) {
+  if (!options.distinct_nodes) {
+    return NodeId{0};
+  }
+  return kernel.AddNode("pipe-node-" + std::to_string(counter++));
+}
+
+PipelineHandle BuildReadOnly(Kernel& kernel, ValueList input,
+                             const std::vector<TransformFactory>& stages,
+                             const PipelineOptions& options) {
+  PipelineHandle handle;
+  handle.discipline = Discipline::kReadOnly;
+  int node_counter = 0;
+
+  VectorSource::Options source_options;
+  source_options.work_ahead = options.work_ahead;
+  source_options.start_on_demand = options.start_on_demand;
+  VectorSource& source = kernel.Create<VectorSource>(
+      PlaceNext(kernel, options, node_counter), std::move(input), source_options);
+  handle.source = source.uid();
+  handle.ejects.push_back(source.uid());
+
+  Uid upstream = source.uid();
+  for (const TransformFactory& factory : stages) {
+    ReadOnlyFilter::Options filter_options;
+    filter_options.source = upstream;
+    filter_options.batch = options.batch;
+    filter_options.lookahead = options.lookahead;
+    filter_options.work_ahead = options.work_ahead;
+    filter_options.start_on_demand = options.start_on_demand;
+    filter_options.processing_cost = options.processing_cost;
+    ReadOnlyFilter& filter =
+        kernel.Create<ReadOnlyFilter>(PlaceNext(kernel, options, node_counter),
+                                      factory(), filter_options);
+    handle.ejects.push_back(filter.uid());
+    upstream = filter.uid();
+  }
+
+  PullSink::Options sink_options;
+  sink_options.batch = options.batch;
+  sink_options.lookahead = options.lookahead;
+  PullSink& sink = kernel.Create<PullSink>(PlaceNext(kernel, options, node_counter),
+                                           upstream, Value(std::string(kChanOut)),
+                                           sink_options);
+  handle.sink = sink.uid();
+  handle.ejects.push_back(sink.uid());
+  handle.pull_sink = &sink;
+  return handle;
+}
+
+PipelineHandle BuildWriteOnly(Kernel& kernel, ValueList input,
+                              const std::vector<TransformFactory>& stages,
+                              const PipelineOptions& options) {
+  PipelineHandle handle;
+  handle.discipline = Discipline::kWriteOnly;
+  int node_counter = 0;
+
+  PushSource::Options source_options;
+  source_options.batch = options.batch;
+  PushSource& source = kernel.Create<PushSource>(
+      PlaceNext(kernel, options, node_counter), std::move(input), source_options);
+  handle.source = source.uid();
+  handle.ejects.push_back(source.uid());
+
+  std::vector<WriteOnlyFilter*> filters;
+  for (const TransformFactory& factory : stages) {
+    WriteOnlyFilter::Options filter_options;
+    filter_options.batch = options.batch;
+    filter_options.input_capacity = options.acceptor_capacity;
+    filter_options.processing_cost = options.processing_cost;
+    WriteOnlyFilter& filter =
+        kernel.Create<WriteOnlyFilter>(PlaceNext(kernel, options, node_counter),
+                                       factory(), filter_options);
+    handle.ejects.push_back(filter.uid());
+    filters.push_back(&filter);
+  }
+
+  PushSink::Options sink_options;
+  sink_options.capacity = options.acceptor_capacity;
+  PushSink& sink = kernel.Create<PushSink>(PlaceNext(kernel, options, node_counter),
+                                           sink_options);
+  handle.sink = sink.uid();
+  handle.ejects.push_back(sink.uid());
+  handle.push_sink = &sink;
+
+  // Wire source -> F1 -> ... -> Fn -> sink (data flows with control flow).
+  Uid downstream = sink.uid();
+  for (auto it = filters.rbegin(); it != filters.rend(); ++it) {
+    (*it)->BindOutput(std::string(kChanOut), downstream, Value(std::string(kChanIn)));
+    downstream = (*it)->uid();
+  }
+  source.BindOutput(downstream, Value(std::string(kChanIn)));
+  return handle;
+}
+
+PipelineHandle BuildConventional(Kernel& kernel, ValueList input,
+                                 const std::vector<TransformFactory>& stages,
+                                 const PipelineOptions& options) {
+  PipelineHandle handle;
+  handle.discipline = Discipline::kConventional;
+  int node_counter = 0;
+
+  PushSource::Options source_options;
+  source_options.batch = options.batch;
+  PushSource& source = kernel.Create<PushSource>(
+      PlaceNext(kernel, options, node_counter), std::move(input), source_options);
+  handle.source = source.uid();
+  handle.ejects.push_back(source.uid());
+
+  PassiveBuffer::Options pipe_options;
+  pipe_options.capacity = options.pipe_capacity;
+
+  // Every junction gets a pipe: source->p0, Fi->pi, Fn->pn->sink (Figure 1,
+  // with the paper's §4 count of n+1 passive buffers).
+  PassiveBuffer& first_pipe = kernel.Create<PassiveBuffer>(
+      PlaceNext(kernel, options, node_counter), pipe_options);
+  handle.ejects.push_back(first_pipe.uid());
+  handle.passive_buffer_count++;
+  source.BindOutput(first_pipe.uid(), Value(std::string(kChanIn)));
+
+  Uid upstream_pipe = first_pipe.uid();
+  for (const TransformFactory& factory : stages) {
+    ConventionalFilter::Options filter_options;
+    filter_options.source = upstream_pipe;
+    filter_options.batch = options.batch;
+    filter_options.lookahead = options.lookahead;
+    filter_options.processing_cost = options.processing_cost;
+    ConventionalFilter& filter =
+        kernel.Create<ConventionalFilter>(PlaceNext(kernel, options, node_counter),
+                                          factory(), filter_options);
+    handle.ejects.push_back(filter.uid());
+
+    PassiveBuffer& pipe = kernel.Create<PassiveBuffer>(
+        PlaceNext(kernel, options, node_counter), pipe_options);
+    handle.ejects.push_back(pipe.uid());
+    handle.passive_buffer_count++;
+    filter.BindOutput(std::string(kChanOut), pipe.uid(), Value(std::string(kChanIn)));
+    upstream_pipe = pipe.uid();
+  }
+
+  PullSink::Options sink_options;
+  sink_options.batch = options.batch;
+  sink_options.lookahead = options.lookahead;
+  PullSink& sink = kernel.Create<PullSink>(PlaceNext(kernel, options, node_counter),
+                                           upstream_pipe,
+                                           Value(std::string(kChanOut)), sink_options);
+  handle.sink = sink.uid();
+  handle.ejects.push_back(sink.uid());
+  handle.pull_sink = &sink;
+  return handle;
+}
+
+}  // namespace
+
+PipelineHandle BuildPipeline(Kernel& kernel, ValueList input,
+                             const std::vector<TransformFactory>& stages,
+                             const PipelineOptions& options) {
+  switch (options.discipline) {
+    case Discipline::kReadOnly:
+      return BuildReadOnly(kernel, std::move(input), stages, options);
+    case Discipline::kWriteOnly:
+      return BuildWriteOnly(kernel, std::move(input), stages, options);
+    case Discipline::kConventional:
+      return BuildConventional(kernel, std::move(input), stages, options);
+  }
+  assert(false && "unknown discipline");
+  return PipelineHandle();
+}
+
+ValueList RunPipeline(Kernel& kernel, ValueList input,
+                      const std::vector<TransformFactory>& stages,
+                      const PipelineOptions& options) {
+  PipelineHandle handle = BuildPipeline(kernel, std::move(input), stages, options);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  return handle.output();
+}
+
+size_t PredictedInvocationsPerDatum(Discipline discipline, size_t stage_count) {
+  switch (discipline) {
+    case Discipline::kReadOnly:
+    case Discipline::kWriteOnly:
+      return stage_count + 1;  // §4: "only n+1 invocations are needed"
+    case Discipline::kConventional:
+      return 2 * stage_count + 2;  // §4: "2n+2 invocations would be needed"
+  }
+  return 0;
+}
+
+size_t PredictedEjectCount(Discipline discipline, size_t stage_count) {
+  switch (discipline) {
+    case Discipline::kReadOnly:
+    case Discipline::kWriteOnly:
+      return stage_count + 2;  // §4: "implemented by n+2 Ejects"
+    case Discipline::kConventional:
+      return 2 * stage_count + 3;  // n+2 plus "n+1 passive buffer Ejects"
+  }
+  return 0;
+}
+
+}  // namespace eden

@@ -1,0 +1,93 @@
+// Pipeline builder: realizes Figures 1 and 2 (and the write-only §5 variant)
+// from a single specification.
+//
+// Given n transform factories and an input vector, builds:
+//
+//   kReadOnly     (Fig. 2):  VectorSource <- F1 <- ... <- Fn <- PullSink
+//                            n+2 Ejects, n+1 Transfer invocations per datum.
+//   kWriteOnly    (§5 dual): PushSource -> F1 -> ... -> Fn -> PushSink
+//                            n+2 Ejects, n+1 Push invocations per datum.
+//   kConventional (Fig. 1):  PushSource -> p0 -> F1 -> p1 -> ... -> Fn -> pn
+//                            -> PullSink — every junction gets a
+//                            PassiveBuffer: 2n+3 Ejects, 2n+2 invocations
+//                            per datum.
+//
+// The returned handle exposes the collected output and the Eject census so
+// tests and benchmarks can check both the data and the §4 cost claims.
+#ifndef SRC_CORE_PIPELINE_H_
+#define SRC_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/endpoints.h"
+#include "src/core/filter_eject.h"
+#include "src/core/passive_buffer.h"
+#include "src/core/transform.h"
+#include "src/eden/kernel.h"
+
+namespace eden {
+
+enum class Discipline { kReadOnly, kWriteOnly, kConventional };
+
+std::string_view DisciplineName(Discipline discipline);
+
+struct PipelineOptions {
+  Discipline discipline = Discipline::kReadOnly;
+  int64_t batch = 1;           // items per Transfer/Push
+  size_t lookahead = 0;        // reader prefetch (read-only & conventional)
+  size_t work_ahead = 4;       // producer-side buffering beyond demand
+  size_t pipe_capacity = 16;   // PassiveBuffer capacity (conventional)
+  size_t acceptor_capacity = 8;
+  bool start_on_demand = false;  // §4 laziness (read-only only)
+  Tick processing_cost = 0;      // virtual compute per item in every filter
+  // Place every Eject on its own node (distribution experiments).
+  bool distinct_nodes = false;
+};
+
+struct PipelineHandle {
+  Discipline discipline = Discipline::kReadOnly;
+  std::vector<Uid> ejects;          // all Ejects, source..sink order
+  size_t passive_buffer_count = 0;  // pipes interposed (conventional only)
+  Uid source;
+  Uid sink;
+  // Exactly one of these is non-null, depending on the sink kind.
+  PullSink* pull_sink = nullptr;
+  PushSink* push_sink = nullptr;
+
+  size_t eject_count() const { return ejects.size(); }
+  bool done() const {
+    return pull_sink != nullptr ? pull_sink->done()
+                                : (push_sink != nullptr && push_sink->done());
+  }
+  const ValueList& output() const {
+    static const ValueList kEmpty;
+    if (pull_sink != nullptr) {
+      return pull_sink->items();
+    }
+    return push_sink != nullptr ? push_sink->items() : kEmpty;
+  }
+  Tick first_item_at() const {
+    return pull_sink != nullptr ? pull_sink->first_item_at()
+                                : (push_sink != nullptr ? push_sink->first_item_at() : -1);
+  }
+};
+
+// Builds the pipeline and starts it; run the kernel until handle.done().
+PipelineHandle BuildPipeline(Kernel& kernel, ValueList input,
+                             const std::vector<TransformFactory>& stages,
+                             const PipelineOptions& options = PipelineOptions());
+
+// Convenience: builds, runs to completion, and returns the collected output.
+ValueList RunPipeline(Kernel& kernel, ValueList input,
+                      const std::vector<TransformFactory>& stages,
+                      const PipelineOptions& options = PipelineOptions());
+
+// Closed-form §4 predictions, used by tests and reported by benchmarks.
+// Invocations are Transfer/Push messages per datum end to end (batch 1).
+size_t PredictedInvocationsPerDatum(Discipline discipline, size_t stage_count);
+size_t PredictedEjectCount(Discipline discipline, size_t stage_count);
+
+}  // namespace eden
+
+#endif  // SRC_CORE_PIPELINE_H_

@@ -1,0 +1,63 @@
+#include "src/core/rendezvous.h"
+
+#include "src/core/stream.h"
+
+namespace eden {
+
+CspChannel::CspChannel(Kernel& kernel) : Eject(kernel, kType) {
+  Register("Send", [this](InvocationContext ctx) { HandleSend(std::move(ctx)); });
+  Register("Receive",
+           [this](InvocationContext ctx) { HandleReceive(std::move(ctx)); });
+  Register("Close", [this](InvocationContext ctx) { HandleClose(std::move(ctx)); });
+}
+
+void CspChannel::HandleSend(InvocationContext ctx) {
+  if (closed_) {
+    ctx.ReplyError(StatusCode::kEndOfStream, "channel closed");
+    return;
+  }
+  Value item = ctx.Arg("item");
+  if (!receivers_.empty()) {
+    // A partner is waiting: both operations complete "simultaneously".
+    ReplyHandle receiver = std::move(receivers_.front());
+    receivers_.pop_front();
+    exchanged_++;
+    receiver.Reply(Value().Set("item", std::move(item)).Set("end", Value(false)));
+    ctx.Reply();
+    return;
+  }
+  senders_.emplace_back(std::move(item), ctx.TakeReply());
+}
+
+void CspChannel::HandleReceive(InvocationContext ctx) {
+  if (!senders_.empty()) {
+    auto [item, sender] = std::move(senders_.front());
+    senders_.pop_front();
+    exchanged_++;
+    ctx.Reply(Value().Set("item", std::move(item)).Set("end", Value(false)));
+    sender.Reply();
+    return;
+  }
+  if (closed_) {
+    ctx.Reply(Value().Set("end", Value(true)));
+    return;
+  }
+  receivers_.push_back(ctx.TakeReply());
+}
+
+void CspChannel::HandleClose(InvocationContext ctx) {
+  closed_ = true;
+  while (!receivers_.empty()) {
+    ReplyHandle receiver = std::move(receivers_.front());
+    receivers_.pop_front();
+    receiver.Reply(Value().Set("end", Value(true)));
+  }
+  while (!senders_.empty()) {
+    auto [item, sender] = std::move(senders_.front());
+    senders_.pop_front();
+    sender.ReplyError(StatusCode::kEndOfStream, "channel closed");
+  }
+  ctx.Reply();
+}
+
+}  // namespace eden

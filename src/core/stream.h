@@ -1,0 +1,78 @@
+// The Eden stream ("Sequence") protocol.
+//
+// Paper §6: "The Eden transput package is nothing more than such a protocol
+// designed to support the abstraction of a Sequence, together with a
+// collection of library routines which help user Ejects to obey it."
+//
+// Wire protocol (all payloads are Values):
+//
+//   Transfer  {chan, max:int}            ->  {items:[...], end:bool}
+//     Active input / passive output. The receiver returns up to `max`
+//     queued items; if none are available and the stream is open, the reply
+//     is *withheld* (parked) — the "partial vacuum" of §4. `end:true`
+//     accompanies (or follows) the final items.
+//
+//   Push      {chan, items:[...], end:bool}  ->  {}
+//     Active output / passive input. The reply is the flow-control signal:
+//     it is withheld while the receiving buffer is above capacity.
+//
+//   OpenChannel {name:str}               ->  {chan:uid}
+//     Mints an unforgeable capability for a named output channel (§5's
+//     "using UIDs as channel identifiers").
+//
+// A channel identifier on the wire is a Value: an integer (the prototype's
+// "integer channel identifiers", §7), a string name, or a capability UID.
+#ifndef SRC_CORE_STREAM_H_
+#define SRC_CORE_STREAM_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/eden/value.h"
+
+namespace eden {
+
+// Operation names.
+inline constexpr std::string_view kOpTransfer = "Transfer";
+inline constexpr std::string_view kOpPush = "Push";
+inline constexpr std::string_view kOpOpenChannel = "OpenChannel";
+
+// Argument / reply field names.
+inline constexpr std::string_view kFieldChannel = "chan";
+inline constexpr std::string_view kFieldMax = "max";
+inline constexpr std::string_view kFieldItems = "items";
+inline constexpr std::string_view kFieldEnd = "end";
+inline constexpr std::string_view kFieldName = "name";
+
+// Conventional channel names. A pure filter has exactly kChanOut; impure
+// filters add kChanReport etc. (Figures 3 & 4). kChanIn names the primary
+// input buffer of passive-input Ejects.
+inline constexpr std::string_view kChanOut = "out";
+inline constexpr std::string_view kChanIn = "in";
+inline constexpr std::string_view kChanReport = "report";
+
+inline Value MakeTransferArgs(Value channel, int64_t max) {
+  Value args;
+  args.Set(std::string(kFieldChannel), std::move(channel));
+  args.Set(std::string(kFieldMax), Value(max));
+  return args;
+}
+
+inline Value MakePushArgs(Value channel, ValueList items, bool end) {
+  Value args;
+  args.Set(std::string(kFieldChannel), std::move(channel));
+  args.Set(std::string(kFieldItems), Value(std::move(items)));
+  args.Set(std::string(kFieldEnd), Value(end));
+  return args;
+}
+
+inline Value MakeBatchReply(ValueList items, bool end) {
+  Value reply;
+  reply.Set(std::string(kFieldItems), Value(std::move(items)));
+  reply.Set(std::string(kFieldEnd), Value(end));
+  return reply;
+}
+
+}  // namespace eden
+
+#endif  // SRC_CORE_STREAM_H_

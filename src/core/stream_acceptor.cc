@@ -1,0 +1,112 @@
+#include "src/core/stream_acceptor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace eden {
+
+void StreamAcceptor::DeclareChannel(std::string name, ChannelOptions options) {
+  bool fresh = table_.Declare(name, options.capability_only);
+  assert(fresh && "input channel declared twice");
+  (void)fresh;
+  InChannel channel;
+  channel.name = name;
+  channel.capacity = options.capacity;
+  channel.available = std::make_unique<CondVar>(owner_);
+  channels_.emplace(std::move(name), std::move(channel));
+}
+
+void StreamAcceptor::InstallOps() {
+  owner_.RegisterOp(std::string(kOpPush),
+                    [this](InvocationContext ctx) { HandlePush(std::move(ctx)); });
+  if (!owner_.Responds(std::string(kOpOpenChannel))) {
+    owner_.RegisterOp(std::string(kOpOpenChannel), [this](InvocationContext ctx) {
+      HandleOpenChannel(std::move(ctx));
+    });
+  }
+}
+
+StreamAcceptor::InChannel* StreamAcceptor::Find(std::string_view name) {
+  auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+const StreamAcceptor::InChannel* StreamAcceptor::Find(std::string_view name) const {
+  auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+void StreamAcceptor::HandlePush(InvocationContext ctx) {
+  std::optional<std::string> name = table_.Resolve(ctx.Arg(kFieldChannel));
+  if (!name) {
+    ctx.ReplyError(StatusCode::kNoSuchChannel, "unknown channel identifier");
+    return;
+  }
+  InChannel* ch = Find(*name);
+  assert(ch != nullptr);
+  pushes_received_++;
+  if (const ValueList* items = ctx.Arg(kFieldItems).AsList()) {
+    for (const Value& item : *items) {
+      ch->buffer.push_back(item);
+      items_received_++;
+    }
+  }
+  if (ctx.Arg(kFieldEnd).BoolOr(false)) {
+    ch->ended = true;
+  }
+  ch->available->NotifyAll();
+  if (ch->buffer.size() > ch->capacity && !ch->ended) {
+    // Flow control: withhold the reply until the owner drains the buffer.
+    ch->withheld.push_back(ctx.TakeReply());
+    return;
+  }
+  ctx.Reply();
+}
+
+void StreamAcceptor::HandleOpenChannel(InvocationContext ctx) {
+  const std::string* name = ctx.Arg(kFieldName).AsStr();
+  if (name == nullptr || !table_.Contains(*name)) {
+    ctx.ReplyError(StatusCode::kNoSuchChannel, "unknown channel name");
+    return;
+  }
+  std::optional<Uid> capability = table_.MintCapability(*name, owner_.kernel());
+  Value reply;
+  reply.Set(std::string(kFieldChannel), Value(*capability));
+  ctx.Reply(std::move(reply));
+}
+
+void StreamAcceptor::ReleaseWithheld(InChannel& channel) {
+  while (!channel.withheld.empty() && channel.buffer.size() <= channel.capacity) {
+    ReplyHandle reply = std::move(channel.withheld.front());
+    channel.withheld.pop_front();
+    reply.Reply();
+  }
+}
+
+Task<std::optional<Value>> StreamAcceptor::Next(std::string_view channel) {
+  InChannel* ch = Find(channel);
+  assert(ch != nullptr && "read from undeclared input channel");
+  while (ch->buffer.empty() && !ch->ended) {
+    co_await ch->available->Wait();
+  }
+  if (ch->buffer.empty()) {
+    ReleaseWithheld(*ch);
+    co_return std::nullopt;
+  }
+  owner_.kernel().CountLocalStep();
+  Value item = std::move(ch->buffer.front());
+  ch->buffer.pop_front();
+  ReleaseWithheld(*ch);
+  co_return std::optional<Value>(std::move(item));
+}
+
+bool StreamAcceptor::ended(std::string_view channel) const {
+  const InChannel* ch = Find(channel);
+  return ch == nullptr || (ch->ended && ch->buffer.empty());
+}
+
+size_t StreamAcceptor::buffered(std::string_view channel) const {
+  const InChannel* ch = Find(channel);
+  return ch == nullptr ? 0 : ch->buffer.size();
+}
+
+}  // namespace eden

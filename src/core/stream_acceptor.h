@@ -1,0 +1,84 @@
+// StreamAcceptor: the *passive input* primitive (write-only discipline, §5).
+//
+// "Within an Eject, a conventional Read routine could be implemented by
+//  extracting data from an internal buffer; another process would respond to
+//  incoming Write invocations and use the data thus obtained to fill the
+//  same buffer."                                                 (paper §5)
+//
+// The acceptor is that buffer plus the responder. Flow control: a Push
+// whose items leave the buffer above capacity has its reply withheld until
+// the owner drains below capacity, which blocks the (awaiting) producer.
+#ifndef SRC_CORE_STREAM_ACCEPTOR_H_
+#define SRC_CORE_STREAM_ACCEPTOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/core/channel.h"
+#include "src/core/stream.h"
+#include "src/eden/eject.h"
+#include "src/eden/sync.h"
+
+namespace eden {
+
+struct StreamAcceptorChannelOptions {
+  size_t capacity = 8;
+  bool capability_only = false;
+};
+
+class StreamAcceptor {
+ public:
+  using ChannelOptions = StreamAcceptorChannelOptions;
+
+  explicit StreamAcceptor(Eject& owner) : owner_(owner) {}
+  StreamAcceptor(const StreamAcceptor&) = delete;
+  StreamAcceptor& operator=(const StreamAcceptor&) = delete;
+
+  void DeclareChannel(std::string name, ChannelOptions options = {});
+
+  // Registers the "Push" operation (and "OpenChannel" for capability input
+  // channels) on the owner.
+  void InstallOps();
+
+  // ---- Consumer side (owner's coroutines).
+  // Next item on `channel`, or nullopt once the stream has ended and the
+  // buffer is drained.
+  Task<std::optional<Value>> Next(std::string_view channel);
+
+  bool ended(std::string_view channel) const;
+  size_t buffered(std::string_view channel) const;
+  uint64_t items_received() const { return items_received_; }
+  uint64_t pushes_received() const { return pushes_received_; }
+  ChannelTable& table() { return table_; }
+
+ private:
+  struct InChannel {
+    std::string name;
+    size_t capacity = 8;
+    bool ended = false;
+    std::deque<Value> buffer;
+    std::deque<ReplyHandle> withheld;  // flow-control: unanswered Push replies
+    std::unique_ptr<CondVar> available;
+  };
+
+  void HandlePush(InvocationContext ctx);
+  void HandleOpenChannel(InvocationContext ctx);
+  void ReleaseWithheld(InChannel& channel);
+
+  InChannel* Find(std::string_view name);
+  const InChannel* Find(std::string_view name) const;
+
+  Eject& owner_;
+  ChannelTable table_;
+  std::map<std::string, InChannel, std::less<>> channels_;
+  uint64_t items_received_ = 0;
+  uint64_t pushes_received_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_CORE_STREAM_ACCEPTOR_H_

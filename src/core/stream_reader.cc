@@ -1,0 +1,98 @@
+#include "src/core/stream_reader.h"
+
+#include <utility>
+
+namespace eden {
+
+void StreamReader::Ingest(InvokeResult result) {
+  if (!result.ok()) {
+    // A failed source terminates the stream; the error is remembered so the
+    // consumer can distinguish crash from clean end.
+    status_ = std::move(result.status);
+    ended_ = true;
+    return;
+  }
+  const ValueList* items = result.value.Field(kFieldItems).AsList();
+  if (items != nullptr) {
+    for (const Value& item : *items) {
+      buffer_.push_back(item);
+    }
+  }
+  if (result.value.Field(kFieldEnd).BoolOr(false)) {
+    ended_ = true;
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kEndOfStream);
+    }
+  }
+}
+
+Task<void> StreamReader::FetchOnce() {
+  fetch_in_flight_ = true;
+  InvokeResult result = co_await owner_.Invoke(
+      source_, std::string(kOpTransfer), MakeTransferArgs(channel_, options_.batch));
+  fetch_in_flight_ = false;
+  Ingest(std::move(result));
+}
+
+Task<void> StreamReader::FetchLoop() {
+  while (!ended_) {
+    while (buffer_.size() >= options_.lookahead && !ended_) {
+      co_await room_.Wait();
+    }
+    if (ended_) {
+      break;
+    }
+    co_await FetchOnce();
+    available_.NotifyAll();
+  }
+  available_.NotifyAll();
+}
+
+Task<std::optional<Value>> StreamReader::Next() {
+  if (options_.lookahead > 0) {
+    if (!loop_started_) {
+      loop_started_ = true;
+      owner_.Spawn(FetchLoop());
+    }
+    while (buffer_.empty() && !ended_) {
+      co_await available_.Wait();
+    }
+  } else {
+    while (buffer_.empty() && !ended_) {
+      co_await FetchOnce();
+    }
+  }
+  if (buffer_.empty()) {
+    co_return std::nullopt;
+  }
+  Value item = std::move(buffer_.front());
+  buffer_.pop_front();
+  items_read_++;
+  room_.Notify();
+  co_return std::optional<Value>(std::move(item));
+}
+
+Task<ValueList> StreamReader::NextBatch() {
+  if (options_.lookahead > 0) {
+    if (!loop_started_) {
+      loop_started_ = true;
+      owner_.Spawn(FetchLoop());
+    }
+    while (buffer_.empty() && !ended_) {
+      co_await available_.Wait();
+    }
+  } else if (buffer_.empty() && !ended_) {
+    co_await FetchOnce();
+  }
+  ValueList items;
+  items.reserve(buffer_.size());
+  while (!buffer_.empty()) {
+    items.push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+  items_read_ += items.size();
+  room_.NotifyAll();
+  co_return items;
+}
+
+}  // namespace eden

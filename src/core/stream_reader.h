@@ -1,0 +1,82 @@
+// StreamReader: the *active input* half of the read-only discipline.
+//
+// A buffered reader over Transfer invocations. The filter process written
+// "in the conventional way" (paper §4) just calls Next(); the reader issues
+// Transfer invocations with the configured batch size, and — when lookahead
+// is enabled — runs a dedicated fetch process so that communication overlaps
+// the owner's computation ("each Eject does a certain amount of computation
+// in advance", §4).
+#ifndef SRC_CORE_STREAM_READER_H_
+#define SRC_CORE_STREAM_READER_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "src/core/stream.h"
+#include "src/eden/eject.h"
+#include "src/eden/sync.h"
+
+namespace eden {
+
+struct StreamReaderOptions {
+  // Items requested per Transfer invocation.
+  int64_t batch = 1;
+  // If > 0, a fetch process keeps up to this many items buffered ahead of
+  // the consumer. 0 = fetch inline, one Transfer at a time.
+  size_t lookahead = 0;
+};
+
+class StreamReader {
+ public:
+  using Options = StreamReaderOptions;
+
+  StreamReader(Eject& owner, Uid source, Value channel, Options options = {})
+      : owner_(owner),
+        source_(source),
+        channel_(std::move(channel)),
+        options_(options),
+        available_(owner),
+        room_(owner) {}
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+
+  // Next item, or nullopt at end-of-stream (check status() to distinguish a
+  // clean end from a failed source).
+  Task<std::optional<Value>> Next();
+
+  // Everything currently fetchable in one go: pops the whole local buffer,
+  // fetching once if it is empty. Empty result means end-of-stream.
+  Task<ValueList> NextBatch();
+
+  bool ended() const { return ended_ && buffer_.empty(); }
+  // kOk while streaming; kEndOfStream after a clean end; an error code if
+  // the source failed (crashed, forged channel, ...).
+  const Status& status() const { return status_; }
+  uint64_t items_read() const { return items_read_; }
+
+  const Uid& source() const { return source_; }
+  const Value& channel() const { return channel_; }
+
+ private:
+  Task<void> FetchOnce();
+  Task<void> FetchLoop();
+  void Ingest(InvokeResult result);
+
+  Eject& owner_;
+  Uid source_;
+  Value channel_;
+  Options options_;
+  std::deque<Value> buffer_;
+  bool ended_ = false;
+  bool loop_started_ = false;
+  bool fetch_in_flight_ = false;
+  Status status_;
+  uint64_t items_read_ = 0;
+  CondVar available_;  // consumer waits (lookahead mode)
+  CondVar room_;       // fetch process waits (lookahead mode)
+};
+
+}  // namespace eden
+
+#endif  // SRC_CORE_STREAM_READER_H_

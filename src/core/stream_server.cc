@@ -1,0 +1,166 @@
+#include "src/core/stream_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace eden {
+
+void StreamServer::DeclareChannel(std::string name, ChannelOptions options) {
+  bool fresh = table_.Declare(name, options.capability_only);
+  assert(fresh && "channel declared twice");
+  (void)fresh;
+  OutChannel channel;
+  channel.name = name;
+  channel.capacity = options.capacity;
+  channel.space = std::make_unique<CondVar>(owner_);
+  channels_.emplace(std::move(name), std::move(channel));
+}
+
+void StreamServer::InstallOps() {
+  owner_.RegisterOp(std::string(kOpTransfer),
+                    [this](InvocationContext ctx) { HandleTransfer(std::move(ctx)); });
+  owner_.RegisterOp(std::string(kOpOpenChannel),
+                    [this](InvocationContext ctx) { HandleOpenChannel(std::move(ctx)); });
+}
+
+StreamServer::OutChannel* StreamServer::Find(std::string_view name) {
+  auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+const StreamServer::OutChannel* StreamServer::Find(std::string_view name) const {
+  auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+Task<void> StreamServer::Write(std::string_view channel, Value item) {
+  OutChannel* ch = Find(channel);
+  assert(ch != nullptr && "write to undeclared channel");
+  // The producer may run ahead of demand by at most `capacity` items; with
+  // capacity 0 it proceeds only when a consumer is already waiting.
+  while (!ch->closed && ch->parked.empty() && ch->buffer.size() >= ch->capacity) {
+    co_await ch->space->Wait();
+  }
+  if (ch->closed) {
+    co_return;  // late writes after Close are dropped
+  }
+  owner_.kernel().CountLocalStep();
+  ch->buffer.push_back(std::move(item));
+  Pump(*ch);
+}
+
+void StreamServer::Close(std::string_view channel) {
+  OutChannel* ch = Find(channel);
+  assert(ch != nullptr && "close of undeclared channel");
+  if (ch->closed) {
+    return;
+  }
+  ch->closed = true;
+  Pump(*ch);
+  ch->space->NotifyAll();
+}
+
+void StreamServer::CloseAll() {
+  for (auto& [name, channel] : channels_) {
+    if (!channel.closed) {
+      channel.closed = true;
+      Pump(channel);
+      channel.space->NotifyAll();
+    }
+  }
+}
+
+void StreamServer::AbortAll(Status status) {
+  for (auto& [name, channel] : channels_) {
+    channel.closed = true;
+    if (channel.abort_status.ok()) {
+      channel.abort_status = status;
+    }
+    channel.buffer.clear();
+    Pump(channel);
+    channel.space->NotifyAll();
+  }
+}
+
+void StreamServer::Pump(OutChannel& channel) {
+  while (!channel.parked.empty()) {
+    if (channel.buffer.empty() && !channel.closed) {
+      break;  // nothing to serve yet; keep the vacuum
+    }
+    Parked request = std::move(channel.parked.front());
+    channel.parked.pop_front();
+    if (!channel.abort_status.ok()) {
+      transfers_served_++;
+      request.reply.ReplyStatus(channel.abort_status);
+      continue;
+    }
+    ValueList items;
+    int64_t take = std::max<int64_t>(request.max, 1);
+    while (take-- > 0 && !channel.buffer.empty()) {
+      items.push_back(std::move(channel.buffer.front()));
+      channel.buffer.pop_front();
+    }
+    bool end = channel.closed && channel.buffer.empty();
+    items_delivered_ += items.size();
+    transfers_served_++;
+    request.reply.Reply(MakeBatchReply(std::move(items), end));
+  }
+  if (channel.closed || channel.buffer.size() < channel.capacity ||
+      !channel.parked.empty()) {
+    channel.space->NotifyAll();
+  }
+}
+
+void StreamServer::HandleTransfer(InvocationContext ctx) {
+  if (!demand_seen_) {
+    demand_seen_ = true;
+    if (on_first_demand_) {
+      on_first_demand_();
+    }
+  }
+  std::optional<std::string> name = table_.Resolve(ctx.Arg(kFieldChannel));
+  if (!name) {
+    ctx.ReplyError(StatusCode::kNoSuchChannel, "unknown channel identifier");
+    return;
+  }
+  OutChannel* ch = Find(*name);
+  assert(ch != nullptr);
+  Parked parked;
+  parked.reply = ctx.TakeReply();
+  parked.max = ctx.Arg(kFieldMax).IntOr(1);
+  ch->parked.push_back(std::move(parked));
+  Pump(*ch);
+}
+
+void StreamServer::HandleOpenChannel(InvocationContext ctx) {
+  if (channels_locked_) {
+    ctx.ReplyError(StatusCode::kPermissionDenied, "channel table is locked");
+    return;
+  }
+  const std::string* name = ctx.Arg(kFieldName).AsStr();
+  if (name == nullptr || !table_.Contains(*name)) {
+    ctx.ReplyError(StatusCode::kNoSuchChannel, "unknown channel name");
+    return;
+  }
+  std::optional<Uid> capability = table_.MintCapability(*name, owner_.kernel());
+  Value reply;
+  reply.Set(std::string(kFieldChannel), Value(*capability));
+  ctx.Reply(std::move(reply));
+}
+
+size_t StreamServer::buffered(std::string_view channel) const {
+  const OutChannel* ch = Find(channel);
+  return ch == nullptr ? 0 : ch->buffer.size();
+}
+
+size_t StreamServer::parked_requests(std::string_view channel) const {
+  const OutChannel* ch = Find(channel);
+  return ch == nullptr ? 0 : ch->parked.size();
+}
+
+bool StreamServer::closed(std::string_view channel) const {
+  const OutChannel* ch = Find(channel);
+  return ch == nullptr || ch->closed;
+}
+
+}  // namespace eden

@@ -1,0 +1,122 @@
+// StreamServer: the *passive output* half of the read-only discipline.
+//
+// Paper §4: "The standard IO module obtained from a library would implement
+// the usual Write operations that put characters into a buffer. However,
+// that buffer would be shared with a process that receives invocations which
+// request data and services them."
+//
+// This is that library module. The owner Eject's worker processes call
+// Write() (which blocks when the work-ahead buffer is full — or, with
+// capacity 0, until a consumer actually asks: full laziness); incoming
+// Transfer invocations drain the buffer, parking when it is empty. The
+// parked Transfer requests are §4's "partial vacuum".
+#ifndef SRC_CORE_STREAM_SERVER_H_
+#define SRC_CORE_STREAM_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/channel.h"
+#include "src/core/stream.h"
+#include "src/eden/eject.h"
+#include "src/eden/sync.h"
+
+namespace eden {
+
+struct StreamServerChannelOptions {
+  // Work-ahead limit: how many items the producer may buffer beyond
+  // demand. 0 = pure laziness (produce only in response to a Transfer).
+  size_t capacity = 4;
+  // If set, the channel can be addressed only via capabilities minted by
+  // OpenChannel; integer/name identifiers act as if the channel does not
+  // exist (paper §5).
+  bool capability_only = false;
+};
+
+class StreamServer {
+ public:
+  using ChannelOptions = StreamServerChannelOptions;
+
+  explicit StreamServer(Eject& owner) : owner_(owner) {}
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  void DeclareChannel(std::string name, ChannelOptions options = {});
+
+  // Registers the "Transfer" and "OpenChannel" operations on the owner.
+  void InstallOps();
+
+  // ---- Producer side (owner's coroutines).
+  // Blocks until the channel can accept the item (space, or parked demand).
+  // Items written to a closed channel are silently dropped.
+  Task<void> Write(std::string_view channel, Value item);
+  // Marks end-of-stream; flushes the end marker to parked readers.
+  void Close(std::string_view channel);
+  void CloseAll();
+  // Terminates every channel with an error: parked and future Transfers
+  // receive `status` instead of items. Used to propagate an upstream crash
+  // downstream rather than masking it as a clean end-of-stream.
+  void AbortAll(Status status);
+
+  // Once channel setup is complete the owner may freeze capability minting;
+  // later OpenChannel invocations get kPermissionDenied.
+  void LockChannels() { channels_locked_ = true; }
+
+  // Invoked the first time any Transfer arrives (laziness experiments).
+  void set_on_first_demand(std::function<void()> fn) { on_first_demand_ = std::move(fn); }
+
+  // ---- Introspection.
+  bool HasChannel(std::string_view name) const { return Find(name) != nullptr; }
+  size_t buffered(std::string_view channel) const;
+  size_t parked_requests(std::string_view channel) const;
+  bool closed(std::string_view channel) const;
+  uint64_t items_delivered() const { return items_delivered_; }
+  uint64_t transfers_served() const { return transfers_served_; }
+  ChannelTable& table() { return table_; }
+
+  // Convenience: mints a capability (local call — the remote path is the
+  // OpenChannel invocation).
+  std::optional<Uid> MintCapability(const std::string& channel) {
+    return table_.MintCapability(channel, owner_.kernel());
+  }
+
+ private:
+  struct Parked {
+    ReplyHandle reply;
+    int64_t max = 1;
+  };
+  struct OutChannel {
+    std::string name;
+    size_t capacity = 4;
+    bool closed = false;
+    Status abort_status;  // non-OK once the stream is aborted
+    std::deque<Value> buffer;
+    std::deque<Parked> parked;
+    std::unique_ptr<CondVar> space;  // producer waits here
+  };
+
+  void HandleTransfer(InvocationContext ctx);
+  void HandleOpenChannel(InvocationContext ctx);
+  // Serves parked requests while items (or the end marker) are available.
+  void Pump(OutChannel& channel);
+
+  OutChannel* Find(std::string_view name);
+  const OutChannel* Find(std::string_view name) const;
+
+  Eject& owner_;
+  ChannelTable table_;
+  std::map<std::string, OutChannel, std::less<>> channels_;
+  std::function<void()> on_first_demand_;
+  bool demand_seen_ = false;
+  bool channels_locked_ = false;
+  uint64_t items_delivered_ = 0;
+  uint64_t transfers_served_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_CORE_STREAM_SERVER_H_

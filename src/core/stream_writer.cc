@@ -1,0 +1,42 @@
+#include "src/core/stream_writer.h"
+
+namespace eden {
+
+Task<Status> StreamWriter::Send(bool end) {
+  ValueList items;
+  items.swap(pending_);
+  items_written_ += items.size();
+  pushes_sent_++;
+  InvokeResult result = co_await owner_.Invoke(
+      sink_, std::string(kOpPush), MakePushArgs(channel_, std::move(items), end));
+  status_ = std::move(result.status);
+  co_return status_;
+}
+
+Task<Status> StreamWriter::Write(Value item) {
+  if (ended_ || !status_.ok_or_end()) {
+    co_return status_.ok_or_end() ? Status(StatusCode::kEndOfStream) : status_;
+  }
+  pending_.push_back(std::move(item));
+  if (static_cast<int64_t>(pending_.size()) >= options_.batch) {
+    co_return co_await Send(/*end=*/false);
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> StreamWriter::Flush() {
+  if (pending_.empty() || ended_) {
+    co_return status_;
+  }
+  co_return co_await Send(/*end=*/false);
+}
+
+Task<Status> StreamWriter::End() {
+  if (ended_) {
+    co_return status_;
+  }
+  ended_ = true;
+  co_return co_await Send(/*end=*/true);
+}
+
+}  // namespace eden

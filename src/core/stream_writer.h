@@ -1,0 +1,64 @@
+// StreamWriter: the *active output* primitive (write-only discipline, §5).
+//
+// Sends Push invocations to a passive-input correspondent. The withheld
+// Push reply is the flow-control signal: Write blocks (transitively) when
+// the receiver's buffer is above capacity, so a fast producer cannot flood
+// a slow consumer.
+#ifndef SRC_CORE_STREAM_WRITER_H_
+#define SRC_CORE_STREAM_WRITER_H_
+
+#include <utility>
+
+#include "src/core/stream.h"
+#include "src/eden/eject.h"
+
+namespace eden {
+
+struct StreamWriterOptions {
+  // Items accumulated locally before a Push is sent.
+  int64_t batch = 1;
+};
+
+class StreamWriter {
+ public:
+  using Options = StreamWriterOptions;
+
+  StreamWriter(Eject& owner, Uid sink, Value channel, Options options = {})
+      : owner_(owner), sink_(sink), channel_(std::move(channel)), options_(options) {}
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  // Queues an item, flushing a full batch. The returned Status reflects the
+  // last Push reply (kOk if the item was only queued locally).
+  Task<Status> Write(Value item);
+
+  // Sends any locally queued items now.
+  Task<Status> Flush();
+
+  // Flushes remaining items with the end-of-stream marker. Idempotent.
+  Task<Status> End();
+
+  const Status& status() const { return status_; }
+  uint64_t items_written() const { return items_written_; }
+  uint64_t pushes_sent() const { return pushes_sent_; }
+  bool ended() const { return ended_; }
+
+  const Uid& sink() const { return sink_; }
+
+ private:
+  Task<Status> Send(bool end);
+
+  Eject& owner_;
+  Uid sink_;
+  Value channel_;
+  Options options_;
+  ValueList pending_;
+  bool ended_ = false;
+  Status status_;
+  uint64_t items_written_ = 0;
+  uint64_t pushes_sent_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_CORE_STREAM_WRITER_H_

@@ -1,0 +1,93 @@
+// Transform: a discipline-agnostic pure filter.
+//
+// Paper §4: with read-only transput "the filter Ejects are pure
+// transformers: they do not also pump data (unlike Unix programs)."
+//
+// A Transform captures only the transformation; the surrounding FilterEject
+// supplies the pumping (or lack of it) appropriate to the discipline. The
+// same Transform instance therefore runs unchanged in read-only, write-only
+// and conventional pipelines — which is what lets the test suite assert
+// output equivalence across all three disciplines.
+//
+// Transforms may emit to multiple named channels ("out", "report", ...);
+// pure filters use only kChanOut.
+#ifndef SRC_CORE_TRANSFORM_H_
+#define SRC_CORE_TRANSFORM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/stream.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+class Transform {
+ public:
+  // emit(channel, item): collects an output item for `channel`. Emission is
+  // synchronous and non-blocking; the caller applies flow control afterwards.
+  using EmitFn = std::function<void(std::string_view, Value)>;
+
+  virtual ~Transform() = default;
+
+  // One input item. May emit zero, one or many output items.
+  virtual void OnItem(const Value& item, const EmitFn& emit) = 0;
+
+  // End of the (primary) input stream; emit any held-back items here
+  // (sort, tail, wc...).
+  virtual void OnEnd(const EmitFn& emit) { (void)emit; }
+
+  // True once the transform can emit nothing further (head N after N items).
+  // A read-only filter then simply *stops issuing Transfer invocations* — the
+  // lazy-pull discipline terminates even infinite upstreams. A write-only
+  // filter cannot stop its upstream; it keeps draining and discards (the
+  // §5 asymmetry).
+  virtual bool Done() const { return false; }
+
+  virtual std::string name() const = 0;
+
+  // The output channels this transform emits to; first entry is primary.
+  virtual std::vector<std::string> output_channels() const {
+    return {std::string(kChanOut)};
+  }
+};
+
+// Pipelines are described with factories so the same specification can be
+// instantiated once per discipline (Transforms are stateful).
+using TransformFactory = std::function<std::unique_ptr<Transform>()>;
+
+template <typename T, typename... Args>
+TransformFactory MakeTransformFactory(Args... args) {
+  return [args...]() { return std::make_unique<T>(args...); };
+}
+
+// A transform defined by two lambdas; convenient for tests and examples.
+class LambdaTransform : public Transform {
+ public:
+  using ItemFn = std::function<void(const Value&, const EmitFn&)>;
+  using EndFn = std::function<void(const EmitFn&)>;
+
+  LambdaTransform(std::string name, ItemFn on_item, EndFn on_end = nullptr)
+      : name_(std::move(name)), on_item_(std::move(on_item)), on_end_(std::move(on_end)) {}
+
+  void OnItem(const Value& item, const EmitFn& emit) override { on_item_(item, emit); }
+  void OnEnd(const EmitFn& emit) override {
+    if (on_end_) {
+      on_end_(emit);
+    }
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  ItemFn on_item_;
+  EndFn on_end_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_CORE_TRANSFORM_H_

@@ -1,0 +1,85 @@
+#include "src/eden/behavior.h"
+
+namespace eden {
+
+Specification::Specification(std::string name,
+                             std::initializer_list<const char*> ops)
+    : name_(std::move(name)) {
+  for (const char* op : ops) {
+    ops_.insert(op);
+  }
+}
+
+Specification& Specification::Require(std::string op) {
+  ops_.insert(std::move(op));
+  return *this;
+}
+
+bool Specification::SubsetOf(const Specification& other) const {
+  for (const std::string& op : ops_) {
+    if (other.ops_.count(op) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Specification Specification::Union(const Specification& other,
+                                   std::string name) const {
+  Specification combined(std::move(name), {});
+  combined.ops_ = ops_;
+  combined.ops_.insert(other.ops_.begin(), other.ops_.end());
+  return combined;
+}
+
+bool Satisfies(const Eject& eject, const Specification& spec) {
+  for (const std::string& op : spec.ops()) {
+    if (!eject.Responds(op)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::set<std::string> MissingOps(const Eject& eject, const Specification& spec) {
+  std::set<std::string> missing;
+  for (const std::string& op : spec.ops()) {
+    if (!eject.Responds(op)) {
+      missing.insert(op);
+    }
+  }
+  return missing;
+}
+
+const Specification& SourceSpec() {
+  static const Specification kSpec("Source", {"Transfer", "OpenChannel"});
+  return kSpec;
+}
+
+const Specification& SinkSpec() {
+  static const Specification kSpec("Sink", {"Push"});
+  return kSpec;
+}
+
+const Specification& LookupSpec() {
+  static const Specification kSpec("Lookup", {"Lookup"});
+  return kSpec;
+}
+
+const Specification& DirectorySpec() {
+  static const Specification kSpec("Directory",
+                                   {"Lookup", "AddEntry", "DeleteEntry", "List"});
+  return kSpec;
+}
+
+const Specification& SequenceSpec() {
+  static const Specification kSpec = SourceSpec().Union(SinkSpec(), "Sequence");
+  return kSpec;
+}
+
+const Specification& MapSpec() {
+  static const Specification kSpec("Map", {"ReadAt", "WriteAt", "Length", "Truncate"});
+  return kSpec;
+}
+
+}  // namespace eden

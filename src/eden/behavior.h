@@ -1,0 +1,64 @@
+// Behavioural specifications: the paper's "two notions of type" (§2).
+//
+// "The behaviour of an Eject is the only aspect that is important to its
+//  users. The Eden type of the Eject, i.e. the identity of the particular
+//  piece of type-code which defines that behaviour, is irrelevant. ...
+//  provided that S' contains all the operations of S and that their
+//  semantics are the same, it does not matter to E that S' contains other
+//  operations in addition."
+//
+// A Specification names the operations an abstract machine must respond to.
+// Satisfies() checks an Eject *structurally* (does it respond to each
+// operation?) — the observable part of behavioural compatibility; semantic
+// equivalence is, as in the paper, a matter for the protocol's tests.
+// Specifications compose by union, and SubsetOf expresses the S ⊆ S'
+// compatibility rule: any Eject satisfying S' satisfies S.
+#ifndef SRC_EDEN_BEHAVIOR_H_
+#define SRC_EDEN_BEHAVIOR_H_
+
+#include <initializer_list>
+#include <set>
+#include <string>
+
+#include "src/eden/eject.h"
+
+namespace eden {
+
+class Specification {
+ public:
+  Specification() = default;
+  Specification(std::string name, std::initializer_list<const char*> ops);
+
+  const std::string& name() const { return name_; }
+  const std::set<std::string>& ops() const { return ops_; }
+
+  Specification& Require(std::string op);
+
+  // True if every operation of *this is also in `other` (S ⊆ S').
+  bool SubsetOf(const Specification& other) const;
+
+  // The combined machine (an Eject supporting both protocols, §6).
+  Specification Union(const Specification& other, std::string name) const;
+
+ private:
+  std::string name_;
+  std::set<std::string> ops_;
+};
+
+// Structural satisfaction: the Eject responds to every operation of `spec`.
+bool Satisfies(const Eject& eject, const Specification& spec);
+
+// Operations of `spec` the Eject does NOT respond to (empty = satisfied).
+std::set<std::string> MissingOps(const Eject& eject, const Specification& spec);
+
+// The abstract machines this repository's protocols define.
+const Specification& SourceSpec();      // passive output: Transfer, OpenChannel
+const Specification& SinkSpec();        // passive input: Push
+const Specification& LookupSpec();      // "a satisfactory directory" for lookup
+const Specification& DirectorySpec();   // full §2 directory
+const Specification& SequenceSpec();    // the stream protocol, both halves
+const Specification& MapSpec();         // the §6 random-access protocol
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_BEHAVIOR_H_

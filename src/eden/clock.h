@@ -1,0 +1,32 @@
+// Virtual time for the discrete-event Eden simulation.
+//
+// One Tick is nominally a microsecond of 1983-era VAX time, but nothing in
+// the system depends on the absolute scale: the paper's claims are about
+// ratios (invocation cost >> intra-Eject communication cost).
+#ifndef SRC_EDEN_CLOCK_H_
+#define SRC_EDEN_CLOCK_H_
+
+#include <cstdint>
+
+namespace eden {
+
+using Tick = int64_t;
+
+class VirtualClock {
+ public:
+  Tick now() const { return now_; }
+
+  // Only the event loop advances time; monotonicity is asserted there.
+  void AdvanceTo(Tick t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_CLOCK_H_

@@ -1,0 +1,59 @@
+// The cost model that turns message counts into virtual time.
+//
+// Paper §4: "The cost of an invocation must inevitably be higher than that of
+// a system call in an ordinary operating system (because invocation is
+// location-independent), so such saving may be significant in Eden."
+//
+// Invocation cost is therefore charged identically for same-node and
+// cross-node targets by default (location independence), with an optional
+// extra hop latency for cross-node messages so distribution experiments can
+// distinguish the two. Intra-Eject process communication is far cheaper:
+// that ratio is exactly what bench_claim_costmodel sweeps.
+#ifndef SRC_EDEN_COST_MODEL_H_
+#define SRC_EDEN_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/eden/clock.h"
+
+namespace eden {
+
+using NodeId = int32_t;
+constexpr NodeId kNoNode = -1;
+
+struct CostModel {
+  // Fixed cost to marshal and send one invocation (or reply) message.
+  Tick invocation_send = 100;
+  // One-way network latency between distinct nodes, added on top of the send
+  // cost; zero within a node (the Eden prototype's Ethernet hop).
+  Tick cross_node_latency = 400;
+  // Cost to dispatch a delivered invocation to the target Eject's handler.
+  Tick dispatch = 20;
+  // Cost of switching between processes (coroutines) inside an Eject or
+  // between Ejects on one node. Counted every time a suspended coroutine is
+  // resumed.
+  Tick context_switch = 5;
+  // Marginal per-byte cost of message payloads (marshalling + wire).
+  Tick per_byte_num = 1;    // per_byte_num / per_byte_den ticks per byte
+  Tick per_byte_den = 16;
+  // Cost of re-activating a passive Eject from its passive representation.
+  Tick activation = 2000;
+  // Cost of a Checkpoint (writing the passive representation to disk).
+  Tick checkpoint = 1500;
+  // Cost of one intra-Eject queue/monitor operation (the "processes provided
+  // within the programming language are likely to be more efficient" claim).
+  Tick local_step = 1;
+
+  Tick MessageCost(size_t payload_bytes, NodeId from, NodeId to) const {
+    Tick cost = invocation_send +
+                static_cast<Tick>(payload_bytes) * per_byte_num / per_byte_den;
+    if (from != to && from != kNoNode && to != kNoNode) {
+      cost += cross_node_latency;
+    }
+    return cost;
+  }
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_COST_MODEL_H_

@@ -1,0 +1,64 @@
+// Deterministic discrete-event queue.
+//
+// Events with equal timestamps fire in insertion order (the sequence number
+// breaks ties), which makes whole-system runs bit-for-bit reproducible — a
+// property the test suite asserts.
+#ifndef SRC_EDEN_EVENT_QUEUE_H_
+#define SRC_EDEN_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/eden/clock.h"
+
+namespace eden {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void Schedule(Tick at, Action action) {
+    heap_.push(Event{at, next_seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  Tick next_time() const { return heap_.top().at; }
+
+  // Pops and returns the earliest event. Precondition: !empty().
+  std::pair<Tick, Action> Pop() {
+    // std::priority_queue::top() is const; the action must be moved out, so
+    // we const_cast the owned element just before popping.
+    Event& ev = const_cast<Event&>(heap_.top());
+    Tick at = ev.at;
+    Action action = std::move(ev.action);
+    heap_.pop();
+    return {at, std::move(action)};
+  }
+
+  uint64_t scheduled_total() const { return next_seq_; }
+
+ private:
+  struct Event {
+    Tick at;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_EVENT_QUEUE_H_

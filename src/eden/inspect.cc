@@ -1,0 +1,55 @@
+#include "src/eden/inspect.h"
+
+#include <cstdio>
+
+#include "src/eden/eject.h"
+
+namespace eden {
+
+std::string DumpEjects(Kernel& kernel) {
+  std::string out = "uid      type                 node     operations\n";
+  for (const Uid& uid : kernel.ActiveUids()) {
+    Eject* eject = kernel.Find(uid);
+    if (eject == nullptr) {
+      continue;
+    }
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-8s %-20s %-8s ", uid.Short().c_str(),
+                  eject->type_name().c_str(),
+                  kernel.node_name(eject->node()).c_str());
+    out += line;
+    bool first = true;
+    for (const std::string& op : eject->Operations()) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += op;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DumpStore(const Kernel& kernel, const StableStore& store) {
+  (void)kernel;
+  std::string out = "uid      type                 node  bytes    version\n";
+  for (const Uid& uid : store.AllUids()) {
+    const PassiveRep* rep = store.Get(uid);
+    if (rep == nullptr) {
+      continue;
+    }
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-8s %-20s %-5d %-8zu %llu\n",
+                  uid.Short().c_str(), rep->type_name.c_str(), rep->home_node,
+                  rep->state.size(), static_cast<unsigned long long>(rep->version));
+    out += line;
+  }
+  return out;
+}
+
+std::string DumpStats(const Kernel& kernel) {
+  return "t=" + std::to_string(kernel.now()) + " " + kernel.stats().ToString();
+}
+
+}  // namespace eden

@@ -1,0 +1,27 @@
+// System introspection: human-readable dumps of the live Eject population
+// and the stable store, for the shell, examples and debugging.
+//
+// Everything here is an *observer* — no invocations are sent, so dumping
+// never perturbs counters or virtual time.
+#ifndef SRC_EDEN_INSPECT_H_
+#define SRC_EDEN_INSPECT_H_
+
+#include <string>
+
+#include "src/eden/kernel.h"
+
+namespace eden {
+
+// One line per live Eject: short uid, type, node, operation names.
+std::string DumpEjects(Kernel& kernel);
+
+// One line per passive representation: short uid, type, home node, bytes,
+// version.
+std::string DumpStore(const Kernel& kernel, const StableStore& store);
+
+// The headline counters plus the virtual clock, one line.
+std::string DumpStats(const Kernel& kernel);
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_INSPECT_H_

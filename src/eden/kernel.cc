@@ -1,0 +1,470 @@
+#include "src/eden/kernel.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/eden/codec.h"
+#include "src/eden/eject.h"
+#include "src/eden/log.h"
+
+namespace eden {
+
+namespace {
+// Fixed message header size charged per message (op name charged separately).
+constexpr size_t kMessageHeaderBytes = 24;
+}  // namespace
+
+// ---------------------------------------------------------------- ReplyHandle
+
+ReplyHandle& ReplyHandle::operator=(ReplyHandle&& other) noexcept {
+  if (this != &other) {
+    if (kernel_ != nullptr) {
+      kernel_->SendReply(id_, Status(StatusCode::kCancelled, "reply handle dropped"),
+                         Value());
+    }
+    kernel_ = std::exchange(other.kernel_, nullptr);
+    id_ = std::exchange(other.id_, 0);
+  }
+  return *this;
+}
+
+ReplyHandle::~ReplyHandle() {
+  if (kernel_ != nullptr) {
+    kernel_->SendReply(id_, Status(StatusCode::kCancelled, "reply handle dropped"),
+                       Value());
+  }
+}
+
+void ReplyHandle::Reply(Value result) {
+  ReplyStatus(Status::Ok(), std::move(result));
+}
+
+void ReplyHandle::ReplyStatus(Status status, Value result) {
+  if (kernel_ != nullptr) {
+    Kernel* k = std::exchange(kernel_, nullptr);
+    k->SendReply(id_, std::move(status), std::move(result));
+    id_ = 0;
+  }
+}
+
+void ReplyHandle::ReplyError(StatusCode code, std::string message) {
+  ReplyStatus(Status(code, std::move(message)), Value());
+}
+
+// --------------------------------------------------------------- InvokeAwaiter
+
+void InvokeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Kernel::PendingInvocation pending;
+  pending.caller = from_;
+  pending.caller_epoch = kernel_.EpochOf(from_);
+  pending.caller_node = kernel_.NodeOf(from_);
+  pending.awaiter = this;
+  pending.waiter = h;
+  kernel_.SendInvocation(from_, target_, std::move(op_), std::move(args_),
+                         std::move(pending));
+}
+
+void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
+  kernel_.ScheduleResume(host_, kernel_.EpochOf(host_), h, delay_);
+}
+
+// ---------------------------------------------------------------------- Kernel
+
+Kernel::Kernel(KernelOptions options)
+    : options_(options), uid_generator_(options.uid_seed) {
+  node_names_.push_back("node0");
+}
+
+Kernel::~Kernel() {
+  shutting_down_ = true;
+  // Destroy Ejects (and their parked coroutines) before the queues they may
+  // reference. Reply handles fired from destructors are dropped by the
+  // shutting_down_ guard in SendReply.
+  registry_.clear();
+  pending_.clear();
+}
+
+NodeId Kernel::AddNode(std::string name) {
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+Eject* Kernel::Find(const Uid& uid) {
+  auto it = registry_.find(uid);
+  return it == registry_.end() ? nullptr : it->second.instance.get();
+}
+
+NodeId Kernel::NodeOf(const Uid& uid) const {
+  auto it = registry_.find(uid);
+  if (it != registry_.end()) {
+    return it->second.node;
+  }
+  if (const PassiveRep* rep = store_.Get(uid)) {
+    return rep->home_node;
+  }
+  return uid.IsNil() ? kNoNode : NodeId{0};
+}
+
+Uid Kernel::AllocateEjectUid() {
+  Uid uid = uid_generator_.Next();
+  epochs_[uid] = 1;
+  return uid;
+}
+
+void Kernel::AdoptEject(std::unique_ptr<Eject> eject, NodeId node) {
+  assert(node >= 0 && static_cast<size_t>(node) < node_names_.size());
+  Eject* raw = eject.get();
+  raw->node_ = node;
+  Uid uid = raw->uid();
+  EjectEntry entry;
+  entry.instance = std::move(eject);
+  entry.node = node;
+  registry_[uid] = std::move(entry);
+  stats_.ejects_created++;
+  EDEN_LOG(*this, kDebug) << "create " << raw->type_name() << " " << uid.Short()
+                          << " on " << node_names_[node];
+  raw->OnStart();
+}
+
+uint64_t Kernel::EpochOf(const Uid& uid) const {
+  auto it = epochs_.find(uid);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+bool Kernel::EpochValid(const Uid& uid, uint64_t epoch) const {
+  if (shutting_down_) {
+    return false;
+  }
+  if (uid.IsNil()) {
+    return true;  // external driver: valid for the kernel's lifetime
+  }
+  if (registry_.count(uid) == 0) {
+    return false;
+  }
+  auto it = epochs_.find(uid);
+  return it != epochs_.end() && it->second == epoch;
+}
+
+void Kernel::ScheduleResume(const Uid& host, uint64_t epoch,
+                            std::coroutine_handle<> h, Tick delay) {
+  Tick at = now() + delay + options_.costs.context_switch;
+  events_.Schedule(at, [this, host, epoch, h] {
+    if (EpochValid(host, epoch)) {
+      stats_.context_switches++;
+      h.resume();
+    }
+    // Otherwise the frame has already been destroyed with its Eject: drop.
+  });
+}
+
+void Kernel::ScheduleAction(Tick delay, std::function<void()> action) {
+  events_.Schedule(now() + delay, std::move(action));
+}
+
+// ------------------------------------------------------------------ invocation
+
+InvokeAwaiter Kernel::Invoke(const Eject& from, Uid target, std::string op,
+                             Value args) {
+  return InvokeAwaiter(*this, from.uid(), target, std::move(op), std::move(args));
+}
+
+void Kernel::ExternalInvoke(Uid target, std::string op, Value args,
+                            std::function<void(InvokeResult)> callback) {
+  PendingInvocation pending;
+  pending.caller = Uid();  // nil: external
+  pending.caller_node = kNoNode;
+  pending.callback = std::move(callback);
+  SendInvocation(Uid(), target, std::move(op), std::move(args), std::move(pending));
+}
+
+InvokeResult Kernel::InvokeAndRun(Uid target, std::string op, Value args) {
+  bool done = false;
+  InvokeResult result;
+  ExternalInvoke(target, std::move(op), std::move(args), [&](InvokeResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  RunUntil([&] { return done; });
+  if (!done) {
+    result.status = Status(StatusCode::kTimeout, "simulation quiesced without a reply");
+  }
+  return result;
+}
+
+void Kernel::SpawnExternal(Task<void> task) {
+  if (!task.valid()) {
+    return;
+  }
+  std::coroutine_handle<> h = task.Detach(external_tasks_);
+  ScheduleResume(Uid(), 0, h);
+}
+
+void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
+                            PendingInvocation pending) {
+  InvocationId id = next_invocation_id_++;
+  size_t bytes = kMessageHeaderBytes + op.size() + Codec::EncodedSize(args);
+  stats_.invocations_sent++;
+  stats_.invocation_bytes += bytes;
+
+  pending.target = target;
+  pending.target_node = NodeOf(target);
+  if (pending.caller_node != pending.target_node && pending.caller_node != kNoNode &&
+      pending.target_node != kNoNode) {
+    stats_.cross_node_messages++;
+  }
+  Tick cost = options_.costs.MessageCost(bytes, pending.caller_node,
+                                         pending.target_node) +
+              options_.costs.dispatch;
+  EDEN_LOG(*this, kDebug) << "invoke " << from.Short() << " -> " << target.Short()
+                          << " " << op << " (id " << id << ")";
+  if (tracer_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kInvoke;
+    event.at = now();
+    event.from = from;
+    event.to = target;
+    event.op = op;
+    event.id = id;
+    tracer_(event);
+  }
+  pending_[id] = std::move(pending);
+  events_.Schedule(now() + cost,
+                   [this, id, target, op = std::move(op), args = std::move(args)]() mutable {
+                     DeliverInvocation(id, target, std::move(op), std::move(args));
+                   });
+}
+
+void Kernel::DeliverInvocation(InvocationId id, Uid target, std::string op,
+                               Value args) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;  // caller teardown raced the delivery; nobody cares about it
+  }
+  Eject* eject = Find(target);
+  if (eject != nullptr) {
+    it->second.delivered = true;
+    DispatchTo(*eject, id, std::move(op), std::move(args));
+    return;
+  }
+  const PassiveRep* rep = store_.Get(target);
+  if (rep != nullptr && types_.Contains(rep->type_name)) {
+    // Activation: the kernel reconstructs the Eject from its passive
+    // representation, then delivers (paper §1).
+    events_.Schedule(now() + options_.costs.activation,
+                     [this, id, target, op = std::move(op), args = std::move(args)]() mutable {
+                       ActivateThenDispatch(id, target, std::move(op), std::move(args));
+                     });
+    return;
+  }
+  SendReply(id, Status(StatusCode::kNoSuchEject,
+                       rep != nullptr ? "type not registered for reactivation"
+                                      : "no such eject"),
+            Value());
+}
+
+void Kernel::ActivateThenDispatch(InvocationId id, Uid target, std::string op,
+                                  Value args) {
+  auto pending_it = pending_.find(id);
+  if (pending_it == pending_.end()) {
+    return;
+  }
+  // Another invocation may have completed activation while this one waited.
+  Eject* eject = Find(target);
+  if (eject == nullptr) {
+    const PassiveRep* rep = store_.Get(target);
+    if (rep == nullptr) {
+      SendReply(id, Status(StatusCode::kNoSuchEject, "passive rep vanished"), Value());
+      return;
+    }
+    std::unique_ptr<Eject> fresh = types_.Make(rep->type_name, *this);
+    if (fresh == nullptr) {
+      SendReply(id, Status(StatusCode::kNoSuchEject, "type not registered"), Value());
+      return;
+    }
+    // Re-bind the stored identity: the reactivated instance *is* the old
+    // Eject, so it keeps the old UID (a fresh one was allocated by the base
+    // constructor; release it).
+    epochs_.erase(fresh->uid_);
+    fresh->uid_ = target;
+    fresh->node_ = rep->home_node;
+    if (epochs_.find(target) == epochs_.end()) {
+      epochs_[target] = 1;
+    }
+    Eject* raw = fresh.get();
+    EjectEntry entry;
+    entry.instance = std::move(fresh);
+    entry.node = rep->home_node;
+    registry_[target] = std::move(entry);
+    stats_.activations++;
+    std::optional<Value> state = Codec::Decode(rep->state);
+    raw->RestoreState(state.has_value() ? *state : Value());
+    raw->OnActivate();
+    eject = raw;
+    EDEN_LOG(*this, kInfo) << "activated " << raw->type_name() << " " << target.Short();
+  }
+  pending_it->second.delivered = true;
+  DispatchTo(*eject, id, std::move(op), std::move(args));
+}
+
+void Kernel::DispatchTo(Eject& eject, InvocationId id, std::string op, Value args) {
+  eject.Dispatch(InvocationContext(std::move(op), std::move(args),
+                                   ReplyHandle(this, id)));
+}
+
+void Kernel::SendReply(InvocationId id, Status status, Value result) {
+  if (shutting_down_) {
+    return;
+  }
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;  // double reply or already failed by teardown
+  }
+  PendingInvocation pending = std::move(it->second);
+  pending_.erase(it);
+
+  size_t bytes = kMessageHeaderBytes + Codec::EncodedSize(result);
+  stats_.replies_sent++;
+  stats_.reply_bytes += bytes;
+  if (!status.ok_or_end()) {
+    stats_.failed_invocations++;
+  }
+  if (tracer_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kReply;
+    event.at = now();
+    event.from = pending.target;
+    event.to = pending.caller;
+    event.id = id;
+    event.ok = status.ok_or_end();
+    tracer_(event);
+  }
+  Tick cost = options_.costs.MessageCost(bytes, pending.target_node,
+                                         pending.caller_node);
+  events_.Schedule(
+      now() + cost,
+      [this, pending = std::move(pending), status = std::move(status),
+       result = std::move(result)]() mutable {
+        DeliverReply(std::move(pending), std::move(status), std::move(result));
+      });
+}
+
+void Kernel::DeliverReply(PendingInvocation pending, Status status, Value result) {
+  if (pending.callback) {
+    pending.callback(InvokeResult{std::move(status), std::move(result)});
+    return;
+  }
+  if (!EpochValid(pending.caller, pending.caller_epoch)) {
+    return;  // caller crashed while the reply was in flight
+  }
+  pending.awaiter->result_ = InvokeResult{std::move(status), std::move(result)};
+  stats_.context_switches++;
+  pending.waiter.resume();
+}
+
+// ------------------------------------------------------------------- lifecycle
+
+void Kernel::Checkpoint(Eject& eject) {
+  stats_.checkpoints++;
+  store_.Put(eject.uid(), eject.type_name(), eject.node(),
+             Codec::Encode(eject.SaveState()));
+}
+
+void Kernel::Crash(const Uid& uid) { TearDown(uid, /*is_crash=*/true); }
+
+void Kernel::CrashNode(NodeId node) {
+  std::vector<Uid> victims;
+  for (const auto& [uid, entry] : registry_) {
+    if (entry.node == node) {
+      victims.push_back(uid);
+    }
+  }
+  for (const Uid& uid : victims) {
+    TearDown(uid, /*is_crash=*/true);
+  }
+}
+
+void Kernel::Deactivate(const Uid& uid) { TearDown(uid, /*is_crash=*/false); }
+
+void Kernel::RequestDeactivate(const Uid& uid) {
+  ScheduleAction(0, [this, uid] { Deactivate(uid); });
+}
+
+void Kernel::TearDown(const Uid& uid, bool is_crash) {
+  auto it = registry_.find(uid);
+  if (it == registry_.end()) {
+    return;
+  }
+  if (is_crash) {
+    stats_.crashes++;
+  } else {
+    stats_.passivations++;
+  }
+  epochs_[uid]++;  // invalidates every scheduled resumption for this Eject
+  // Fail invocations that were delivered but not yet answered: their reply
+  // handles are about to be destroyed with the instance.
+  FailDeliveredPendingFor(uid);
+  std::unique_ptr<Eject> dying = std::move(it->second.instance);
+  registry_.erase(it);
+  EDEN_LOG(*this, kInfo) << (is_crash ? "crash " : "deactivate ") << uid.Short();
+  dying.reset();  // destroys parked coroutines and reply handles
+}
+
+void Kernel::FailDeliveredPendingFor(const Uid& target) {
+  std::vector<InvocationId> doomed;
+  for (const auto& [id, pending] : pending_) {
+    if (pending.target == target && pending.delivered) {
+      doomed.push_back(id);
+    }
+  }
+  for (InvocationId id : doomed) {
+    SendReply(id, Status(StatusCode::kUnavailable, "target deactivated"), Value());
+  }
+}
+
+// ------------------------------------------------------------------- execution
+
+bool Kernel::Step() {
+  if (events_.empty()) {
+    return false;
+  }
+  auto [at, action] = events_.Pop();
+  assert(at >= clock_.now() && "virtual time must be monotone");
+  clock_.AdvanceTo(at);
+  stats_.events_processed++;
+  action();
+  return true;
+}
+
+bool Kernel::Run(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!Step()) {
+      return true;
+    }
+  }
+  return events_.empty();
+}
+
+void Kernel::RunFor(Tick duration, uint64_t max_events) {
+  Tick deadline = now() + duration;
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (events_.empty() || events_.next_time() > deadline) {
+      break;
+    }
+    Step();
+  }
+  clock_.AdvanceTo(deadline);
+}
+
+bool Kernel::RunUntil(const std::function<bool()>& done, uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (done()) {
+      return true;
+    }
+    if (!Step()) {
+      return done();
+    }
+  }
+  return done();
+}
+
+}  // namespace eden

@@ -1,0 +1,311 @@
+// The Eden kernel, reproduced as a deterministic discrete-event simulation.
+//
+// The kernel provides exactly what the paper says the Eden kernel provided:
+//  * location-independent invocation between Ejects addressed by UID (§1),
+//  * activation of passive Ejects on invocation (§1),
+//  * checkpointing to stable storage (§1),
+//  * management of the underlying medium (here: nodes & the virtual network).
+//
+// Everything above that — files, directories, the whole transput system — is
+// built out of Ejects, which is the paper's point.
+//
+// Simulation model: a single event queue in virtual time. All computation
+// inside handlers is instantaneous; *costs* are realized exclusively as
+// scheduled delays taken from the CostModel, and *counts* (invocations,
+// replies, bytes, context switches) accumulate in Stats. Identical inputs
+// produce identical runs, byte for byte.
+#ifndef SRC_EDEN_KERNEL_H_
+#define SRC_EDEN_KERNEL_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/eden/clock.h"
+#include "src/eden/cost_model.h"
+#include "src/eden/event_queue.h"
+#include "src/eden/message.h"
+#include "src/eden/stable_store.h"
+#include "src/eden/stats.h"
+#include "src/eden/status.h"
+#include "src/eden/task.h"
+#include "src/eden/trace.h"
+#include "src/eden/type_registry.h"
+#include "src/eden/uid.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+class Eject;
+class Kernel;
+
+// Move-only capability to reply (once) to a delivered invocation. Handlers
+// may reply inline, or stash the handle and reply later — stashing is how
+// *passive output* parks Read requests until data exists ("a partial vacuum
+// in the form of outstanding read invocations", paper §4).
+class ReplyHandle {
+ public:
+  ReplyHandle() = default;
+  ReplyHandle(Kernel* kernel, InvocationId id) : kernel_(kernel), id_(id) {}
+  ReplyHandle(ReplyHandle&& other) noexcept
+      : kernel_(std::exchange(other.kernel_, nullptr)), id_(std::exchange(other.id_, 0)) {}
+  ReplyHandle& operator=(ReplyHandle&& other) noexcept;
+  ReplyHandle(const ReplyHandle&) = delete;
+  ReplyHandle& operator=(const ReplyHandle&) = delete;
+  // A handle dropped without replying answers kCancelled so callers never
+  // hang; a handle whose Eject crashed is answered kUnavailable by the
+  // kernel first, making this destructor reply a no-op.
+  ~ReplyHandle();
+
+  bool valid() const { return kernel_ != nullptr; }
+
+  void Reply(Value result = Value());
+  void ReplyStatus(Status status, Value result = Value());
+  void ReplyError(StatusCode code, std::string message = "");
+
+ private:
+  Kernel* kernel_ = nullptr;
+  InvocationId id_ = 0;
+};
+
+// What a handler receives: the operation name, its arguments, and the means
+// to reply. Deliberately *not* the invoker's UID — "the effect of a
+// particular invocation ought to depend only on its parameters, and not on
+// the identity of the invoker" (paper §5).
+class InvocationContext {
+ public:
+  InvocationContext(std::string op, Value args, ReplyHandle reply)
+      : op_(std::move(op)), args_(std::move(args)), reply_(std::move(reply)) {}
+  InvocationContext(InvocationContext&&) = default;
+  InvocationContext& operator=(InvocationContext&&) = default;
+
+  const std::string& op() const { return op_; }
+  const Value& args() const { return args_; }
+  const Value& Arg(std::string_view key) const { return args_.Field(key); }
+
+  void Reply(Value result = Value()) { reply_.Reply(std::move(result)); }
+  void ReplyStatus(Status status, Value result = Value()) {
+    reply_.ReplyStatus(std::move(status), std::move(result));
+  }
+  void ReplyError(StatusCode code, std::string message = "") {
+    reply_.ReplyError(code, std::move(message));
+  }
+
+  // For handlers that park the reply (passive output).
+  ReplyHandle TakeReply() { return std::move(reply_); }
+
+ private:
+  std::string op_;
+  Value args_;
+  ReplyHandle reply_;
+};
+
+// co_await-able invocation. Usage inside an Eject coroutine:
+//   InvokeResult r = co_await Invoke(file, "Transfer", args);
+class [[nodiscard]] InvokeAwaiter {
+ public:
+  InvokeAwaiter(Kernel& kernel, Uid from, Uid target, std::string op, Value args)
+      : kernel_(kernel),
+        from_(from),
+        target_(target),
+        op_(std::move(op)),
+        args_(std::move(args)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  InvokeResult await_resume() noexcept { return std::move(result_); }
+
+ private:
+  friend class Kernel;
+  Kernel& kernel_;
+  Uid from_;
+  Uid target_;
+  std::string op_;
+  Value args_;
+  InvokeResult result_;
+};
+
+// co_await-able virtual-time sleep, bound to a host Eject (nil = external).
+class [[nodiscard]] SleepAwaiter {
+ public:
+  SleepAwaiter(Kernel& kernel, Uid host, Tick delay)
+      : kernel_(kernel), host_(host), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  Kernel& kernel_;
+  Uid host_;
+  Tick delay_;
+};
+
+struct KernelOptions {
+  CostModel costs;
+  uint64_t uid_seed = 0xEDE11EDE11EDE11EULL;
+};
+
+class Kernel {
+ public:
+  static constexpr uint64_t kDefaultMaxEvents = 50'000'000;
+
+  explicit Kernel(KernelOptions options = KernelOptions());
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+  ~Kernel();
+
+  // ---- Topology. Node 0 ("node0") always exists.
+  NodeId AddNode(std::string name);
+  size_t node_count() const { return node_names_.size(); }
+  const std::string& node_name(NodeId node) const { return node_names_.at(node); }
+
+  // ---- Eject lifecycle.
+  // Constructs an Eject of concrete type T on `node` and registers it.
+  template <typename T, typename... Args>
+  T& Create(NodeId node, Args&&... args) {
+    auto eject = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T& ref = *eject;
+    AdoptEject(std::move(eject), node);
+    return ref;
+  }
+  template <typename T, typename... Args>
+  T& CreateLocal(Args&&... args) {
+    return Create<T>(NodeId{0}, std::forward<Args>(args)...);
+  }
+
+  bool IsActive(const Uid& uid) const { return registry_.count(uid) > 0; }
+  Eject* Find(const Uid& uid);
+  NodeId NodeOf(const Uid& uid) const;
+  size_t active_eject_count() const { return registry_.size(); }
+  // All live Eject UIDs, ascending (deterministic; used by inspect.h).
+  std::vector<Uid> ActiveUids() const {
+    std::vector<Uid> uids;
+    uids.reserve(registry_.size());
+    for (const auto& [uid, entry] : registry_) {
+      uids.push_back(uid);
+    }
+    return uids;
+  }
+
+  // Simulated failure: the Eject's volatile state and processes vanish; its
+  // passive representation (if any) survives and the next invocation
+  // reactivates it.
+  void Crash(const Uid& uid);
+  void CrashNode(NodeId node);
+  // Graceful passivation (the Eject "explicitly deactivated" itself, §1).
+  void Deactivate(const Uid& uid);
+  // Deferred variant, safe to call from within the Eject's own coroutines.
+  void RequestDeactivate(const Uid& uid);
+
+  void Checkpoint(Eject& eject);
+
+  // ---- Invocation.
+  InvokeAwaiter Invoke(const Eject& from, Uid target, std::string op,
+                       Value args = Value());
+  // Invocation from outside the simulated system (test drivers, examples).
+  void ExternalInvoke(Uid target, std::string op, Value args,
+                      std::function<void(InvokeResult)> callback);
+  // Convenience: external invoke, then run until the reply arrives.
+  InvokeResult InvokeAndRun(Uid target, std::string op, Value args = Value());
+
+  // Detached coroutine owned by the kernel's external driver (nil host UID:
+  // survives until kernel destruction).
+  void SpawnExternal(Task<void> task);
+
+  // ---- Execution.
+  bool Step();  // processes one event; false if queue empty
+  // Runs until quiescent; false if max_events was hit first.
+  bool Run(uint64_t max_events = kDefaultMaxEvents);
+  void RunFor(Tick duration, uint64_t max_events = kDefaultMaxEvents);
+  bool RunUntil(const std::function<bool()>& done,
+                uint64_t max_events = kDefaultMaxEvents);
+  Tick now() const { return clock_.now(); }
+  bool quiescent() const { return events_.empty(); }
+
+  // ---- Services.
+  // Optional message tracing (zero cost when unset): the hook observes
+  // every invocation and reply at send time. See src/eden/trace.h.
+  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+  const CostModel& costs() const { return options_.costs; }
+  StableStore& store() { return store_; }
+  TypeRegistry& types() { return types_; }
+  UidGenerator& uids() { return uid_generator_; }
+
+  // ---- Internals used by awaitables and sync primitives.
+  // Allocates a UID and its epoch; called by the Eject base constructor.
+  Uid AllocateEjectUid();
+  uint64_t EpochOf(const Uid& uid) const;
+  bool EpochValid(const Uid& uid, uint64_t epoch) const;
+  // Schedules `h.resume()` at now + delay + context-switch cost, dropped if
+  // the host Eject has been torn down in the meantime.
+  void ScheduleResume(const Uid& host, uint64_t epoch, std::coroutine_handle<> h,
+                      Tick delay = 0);
+  void ScheduleAction(Tick delay, std::function<void()> action);
+  void CountLocalStep() {
+    stats_.local_steps++;
+  }
+
+  // Reply path; no-op if `id` is unknown (double reply, crashed caller).
+  void SendReply(InvocationId id, Status status, Value result);
+
+ private:
+  friend class InvokeAwaiter;
+
+  struct EjectEntry {
+    std::unique_ptr<Eject> instance;
+    NodeId node = 0;
+  };
+
+  struct PendingInvocation {
+    Uid caller;  // nil for external invocations
+    uint64_t caller_epoch = 0;
+    NodeId caller_node = kNoNode;
+    Uid target;
+    NodeId target_node = 0;
+    bool delivered = false;
+    // Exactly one of these is set.
+    InvokeAwaiter* awaiter = nullptr;
+    std::coroutine_handle<> waiter;
+    std::function<void(InvokeResult)> callback;
+  };
+
+  void AdoptEject(std::unique_ptr<Eject> eject, NodeId node);
+  void SendInvocation(Uid from, Uid target, std::string op, Value args,
+                      PendingInvocation pending);
+  void DeliverInvocation(InvocationId id, Uid target, std::string op, Value args);
+  void DispatchTo(Eject& eject, InvocationId id, std::string op, Value args);
+  void ActivateThenDispatch(InvocationId id, Uid target, std::string op, Value args);
+  void DeliverReply(PendingInvocation pending, Status status, Value result);
+  void TearDown(const Uid& uid, bool is_crash);
+  void FailDeliveredPendingFor(const Uid& target);
+
+  KernelOptions options_;
+  VirtualClock clock_;
+  EventQueue events_;
+  Stats stats_;
+  StableStore store_;
+  TypeRegistry types_;
+  UidGenerator uid_generator_;
+  std::vector<std::string> node_names_;
+  std::map<Uid, EjectEntry> registry_;              // ordered: determinism
+  std::unordered_map<Uid, uint64_t, Uid::Hash> epochs_;
+  std::map<InvocationId, PendingInvocation> pending_;
+  TaskList external_tasks_;
+  Tracer tracer_;
+  InvocationId next_invocation_id_ = 1;
+  bool shutting_down_ = false;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_KERNEL_H_

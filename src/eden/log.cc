@@ -1,0 +1,20 @@
+#include "src/eden/log.h"
+
+#include <cstdio>
+
+namespace eden {
+
+LogLevel Log::level_ = LogLevel::kNone;
+
+void Log::SetLevel(LogLevel level) { level_ = level; }
+LogLevel Log::level() { return level_; }
+
+void Log::Write(LogLevel level, Tick now, const std::string& message) {
+  const char* tag = level == LogLevel::kError  ? "E"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "D";
+  std::fprintf(stderr, "%s [%10lld] %s\n", tag, static_cast<long long>(now),
+               message.c_str());
+}
+
+}  // namespace eden

@@ -1,0 +1,55 @@
+// Minimal leveled logging for the simulation.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and the
+// examples flip it on with --eden_log or Log::SetLevel.
+#ifndef SRC_EDEN_LOG_H_
+#define SRC_EDEN_LOG_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/eden/clock.h"
+
+namespace eden {
+
+enum class LogLevel { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+class Log {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+  static bool Enabled(LogLevel level) { return level <= level_; }
+
+  // Writes "[tick] message" to stderr.
+  static void Write(LogLevel level, Tick now, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+// Usage: EDEN_LOG(kernel, kDebug) << "delivering " << op;
+#define EDEN_LOG(kernel_ref, lvl)                                      \
+  for (bool eden_log_once = ::eden::Log::Enabled(::eden::LogLevel::lvl); \
+       eden_log_once; eden_log_once = false)                           \
+  ::eden::LogLine(::eden::LogLevel::lvl, (kernel_ref).now())
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, Tick now) : level_(level), now_(now) {}
+  ~LogLine() { Log::Write(level_, now_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  Tick now_;
+  std::ostringstream stream_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_LOG_H_

@@ -1,0 +1,42 @@
+// Invocation and reply message types.
+//
+// "Ejects may receive and reply to invocations from other Ejects. An
+//  invocation is a request to perform some named operation, and may be
+//  thought of as a kind of remote procedure call."              (paper, §1)
+#ifndef SRC_EDEN_MESSAGE_H_
+#define SRC_EDEN_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/eden/status.h"
+#include "src/eden/uid.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+using InvocationId = uint64_t;
+
+struct Invocation {
+  InvocationId id = 0;
+  Uid target;
+  std::string op;
+  Value args;
+  // The originator's UID travels in the message so the reply can be routed,
+  // but — per the paper (§5) — it is "in principle private to the Eden
+  // kernel": the dispatch path never exposes it to the target's handler.
+  Uid kernel_private_source;
+};
+
+// What an awaiting caller receives when the reply arrives.
+struct InvokeResult {
+  Status status;
+  Value value;
+
+  bool ok() const { return status.ok(); }
+  bool end_of_stream() const { return status.is(StatusCode::kEndOfStream); }
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_MESSAGE_H_

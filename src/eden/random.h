@@ -1,0 +1,57 @@
+// Deterministic pseudo-random source for workload generation.
+//
+// Benchmarks and property tests must be reproducible run-to-run, so nothing
+// in this repository uses std::random_device; all randomness flows from
+// explicit seeds through this generator.
+#ifndef SRC_EDEN_RANDOM_H_
+#define SRC_EDEN_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eden {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed ? seed : 1) {}
+
+  uint64_t Next() {
+    // xorshift64*.
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  // A printable pseudo-word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len) {
+    int len = static_cast<int>(Range(min_len, max_len));
+    std::string w;
+    w.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      w.push_back(static_cast<char>('a' + Below(26)));
+    }
+    return w;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_RANDOM_H_

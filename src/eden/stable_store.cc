@@ -1,0 +1,42 @@
+#include "src/eden/stable_store.h"
+
+#include <utility>
+
+namespace eden {
+
+void StableStore::Put(const Uid& uid, std::string type_name, NodeId home_node,
+                      Bytes state) {
+  PassiveRep& rep = reps_[uid];
+  total_bytes_ -= rep.state.size();
+  total_bytes_ += state.size();
+  rep.type_name = std::move(type_name);
+  rep.home_node = home_node;
+  rep.state = std::move(state);
+  rep.version++;
+}
+
+const PassiveRep* StableStore::Get(const Uid& uid) const {
+  auto it = reps_.find(uid);
+  return it == reps_.end() ? nullptr : &it->second;
+}
+
+bool StableStore::Erase(const Uid& uid) {
+  auto it = reps_.find(uid);
+  if (it == reps_.end()) {
+    return false;
+  }
+  total_bytes_ -= it->second.state.size();
+  reps_.erase(it);
+  return true;
+}
+
+std::vector<Uid> StableStore::AllUids() const {
+  std::vector<Uid> uids;
+  uids.reserve(reps_.size());
+  for (const auto& [uid, rep] : reps_) {
+    uids.push_back(uid);
+  }
+  return uids;
+}
+
+}  // namespace eden

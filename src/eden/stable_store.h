@@ -1,0 +1,57 @@
+// StableStore: passive representations, the only "disk" in the system.
+//
+// Paper §1: "The effect of Checkpointing is to create a Passive
+// Representation, a data structure designed to be durable across system
+// crashes... The checkpoint primitive is the only mechanism provided by the
+// Eden kernel whereby an Eject may access 'stable storage'."
+//
+// The store survives Eject crashes and node crashes (it models disk), but is
+// in-memory so tests stay hermetic. Each Put bumps a version; tests use the
+// version to assert exactly-once checkpointing behaviour.
+#ifndef SRC_EDEN_STABLE_STORE_H_
+#define SRC_EDEN_STABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/eden/cost_model.h"
+#include "src/eden/uid.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+struct PassiveRep {
+  std::string type_name;  // which Eden type can reconstruct this Eject
+  NodeId home_node = 0;
+  Bytes state;            // Codec-encoded SaveState() Value
+  uint64_t version = 0;   // bumped on every checkpoint
+};
+
+class StableStore {
+ public:
+  // Stores (or overwrites) the passive representation for `uid`.
+  void Put(const Uid& uid, std::string type_name, NodeId home_node, Bytes state);
+
+  const PassiveRep* Get(const Uid& uid) const;
+  bool Contains(const Uid& uid) const { return Get(uid) != nullptr; }
+
+  // Removes the passive representation (an Eject that deactivates after
+  // arranging for its rep to be deleted disappears permanently).
+  bool Erase(const Uid& uid);
+
+  size_t size() const { return reps_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  std::vector<Uid> AllUids() const;
+
+ private:
+  std::map<Uid, PassiveRep> reps_;  // ordered: deterministic iteration
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_STABLE_STORE_H_

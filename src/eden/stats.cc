@@ -1,0 +1,27 @@
+#include "src/eden/stats.h"
+
+#include <cstdio>
+
+namespace eden {
+
+std::string Stats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "invocations=%llu replies=%llu bytes=%llu switches=%llu "
+                "local_steps=%llu ejects=%llu activations=%llu checkpoints=%llu "
+                "crashes=%llu events=%llu failed=%llu",
+                static_cast<unsigned long long>(invocations_sent),
+                static_cast<unsigned long long>(replies_sent),
+                static_cast<unsigned long long>(total_bytes()),
+                static_cast<unsigned long long>(context_switches),
+                static_cast<unsigned long long>(local_steps),
+                static_cast<unsigned long long>(ejects_created),
+                static_cast<unsigned long long>(activations),
+                static_cast<unsigned long long>(checkpoints),
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(events_processed),
+                static_cast<unsigned long long>(failed_invocations));
+  return buf;
+}
+
+}  // namespace eden

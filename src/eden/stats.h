@@ -1,0 +1,59 @@
+// Counters for the quantities the paper reasons about.
+//
+// The §4 analysis is entirely in terms of invocation counts, Eject counts and
+// process switches; Stats makes those first-class and diffable so benchmarks
+// can report "invocations per datum" exactly.
+#ifndef SRC_EDEN_STATS_H_
+#define SRC_EDEN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/eden/clock.h"
+
+namespace eden {
+
+struct Stats {
+  uint64_t invocations_sent = 0;   // invocation messages (not replies)
+  uint64_t replies_sent = 0;
+  uint64_t invocation_bytes = 0;   // encoded argument payloads
+  uint64_t reply_bytes = 0;
+  uint64_t cross_node_messages = 0;
+  uint64_t context_switches = 0;   // coroutine resumptions
+  uint64_t local_steps = 0;        // intra-Eject queue/monitor operations
+  uint64_t ejects_created = 0;
+  uint64_t activations = 0;        // passive -> active transitions
+  uint64_t passivations = 0;       // explicit Deactivate calls
+  uint64_t checkpoints = 0;
+  uint64_t crashes = 0;
+  uint64_t events_processed = 0;
+  uint64_t failed_invocations = 0;  // non-OK, non-EOS replies
+
+  Stats operator-(const Stats& rhs) const {
+    Stats d;
+    d.invocations_sent = invocations_sent - rhs.invocations_sent;
+    d.replies_sent = replies_sent - rhs.replies_sent;
+    d.invocation_bytes = invocation_bytes - rhs.invocation_bytes;
+    d.reply_bytes = reply_bytes - rhs.reply_bytes;
+    d.cross_node_messages = cross_node_messages - rhs.cross_node_messages;
+    d.context_switches = context_switches - rhs.context_switches;
+    d.local_steps = local_steps - rhs.local_steps;
+    d.ejects_created = ejects_created - rhs.ejects_created;
+    d.activations = activations - rhs.activations;
+    d.passivations = passivations - rhs.passivations;
+    d.checkpoints = checkpoints - rhs.checkpoints;
+    d.crashes = crashes - rhs.crashes;
+    d.events_processed = events_processed - rhs.events_processed;
+    d.failed_invocations = failed_invocations - rhs.failed_invocations;
+    return d;
+  }
+
+  uint64_t total_messages() const { return invocations_sent + replies_sent; }
+  uint64_t total_bytes() const { return invocation_bytes + reply_bytes; }
+
+  std::string ToString() const;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_STATS_H_

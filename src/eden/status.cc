@@ -1,0 +1,52 @@
+#include "src/eden/status.h"
+
+namespace eden {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kEndOfStream:
+      return "END_OF_STREAM";
+    case StatusCode::kNoSuchEject:
+      return "NO_SUCH_EJECT";
+    case StatusCode::kNoSuchOperation:
+      return "NO_SUCH_OPERATION";
+    case StatusCode::kNoSuchChannel:
+      return "NO_SUCH_CHANNEL";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kWouldBlock:
+      return "WOULD_BLOCK";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace eden

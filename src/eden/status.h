@@ -1,0 +1,75 @@
+// Status codes shared by the Eden kernel and everything built on it.
+//
+// Invocations in Eden carry a reply; the reply carries a Status. Rather than
+// exceptions (which do not cross Eject boundaries) all cross-Eject failures
+// are expressed as Status values, mirroring how the Eden prototype reported
+// invocation outcomes to Concurrent Euclid programs.
+#ifndef SRC_EDEN_STATUS_H_
+#define SRC_EDEN_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eden {
+
+enum class StatusCode {
+  kOk = 0,
+  // The stream protocol's "end of sequence" indication. Not an error: a
+  // Transfer reply with kEndOfStream may still carry the final items.
+  kEndOfStream,
+  kNoSuchEject,      // target UID is not registered and has no passive rep
+  kNoSuchOperation,  // Eject does not respond to this operation name
+  kNoSuchChannel,    // Transfer/Push named an unknown channel identifier
+  kInvalidArgument,
+  kPermissionDenied,
+  kUnavailable,  // target crashed or deactivated while the invocation was pending
+  kCancelled,    // reply handle dropped without an explicit reply
+  kAlreadyExists,
+  kNotFound,
+  kWouldBlock,
+  kTimeout,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A lightweight (code, message) pair. Copyable; empty message in the common
+// success case costs nothing beyond the small string.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  // End-of-stream is a normal protocol outcome; many call sites treat it as
+  // success-with-termination.
+  bool ok_or_end() const {
+    return code_ == StatusCode::kOk || code_ == StatusCode::kEndOfStream;
+  }
+  bool is(StatusCode code) const { return code_ == code; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are advisory
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_STATUS_H_

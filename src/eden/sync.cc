@@ -1,0 +1,29 @@
+#include "src/eden/sync.h"
+
+namespace eden {
+
+Uid CondVar::host_uid() const { return owner_ != nullptr ? owner_->uid() : Uid(); }
+
+void CondVar::Notify() {
+  kernel_.CountLocalStep();
+  if (waiters_.empty()) {
+    return;
+  }
+  std::coroutine_handle<> h = waiters_.front();
+  waiters_.pop_front();
+  Uid host = host_uid();
+  kernel_.ScheduleResume(host, kernel_.EpochOf(host), h);
+}
+
+void CondVar::NotifyAll() {
+  kernel_.CountLocalStep();
+  Uid host = host_uid();
+  uint64_t epoch = kernel_.EpochOf(host);
+  while (!waiters_.empty()) {
+    std::coroutine_handle<> h = waiters_.front();
+    waiters_.pop_front();
+    kernel_.ScheduleResume(host, epoch, h);
+  }
+}
+
+}  // namespace eden

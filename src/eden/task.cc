@@ -1,0 +1,16 @@
+#include "src/eden/task.h"
+
+namespace eden {
+
+void internal::DieOnTaskException() {
+  // Cross-Eject failures travel as Status values; an exception escaping a
+  // task is a programming error, and a simulator should fail loudly.
+  std::fprintf(stderr, "eden: unhandled exception escaped a Task; aborting\n");
+  std::abort();
+}
+
+void internal::TaskListOnDone(TaskList* list, std::coroutine_handle<> h) {
+  list->OnDone(h);
+}
+
+}  // namespace eden

@@ -1,0 +1,219 @@
+// Coroutine tasks: the reproduction of Eden's intra-Eject processes.
+//
+// Paper §4: "Each Eject is provided with multiple processes, of which some
+// may be waiting for incoming invocations, some may be waiting for replies to
+// invocations, and some may be running."
+//
+// A Task<T> is a lazily-started coroutine. Tasks compose with co_await
+// (symmetric transfer, so arbitrarily deep chains use O(1) stack), and a
+// Task<void> can be detached into a TaskList — the set of live processes of
+// an Eject. Destroying the TaskList (crash, deactivation) destroys every
+// suspended process, exactly as a crashed Eject loses its volatile state.
+//
+// Scheduling is *not* done here: resumption always goes through the Kernel's
+// event queue so that every context switch is counted and charged.
+#ifndef SRC_EDEN_TASK_H_
+#define SRC_EDEN_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+namespace eden {
+
+class TaskList;
+
+namespace internal {
+
+void DieOnTaskException();
+void TaskListOnDone(TaskList* list, std::coroutine_handle<> h);
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this task completes
+  TaskList* owner = nullptr;             // set for detached (root) tasks
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { DieOnTaskException(); }
+};
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    PromiseBase& p = h.promise();
+    if (p.continuation) {
+      return p.continuation;  // symmetric transfer back to the awaiter
+    }
+    if (p.owner != nullptr) {
+      // Detached root task: unregister and free the frame. After this call h
+      // is dead; we must not touch it again.
+      TaskListOnDone(p.owner, h);
+    }
+    return std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // start the child now
+      }
+      T await_resume() {
+        assert(h.promise().value.has_value());
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    internal::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{h_};
+  }
+
+  // Detaches the coroutine into `owner`, which now controls its lifetime.
+  // Returns the handle so the caller can schedule its first resumption.
+  std::coroutine_handle<> Detach(TaskList& owner);
+
+ private:
+  void Destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+// The set of detached processes owned by one Eject (or by the kernel's
+// external driver). Destroying the list destroys every still-suspended frame.
+class TaskList {
+ public:
+  TaskList() = default;
+  TaskList(const TaskList&) = delete;
+  TaskList& operator=(const TaskList&) = delete;
+  ~TaskList() { Clear(); }
+
+  void Adopt(std::coroutine_handle<> h) { handles_.insert(h.address()); }
+
+  void OnDone(std::coroutine_handle<> h) {
+    handles_.erase(h.address());
+    h.destroy();
+  }
+
+  void Clear() {
+    // Move out first: destroying one frame must not invalidate iteration.
+    std::unordered_set<void*> doomed;
+    doomed.swap(handles_);
+    for (void* address : doomed) {
+      std::coroutine_handle<>::from_address(address).destroy();
+    }
+  }
+
+  size_t size() const { return handles_.size(); }
+
+ private:
+  std::unordered_set<void*> handles_;
+};
+
+inline std::coroutine_handle<> Task<void>::Detach(TaskList& owner) {
+  assert(h_);
+  h_.promise().owner = &owner;
+  std::coroutine_handle<> h = h_;
+  h_ = {};
+  owner.Adopt(h);
+  return h;
+}
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_TASK_H_

@@ -1,0 +1,113 @@
+#include "src/eden/trace.h"
+
+#include <algorithm>
+#include <set>
+
+namespace eden {
+
+Tracer TraceRecorder::Hook() {
+  return [this](const TraceEvent& event) { events_.push_back(event); };
+}
+
+void TraceRecorder::Label(const Uid& uid, std::string name) {
+  labels_[uid] = std::move(name);
+}
+
+std::string TraceRecorder::NameOf(const Uid& uid) const {
+  if (uid.IsNil()) {
+    return "(ext)";
+  }
+  auto it = labels_.find(uid);
+  return it != labels_.end() ? it->second : uid.Short();
+}
+
+void TraceRecorder::FilterOps(const std::vector<std::string>& ops) {
+  std::set<InvocationId> kept_ids;
+  std::vector<TraceEvent> kept;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == TraceEvent::Kind::kInvoke) {
+      if (std::find(ops.begin(), ops.end(), event.op) != ops.end()) {
+        kept_ids.insert(event.id);
+        kept.push_back(event);
+      }
+    } else if (kept_ids.count(event.id) > 0) {
+      kept.push_back(event);
+    }
+  }
+  events_ = std::move(kept);
+}
+
+std::string TraceRecorder::Render(size_t max_rows) const {
+  // Lifelines in order of first appearance.
+  std::vector<Uid> parties;
+  auto index_of = [&parties](const Uid& uid) {
+    for (size_t i = 0; i < parties.size(); ++i) {
+      if (parties[i] == uid) {
+        return i;
+      }
+    }
+    parties.push_back(uid);
+    return parties.size() - 1;
+  };
+  for (const TraceEvent& event : events_) {
+    index_of(event.from);
+    index_of(event.to);
+  }
+  if (parties.empty()) {
+    return "(no events)\n";
+  }
+
+  constexpr size_t kColumnWidth = 16;
+  std::string out;
+  // Header.
+  for (const Uid& party : parties) {
+    std::string name = NameOf(party);
+    if (name.size() > kColumnWidth - 2) {
+      name.resize(kColumnWidth - 2);
+    }
+    size_t pad = (kColumnWidth - name.size()) / 2;
+    out += std::string(pad, ' ') + name +
+           std::string(kColumnWidth - pad - name.size(), ' ');
+  }
+  out += "\n";
+
+  size_t rows = 0;
+  for (const TraceEvent& event : events_) {
+    if (rows++ >= max_rows) {
+      out += "  ... (" + std::to_string(events_.size() - max_rows) +
+             " more events)\n";
+      break;
+    }
+    size_t from = index_of(event.from);
+    size_t to = index_of(event.to);
+    size_t left = std::min(from, to);
+    size_t right = std::max(from, to);
+    // Build the row: lifelines are at column centers.
+    std::string row(parties.size() * kColumnWidth, ' ');
+    for (size_t i = 0; i < parties.size(); ++i) {
+      row[i * kColumnWidth + kColumnWidth / 2] = '|';
+    }
+    size_t start = left * kColumnWidth + kColumnWidth / 2 + 1;
+    size_t end = right * kColumnWidth + kColumnWidth / 2;
+    std::string label = event.kind == TraceEvent::Kind::kInvoke
+                            ? event.op
+                            : (event.ok ? "ok" : "fail");
+    char dash = event.kind == TraceEvent::Kind::kInvoke ? '-' : '.';
+    std::string arrow(end - start, dash);
+    if (arrow.size() > label.size() + 2) {
+      size_t offset = (arrow.size() - label.size()) / 2;
+      arrow.replace(offset, label.size(), label);
+    }
+    bool rightward = to > from;
+    if (rightward) {
+      arrow.back() = '>';
+    } else if (!arrow.empty()) {
+      arrow.front() = '<';
+    }
+    row.replace(start, arrow.size(), arrow);
+    out += row + "  t=" + std::to_string(event.at) + "\n";
+  }
+  return out;
+}
+
+}  // namespace eden

@@ -1,0 +1,68 @@
+// Message tracing: records every invocation and reply as it is sent, so
+// tools can render the communication structure the paper's figures draw.
+//
+// The tracer is an optional kernel hook with zero cost when unset. The
+// bundled renderer produces an ASCII sequence chart (lifelines per Eject,
+// one row per message) used by the trace_figure2 example and the trace
+// tests.
+#ifndef SRC_EDEN_TRACE_H_
+#define SRC_EDEN_TRACE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/eden/clock.h"
+#include "src/eden/message.h"
+#include "src/eden/uid.h"
+
+namespace eden {
+
+struct TraceEvent {
+  enum class Kind { kInvoke, kReply };
+  Kind kind = Kind::kInvoke;
+  Tick at = 0;
+  Uid from;  // nil = external driver
+  Uid to;
+  std::string op;       // invocations only
+  InvocationId id = 0;  // matches a reply to its invocation
+  bool ok = true;       // replies only
+};
+
+using Tracer = std::function<void(const TraceEvent&)>;
+
+// Collects events and renders them as an ASCII message-sequence chart.
+class TraceRecorder {
+ public:
+  // The hook to install with Kernel::set_tracer.
+  Tracer Hook();
+
+  // Names a lifeline (unnamed Ejects render as short UIDs).
+  void Label(const Uid& uid, std::string name);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Keep only events whose operation matches one of `ops` (replies follow
+  // their invocation's fate).
+  void FilterOps(const std::vector<std::string>& ops);
+
+  // Renders a chart like:
+  //     sink          F1         source
+  //      |--Transfer-->|            |        t=120
+  //      |             |--Transfer-->|       t=240
+  //      |             |<- - ok - - -|       t=460
+  std::string Render(size_t max_rows = 40) const;
+
+ private:
+  std::string NameOf(const Uid& uid) const;
+
+  std::vector<TraceEvent> events_;
+  std::map<Uid, std::string> labels_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_TRACE_H_

@@ -1,0 +1,35 @@
+#include "src/eden/type_registry.h"
+
+#include <utility>
+
+#include "src/eden/eject.h"
+
+namespace eden {
+
+void TypeRegistry::Register(std::string type_name, Factory factory) {
+  factories_[std::move(type_name)] = std::move(factory);
+}
+
+bool TypeRegistry::Contains(const std::string& type_name) const {
+  return factories_.count(type_name) > 0;
+}
+
+std::unique_ptr<Eject> TypeRegistry::Make(const std::string& type_name,
+                                          Kernel& kernel) const {
+  auto it = factories_.find(type_name);
+  if (it == factories_.end()) {
+    return nullptr;
+  }
+  return it->second(kernel);
+}
+
+std::vector<std::string> TypeRegistry::TypeNames() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace eden

@@ -1,0 +1,41 @@
+// TypeRegistry: Eden type name -> factory, used for reactivation.
+//
+// Paper §1: "if a passive eject is sent an invocation, the Eden kernel will
+// activate it... If the Eject had previously Checkpointed, it can use the
+// data in its Passive Representation to define this state."
+//
+// A type that wants its instances to survive passivation registers a factory
+// here; the kernel constructs a fresh instance and calls RestoreState with
+// the decoded passive representation.
+#ifndef SRC_EDEN_TYPE_REGISTRY_H_
+#define SRC_EDEN_TYPE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eden {
+
+class Eject;
+class Kernel;
+
+class TypeRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Eject>(Kernel&)>;
+
+  void Register(std::string type_name, Factory factory);
+  bool Contains(const std::string& type_name) const;
+  // Returns nullptr if the type is unknown.
+  std::unique_ptr<Eject> Make(const std::string& type_name, Kernel& kernel) const;
+
+  std::vector<std::string> TypeNames() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_TYPE_REGISTRY_H_

@@ -1,0 +1,107 @@
+#include "src/eden/uid.h"
+
+#include <cstdio>
+
+namespace eden {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+std::optional<uint64_t> ParseHex64(std::string_view s) {
+  if (s.size() != 16) {
+    return std::nullopt;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    int d = HexDigit(c);
+    if (d < 0) {
+      return std::nullopt;
+    }
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string Uid::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "eden:%016llx-%016llx",
+                static_cast<unsigned long long>(hi_),
+                static_cast<unsigned long long>(lo_));
+  return buf;
+}
+
+std::string Uid::Short() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%06llx",
+                static_cast<unsigned long long>(lo_ & 0xFFFFFFULL));
+  return buf;
+}
+
+std::optional<Uid> Uid::Parse(std::string_view text) {
+  constexpr std::string_view kPrefix = "eden:";
+  if (text.size() != kPrefix.size() + 16 + 1 + 16 ||
+      text.substr(0, kPrefix.size()) != kPrefix || text[kPrefix.size() + 16] != '-') {
+    return std::nullopt;
+  }
+  auto hi = ParseHex64(text.substr(kPrefix.size(), 16));
+  auto lo = ParseHex64(text.substr(kPrefix.size() + 17, 16));
+  if (!hi || !lo) {
+    return std::nullopt;
+  }
+  return Uid(*hi, *lo);
+}
+
+UidGenerator::UidGenerator(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(x);
+  }
+}
+
+uint64_t UidGenerator::NextWord() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+Uid UidGenerator::Next() {
+  // Reroll on the (astronomically unlikely) nil value so nil stays reserved.
+  for (;;) {
+    uint64_t hi = NextWord();
+    uint64_t lo = NextWord();
+    if (hi != 0 || lo != 0) {
+      return Uid(hi, lo);
+    }
+  }
+}
+
+}  // namespace eden

@@ -1,0 +1,115 @@
+// Impure filters with multiple inputs — the §5 fan-in cases.
+//
+// "Examples of programs with multiple inputs include file comparison
+//  programs and stream editors that have a command input as well as a text
+//  input."                                                       (paper §5)
+//
+// In the read-only discipline fan-in is trivial: "If F needs n inputs, it
+// maintains n UIDs, each referring to an Eject which responds to read
+// requests." Each of these Ejects does exactly that, and passively outputs
+// its result.
+#ifndef SRC_FILTERS_MULTI_INPUT_H_
+#define SRC_FILTERS_MULTI_INPUT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/stream_reader.h"
+#include "src/core/stream_server.h"
+#include "src/eden/eject.h"
+
+namespace eden {
+
+// A stream endpoint: which Eject to read, on which channel.
+struct StreamRef {
+  Uid source;
+  Value channel = Value(std::string(kChanOut));
+};
+
+// ---------------------------------------------------------------------------
+// SedLite: a stream editor with a command input and a text input.
+//
+// The command stream is read in full first (it parameterises the filter);
+// then the text stream is edited through it. Commands, one per line:
+//   s/OLD/NEW/   substitute every occurrence of OLD with NEW
+//   d/PAT/       delete lines containing PAT
+//   a/TEXT/      append TEXT as a new line after each input line
+//   q/N/         quit after N output lines
+struct SedCommand {
+  char verb = 's';
+  std::string a;
+  std::string b;
+};
+
+// Parses one command line; returns false on malformed input.
+bool ParseSedCommand(const std::string& line, SedCommand& out);
+
+class SedLite : public Eject {
+ public:
+  static constexpr const char* kType = "SedLite";
+
+  SedLite(Kernel& kernel, StreamRef commands, StreamRef text, size_t work_ahead = 4);
+
+  void OnStart() override;
+
+  StreamServer& server() { return server_; }
+  const std::vector<SedCommand>& commands() const { return commands_; }
+
+ private:
+  Task<void> Run();
+  // Applies the loaded script to one line; returns edited lines (possibly
+  // none, possibly several). Sets `quit` when a q command triggers.
+  std::vector<std::string> Apply(const std::string& line, bool& quit);
+
+  StreamReader command_reader_;
+  StreamReader text_reader_;
+  StreamServer server_;
+  std::vector<SedCommand> commands_;
+  int64_t emitted_ = 0;
+  int64_t quit_after_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// CmpEject: compares two streams in lockstep; emits one line per differing
+// record plus a trailing summary.
+class CmpEject : public Eject {
+ public:
+  static constexpr const char* kType = "Cmp";
+
+  CmpEject(Kernel& kernel, StreamRef left, StreamRef right, size_t work_ahead = 4);
+
+  void OnStart() override;
+
+  int64_t differences() const { return differences_; }
+
+ private:
+  Task<void> Run();
+
+  StreamReader left_;
+  StreamReader right_;
+  StreamServer server_;
+  int64_t differences_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MergeEject: arbitrary fan-in. Reads any number of sources and interleaves
+// them round-robin (deterministically) onto one output stream.
+class MergeEject : public Eject {
+ public:
+  static constexpr const char* kType = "Merge";
+
+  MergeEject(Kernel& kernel, std::vector<StreamRef> inputs, size_t work_ahead = 4);
+
+  void OnStart() override;
+
+ private:
+  Task<void> Run();
+
+  std::vector<std::unique_ptr<StreamReader>> readers_;
+  StreamServer server_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_FILTERS_MULTI_INPUT_H_

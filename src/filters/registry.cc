@@ -1,0 +1,158 @@
+#include "src/filters/registry.h"
+
+#include <cstdlib>
+
+#include "src/filters/transforms.h"
+
+namespace eden {
+namespace {
+
+std::optional<int64_t> ParseInt(const std::string& s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<TransformFactory> MakeTransformByName(
+    const std::string& name, const std::vector<std::string>& args) {
+  if (name == "copy" && args.empty()) {
+    return TransformFactory([] { return std::make_unique<CopyTransform>(); });
+  }
+  if (name == "strip" && args.size() == 1) {
+    std::string prefix = args[0];
+    return TransformFactory(
+        [prefix] { return std::make_unique<StripPrefixTransform>(prefix); });
+  }
+  if ((name == "grep" || name == "grep-v") && args.size() == 1) {
+    std::string pattern = args[0];
+    bool invert = name == "grep-v";
+    return TransformFactory(
+        [pattern, invert] { return std::make_unique<GrepTransform>(pattern, invert); });
+  }
+  if (name == "upper" && args.empty()) {
+    return TransformFactory([] {
+      return std::make_unique<TranslateTransform>(TranslateTransform::Mode::kUpper);
+    });
+  }
+  if (name == "lower" && args.empty()) {
+    return TransformFactory([] {
+      return std::make_unique<TranslateTransform>(TranslateTransform::Mode::kLower);
+    });
+  }
+  if (name == "rot13" && args.empty()) {
+    return TransformFactory([] {
+      return std::make_unique<TranslateTransform>(TranslateTransform::Mode::kRot13);
+    });
+  }
+  if (name == "replace" && args.size() == 2) {
+    std::string from = args[0];
+    std::string to = args[1];
+    return TransformFactory(
+        [from, to] { return std::make_unique<ReplaceTransform>(from, to); });
+  }
+  if (name == "head" && args.size() == 1) {
+    auto n = ParseInt(args[0]);
+    if (!n) {
+      return std::nullopt;
+    }
+    return TransformFactory([n] { return std::make_unique<HeadTransform>(*n); });
+  }
+  if (name == "tail" && args.size() == 1) {
+    auto n = ParseInt(args[0]);
+    if (!n) {
+      return std::nullopt;
+    }
+    return TransformFactory([n] { return std::make_unique<TailTransform>(*n); });
+  }
+  if (name == "nl" && args.empty()) {
+    return TransformFactory([] { return std::make_unique<LineNumberTransform>(); });
+  }
+  if (name == "wc" && args.empty()) {
+    return TransformFactory([] { return std::make_unique<WordCountTransform>(); });
+  }
+  if (name == "paginate" && (args.size() == 1 || args.size() == 2)) {
+    auto n = ParseInt(args[0]);
+    if (!n || *n <= 0) {
+      return std::nullopt;
+    }
+    std::string title = args.size() == 2 ? args[1] : "listing";
+    return TransformFactory(
+        [n, title] { return std::make_unique<PaginateTransform>(*n, title); });
+  }
+  if (name == "expand" && args.size() <= 1) {
+    int64_t width = 8;
+    if (args.size() == 1) {
+      auto w = ParseInt(args[0]);
+      if (!w || *w <= 0) {
+        return std::nullopt;
+      }
+      width = *w;
+    }
+    return TransformFactory(
+        [width] { return std::make_unique<ExpandTabsTransform>(width); });
+  }
+  if (name == "uniq" && args.empty()) {
+    return TransformFactory([] { return std::make_unique<DedupTransform>(); });
+  }
+  if (name == "sort" && args.empty()) {
+    return TransformFactory([] { return std::make_unique<SortTransform>(); });
+  }
+  if (name == "reverse" && args.empty()) {
+    return TransformFactory([] { return std::make_unique<ReverseTransform>(); });
+  }
+  if (name == "pretty" && args.size() <= 1) {
+    int64_t width = 2;
+    if (args.size() == 1) {
+      auto w = ParseInt(args[0]);
+      if (!w || *w <= 0) {
+        return std::nullopt;
+      }
+      width = *w;
+    }
+    return TransformFactory(
+        [width] { return std::make_unique<PrettyPrintTransform>(width); });
+  }
+  if (name == "split" && args.size() == 1) {
+    std::string pattern = args[0];
+    return TransformFactory(
+        [pattern] { return std::make_unique<SplitTransform>(pattern); });
+  }
+  if (name == "tee" && args.empty()) {
+    return TransformFactory([] { return std::make_unique<TeeTransform>(); });
+  }
+  if (name == "report" && args.size() >= 2) {
+    auto every = ParseInt(args[0]);
+    if (!every || *every <= 0) {
+      return std::nullopt;
+    }
+    std::string inner_name = args[1];
+    std::vector<std::string> inner_args(args.begin() + 2, args.end());
+    auto inner = MakeTransformByName(inner_name, inner_args);
+    if (!inner) {
+      return std::nullopt;
+    }
+    TransformFactory inner_factory = *inner;
+    int64_t n = *every;
+    return TransformFactory([inner_factory, n] {
+      return std::make_unique<ReportingTransform>(inner_factory(), n);
+    });
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> RegisteredFilterNames() {
+  return {"copy",     "strip", "grep", "grep-v", "upper",   "lower",
+          "rot13",    "replace", "head", "tail",  "nl",      "wc",
+          "paginate", "expand",  "uniq", "sort",  "reverse", "pretty", "split",
+          "tee",      "report"};
+}
+
+}  // namespace eden

@@ -1,0 +1,31 @@
+// Filter registry: maps command names + string arguments to Transform
+// factories. Used by the shell ("strip C | paginate 60 | ...") and by the
+// benchmark workload generators.
+#ifndef SRC_FILTERS_REGISTRY_H_
+#define SRC_FILTERS_REGISTRY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/transform.h"
+
+namespace eden {
+
+// Returns a factory for `name` with `args`, or nullopt for unknown names or
+// malformed arguments.
+//
+// Known filters:
+//   copy | strip PREFIX | grep PAT | grep-v PAT | upper | lower | rot13 |
+//   replace OLD NEW | head N | tail N | nl | wc | paginate N [TITLE] |
+//   expand [W] | uniq | sort | reverse | pretty [W] | tee |
+//   report EVERY <inner...>
+std::optional<TransformFactory> MakeTransformByName(
+    const std::string& name, const std::vector<std::string>& args);
+
+// All registered filter names (for the shell's help output).
+std::vector<std::string> RegisteredFilterNames();
+
+}  // namespace eden
+
+#endif  // SRC_FILTERS_REGISTRY_H_

@@ -1,0 +1,282 @@
+#include "src/filters/transforms.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace eden {
+namespace {
+
+std::string AsLine(const Value& item) {
+  if (const std::string* s = item.AsStr()) {
+    return *s;
+  }
+  return item.ToString();
+}
+
+bool LessValue(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    return *a.AsInt() < *b.AsInt();
+  }
+  return AsLine(a) < AsLine(b);
+}
+
+}  // namespace
+
+void CopyTransform::OnItem(const Value& item, const EmitFn& emit) {
+  emit(kChanOut, item);
+}
+
+void StripPrefixTransform::OnItem(const Value& item, const EmitFn& emit) {
+  const std::string line = AsLine(item);
+  if (line.rfind(prefix_, 0) == 0) {
+    return;  // omitted: a comment line
+  }
+  emit(kChanOut, item);
+}
+
+void GrepTransform::OnItem(const Value& item, const EmitFn& emit) {
+  bool matched = AsLine(item).find(pattern_) != std::string::npos;
+  if (matched != invert_) {
+    emit(kChanOut, item);
+  }
+}
+
+void TranslateTransform::OnItem(const Value& item, const EmitFn& emit) {
+  std::string line = AsLine(item);
+  for (char& c : line) {
+    switch (mode_) {
+      case Mode::kUpper:
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        break;
+      case Mode::kLower:
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        break;
+      case Mode::kRot13:
+        if (c >= 'a' && c <= 'z') {
+          c = static_cast<char>('a' + (c - 'a' + 13) % 26);
+        } else if (c >= 'A' && c <= 'Z') {
+          c = static_cast<char>('A' + (c - 'A' + 13) % 26);
+        }
+        break;
+    }
+  }
+  emit(kChanOut, Value(std::move(line)));
+}
+
+void ReplaceTransform::OnItem(const Value& item, const EmitFn& emit) {
+  std::string line = AsLine(item);
+  if (!from_.empty()) {
+    size_t pos = 0;
+    while ((pos = line.find(from_, pos)) != std::string::npos) {
+      line.replace(pos, from_.size(), to_);
+      pos += to_.size();
+      if (!global_) {
+        break;
+      }
+    }
+  }
+  emit(kChanOut, Value(std::move(line)));
+}
+
+void HeadTransform::OnItem(const Value& item, const EmitFn& emit) {
+  if (seen_++ < limit_) {
+    emit(kChanOut, item);
+  }
+}
+
+void TailTransform::OnItem(const Value& item, const EmitFn& emit) {
+  window_.push_back(item);
+  if (static_cast<int64_t>(window_.size()) > limit_) {
+    window_.pop_front();
+  }
+}
+
+void TailTransform::OnEnd(const EmitFn& emit) {
+  for (Value& item : window_) {
+    emit(kChanOut, std::move(item));
+  }
+  window_.clear();
+}
+
+void LineNumberTransform::OnItem(const Value& item, const EmitFn& emit) {
+  emit(kChanOut, Value(std::to_string(++line_) + "\t" + AsLine(item)));
+}
+
+void WordCountTransform::OnItem(const Value& item, const EmitFn& emit) {
+  const std::string line = AsLine(item);
+  lines_++;
+  chars_ += static_cast<int64_t>(line.size()) + 1;  // plus newline
+  bool in_word = false;
+  for (char c : line) {
+    bool space = std::isspace(static_cast<unsigned char>(c)) != 0;
+    if (!space && !in_word) {
+      words_++;
+    }
+    in_word = !space;
+  }
+}
+
+void WordCountTransform::OnEnd(const EmitFn& emit) {
+  emit(kChanOut, Value(std::to_string(lines_) + " " + std::to_string(words_) + " " +
+                       std::to_string(chars_)));
+}
+
+void PaginateTransform::EmitHeader(const EmitFn& emit) {
+  page_++;
+  emit(kChanOut, Value("---- " + title_ + " page " + std::to_string(page_) + " ----"));
+  line_on_page_ = 0;
+}
+
+void PaginateTransform::OnItem(const Value& item, const EmitFn& emit) {
+  if (line_on_page_ == 0) {
+    EmitHeader(emit);
+  }
+  emit(kChanOut, item);
+  if (++line_on_page_ >= page_length_) {
+    line_on_page_ = 0;
+  }
+}
+
+void PaginateTransform::OnEnd(const EmitFn& emit) {
+  if (page_ > 0) {
+    emit(kChanOut, Value("---- end (" + std::to_string(page_) + " pages) ----"));
+  }
+}
+
+void ExpandTabsTransform::OnItem(const Value& item, const EmitFn& emit) {
+  const std::string line = AsLine(item);
+  std::string out;
+  out.reserve(line.size());
+  for (char c : line) {
+    if (c == '\t') {
+      do {
+        out.push_back(' ');
+      } while (static_cast<int64_t>(out.size()) % tab_width_ != 0);
+    } else {
+      out.push_back(c);
+    }
+  }
+  emit(kChanOut, Value(std::move(out)));
+}
+
+void DedupTransform::OnItem(const Value& item, const EmitFn& emit) {
+  if (has_last_ && item == last_) {
+    return;
+  }
+  has_last_ = true;
+  last_ = item;
+  emit(kChanOut, item);
+}
+
+void SortTransform::OnItem(const Value& item, const EmitFn& emit) {
+  held_.push_back(item);
+}
+
+void SortTransform::OnEnd(const EmitFn& emit) {
+  std::stable_sort(held_.begin(), held_.end(), LessValue);
+  for (Value& item : held_) {
+    emit(kChanOut, std::move(item));
+  }
+  held_.clear();
+}
+
+void ReverseTransform::OnItem(const Value& item, const EmitFn& emit) {
+  held_.push_back(item);
+}
+
+void ReverseTransform::OnEnd(const EmitFn& emit) {
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    emit(kChanOut, std::move(*it));
+  }
+  held_.clear();
+}
+
+void PrettyPrintTransform::OnItem(const Value& item, const EmitFn& emit) {
+  std::string line = AsLine(item);
+  // Trim existing indentation.
+  size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    emit(kChanOut, Value(std::string()));
+    return;
+  }
+  line = line.substr(start);
+  int64_t opens = 0;
+  int64_t closes = 0;
+  for (char c : line) {
+    if (c == '{' || c == '(') {
+      opens++;
+    } else if (c == '}' || c == ')') {
+      closes++;
+    }
+  }
+  // Lines that start by closing dedent themselves.
+  int64_t this_depth = depth_;
+  if (!line.empty() && (line[0] == '}' || line[0] == ')')) {
+    this_depth = std::max<int64_t>(0, depth_ - 1);
+  }
+  depth_ = std::max<int64_t>(0, depth_ + opens - closes);
+  emit(kChanOut,
+       Value(std::string(static_cast<size_t>(this_depth * indent_width_), ' ') + line));
+}
+
+void SpellTransform::OnItem(const Value& item, const EmitFn& emit) {
+  const std::string line = AsLine(item);
+  std::string word;
+  auto flush = [&] {
+    if (!word.empty() && dictionary_.count(word) == 0) {
+      emit(kChanOut, Value(word));
+    }
+    word.clear();
+  };
+  for (char c : line) {
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      word.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+void SplitTransform::OnItem(const Value& item, const EmitFn& emit) {
+  if (AsLine(item).find(pattern_) != std::string::npos) {
+    emit(kChanOut, item);
+  } else {
+    emit("rest", item);
+  }
+}
+
+std::vector<std::string> SplitTransform::output_channels() const {
+  return {std::string(kChanOut), "rest"};
+}
+
+void TeeTransform::OnItem(const Value& item, const EmitFn& emit) {
+  emit(kChanOut, item);
+  emit("copy", item);
+}
+
+std::vector<std::string> TeeTransform::output_channels() const {
+  return {std::string(kChanOut), "copy"};
+}
+
+void ReportingTransform::OnItem(const Value& item, const EmitFn& emit) {
+  inner_->OnItem(item, emit);
+  if (report_every_ > 0 && ++seen_ % report_every_ == 0) {
+    emit(kChanReport,
+         Value(inner_->name() + ": " + std::to_string(seen_) + " items"));
+  }
+}
+
+void ReportingTransform::OnEnd(const EmitFn& emit) {
+  inner_->OnEnd(emit);
+  emit(kChanReport, Value(inner_->name() + ": done after " +
+                          std::to_string(seen_) + " items"));
+}
+
+std::vector<std::string> ReportingTransform::output_channels() const {
+  std::vector<std::string> channels = inner_->output_channels();
+  channels.push_back(std::string(kChanReport));
+  return channels;
+}
+
+}  // namespace eden

@@ -1,0 +1,63 @@
+// FileEject: "In Eden, files are Ejects: they are active rather than passive
+// entities. An Eden file would itself be able to respond to open, close,
+// read and write invocations rather than being a mere data structure acted
+// upon by operating system primitives. Once a file has been written, the
+// data is committed to stable storage by Checkpointing."        (paper §2)
+//
+// Content is a sequence of line records. Operations:
+//   Open  {}                   -> {chan: uid}   fresh read session (own cursor)
+//   Close {chan}               -> {}            discards a session
+//   Transfer {chan, max}       -> batch         read-only transput; "out" (or
+//                                               channel 0) is a shared session
+//                                               that rewinds at end-of-stream
+//   Write {items: [...]}       -> {count}       append lines
+//   Truncate {}                -> {}
+//   Absorb {source, chan}      -> {count}       "A file opened for output
+//     would immediately issue a Read invocation, and would continue reading
+//     until it received an end of file indicator" (§4) — the file actively
+//     pulls the whole stream, appends it, then Checkpoints.
+//   Size {}                    -> {lines, chars}
+//   Checkpoint {}              -> {}
+#ifndef SRC_FS_FILE_H_
+#define SRC_FS_FILE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/stream.h"
+#include "src/eden/eject.h"
+
+namespace eden {
+
+class FileEject : public Eject {
+ public:
+  static constexpr const char* kType = "File";
+
+  explicit FileEject(Kernel& kernel, std::string initial_text = "");
+
+  // Registers the File factory so checkpointed files survive crashes.
+  static void RegisterType(Kernel& kernel);
+
+  Value SaveState() override;
+  void RestoreState(const Value& state) override;
+
+  // Direct accessors for tests and examples (not part of the protocol).
+  std::string ContentsAsText() const;
+  size_t line_count() const { return lines_.size(); }
+
+ private:
+  void HandleTransfer(InvocationContext ctx);
+  void HandleOpen(InvocationContext ctx);
+  void HandleClose(InvocationContext ctx);
+  void HandleWrite(InvocationContext ctx);
+  Task<void> HandleAbsorb(InvocationContext ctx);
+
+  std::vector<std::string> lines_;
+  std::map<Uid, size_t> sessions_;  // capability -> cursor
+  size_t shared_cursor_ = 0;        // the "out" channel's cursor
+};
+
+}  // namespace eden
+
+#endif  // SRC_FS_FILE_H_

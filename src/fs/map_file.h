@@ -1,0 +1,55 @@
+// MapFile: the §6 "Map" abstraction alongside the Sequence protocol.
+//
+// "The Transput protocol does not support random access; a disk file Eject
+//  (or an Eject with a large main store at its disposal) may wish to define
+//  a protocol which supports the abstraction of a Map. Such an Eject may not
+//  support the transput protocol at all, or it may support both protocols."
+//                                                                (paper §6)
+//
+// MapFileEject supports BOTH: the Map protocol (random access by record
+// index) and the Sequence protocol (Transfer on channel "out" / 0 streams
+// the records in order), demonstrating that protocols are just invocation
+// conventions an Eject may stack.
+//
+// Map protocol:
+//   ReadAt  {index}        -> {item}
+//   WriteAt {index, item}  -> {}        (extends with nil records if needed)
+//   Length  {}             -> {length}
+//   Truncate {length}      -> {}
+#ifndef SRC_FS_MAP_FILE_H_
+#define SRC_FS_MAP_FILE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/core/stream.h"
+#include "src/eden/eject.h"
+
+namespace eden {
+
+class MapFileEject : public Eject {
+ public:
+  static constexpr const char* kType = "MapFile";
+
+  explicit MapFileEject(Kernel& kernel, ValueList initial = ValueList());
+
+  static void RegisterType(Kernel& kernel);
+
+  Value SaveState() override;
+  void RestoreState(const Value& state) override;
+
+  size_t length() const { return records_.size(); }
+
+ private:
+  void HandleReadAt(InvocationContext ctx);
+  void HandleWriteAt(InvocationContext ctx);
+  void HandleTransfer(InvocationContext ctx);
+
+  std::vector<Value> records_;
+  std::map<Uid, size_t> sessions_;  // streaming cursors (Open/Close like File)
+  size_t shared_cursor_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_FS_MAP_FILE_H_

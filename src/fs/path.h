@@ -1,0 +1,39 @@
+// Path resolution over directory graphs.
+//
+// "It is, of course, possible to enter the UID of any Eject in a directory,
+//  so arbitrary networks of directories can be constructed."     (paper §2)
+//
+// Resolution walks "a/b/c" with successive Lookup invocations. Because the
+// graph is arbitrary (cycles included), the walk is depth-limited.
+#ifndef SRC_FS_PATH_H_
+#define SRC_FS_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eden/eject.h"
+#include "src/eden/kernel.h"
+
+namespace eden {
+
+inline constexpr int kMaxPathDepth = 64;
+
+// Splits "a/b/c" (leading/duplicate slashes tolerated) into components.
+std::vector<std::string> SplitPath(const std::string& path);
+
+struct ResolveResult {
+  Status status;
+  Uid uid;
+  bool ok() const { return status.ok(); }
+};
+
+// Coroutine version for use inside Ejects.
+Task<ResolveResult> ResolvePath(Eject& self, Uid root, std::string path);
+
+// Driver version for tests/examples: runs the kernel until resolution
+// completes.
+ResolveResult ResolvePathBlocking(Kernel& kernel, Uid root, const std::string& path);
+
+}  // namespace eden
+
+#endif  // SRC_FS_PATH_H_

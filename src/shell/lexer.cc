@@ -1,0 +1,53 @@
+#include "src/shell/lexer.h"
+
+namespace eden {
+
+LexResult Tokenize(const std::string& input) {
+  LexResult result;
+  size_t i = 0;
+  auto fail = [&result](std::string message) {
+    result.ok = false;
+    result.error = std::move(message);
+    return result;
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\n') {
+      i++;
+      continue;
+    }
+    if (c == '|') {
+      result.tokens.push_back(Token{TokenKind::kPipe, "|"});
+      i++;
+      continue;
+    }
+    if (c == '\'') {
+      size_t close = input.find('\'', i + 1);
+      if (close == std::string::npos) {
+        return fail("unterminated quote");
+      }
+      result.tokens.push_back(Token{TokenKind::kWord, input.substr(i + 1, close - i - 1)});
+      i = close + 1;
+      continue;
+    }
+    // Bare word, possibly containing '>' (redirection).
+    size_t start = i;
+    while (i < input.size() && input[i] != ' ' && input[i] != '\t' &&
+           input[i] != '\n' && input[i] != '|' && input[i] != '\'') {
+      i++;
+    }
+    std::string word = input.substr(start, i - start);
+    size_t gt = word.find('>');
+    if (gt != std::string::npos) {
+      if (gt == 0 || gt == word.size() - 1) {
+        return fail("malformed redirection: " + word);
+      }
+      result.tokens.push_back(Token{TokenKind::kRedirect, std::move(word)});
+    } else {
+      result.tokens.push_back(Token{TokenKind::kWord, std::move(word)});
+    }
+  }
+  return result;
+}
+
+}  // namespace eden

@@ -1,0 +1,40 @@
+// Tokenizer for the pipeline command language.
+//
+// Grammar (see shell.h):  stage ('|' stage)* ; a stage is a command word,
+// argument words ('single quoted' to embed spaces/pipes), and channel
+// redirections of the form  chan>name  — the shell analogue the paper
+// compares against: "the Unix shell's 'n>' syntax" (§5).
+#ifndef SRC_SHELL_LEXER_H_
+#define SRC_SHELL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace eden {
+
+enum class TokenKind {
+  kWord,      // bare or quoted word
+  kPipe,      // |
+  kRedirect,  // chan>name (text is "chan>name")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+
+  friend bool operator==(const Token& a, const Token& b) {
+    return a.kind == b.kind && a.text == b.text;
+  }
+};
+
+struct LexResult {
+  bool ok = true;
+  std::string error;
+  std::vector<Token> tokens;
+};
+
+LexResult Tokenize(const std::string& input);
+
+}  // namespace eden
+
+#endif  // SRC_SHELL_LEXER_H_

@@ -1,0 +1,323 @@
+#include "src/shell/shell.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/core/endpoints.h"
+#include "src/core/filter_eject.h"
+#include "src/core/stream.h"
+#include "src/filters/multi_input.h"
+#include "src/filters/registry.h"
+#include "src/shell/lexer.h"
+
+namespace eden {
+namespace {
+
+std::string AsLine(const Value& item) {
+  if (const std::string* s = item.AsStr()) {
+    return *s;
+  }
+  return item.ToString();
+}
+
+ShellResult Fail(std::string message) {
+  ShellResult result;
+  result.ok = false;
+  result.error = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+EdenShell::EdenShell(Kernel& kernel, HostFs* host) : kernel_(kernel), host_(host) {}
+
+std::optional<Uid> EdenShell::Resolve(const std::string& name) const {
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+TerminalSink* EdenShell::terminal(const std::string& name) {
+  auto it = terminals_.find(name);
+  return it == terminals_.end() ? nullptr : it->second;
+}
+
+PrinterSink* EdenShell::printer(const std::string& name) {
+  auto it = printers_.find(name);
+  return it == printers_.end() ? nullptr : it->second;
+}
+
+ReportWindow* EdenShell::window(const std::string& name) {
+  auto it = windows_.find(name);
+  return it == windows_.end() ? nullptr : it->second;
+}
+
+ReportWindow& EdenShell::WindowOrCreate(const std::string& name) {
+  auto it = windows_.find(name);
+  if (it != windows_.end()) {
+    return *it->second;
+  }
+  ReportWindow& window = kernel_.CreateLocal<ReportWindow>();
+  windows_[name] = &window;
+  return window;
+}
+
+bool EdenShell::Parse(const std::string& input, std::vector<Stage>& stages,
+                      std::string& error) {
+  LexResult lexed = Tokenize(input);
+  if (!lexed.ok) {
+    error = lexed.error;
+    return false;
+  }
+  Stage current;
+  bool have_command = false;
+  auto flush = [&]() {
+    if (have_command) {
+      stages.push_back(std::move(current));
+      current = Stage();
+      have_command = false;
+    }
+  };
+  for (Token& token : lexed.tokens) {
+    switch (token.kind) {
+      case TokenKind::kPipe:
+        if (!have_command) {
+          error = "empty pipeline stage";
+          return false;
+        }
+        flush();
+        break;
+      case TokenKind::kWord:
+        if (!have_command) {
+          current.command = std::move(token.text);
+          have_command = true;
+        } else {
+          current.args.push_back(std::move(token.text));
+        }
+        break;
+      case TokenKind::kRedirect: {
+        if (!have_command) {
+          error = "redirection before command";
+          return false;
+        }
+        size_t gt = token.text.find('>');
+        current.redirects.emplace_back(token.text.substr(0, gt),
+                                       token.text.substr(gt + 1));
+        break;
+      }
+    }
+  }
+  flush();
+  if (stages.size() < 2) {
+    error = "a pipeline needs a source and a sink";
+    return false;
+  }
+  return true;
+}
+
+ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
+  std::vector<Stage> stages;
+  std::string error;
+  if (!Parse(command, stages, error)) {
+    return Fail(error);
+  }
+  uint64_t ejects_before = kernel_.stats().ejects_created;
+
+  // ---- Source stage.
+  const Stage& source_stage = stages.front();
+  if (!source_stage.redirects.empty()) {
+    return Fail("redirection is only valid on filter stages");
+  }
+  Uid upstream;
+  if (source_stage.command == "echo") {
+    ValueList items;
+    for (const std::string& arg : source_stage.args) {
+      items.push_back(Value(arg));
+    }
+    upstream = kernel_.CreateLocal<VectorSource>(std::move(items)).uid();
+  } else if (source_stage.command == "cat" && source_stage.args.size() == 1) {
+    auto uid = Resolve(source_stage.args[0]);
+    if (!uid) {
+      return Fail("unbound name: " + source_stage.args[0]);
+    }
+    upstream = *uid;
+  } else if (source_stage.command == "unixfs" && source_stage.args.size() == 1) {
+    if (host_ == nullptr) {
+      return Fail("no host file system attached");
+    }
+    if (unixfs_ == nullptr) {
+      unixfs_ = &kernel_.CreateLocal<UnixFileSystemEject>(*host_);
+    }
+    InvokeResult opened = kernel_.InvokeAndRun(
+        unixfs_->uid(), "NewStream", Value().Set("path", Value(source_stage.args[0])));
+    if (!opened.ok()) {
+      return Fail("NewStream failed: " + opened.status.ToString());
+    }
+    auto stream = opened.value.Field("stream").AsUid();
+    if (!stream) {
+      return Fail("NewStream returned no stream");
+    }
+    upstream = *stream;
+  } else if (source_stage.command == "random" && source_stage.args.size() == 2) {
+    uint64_t seed = std::strtoull(source_stage.args[0].c_str(), nullptr, 10);
+    uint64_t total = std::strtoull(source_stage.args[1].c_str(), nullptr, 10);
+    upstream = kernel_.CreateLocal<RandomSource>(seed, total).uid();
+  } else if (source_stage.command == "clock" && source_stage.args.empty()) {
+    upstream = kernel_.CreateLocal<ClockSource>().uid();
+  } else if (source_stage.command == "cmp" && source_stage.args.size() == 2) {
+    auto left = Resolve(source_stage.args[0]);
+    auto right = Resolve(source_stage.args[1]);
+    if (!left || !right) {
+      return Fail("unbound name in cmp");
+    }
+    upstream = kernel_.CreateLocal<CmpEject>(StreamRef{*left}, StreamRef{*right}).uid();
+  } else if (source_stage.command == "merge" && source_stage.args.size() >= 2) {
+    std::vector<StreamRef> inputs;
+    for (const std::string& name : source_stage.args) {
+      auto uid = Resolve(name);
+      if (!uid) {
+        return Fail("unbound name in merge: " + name);
+      }
+      inputs.push_back(StreamRef{*uid});
+    }
+    upstream = kernel_.CreateLocal<MergeEject>(std::move(inputs)).uid();
+  } else if (source_stage.command == "sed" && source_stage.args.size() == 2) {
+    auto commands = Resolve(source_stage.args[0]);
+    auto text = Resolve(source_stage.args[1]);
+    if (!commands || !text) {
+      return Fail("unbound name in sed");
+    }
+    upstream = kernel_.CreateLocal<SedLite>(StreamRef{*commands}, StreamRef{*text}).uid();
+  } else {
+    return Fail("unknown source: " + source_stage.command);
+  }
+
+  // ---- Filter stages.
+  std::vector<ReportWindow*> attached_windows;
+  for (size_t i = 1; i + 1 < stages.size(); ++i) {
+    const Stage& stage = stages[i];
+    auto factory = MakeTransformByName(stage.command, stage.args);
+    if (!factory) {
+      return Fail("unknown filter: " + stage.command);
+    }
+    ReadOnlyFilter::Options options;
+    options.source = upstream;
+    ReadOnlyFilter& filter =
+        kernel_.CreateLocal<ReadOnlyFilter>((*factory)(), options);
+    for (const auto& [channel, window_name] : stage.redirects) {
+      if (!filter.server().HasChannel(channel)) {
+        return Fail("stage '" + stage.command + "' has no channel '" + channel + "'");
+      }
+      ReportWindow& window = WindowOrCreate(window_name);
+      window.Attach(filter.uid(), Value(channel), stage.command);
+      attached_windows.push_back(&window);
+    }
+    upstream = filter.uid();
+  }
+
+  // ---- Sink stage.
+  const Stage& sink_stage = stages.back();
+  if (!sink_stage.redirects.empty()) {
+    return Fail("redirection is only valid on filter stages");
+  }
+  ShellResult result;
+
+  auto finish = [&]() {
+    // Give attached report windows a chance to drain.
+    if (!attached_windows.empty()) {
+      kernel_.RunUntil(
+          [&] {
+            for (ReportWindow* window : attached_windows) {
+              if (!window->idle()) {
+                return false;
+              }
+            }
+            return true;
+          },
+          max_events);
+    }
+    result.ejects_created = kernel_.stats().ejects_created - ejects_before;
+  };
+
+  if (sink_stage.command == "collect" && sink_stage.args.empty()) {
+    PullSink& sink =
+        kernel_.CreateLocal<PullSink>(upstream, Value(std::string(kChanOut)));
+    kernel_.RunUntil([&] { return sink.done(); }, max_events);
+    if (!sink.done()) {
+      return Fail("pipeline did not complete (infinite source? use head N)");
+    }
+    for (const Value& item : sink.items()) {
+      result.output.push_back(AsLine(item));
+    }
+  } else if (sink_stage.command == "terminal" && sink_stage.args.size() <= 1) {
+    std::string name = sink_stage.args.empty() ? "tty0" : sink_stage.args[0];
+    TerminalSink*& term = terminals_[name];
+    if (term == nullptr) {
+      term = &kernel_.CreateLocal<TerminalSink>();
+    }
+    term->Connect(upstream, Value(std::string(kChanOut)));
+    kernel_.RunUntil([&] { return term->idle(); }, max_events);
+    result.output.assign(term->screen().begin(), term->screen().end());
+  } else if (sink_stage.command == "printer" && sink_stage.args.size() <= 1) {
+    std::string name = sink_stage.args.empty() ? "lp0" : sink_stage.args[0];
+    PrinterSink*& printer = printers_[name];
+    if (printer == nullptr) {
+      printer = &kernel_.CreateLocal<PrinterSink>();
+    }
+    printer->Print(upstream, Value(std::string(kChanOut)));
+    kernel_.RunUntil([&] { return printer->idle(); }, max_events);
+    for (size_t p = 0; p < printer->pages().size(); ++p) {
+      result.output.push_back("==== page " + std::to_string(p + 1) + " ====");
+      for (const std::string& line : printer->pages()[p]) {
+        result.output.push_back(line);
+      }
+    }
+  } else if (sink_stage.command == "tofile" && sink_stage.args.size() == 1) {
+    auto uid = Resolve(sink_stage.args[0]);
+    if (!uid) {
+      return Fail("unbound name: " + sink_stage.args[0]);
+    }
+    InvokeResult absorbed = kernel_.InvokeAndRun(
+        *uid, "Absorb", Value().Set("source", Value(upstream)));
+    if (!absorbed.ok()) {
+      return Fail("Absorb failed: " + absorbed.status.ToString());
+    }
+    result.output.push_back("absorbed " +
+                            std::to_string(absorbed.value.Field("count").IntOr(0)) +
+                            " lines");
+  } else if (sink_stage.command == "usestream" && sink_stage.args.size() == 1) {
+    if (host_ == nullptr) {
+      return Fail("no host file system attached");
+    }
+    if (unixfs_ == nullptr) {
+      unixfs_ = &kernel_.CreateLocal<UnixFileSystemEject>(*host_);
+    }
+    InvokeResult used = kernel_.InvokeAndRun(
+        unixfs_->uid(), "UseStream",
+        Value().Set("path", Value(sink_stage.args[0])).Set("source", Value(upstream)));
+    if (!used.ok()) {
+      return Fail("UseStream failed: " + used.status.ToString());
+    }
+    auto file = used.value.Field("file").AsUid();
+    kernel_.RunUntil([&] { return !kernel_.IsActive(*file); }, max_events);
+    result.output.push_back("wrote " + sink_stage.args[0]);
+  } else if (sink_stage.command == "null" && sink_stage.args.size() <= 1) {
+    uint64_t max_items = 0;
+    if (!sink_stage.args.empty()) {
+      max_items = std::strtoull(sink_stage.args[0].c_str(), nullptr, 10);
+    }
+    NullSink& sink = kernel_.CreateLocal<NullSink>(
+        upstream, Value(std::string(kChanOut)), max_items);
+    kernel_.RunUntil([&] { return sink.done(); }, max_events);
+    result.output.push_back("discarded " + std::to_string(sink.discarded()));
+  } else {
+    return Fail("unknown sink: " + sink_stage.command);
+  }
+
+  finish();
+  return result;
+}
+
+}  // namespace eden

@@ -1,0 +1,97 @@
+// EdenShell: a command language for wiring read-only transput pipelines.
+//
+// A command is a pipeline:    SOURCE | FILTER ... | SINK
+//
+// Sources:
+//   echo 'line' ...          literal lines
+//   cat NAME                 read the bound Eject NAME (file, source, ...)
+//   unixfs PATH              bootstrap NewStream from the host file system (§7)
+//   random SEED N            N deterministic pseudo-random lines
+//   clock                    infinite virtual-time ticks (pair with head)
+//   cmp A B                  compare two bound streams (§5 fan-in)
+//   merge A B [C...]         round-robin merge of bound streams (fan-in)
+//   sed CMDS TEXT            stream editor: command input + text input (§5)
+//
+// Filters: any name from src/filters/registry.h, e.g.
+//   strip C | grep foo | paginate 60 'title' | nl | report 10 copy
+//
+// Sinks:
+//   collect                  gather the stream; returned in Result.output
+//   terminal [NAME]          pump onto a (named) terminal screen
+//   printer [NAME]           print onto a (named) printer
+//   tofile NAME              a bound FileEject *absorbs* the stream (§4's
+//                            "file opened for output" performing the reads)
+//   usestream PATH           bootstrap UseStream into the host fs (§7)
+//   null [N]                 discard (at most N) items
+//
+// Redirection: a filter stage may carry  report>WIN  which attaches the
+// named ReportWindow to that stage's "report" channel — the read-only
+// channel-identifier discipline of Figure 4.
+//
+// The shell resolves names through its binding table; Bind() enters any
+// Eject. "From the point of view of an Eject trying to perform a Lookup
+// operation, any Eject which responds in the appropriate way is a
+// satisfactory directory" (§2) — the binding table is just a local
+// directory.
+#ifndef SRC_SHELL_SHELL_H_
+#define SRC_SHELL_SHELL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/devices/devices.h"
+#include "src/eden/kernel.h"
+#include "src/fs/unix_fs.h"
+
+namespace eden {
+
+struct ShellResult {
+  bool ok = true;
+  std::string error;
+  // collect: the stream items; terminal/printer: the screen/pages flattened.
+  std::vector<std::string> output;
+  // Ejects created while running this command (for census assertions).
+  size_t ejects_created = 0;
+};
+
+class EdenShell {
+ public:
+  // host may be null if unixfs/usestream are not used.
+  EdenShell(Kernel& kernel, HostFs* host = nullptr);
+
+  // Binds NAME to an Eject for cat/tofile.
+  void Bind(const std::string& name, Uid uid) { bindings_[name] = uid; }
+  std::optional<Uid> Resolve(const std::string& name) const;
+
+  // Parses and runs one pipeline to completion (bounded by max_events).
+  ShellResult Run(const std::string& command, uint64_t max_events = 2'000'000);
+
+  // Named windows/terminals/printers created by previous commands.
+  TerminalSink* terminal(const std::string& name);
+  PrinterSink* printer(const std::string& name);
+  ReportWindow* window(const std::string& name);
+
+ private:
+  struct Stage {
+    std::string command;
+    std::vector<std::string> args;
+    std::vector<std::pair<std::string, std::string>> redirects;  // chan -> window
+  };
+
+  bool Parse(const std::string& input, std::vector<Stage>& stages,
+             std::string& error);
+  ReportWindow& WindowOrCreate(const std::string& name);
+
+  Kernel& kernel_;
+  HostFs* host_;
+  UnixFileSystemEject* unixfs_ = nullptr;  // created on first use
+  std::map<std::string, Uid> bindings_;
+  std::map<std::string, TerminalSink*> terminals_;
+  std::map<std::string, PrinterSink*> printers_;
+  std::map<std::string, ReportWindow*> windows_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_SHELL_SHELL_H_

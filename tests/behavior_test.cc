@@ -1,0 +1,101 @@
+// Behavioural-compatibility tests (§2): specifications, subset
+// compatibility, and which of this repository's Ejects satisfy which
+// abstract machines.
+#include <gtest/gtest.h>
+
+#include "src/core/endpoints.h"
+#include "src/core/passive_buffer.h"
+#include "src/eden/behavior.h"
+#include "src/eden/kernel.h"
+#include "src/fs/directory.h"
+#include "src/fs/file.h"
+#include "src/fs/map_file.h"
+
+namespace eden {
+namespace {
+
+TEST(SpecificationTest, SubsetAndUnion) {
+  Specification small("S", {"A", "B"});
+  Specification big("S'", {"A", "B", "C"});
+  EXPECT_TRUE(small.SubsetOf(big));   // S ⊆ S': compatible
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_TRUE(small.SubsetOf(small));
+
+  Specification merged = small.Union(Specification("T", {"C", "D"}), "U");
+  EXPECT_EQ(merged.ops().size(), 4u);
+  EXPECT_TRUE(small.SubsetOf(merged));
+}
+
+TEST(SpecificationTest, RequireExtends) {
+  Specification spec("S", {"A"});
+  spec.Require("B").Require("A");  // duplicate is a no-op
+  EXPECT_EQ(spec.ops().size(), 2u);
+}
+
+TEST(BehaviorTest, SourcesSatisfySourceSpec) {
+  Kernel kernel;
+  VectorSource& source = kernel.CreateLocal<VectorSource>(ValueList{Value(1)});
+  EXPECT_TRUE(Satisfies(source, SourceSpec()));
+  EXPECT_FALSE(Satisfies(source, SinkSpec()));
+}
+
+TEST(BehaviorTest, PassiveBufferIsBothSourceAndSink) {
+  // The pipe supports the whole Sequence machine: passive input AND output.
+  Kernel kernel;
+  PassiveBuffer& pipe = kernel.CreateLocal<PassiveBuffer>();
+  EXPECT_TRUE(Satisfies(pipe, SourceSpec()));
+  EXPECT_TRUE(Satisfies(pipe, SinkSpec()));
+  EXPECT_TRUE(Satisfies(pipe, SequenceSpec()));
+}
+
+TEST(BehaviorTest, SupersetCompatibility) {
+  // §2: "it does not matter to E that S' contains other operations in
+  // addition" — a full Directory also serves any client that only needs
+  // Lookup.
+  Kernel kernel;
+  DirectoryEject& directory = kernel.CreateLocal<DirectoryEject>();
+  EXPECT_TRUE(Satisfies(directory, DirectorySpec()));
+  EXPECT_TRUE(Satisfies(directory, LookupSpec()));
+}
+
+TEST(BehaviorTest, ConcatenatorIsASatisfactoryDirectoryForLookup) {
+  // §2: "From the point of view of an Eject trying to perform a Lookup
+  // operation, any Eject which responds in the appropriate way is a
+  // satisfactory directory." The concatenator satisfies Lookup (and List)
+  // but is NOT a full Directory: it cannot AddEntry.
+  Kernel kernel;
+  DirectoryConcatenator& concat =
+      kernel.CreateLocal<DirectoryConcatenator>(std::vector<Uid>{});
+  EXPECT_TRUE(Satisfies(concat, LookupSpec()));
+  EXPECT_FALSE(Satisfies(concat, DirectorySpec()));
+  std::set<std::string> missing = MissingOps(concat, DirectorySpec());
+  EXPECT_EQ(missing, (std::set<std::string>{"AddEntry", "DeleteEntry"}));
+}
+
+TEST(BehaviorTest, MapFileSupportsBothProtocols) {
+  // §6: "it may support both protocols."
+  Kernel kernel;
+  MapFileEject& file = kernel.CreateLocal<MapFileEject>();
+  EXPECT_TRUE(Satisfies(file, MapSpec()));
+  // It streams via Transfer but mints sessions via Open, not OpenChannel —
+  // so it satisfies a Transfer-only notion of source, not the full channel
+  // machine.
+  Specification transfer_only("TransferSource", {"Transfer"});
+  EXPECT_TRUE(Satisfies(file, transfer_only));
+  EXPECT_FALSE(Satisfies(file, SourceSpec()));
+  EXPECT_EQ(MissingOps(file, SourceSpec()),
+            (std::set<std::string>{"OpenChannel"}));
+}
+
+TEST(BehaviorTest, PlainFileIsATransferSourceToo) {
+  // Behavioural equivalence across distinct Eden types (§2: "several
+  // distinct Eden types behave in the same way"): FileEject and
+  // UnixFileSource both implement the Transfer machine.
+  Kernel kernel;
+  FileEject& file = kernel.CreateLocal<FileEject>("x\n");
+  Specification transfer_only("TransferSource", {"Transfer"});
+  EXPECT_TRUE(Satisfies(file, transfer_only));
+}
+
+}  // namespace
+}  // namespace eden

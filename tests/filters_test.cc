@@ -1,0 +1,338 @@
+// Filter library tests: every Transform, the multi-input Ejects, and the
+// registry.
+#include <gtest/gtest.h>
+
+#include "src/core/endpoints.h"
+#include "src/core/filter_eject.h"
+#include "src/core/pipeline.h"
+#include "src/eden/kernel.h"
+#include "src/filters/multi_input.h"
+#include "src/filters/registry.h"
+#include "src/filters/transforms.h"
+
+namespace eden {
+namespace {
+
+ValueList Lines(std::initializer_list<const char*> lines) {
+  ValueList items;
+  for (const char* line : lines) {
+    items.push_back(Value(line));
+  }
+  return items;
+}
+
+std::vector<std::string> AsStrings(const ValueList& items) {
+  std::vector<std::string> out;
+  for (const Value& item : items) {
+    out.push_back(item.StrOr(item.ToString()));
+  }
+  return out;
+}
+
+// Runs `input` through a single transform (read-only discipline).
+ValueList RunOne(std::unique_ptr<Transform> transform, ValueList input) {
+  Kernel kernel;
+  VectorSource& source = kernel.CreateLocal<VectorSource>(std::move(input));
+  ReadOnlyFilter::Options options;
+  options.source = source.uid();
+  ReadOnlyFilter& filter =
+      kernel.CreateLocal<ReadOnlyFilter>(std::move(transform), options);
+  PullSink& sink = kernel.CreateLocal<PullSink>(filter.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  EXPECT_TRUE(sink.done());
+  return sink.items();
+}
+
+TEST(TransformTest, StripPrefixDropsFortranComments) {
+  // The paper's §3 example: strip comment lines from a Fortran program.
+  ValueList out = RunOne(std::make_unique<StripPrefixTransform>("C"),
+                         Lines({"C this is a comment", "      X = 1",
+                                "C another", "      CALL F(X)"}));
+  EXPECT_EQ(AsStrings(out),
+            (std::vector<std::string>{"      X = 1", "      CALL F(X)"}));
+}
+
+TEST(TransformTest, GrepKeepsMatching) {
+  ValueList out = RunOne(std::make_unique<GrepTransform>("ab"),
+                         Lines({"abc", "xyz", "drab"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"abc", "drab"}));
+}
+
+TEST(TransformTest, GrepInvertDropsMatching) {
+  ValueList out = RunOne(std::make_unique<GrepTransform>("ab", true),
+                         Lines({"abc", "xyz", "drab"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"xyz"}));
+}
+
+TEST(TransformTest, TranslateUpperLowerRot13) {
+  EXPECT_EQ(AsStrings(RunOne(std::make_unique<TranslateTransform>(
+                                 TranslateTransform::Mode::kUpper),
+                             Lines({"aBc!"}))),
+            (std::vector<std::string>{"ABC!"}));
+  EXPECT_EQ(AsStrings(RunOne(std::make_unique<TranslateTransform>(
+                                 TranslateTransform::Mode::kLower),
+                             Lines({"aBc!"}))),
+            (std::vector<std::string>{"abc!"}));
+  // rot13 twice is identity.
+  ValueList once = RunOne(std::make_unique<TranslateTransform>(
+                              TranslateTransform::Mode::kRot13),
+                          Lines({"Hello, World"}));
+  ValueList twice = RunOne(std::make_unique<TranslateTransform>(
+                               TranslateTransform::Mode::kRot13),
+                           once);
+  EXPECT_EQ(AsStrings(twice), (std::vector<std::string>{"Hello, World"}));
+}
+
+TEST(TransformTest, ReplaceAllOccurrences) {
+  ValueList out = RunOne(std::make_unique<ReplaceTransform>("aa", "b"),
+                         Lines({"aaaa x aa"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"bb x b"}));
+}
+
+TEST(TransformTest, HeadTakesPrefix) {
+  ValueList out =
+      RunOne(std::make_unique<HeadTransform>(2), Lines({"1", "2", "3", "4"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(TransformTest, TailTakesSuffix) {
+  ValueList out =
+      RunOne(std::make_unique<TailTransform>(2), Lines({"1", "2", "3", "4"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(TransformTest, TailShorterThanLimit) {
+  ValueList out = RunOne(std::make_unique<TailTransform>(5), Lines({"1", "2"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(TransformTest, LineNumber) {
+  ValueList out = RunOne(std::make_unique<LineNumberTransform>(), Lines({"a", "b"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"1\ta", "2\tb"}));
+}
+
+TEST(TransformTest, WordCount) {
+  ValueList out = RunOne(std::make_unique<WordCountTransform>(),
+                         Lines({"one two", " three", ""}));
+  // 3 lines, 3 words, chars = 8+7+1 = 16 (incl. newlines).
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"3 3 16"}));
+}
+
+TEST(TransformTest, PaginateInsertsHeaders) {
+  ValueList out = RunOne(std::make_unique<PaginateTransform>(2, "t"),
+                         Lines({"a", "b", "c"}));
+  EXPECT_EQ(AsStrings(out),
+            (std::vector<std::string>{"---- t page 1 ----", "a", "b",
+                                      "---- t page 2 ----", "c",
+                                      "---- end (2 pages) ----"}));
+}
+
+TEST(TransformTest, PaginateEmptyStreamEmitsNothing) {
+  ValueList out = RunOne(std::make_unique<PaginateTransform>(2, "t"), {});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TransformTest, ExpandTabs) {
+  ValueList out = RunOne(std::make_unique<ExpandTabsTransform>(4),
+                         Lines({"a\tb", "\t."}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"a   b", "    ."}));
+}
+
+TEST(TransformTest, DedupDropsAdjacentDuplicates) {
+  ValueList out = RunOne(std::make_unique<DedupTransform>(),
+                         Lines({"a", "a", "b", "a", "a", "a"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"a", "b", "a"}));
+}
+
+TEST(TransformTest, SortIsStableAndOrdersIntsNumerically) {
+  ValueList ints;
+  for (int64_t v : {5, 3, 11, 3, 1}) {
+    ints.push_back(Value(v));
+  }
+  ValueList out = RunOne(std::make_unique<SortTransform>(), ints);
+  ValueList expected;
+  for (int64_t v : {1, 3, 3, 5, 11}) {
+    expected.push_back(Value(v));
+  }
+  EXPECT_EQ(out, expected);
+}
+
+TEST(TransformTest, Reverse) {
+  ValueList out = RunOne(std::make_unique<ReverseTransform>(), Lines({"a", "b", "c"}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"c", "b", "a"}));
+}
+
+TEST(TransformTest, PrettyPrintIndentsByDepth) {
+  ValueList out = RunOne(std::make_unique<PrettyPrintTransform>(2),
+                         Lines({"f() {", "x = 1;", "if (y) {", "z;", "}", "}"}));
+  EXPECT_EQ(AsStrings(out),
+            (std::vector<std::string>{"f() {", "  x = 1;", "  if (y) {",
+                                      "    z;", "  }", "}"}));
+}
+
+TEST(TransformTest, SpellEmitsUnknownWords) {
+  ValueList out = RunOne(
+      std::make_unique<SpellTransform>(std::set<std::string>{"the", "cat", "sat"}),
+      Lines({"The cat zat", "on the mat."}));
+  EXPECT_EQ(AsStrings(out), (std::vector<std::string>{"zat", "on", "mat"}));
+}
+
+TEST(TransformTest, ReportingWrapperEmitsOnReportChannel) {
+  Kernel kernel;
+  VectorSource& source = kernel.CreateLocal<VectorSource>(Lines({"a", "b", "c", "d"}));
+  ReadOnlyFilter::Options options;
+  options.source = source.uid();
+  auto transform =
+      std::make_unique<ReportingTransform>(std::make_unique<CopyTransform>(), 2);
+  ReadOnlyFilter& filter =
+      kernel.CreateLocal<ReadOnlyFilter>(std::move(transform), options);
+  PullSink& out = kernel.CreateLocal<PullSink>(filter.uid(),
+                                               Value(std::string(kChanOut)));
+  PullSink& reports = kernel.CreateLocal<PullSink>(filter.uid(),
+                                                   Value(std::string(kChanReport)));
+  kernel.RunUntil([&] { return out.done() && reports.done(); });
+  EXPECT_EQ(out.items().size(), 4u);
+  EXPECT_EQ(AsStrings(reports.items()),
+            (std::vector<std::string>{"copy: 2 items", "copy: 4 items",
+                                      "copy: done after 4 items"}));
+}
+
+
+TEST(TransformTest, SplitRoutesDisjointStreamsToChannels) {
+  Kernel kernel;
+  VectorSource& source = kernel.CreateLocal<VectorSource>(
+      Lines({"match a", "nope", "also match", "zzz"}));
+  ReadOnlyFilter::Options options;
+  options.source = source.uid();
+  ReadOnlyFilter& split = kernel.CreateLocal<ReadOnlyFilter>(
+      std::make_unique<SplitTransform>("match"), options);
+  PullSink& matched = kernel.CreateLocal<PullSink>(split.uid(),
+                                                   Value(std::string(kChanOut)));
+  PullSink& rest = kernel.CreateLocal<PullSink>(split.uid(), Value("rest"));
+  kernel.RunUntil([&] { return matched.done() && rest.done(); });
+  EXPECT_EQ(AsStrings(matched.items()),
+            (std::vector<std::string>{"match a", "also match"}));
+  EXPECT_EQ(AsStrings(rest.items()), (std::vector<std::string>{"nope", "zzz"}));
+}
+
+// ------------------------------------------------------------- multi input
+
+TEST(SedTest, ParseCommands) {
+  SedCommand cmd;
+  EXPECT_TRUE(ParseSedCommand("s/a/b/", cmd));
+  EXPECT_EQ(cmd.verb, 's');
+  EXPECT_EQ(cmd.a, "a");
+  EXPECT_EQ(cmd.b, "b");
+  EXPECT_TRUE(ParseSedCommand("d|pat|", cmd));
+  EXPECT_EQ(cmd.verb, 'd');
+  EXPECT_EQ(cmd.a, "pat");
+  EXPECT_FALSE(ParseSedCommand("", cmd));
+  EXPECT_FALSE(ParseSedCommand("x/a/", cmd));
+  EXPECT_FALSE(ParseSedCommand("s/a", cmd));
+}
+
+TEST(SedTest, CommandInputParameterisesTextStream) {
+  Kernel kernel;
+  VectorSource& commands =
+      kernel.CreateLocal<VectorSource>(Lines({"s/old/new/", "d/drop/"}));
+  VectorSource& text = kernel.CreateLocal<VectorSource>(
+      Lines({"old line", "drop me", "keep old old"}));
+  SedLite& sed = kernel.CreateLocal<SedLite>(StreamRef{commands.uid()},
+                                             StreamRef{text.uid()});
+  PullSink& sink = kernel.CreateLocal<PullSink>(sed.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  EXPECT_EQ(AsStrings(sink.items()),
+            (std::vector<std::string>{"new line", "keep new new"}));
+}
+
+TEST(SedTest, QuitLimitsOutput) {
+  Kernel kernel;
+  VectorSource& commands = kernel.CreateLocal<VectorSource>(Lines({"q/2/"}));
+  VectorSource& text =
+      kernel.CreateLocal<VectorSource>(Lines({"1", "2", "3", "4"}));
+  SedLite& sed = kernel.CreateLocal<SedLite>(StreamRef{commands.uid()},
+                                             StreamRef{text.uid()});
+  PullSink& sink = kernel.CreateLocal<PullSink>(sed.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  EXPECT_EQ(AsStrings(sink.items()), (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CmpTest, ReportsDifferencesAndSummary) {
+  Kernel kernel;
+  VectorSource& left = kernel.CreateLocal<VectorSource>(Lines({"a", "b", "c"}));
+  VectorSource& right = kernel.CreateLocal<VectorSource>(Lines({"a", "x", "c", "d"}));
+  CmpEject& cmp = kernel.CreateLocal<CmpEject>(StreamRef{left.uid()},
+                                               StreamRef{right.uid()});
+  PullSink& sink = kernel.CreateLocal<PullSink>(cmp.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  EXPECT_EQ(AsStrings(sink.items()),
+            (std::vector<std::string>{"2: b | x", "4: <eof> | d",
+                                      "cmp: 2 differing records"}));
+  EXPECT_EQ(cmp.differences(), 2);
+}
+
+TEST(CmpTest, IdenticalStreams) {
+  Kernel kernel;
+  VectorSource& left = kernel.CreateLocal<VectorSource>(Lines({"a", "b"}));
+  VectorSource& right = kernel.CreateLocal<VectorSource>(Lines({"a", "b"}));
+  CmpEject& cmp = kernel.CreateLocal<CmpEject>(StreamRef{left.uid()},
+                                               StreamRef{right.uid()});
+  PullSink& sink = kernel.CreateLocal<PullSink>(cmp.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  EXPECT_EQ(AsStrings(sink.items()),
+            (std::vector<std::string>{"cmp: 0 differing records"}));
+}
+
+TEST(MergeTest, ArbitraryFanIn) {
+  // §5: the read-only scheme generalises "to allow an arbitrary number of
+  // inputs" — here three.
+  Kernel kernel;
+  VectorSource& a = kernel.CreateLocal<VectorSource>(Lines({"a1", "a2"}));
+  VectorSource& b = kernel.CreateLocal<VectorSource>(Lines({"b1"}));
+  VectorSource& c = kernel.CreateLocal<VectorSource>(Lines({"c1", "c2", "c3"}));
+  MergeEject& merge = kernel.CreateLocal<MergeEject>(
+      std::vector<StreamRef>{{a.uid()}, {b.uid()}, {c.uid()}});
+  PullSink& sink = kernel.CreateLocal<PullSink>(merge.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  EXPECT_EQ(AsStrings(sink.items()),
+            (std::vector<std::string>{"a1", "b1", "c1", "a2", "c2", "c3"}));
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(RegistryTest, KnownNamesProduceWorkingFactories) {
+  for (const std::string& name : RegisteredFilterNames()) {
+    std::vector<std::string> args;
+    if (name == "strip" || name == "grep" || name == "grep-v" ||
+        name == "split") {
+      args = {"x"};
+    } else if (name == "replace") {
+      args = {"a", "b"};
+    } else if (name == "head" || name == "tail" || name == "paginate") {
+      args = {"3"};
+    } else if (name == "report") {
+      args = {"2", "copy"};
+    }
+    auto factory = MakeTransformByName(name, args);
+    ASSERT_TRUE(factory.has_value()) << name;
+    ASSERT_NE((*factory)(), nullptr) << name;
+  }
+}
+
+TEST(RegistryTest, RejectsUnknownAndMalformed) {
+  EXPECT_FALSE(MakeTransformByName("frobnicate", {}).has_value());
+  EXPECT_FALSE(MakeTransformByName("head", {"x"}).has_value());
+  EXPECT_FALSE(MakeTransformByName("head", {}).has_value());
+  EXPECT_FALSE(MakeTransformByName("paginate", {"0"}).has_value());
+  EXPECT_FALSE(MakeTransformByName("report", {"2", "frobnicate"}).has_value());
+  EXPECT_FALSE(MakeTransformByName("copy", {"extra"}).has_value());
+}
+
+}  // namespace
+}  // namespace eden

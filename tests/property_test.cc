@@ -1,0 +1,200 @@
+// Property-based tests (parameterized sweeps) over the transput system.
+//
+//  P1  Output equivalence: any filter chain produces identical output under
+//      all three disciplines, for any batch/lookahead/work-ahead setting.
+//  P2  Invocation counts match the §4 closed forms for every pipeline
+//      length (batch 1) and scale with 1/batch otherwise.
+//  P3  Buffer bounds: no passive buffer or work-ahead buffer ever exceeds
+//      its declared capacity.
+//  P4  Determinism: identical configurations yield identical virtual time,
+//      event counts and message counts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/pipeline.h"
+#include "src/eden/random.h"
+#include "src/filters/registry.h"
+
+namespace eden {
+namespace {
+
+ValueList RandomLines(uint64_t seed, int n) {
+  Rng rng(seed);
+  ValueList items;
+  for (int i = 0; i < n; ++i) {
+    std::string line = rng.Word(0, 12);
+    if (rng.Chance(0.2)) {
+      line = "C " + line;  // some comment lines for strip
+    }
+    if (rng.Chance(0.3)) {
+      line += " marker";
+    }
+    items.push_back(Value(std::move(line)));
+  }
+  return items;
+}
+
+// A fixed menu of filter chains exercising stateless, stateful, expanding,
+// contracting and end-buffered transforms.
+std::vector<std::vector<TransformFactory>> ChainMenu() {
+  auto make = [](const std::string& name,
+                 std::vector<std::string> args) -> TransformFactory {
+    auto factory = MakeTransformByName(name, args);
+    EXPECT_TRUE(factory.has_value()) << name;
+    return *factory;
+  };
+  return {
+      {},
+      {make("copy", {})},
+      {make("strip", {"C"}), make("nl", {})},
+      {make("grep", {"marker"}), make("upper", {}), make("head", {"7"})},
+      {make("sort", {}), make("uniq", {}), make("tail", {"5"})},
+      {make("paginate", {"4"}), make("expand", {}), make("wc", {})},
+      {make("rot13", {}), make("rot13", {}), make("reverse", {}),
+       make("reverse", {})},
+  };
+}
+
+using EquivParam = std::tuple<int /*chain*/, int /*batch*/, int /*buffering*/>;
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivParam> {};
+
+TEST_P(EquivalenceTest, AllDisciplinesProduceIdenticalOutput) {
+  auto [chain_index, batch, buffering] = GetParam();
+  std::vector<TransformFactory> chain = ChainMenu()[chain_index];
+  ValueList input = RandomLines(1000 + chain_index, 40);
+
+  ValueList reference;
+  bool first = true;
+  for (Discipline discipline :
+       {Discipline::kReadOnly, Discipline::kWriteOnly, Discipline::kConventional}) {
+    Kernel kernel;
+    PipelineOptions options;
+    options.discipline = discipline;
+    options.batch = batch;
+    options.work_ahead = static_cast<size_t>(buffering);
+    options.lookahead = buffering > 1 ? 2 : 0;
+    options.pipe_capacity = static_cast<size_t>(buffering) + 1;
+    options.acceptor_capacity = static_cast<size_t>(buffering) + 1;
+    ValueList output = RunPipeline(kernel, input, chain, options);
+    if (first) {
+      reference = output;
+      first = false;
+    } else {
+      EXPECT_EQ(output, reference) << DisciplineName(discipline);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Values(1, 3),
+                       ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<EquivParam>& info) {
+      return "chain" + std::to_string(std::get<0>(info.param)) + "_batch" +
+             std::to_string(std::get<1>(info.param)) + "_buf" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------- P2
+
+class InvocationFormulaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InvocationFormulaTest, CountsFollowClosedForm) {
+  size_t stages = static_cast<size_t>(GetParam());
+  auto chain = [stages]() {
+    std::vector<TransformFactory> factories;
+    for (size_t i = 0; i < stages; ++i) {
+      factories.push_back(*MakeTransformByName("copy", {}));
+    }
+    return factories;
+  }();
+
+  auto measure = [&](Discipline discipline, int items) {
+    Kernel kernel;
+    PipelineOptions options;
+    options.discipline = discipline;
+    ValueList input;
+    for (int i = 0; i < items; ++i) {
+      input.push_back(Value(int64_t{i}));
+    }
+    ValueList output = RunPipeline(kernel, input, chain, options);
+    EXPECT_EQ(output.size(), static_cast<size_t>(items));
+    return kernel.stats().invocations_sent;
+  };
+
+  for (Discipline discipline :
+       {Discipline::kReadOnly, Discipline::kWriteOnly, Discipline::kConventional}) {
+    uint64_t at_small = measure(discipline, 50);
+    uint64_t at_large = measure(discipline, 150);
+    double per_datum = static_cast<double>(at_large - at_small) / 100.0;
+    EXPECT_NEAR(per_datum,
+                static_cast<double>(PredictedInvocationsPerDatum(discipline, stages)),
+                0.3)
+        << DisciplineName(discipline) << " n=" << stages;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, InvocationFormulaTest,
+                         ::testing::Values(0, 1, 2, 4, 8, 12));
+
+// ---------------------------------------------------------------------- P3
+
+TEST(BufferBoundTest, WorkAheadNeverExceedsCapacity) {
+  for (size_t capacity : {0u, 1u, 3u, 8u}) {
+    Kernel kernel;
+    VectorSource::Options options;
+    options.work_ahead = capacity;
+    ValueList input;
+    for (int i = 0; i < 30; ++i) {
+      input.push_back(Value(int64_t{i}));
+    }
+    VectorSource& source = kernel.CreateLocal<VectorSource>(input, options);
+    // With no consumer the producer must stall at exactly `capacity`.
+    kernel.Run();
+    EXPECT_LE(source.server().buffered(kChanOut), capacity) << capacity;
+    EXPECT_EQ(source.produced_count(), capacity) << capacity;
+  }
+}
+
+// ---------------------------------------------------------------------- P4
+
+TEST(DeterminismTest, PipelinesAreBitForBitReproducible) {
+  auto run = [](Discipline discipline) {
+    Kernel kernel;
+    PipelineOptions options;
+    options.discipline = discipline;
+    options.batch = 2;
+    options.lookahead = 2;
+    std::vector<TransformFactory> chain = {*MakeTransformByName("nl", {}),
+                                           *MakeTransformByName("grep", {"1"})};
+    ValueList output = RunPipeline(kernel, RandomLines(7, 60), chain, options);
+    return std::tuple<size_t, Tick, uint64_t, uint64_t>(
+        output.size(), kernel.now(), kernel.stats().events_processed,
+        kernel.stats().total_messages());
+  };
+  for (Discipline discipline :
+       {Discipline::kReadOnly, Discipline::kWriteOnly, Discipline::kConventional}) {
+    EXPECT_EQ(run(discipline), run(discipline)) << DisciplineName(discipline);
+  }
+}
+
+// Distinct-node placement changes time (latency) but not results or counts.
+TEST(DeterminismTest, NodePlacementAffectsTimeNotSemantics) {
+  auto run = [](bool distinct_nodes) {
+    Kernel kernel;
+    PipelineOptions options;
+    options.distinct_nodes = distinct_nodes;
+    std::vector<TransformFactory> chain = {*MakeTransformByName("upper", {})};
+    ValueList output = RunPipeline(kernel, RandomLines(9, 30), chain, options);
+    return std::pair<ValueList, Tick>(output, kernel.now());
+  };
+  auto local = run(false);
+  auto distributed = run(true);
+  EXPECT_EQ(local.first, distributed.first);
+  EXPECT_GT(distributed.second, local.second);  // network hops cost time
+}
+
+}  // namespace
+}  // namespace eden

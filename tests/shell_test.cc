@@ -1,0 +1,206 @@
+// Shell tests: lexer, pipeline construction, redirection, bootstrap fs.
+#include <gtest/gtest.h>
+
+#include "src/eden/kernel.h"
+#include "src/fs/file.h"
+#include "src/shell/lexer.h"
+#include "src/shell/shell.h"
+
+namespace eden {
+namespace {
+
+TEST(LexerTest, WordsAndPipes) {
+  LexResult r = Tokenize("cat file | grep x");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.tokens.size(), 5u);
+  EXPECT_EQ(r.tokens[0], (Token{TokenKind::kWord, "cat"}));
+  EXPECT_EQ(r.tokens[2], (Token{TokenKind::kPipe, "|"}));
+}
+
+TEST(LexerTest, QuotedWordsKeepSpacesAndPipes) {
+  LexResult r = Tokenize("echo 'a b | c' x");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.tokens.size(), 3u);
+  EXPECT_EQ(r.tokens[1].text, "a b | c");
+}
+
+TEST(LexerTest, Redirections) {
+  LexResult r = Tokenize("report 5 copy report>win");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tokens.back().kind, TokenKind::kRedirect);
+  EXPECT_EQ(r.tokens.back().text, "report>win");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("echo 'unterminated").ok);
+  EXPECT_FALSE(Tokenize("echo >x").ok);
+  EXPECT_FALSE(Tokenize("echo x>").ok);
+}
+
+TEST(ShellTest, EchoThroughFiltersToCollect) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("echo aa bb ab | grep a | upper | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"AA", "AB"}));
+}
+
+TEST(ShellTest, PipelineEjectCensusIsLean) {
+  // A read-only shell pipeline with n filters creates exactly n+2 Ejects.
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("echo a b | copy | copy | copy | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ejects_created, 5u);
+}
+
+TEST(ShellTest, FortranStripExample) {
+  // The paper's §3 motivating example, as a command.
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run(
+      "echo 'C comment' '      X = 1' 'C more' '      END' | strip C | nl | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output,
+            (std::vector<std::string>{"1\t      X = 1", "2\t      END"}));
+}
+
+TEST(ShellTest, CatReadsBoundFile) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  FileEject& file = kernel.CreateLocal<FileEject>("x\ny\n");
+  shell.Bind("notes", file.uid());
+  ShellResult r = shell.Run("cat notes | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ShellTest, ToFileAbsorbsStream) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  FileEject& file = kernel.CreateLocal<FileEject>();
+  shell.Bind("dst", file.uid());
+  ShellResult r = shell.Run("echo 1 2 3 | tofile dst");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(file.ContentsAsText(), "1\n2\n3\n");
+}
+
+TEST(ShellTest, TerminalShowsStream) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("echo hello world | terminal");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"hello", "world"}));
+  ASSERT_NE(shell.terminal("tty0"), nullptr);
+}
+
+TEST(ShellTest, PrinterPaginates) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("random 9 5 | printer");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output.size(), 6u);  // 1 page marker + 5 lines
+  EXPECT_EQ(r.output[0], "==== page 1 ====");
+}
+
+TEST(ShellTest, ClockWithHeadTerminates) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("clock | head 3 | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output.size(), 3u);
+}
+
+TEST(ShellTest, ReportRedirectionFeedsWindow) {
+  // Figure 4 as a command: the report channel of a filter goes to a window.
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r =
+      shell.Run("echo a b c d | report 2 copy report>win | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"a", "b", "c", "d"}));
+  ReportWindow* window = shell.window("win");
+  ASSERT_NE(window, nullptr);
+  ASSERT_EQ(window->lines().size(), 3u);
+  EXPECT_EQ(window->lines()[0], "report: copy: 2 items");
+}
+
+TEST(ShellTest, UnixFsSourceAndSink) {
+  Kernel kernel;
+  HostFs host;
+  host.Put("/in.txt", "alpha\nbeta\n");
+  EdenShell shell(kernel, &host);
+  ShellResult r = shell.Run("unixfs /in.txt | upper | usestream /out.txt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(host.Get("/out.txt"), "ALPHA\nBETA\n");
+}
+
+TEST(ShellTest, Errors) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  EXPECT_FALSE(shell.Run("").ok);
+  EXPECT_FALSE(shell.Run("echo a").ok);  // no sink
+  EXPECT_FALSE(shell.Run("bogus | collect").ok);
+  EXPECT_FALSE(shell.Run("echo a | frobnicate | collect").ok);
+  EXPECT_FALSE(shell.Run("cat unbound | collect").ok);
+  EXPECT_FALSE(shell.Run("echo a | wrongsink").ok);
+  EXPECT_FALSE(shell.Run("echo a | copy report>w | collect").ok);  // no channel
+  EXPECT_FALSE(shell.Run("unixfs /x | collect").ok);  // no host fs attached
+}
+
+TEST(ShellTest, NullSinkReportsCount) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("echo a b c | null");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"discarded 3"}));
+}
+
+
+TEST(ShellTest, CmpSourceComparesBoundStreams) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  FileEject& a = kernel.CreateLocal<FileEject>("same\nleft\n");
+  FileEject& b = kernel.CreateLocal<FileEject>("same\nright\n");
+  shell.Bind("a", a.uid());
+  shell.Bind("b", b.uid());
+  ShellResult r = shell.Run("cmp a b | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"2: left | right",
+                                                "cmp: 1 differing records"}));
+}
+
+TEST(ShellTest, MergeSourceInterleaves) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  FileEject& a = kernel.CreateLocal<FileEject>("a1\na2\n");
+  FileEject& b = kernel.CreateLocal<FileEject>("b1\n");
+  shell.Bind("a", a.uid());
+  shell.Bind("b", b.uid());
+  ShellResult r = shell.Run("merge a b | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"a1", "b1", "a2"}));
+}
+
+TEST(ShellTest, SedSourceEditsTextByCommandFile) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  FileEject& commands = kernel.CreateLocal<FileEject>("s/cat/dog/\n");
+  FileEject& text = kernel.CreateLocal<FileEject>("the cat sat\n");
+  shell.Bind("cmds", commands.uid());
+  shell.Bind("text", text.uid());
+  ShellResult r = shell.Run("sed cmds text | upper | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"THE DOG SAT"}));
+}
+
+TEST(ShellTest, FanInSourceErrors) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  EXPECT_FALSE(shell.Run("cmp a b | collect").ok);
+  EXPECT_FALSE(shell.Run("merge onlyone | collect").ok);
+  EXPECT_FALSE(shell.Run("sed x | collect").ok);
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,143 @@
+// Stress/soak tests: deep randomized pipelines, random crash injection, and
+// large-volume runs. These are robustness tests — the assertions are about
+// termination, conservation and determinism rather than specific outputs.
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/eden/random.h"
+#include "src/filters/registry.h"
+
+namespace eden {
+namespace {
+
+// Filters that neither drop nor add items (so counts are conserved).
+const char* kConservative[] = {"copy", "upper", "lower", "rot13", "nl",
+                               "expand", "reverse", "sort"};
+
+std::vector<TransformFactory> RandomConservativeChain(Rng& rng, size_t depth) {
+  std::vector<TransformFactory> chain;
+  for (size_t i = 0; i < depth; ++i) {
+    const char* name = kConservative[rng.Below(std::size(kConservative))];
+    auto factory = MakeTransformByName(name, {});
+    EXPECT_TRUE(factory.has_value()) << name;
+    chain.push_back(*factory);
+  }
+  return chain;
+}
+
+ValueList RandomInput(Rng& rng, int n) {
+  ValueList items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Value(rng.Word(0, 30)));
+  }
+  return items;
+}
+
+class DeepPipelineStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeepPipelineStress, DeepRandomChainsConserveItemCount) {
+  Rng rng(GetParam());
+  for (Discipline discipline :
+       {Discipline::kReadOnly, Discipline::kWriteOnly, Discipline::kConventional}) {
+    size_t depth = 1 + rng.Below(16);
+    int items = 50 + static_cast<int>(rng.Below(150));
+    Kernel kernel;
+    PipelineOptions options;
+    options.discipline = discipline;
+    options.batch = 1 + static_cast<int64_t>(rng.Below(8));
+    options.work_ahead = rng.Below(8);
+    options.lookahead = rng.Below(4);
+    ValueList output = RunPipeline(kernel, RandomInput(rng, items),
+                                   RandomConservativeChain(rng, depth), options);
+    EXPECT_EQ(output.size(), static_cast<size_t>(items))
+        << DisciplineName(discipline) << " depth=" << depth;
+    // After the trailing end-marker replies drain, nothing may remain.
+    EXPECT_TRUE(kernel.Run());
+    EXPECT_TRUE(kernel.quiescent());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepPipelineStress,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+class CrashInjectionStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashInjectionStress, RandomMidStreamCrashNeverHangsReadOnly) {
+  // Crash a random pipeline Eject once some output has flowed; the sink
+  // must always terminate (cleanly if the crash was downstream of it,
+  // with an error otherwise) — never hang.
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    size_t depth = 1 + rng.Below(6);
+    Kernel kernel;
+    PipelineOptions options;
+    options.discipline = Discipline::kReadOnly;
+    options.work_ahead = rng.Below(4);
+    PipelineHandle handle = BuildPipeline(kernel, RandomInput(rng, 400),
+                                          RandomConservativeChain(rng, depth),
+                                          options);
+    size_t threshold = 1 + rng.Below(50);
+    kernel.RunUntil([&] { return handle.output().size() >= threshold; });
+    // Crash anything but the sink itself.
+    size_t victim = rng.Below(handle.ejects.size() - 1);
+    kernel.Crash(handle.ejects[victim]);
+    bool done = kernel.RunUntil([&] { return handle.done(); });
+    EXPECT_TRUE(done) << "depth=" << depth << " victim=" << victim;
+    EXPECT_TRUE(kernel.quiescent() || handle.done());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashInjectionStress,
+                         ::testing::Values(7u, 17u, 27u, 37u));
+
+TEST(VolumeStress, LargeStreamThroughThreeStages) {
+  Kernel kernel;
+  PipelineOptions options;
+  options.batch = 16;
+  options.work_ahead = 32;
+  Rng rng(5);
+  ValueList output = RunPipeline(kernel, RandomInput(rng, 20000),
+                                 RandomConservativeChain(rng, 3), options);
+  EXPECT_EQ(output.size(), 20000u);
+}
+
+TEST(VolumeStress, ManyParallelPipelinesShareOneKernel) {
+  Kernel kernel;
+  Rng rng(9);
+  std::vector<PipelineHandle> handles;
+  for (int p = 0; p < 20; ++p) {
+    PipelineOptions options;
+    options.discipline = p % 2 == 0 ? Discipline::kReadOnly : Discipline::kWriteOnly;
+    handles.push_back(BuildPipeline(kernel, RandomInput(rng, 100),
+                                    RandomConservativeChain(rng, 2), options));
+  }
+  kernel.RunUntil([&] {
+    for (const PipelineHandle& handle : handles) {
+      if (!handle.done()) {
+        return false;
+      }
+    }
+    return true;
+  });
+  for (const PipelineHandle& handle : handles) {
+    EXPECT_EQ(handle.output().size(), 100u);
+  }
+}
+
+TEST(VolumeStress, RepeatedRunsDoNotAccumulateState) {
+  // The same kernel runs 30 consecutive pipelines; pending tables and event
+  // queues must drain completely each time.
+  Kernel kernel;
+  Rng rng(13);
+  for (int round = 0; round < 30; ++round) {
+    PipelineOptions options;
+    ValueList output = RunPipeline(kernel, RandomInput(rng, 50),
+                                   RandomConservativeChain(rng, 2), options);
+    EXPECT_EQ(output.size(), 50u);
+    EXPECT_TRUE(kernel.Run());
+    EXPECT_TRUE(kernel.quiescent());
+  }
+}
+
+}  // namespace
+}  // namespace eden

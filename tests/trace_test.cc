@@ -1,0 +1,101 @@
+// Trace facility tests: event capture, filtering, rendering.
+#include <gtest/gtest.h>
+
+#include "src/core/endpoints.h"
+#include "src/eden/kernel.h"
+#include "src/eden/trace.h"
+
+namespace eden {
+namespace {
+
+TEST(TraceTest, CapturesInvocationAndReplyPairs) {
+  Kernel kernel;
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+  VectorSource& source = kernel.CreateLocal<VectorSource>(
+      ValueList{Value("a"), Value("b")});
+  PullSink& sink = kernel.CreateLocal<PullSink>(source.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+
+  size_t invokes = 0;
+  size_t replies = 0;
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.kind == TraceEvent::Kind::kInvoke) {
+      invokes++;
+      EXPECT_EQ(event.op, "Transfer");
+      EXPECT_EQ(event.from, sink.uid());
+      EXPECT_EQ(event.to, source.uid());
+    } else {
+      replies++;
+      EXPECT_TRUE(event.ok);
+    }
+  }
+  EXPECT_EQ(invokes, replies);
+  EXPECT_GE(invokes, 2u);
+  // Timestamps are monotone.
+  for (size_t i = 1; i < recorder.events().size(); ++i) {
+    EXPECT_GE(recorder.events()[i].at, recorder.events()[i - 1].at);
+  }
+}
+
+TEST(TraceTest, FilterOpsKeepsMatchingPairs) {
+  Kernel kernel;
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+  VectorSource& source = kernel.CreateLocal<VectorSource>(ValueList{Value("x")});
+  (void)kernel.InvokeAndRun(source.uid(), std::string(kOpOpenChannel),
+                            Value().Set(std::string(kFieldName),
+                                        Value(std::string(kChanOut))));
+  PullSink& sink = kernel.CreateLocal<PullSink>(source.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+
+  recorder.FilterOps({"OpenChannel"});
+  ASSERT_EQ(recorder.size(), 2u);  // the OpenChannel and its reply
+  EXPECT_EQ(recorder.events()[0].op, "OpenChannel");
+  EXPECT_EQ(recorder.events()[1].kind, TraceEvent::Kind::kReply);
+}
+
+TEST(TraceTest, RenderShowsLabelsAndArrows) {
+  Kernel kernel;
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+  VectorSource& source = kernel.CreateLocal<VectorSource>(ValueList{Value("x")});
+  PullSink& sink = kernel.CreateLocal<PullSink>(source.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  recorder.Label(source.uid(), "source");
+  recorder.Label(sink.uid(), "sink");
+
+  std::string chart = recorder.Render();
+  EXPECT_NE(chart.find("source"), std::string::npos);
+  EXPECT_NE(chart.find("sink"), std::string::npos);
+  EXPECT_NE(chart.find("Transfer"), std::string::npos);
+  EXPECT_NE(chart.find('>'), std::string::npos);
+  EXPECT_NE(chart.find("t="), std::string::npos);
+}
+
+TEST(TraceTest, RenderTruncatesLongTraces) {
+  Kernel kernel;
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+  ValueList many;
+  for (int i = 0; i < 50; ++i) {
+    many.push_back(Value(int64_t{i}));
+  }
+  VectorSource& source = kernel.CreateLocal<VectorSource>(std::move(many));
+  PullSink& sink = kernel.CreateLocal<PullSink>(source.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  std::string chart = recorder.Render(/*max_rows=*/5);
+  EXPECT_NE(chart.find("more events"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyTraceRenders) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.Render(), "(no events)\n");
+}
+
+}  // namespace
+}  // namespace eden

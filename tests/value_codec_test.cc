@@ -1,0 +1,285 @@
+// Value, Codec, Uid and framing unit tests.
+#include <gtest/gtest.h>
+
+#include "src/core/framing.h"
+#include "src/eden/codec.h"
+#include "src/eden/random.h"
+#include "src/eden/uid.h"
+#include "src/eden/value.h"
+
+namespace eden {
+namespace {
+
+TEST(UidTest, GeneratorIsDeterministic) {
+  UidGenerator a(42);
+  UidGenerator b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(UidTest, GeneratorsWithDifferentSeedsDiverge) {
+  UidGenerator a(1);
+  UidGenerator b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(UidTest, NoCollisionsInLargeSample) {
+  UidGenerator gen(7);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int i = 0; i < 100000; ++i) {
+    Uid uid = gen.Next();
+    EXPECT_TRUE(seen.insert({uid.hi(), uid.lo()}).second);
+  }
+}
+
+TEST(UidTest, ParseRoundTrip) {
+  UidGenerator gen(3);
+  for (int i = 0; i < 20; ++i) {
+    Uid uid = gen.Next();
+    auto parsed = Uid::Parse(uid.ToString());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, uid);
+  }
+}
+
+TEST(UidTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Uid::Parse("").has_value());
+  EXPECT_FALSE(Uid::Parse("eden:").has_value());
+  EXPECT_FALSE(Uid::Parse("eden:0123456789abcdef-0123456789abcdeg").has_value());
+  EXPECT_FALSE(Uid::Parse("uid:0123456789abcdef-0123456789abcdef").has_value());
+  EXPECT_TRUE(Uid::Parse("eden:0123456789abcdef-0123456789abcdef").has_value());
+}
+
+TEST(UidTest, NilIsNeverGenerated) {
+  EXPECT_TRUE(Uid().IsNil());
+  UidGenerator gen(0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(gen.Next().IsNil());
+  }
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_nil());
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(7).AsInt(), 7);
+  EXPECT_EQ(Value(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value(3).AsReal(), 3.0);  // int widens to real
+  EXPECT_EQ(*Value("hi").AsStr(), "hi");
+  EXPECT_EQ(Value(Uid(1, 2)).AsUid(), Uid(1, 2));
+  EXPECT_EQ(Value("hi").AsInt(), std::nullopt);
+  EXPECT_EQ(Value(7).AsStr(), nullptr);
+}
+
+TEST(ValueTest, MapFieldAccess) {
+  Value v;
+  v.Set("a", Value(1)).Set("b", Value("x"));
+  EXPECT_EQ(v.Field("a"), Value(1));
+  EXPECT_EQ(v.Field("b"), Value("x"));
+  EXPECT_TRUE(v.Field("missing").is_nil());
+  EXPECT_TRUE(v.HasField("a"));
+  EXPECT_FALSE(v.HasField("c"));
+}
+
+TEST(ValueTest, ListAppend) {
+  Value v;
+  v.Append(Value(1));
+  v.Append(Value(2));
+  ASSERT_TRUE(v.is_list());
+  EXPECT_EQ(v.Size(), 2u);
+}
+
+TEST(ValueTest, StructuralEquality) {
+  Value a = Value::Map({{"k", Value::List({Value(1), Value("s")})}});
+  Value b = Value::Map({{"k", Value::List({Value(1), Value("s")})}});
+  Value c = Value::Map({{"k", Value::List({Value(2), Value("s")})}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ValueTest, ToStringIsReadable) {
+  Value v = Value::Map({{"n", Value(3)}, {"s", Value("a\"b")}});
+  EXPECT_EQ(v.ToString(), "{\"n\": 3, \"s\": \"a\\\"b\"}");
+}
+
+Value ArbitraryValue(Rng& rng, int depth) {
+  switch (depth <= 0 ? rng.Below(7) : rng.Below(9)) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng.Chance(0.5));
+    case 2:
+      return Value(static_cast<int64_t>(rng.Next()));
+    case 3:
+      return Value(static_cast<double>(rng.Range(-1000, 1000)) / 7.0);
+    case 4:
+      return Value(rng.Word(0, 20));
+    case 5: {
+      Bytes b;
+      for (uint64_t i = rng.Below(16); i > 0; --i) {
+        b.push_back(static_cast<uint8_t>(rng.Below(256)));
+      }
+      return Value(std::move(b));
+    }
+    case 6:
+      return Value(Uid(rng.Next(), rng.Next()));
+    case 7: {
+      ValueList list;
+      for (uint64_t i = rng.Below(5); i > 0; --i) {
+        list.push_back(ArbitraryValue(rng, depth - 1));
+      }
+      return Value(std::move(list));
+    }
+    default: {
+      ValueMap map;
+      for (uint64_t i = rng.Below(5); i > 0; --i) {
+        map[rng.Word(1, 8)] = ArbitraryValue(rng, depth - 1);
+      }
+      return Value(std::move(map));
+    }
+  }
+}
+
+TEST(CodecTest, RoundTripsArbitraryValues) {
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    Value v = ArbitraryValue(rng, 3);
+    Bytes encoded = Codec::Encode(v);
+    auto decoded = Codec::Decode(encoded);
+    ASSERT_TRUE(decoded.has_value()) << v.ToString();
+    EXPECT_EQ(*decoded, v) << v.ToString();
+  }
+}
+
+TEST(CodecTest, EncodedSizeMatchesEncoding) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Value v = ArbitraryValue(rng, 3);
+    EXPECT_EQ(Codec::EncodedSize(v), Codec::Encode(v).size()) << v.ToString();
+  }
+}
+
+TEST(CodecTest, EncodingIsCanonical) {
+  // Maps encode key-sorted regardless of insertion order.
+  Value a;
+  a.Set("z", Value(1)).Set("a", Value(2));
+  Value b;
+  b.Set("a", Value(2)).Set("z", Value(1));
+  EXPECT_EQ(Codec::Encode(a), Codec::Encode(b));
+}
+
+TEST(CodecTest, RejectsTruncatedInput) {
+  Value v = Value::Map({{"k", Value("hello world")}});
+  Bytes encoded = Codec::Encode(v);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    Bytes truncated(encoded.begin(), encoded.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(Codec::Decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, RejectsTrailingGarbage) {
+  Bytes encoded = Codec::Encode(Value(42));
+  encoded.push_back(0x00);
+  EXPECT_FALSE(Codec::Decode(encoded).has_value());
+}
+
+TEST(CodecTest, RejectsUnknownTag) {
+  Bytes bogus = {0x7F};
+  EXPECT_FALSE(Codec::Decode(bogus).has_value());
+}
+
+
+TEST(CodecTest, FuzzRandomBytesNeverCrash) {
+  // Decode must be total: any byte string either decodes to a Value that
+  // re-encodes (not necessarily canonically) or is cleanly rejected.
+  Rng rng(0xF0221);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes noise;
+    for (uint64_t n = rng.Below(64); n > 0; --n) {
+      noise.push_back(static_cast<uint8_t>(rng.Below(256)));
+    }
+    auto decoded = Codec::Decode(noise);
+    if (decoded.has_value()) {
+      // Whatever decoded must round-trip through the canonical encoding.
+      Bytes reencoded = Codec::Encode(*decoded);
+      auto redecoded = Codec::Decode(reencoded);
+      ASSERT_TRUE(redecoded.has_value());
+      EXPECT_EQ(*redecoded, *decoded);
+    }
+  }
+}
+
+TEST(CodecTest, FuzzMutatedValidEncodings) {
+  // Bit-flip valid encodings: decode must never crash, and accepted mutants
+  // must round-trip.
+  Rng rng(0xF0222);
+  for (int i = 0; i < 500; ++i) {
+    Value v = ArbitraryValue(rng, 2);
+    Bytes encoded = Codec::Encode(v);
+    if (encoded.empty()) {
+      continue;
+    }
+    encoded[rng.Below(encoded.size())] ^=
+        static_cast<uint8_t>(1u << rng.Below(8));
+    auto decoded = Codec::Decode(encoded);
+    if (decoded.has_value()) {
+      auto redecoded = Codec::Decode(Codec::Encode(*decoded));
+      ASSERT_TRUE(redecoded.has_value());
+      EXPECT_EQ(*redecoded, *decoded);
+    }
+  }
+}
+
+TEST(CodecTest, DeeplyNestedInputIsBounded) {
+  // 100 nested list headers (beyond the decoder depth limit).
+  Bytes bomb;
+  for (int i = 0; i < 100; ++i) {
+    bomb.push_back(0x08);  // list tag
+    bomb.push_back(0x01);  // one element
+  }
+  bomb.push_back(0x00);  // nil
+  EXPECT_FALSE(Codec::Decode(bomb).has_value());
+}
+
+TEST(FramingTest, SplitJoinLines) {
+  ValueList lines = SplitLines("a\nbb\n\nccc\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(*lines[0].AsStr(), "a");
+  EXPECT_EQ(*lines[2].AsStr(), "");
+  EXPECT_EQ(JoinLines(lines), "a\nbb\n\nccc\n");
+}
+
+TEST(FramingTest, SplitHandlesMissingTrailingNewline) {
+  ValueList lines = SplitLines("a\nb");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(*lines[1].AsStr(), "b");
+}
+
+TEST(FramingTest, SplitEmpty) { EXPECT_TRUE(SplitLines("").empty()); }
+
+TEST(FramingTest, FixedRecordsRoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(static_cast<uint8_t>(i));
+  }
+  ValueList records = FrameFixed(data, 16);
+  EXPECT_EQ(records.size(), 7u);  // 6 full + 1 short
+  EXPECT_EQ(UnframeFixed(records), data);
+}
+
+TEST(FramingTest, LengthPrefixedRoundTrip) {
+  std::vector<Bytes> records = {{1, 2, 3}, {}, {0xFF}, Bytes(300, 7)};
+  Bytes framed = FrameLengthPrefixed(records);
+  auto unframed = UnframeLengthPrefixed(framed);
+  ASSERT_TRUE(unframed.has_value());
+  EXPECT_EQ(*unframed, records);
+}
+
+TEST(FramingTest, LengthPrefixedRejectsTruncation) {
+  Bytes framed = FrameLengthPrefixed({{1, 2, 3, 4, 5}});
+  framed.pop_back();
+  EXPECT_FALSE(UnframeLengthPrefixed(framed).has_value());
+}
+
+}  // namespace
+}  // namespace eden
