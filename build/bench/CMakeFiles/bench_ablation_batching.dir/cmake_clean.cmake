@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batching.dir/bench_ablation_batching.cc.o"
+  "CMakeFiles/bench_ablation_batching.dir/bench_ablation_batching.cc.o.d"
+  "bench_ablation_batching"
+  "bench_ablation_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

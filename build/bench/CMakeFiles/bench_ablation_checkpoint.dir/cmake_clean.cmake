@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checkpoint.dir/bench_ablation_checkpoint.cc.o"
+  "CMakeFiles/bench_ablation_checkpoint.dir/bench_ablation_checkpoint.cc.o.d"
+  "bench_ablation_checkpoint"
+  "bench_ablation_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_csp.dir/bench_ablation_csp.cc.o"
+  "CMakeFiles/bench_ablation_csp.dir/bench_ablation_csp.cc.o.d"
+  "bench_ablation_csp"
+  "bench_ablation_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boot_unixfs.dir/bench_boot_unixfs.cc.o"
+  "CMakeFiles/bench_boot_unixfs.dir/bench_boot_unixfs.cc.o.d"
+  "bench_boot_unixfs"
+  "bench_boot_unixfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boot_unixfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

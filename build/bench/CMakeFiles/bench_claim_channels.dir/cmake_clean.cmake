@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_channels.dir/bench_claim_channels.cc.o"
+  "CMakeFiles/bench_claim_channels.dir/bench_claim_channels.cc.o.d"
+  "bench_claim_channels"
+  "bench_claim_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_costmodel.dir/bench_claim_costmodel.cc.o"
+  "CMakeFiles/bench_claim_costmodel.dir/bench_claim_costmodel.cc.o.d"
+  "bench_claim_costmodel"
+  "bench_claim_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

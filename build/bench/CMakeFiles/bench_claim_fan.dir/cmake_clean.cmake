@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_fan.dir/bench_claim_fan.cc.o"
+  "CMakeFiles/bench_claim_fan.dir/bench_claim_fan.cc.o.d"
+  "bench_claim_fan"
+  "bench_claim_fan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_fan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_invocations.dir/bench_claim_invocations.cc.o"
+  "CMakeFiles/bench_claim_invocations.dir/bench_claim_invocations.cc.o.d"
+  "bench_claim_invocations"
+  "bench_claim_invocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

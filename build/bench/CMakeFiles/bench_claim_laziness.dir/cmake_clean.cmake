@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_laziness.dir/bench_claim_laziness.cc.o"
+  "CMakeFiles/bench_claim_laziness.dir/bench_claim_laziness.cc.o.d"
+  "bench_claim_laziness"
+  "bench_claim_laziness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_laziness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_unix_pipeline.dir/bench_fig1_unix_pipeline.cc.o"
+  "CMakeFiles/bench_fig1_unix_pipeline.dir/bench_fig1_unix_pipeline.cc.o.d"
+  "bench_fig1_unix_pipeline"
+  "bench_fig1_unix_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_unix_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_writeonly_reports.dir/bench_fig3_writeonly_reports.cc.o"
+  "CMakeFiles/bench_fig3_writeonly_reports.dir/bench_fig3_writeonly_reports.cc.o.d"
+  "bench_fig3_writeonly_reports"
+  "bench_fig3_writeonly_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_writeonly_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

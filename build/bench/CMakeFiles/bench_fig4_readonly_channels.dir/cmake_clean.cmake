@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_readonly_channels.dir/bench_fig4_readonly_channels.cc.o"
+  "CMakeFiles/bench_fig4_readonly_channels.dir/bench_fig4_readonly_channels.cc.o.d"
+  "bench_fig4_readonly_channels"
+  "bench_fig4_readonly_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_readonly_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

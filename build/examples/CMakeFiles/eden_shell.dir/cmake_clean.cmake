@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_shell.dir/eden_shell.cpp.o"
+  "CMakeFiles/eden_shell.dir/eden_shell.cpp.o.d"
+  "eden_shell"
+  "eden_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortran_listing.dir/fortran_listing.cpp.o"
+  "CMakeFiles/fortran_listing.dir/fortran_listing.cpp.o.d"
+  "fortran_listing"
+  "fortran_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortran_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

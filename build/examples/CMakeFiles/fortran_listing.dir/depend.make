@@ -1,0 +1,2 @@
+# Empty dependencies file for fortran_listing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_pipeline.dir/report_pipeline.cpp.o"
+  "CMakeFiles/report_pipeline.dir/report_pipeline.cpp.o.d"
+  "report_pipeline"
+  "report_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

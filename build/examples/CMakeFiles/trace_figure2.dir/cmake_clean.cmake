@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_figure2.dir/trace_figure2.cpp.o"
+  "CMakeFiles/trace_figure2.dir/trace_figure2.cpp.o.d"
+  "trace_figure2"
+  "trace_figure2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_figure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cc" "src/core/CMakeFiles/core.dir/channel.cc.o" "gcc" "src/core/CMakeFiles/core.dir/channel.cc.o.d"
+  "/root/repo/src/core/conformance.cc" "src/core/CMakeFiles/core.dir/conformance.cc.o" "gcc" "src/core/CMakeFiles/core.dir/conformance.cc.o.d"
+  "/root/repo/src/core/endpoints.cc" "src/core/CMakeFiles/core.dir/endpoints.cc.o" "gcc" "src/core/CMakeFiles/core.dir/endpoints.cc.o.d"
+  "/root/repo/src/core/filter_eject.cc" "src/core/CMakeFiles/core.dir/filter_eject.cc.o" "gcc" "src/core/CMakeFiles/core.dir/filter_eject.cc.o.d"
+  "/root/repo/src/core/framing.cc" "src/core/CMakeFiles/core.dir/framing.cc.o" "gcc" "src/core/CMakeFiles/core.dir/framing.cc.o.d"
+  "/root/repo/src/core/passive_buffer.cc" "src/core/CMakeFiles/core.dir/passive_buffer.cc.o" "gcc" "src/core/CMakeFiles/core.dir/passive_buffer.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/rendezvous.cc" "src/core/CMakeFiles/core.dir/rendezvous.cc.o" "gcc" "src/core/CMakeFiles/core.dir/rendezvous.cc.o.d"
+  "/root/repo/src/core/stream_acceptor.cc" "src/core/CMakeFiles/core.dir/stream_acceptor.cc.o" "gcc" "src/core/CMakeFiles/core.dir/stream_acceptor.cc.o.d"
+  "/root/repo/src/core/stream_reader.cc" "src/core/CMakeFiles/core.dir/stream_reader.cc.o" "gcc" "src/core/CMakeFiles/core.dir/stream_reader.cc.o.d"
+  "/root/repo/src/core/stream_server.cc" "src/core/CMakeFiles/core.dir/stream_server.cc.o" "gcc" "src/core/CMakeFiles/core.dir/stream_server.cc.o.d"
+  "/root/repo/src/core/stream_writer.cc" "src/core/CMakeFiles/core.dir/stream_writer.cc.o" "gcc" "src/core/CMakeFiles/core.dir/stream_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eden/CMakeFiles/eden.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/channel.cc.o"
+  "CMakeFiles/core.dir/channel.cc.o.d"
+  "CMakeFiles/core.dir/conformance.cc.o"
+  "CMakeFiles/core.dir/conformance.cc.o.d"
+  "CMakeFiles/core.dir/endpoints.cc.o"
+  "CMakeFiles/core.dir/endpoints.cc.o.d"
+  "CMakeFiles/core.dir/filter_eject.cc.o"
+  "CMakeFiles/core.dir/filter_eject.cc.o.d"
+  "CMakeFiles/core.dir/framing.cc.o"
+  "CMakeFiles/core.dir/framing.cc.o.d"
+  "CMakeFiles/core.dir/passive_buffer.cc.o"
+  "CMakeFiles/core.dir/passive_buffer.cc.o.d"
+  "CMakeFiles/core.dir/pipeline.cc.o"
+  "CMakeFiles/core.dir/pipeline.cc.o.d"
+  "CMakeFiles/core.dir/rendezvous.cc.o"
+  "CMakeFiles/core.dir/rendezvous.cc.o.d"
+  "CMakeFiles/core.dir/stream_acceptor.cc.o"
+  "CMakeFiles/core.dir/stream_acceptor.cc.o.d"
+  "CMakeFiles/core.dir/stream_reader.cc.o"
+  "CMakeFiles/core.dir/stream_reader.cc.o.d"
+  "CMakeFiles/core.dir/stream_server.cc.o"
+  "CMakeFiles/core.dir/stream_server.cc.o.d"
+  "CMakeFiles/core.dir/stream_writer.cc.o"
+  "CMakeFiles/core.dir/stream_writer.cc.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

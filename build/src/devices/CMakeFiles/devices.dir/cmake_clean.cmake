@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices.dir/devices.cc.o"
+  "CMakeFiles/devices.dir/devices.cc.o.d"
+  "libdevices.a"
+  "libdevices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eden/behavior.cc" "src/eden/CMakeFiles/eden.dir/behavior.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/behavior.cc.o.d"
+  "/root/repo/src/eden/codec.cc" "src/eden/CMakeFiles/eden.dir/codec.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/codec.cc.o.d"
+  "/root/repo/src/eden/eject.cc" "src/eden/CMakeFiles/eden.dir/eject.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/eject.cc.o.d"
+  "/root/repo/src/eden/inspect.cc" "src/eden/CMakeFiles/eden.dir/inspect.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/inspect.cc.o.d"
+  "/root/repo/src/eden/kernel.cc" "src/eden/CMakeFiles/eden.dir/kernel.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/kernel.cc.o.d"
+  "/root/repo/src/eden/log.cc" "src/eden/CMakeFiles/eden.dir/log.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/log.cc.o.d"
+  "/root/repo/src/eden/stable_store.cc" "src/eden/CMakeFiles/eden.dir/stable_store.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/stable_store.cc.o.d"
+  "/root/repo/src/eden/stats.cc" "src/eden/CMakeFiles/eden.dir/stats.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/stats.cc.o.d"
+  "/root/repo/src/eden/status.cc" "src/eden/CMakeFiles/eden.dir/status.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/status.cc.o.d"
+  "/root/repo/src/eden/sync.cc" "src/eden/CMakeFiles/eden.dir/sync.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/sync.cc.o.d"
+  "/root/repo/src/eden/task.cc" "src/eden/CMakeFiles/eden.dir/task.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/task.cc.o.d"
+  "/root/repo/src/eden/trace.cc" "src/eden/CMakeFiles/eden.dir/trace.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/trace.cc.o.d"
+  "/root/repo/src/eden/type_registry.cc" "src/eden/CMakeFiles/eden.dir/type_registry.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/type_registry.cc.o.d"
+  "/root/repo/src/eden/uid.cc" "src/eden/CMakeFiles/eden.dir/uid.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/uid.cc.o.d"
+  "/root/repo/src/eden/value.cc" "src/eden/CMakeFiles/eden.dir/value.cc.o" "gcc" "src/eden/CMakeFiles/eden.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden.dir/behavior.cc.o"
+  "CMakeFiles/eden.dir/behavior.cc.o.d"
+  "CMakeFiles/eden.dir/codec.cc.o"
+  "CMakeFiles/eden.dir/codec.cc.o.d"
+  "CMakeFiles/eden.dir/eject.cc.o"
+  "CMakeFiles/eden.dir/eject.cc.o.d"
+  "CMakeFiles/eden.dir/inspect.cc.o"
+  "CMakeFiles/eden.dir/inspect.cc.o.d"
+  "CMakeFiles/eden.dir/kernel.cc.o"
+  "CMakeFiles/eden.dir/kernel.cc.o.d"
+  "CMakeFiles/eden.dir/log.cc.o"
+  "CMakeFiles/eden.dir/log.cc.o.d"
+  "CMakeFiles/eden.dir/stable_store.cc.o"
+  "CMakeFiles/eden.dir/stable_store.cc.o.d"
+  "CMakeFiles/eden.dir/stats.cc.o"
+  "CMakeFiles/eden.dir/stats.cc.o.d"
+  "CMakeFiles/eden.dir/status.cc.o"
+  "CMakeFiles/eden.dir/status.cc.o.d"
+  "CMakeFiles/eden.dir/sync.cc.o"
+  "CMakeFiles/eden.dir/sync.cc.o.d"
+  "CMakeFiles/eden.dir/task.cc.o"
+  "CMakeFiles/eden.dir/task.cc.o.d"
+  "CMakeFiles/eden.dir/trace.cc.o"
+  "CMakeFiles/eden.dir/trace.cc.o.d"
+  "CMakeFiles/eden.dir/type_registry.cc.o"
+  "CMakeFiles/eden.dir/type_registry.cc.o.d"
+  "CMakeFiles/eden.dir/uid.cc.o"
+  "CMakeFiles/eden.dir/uid.cc.o.d"
+  "CMakeFiles/eden.dir/value.cc.o"
+  "CMakeFiles/eden.dir/value.cc.o.d"
+  "libeden.a"
+  "libeden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

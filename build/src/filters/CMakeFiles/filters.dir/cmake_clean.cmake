@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters.dir/multi_input.cc.o"
+  "CMakeFiles/filters.dir/multi_input.cc.o.d"
+  "CMakeFiles/filters.dir/registry.cc.o"
+  "CMakeFiles/filters.dir/registry.cc.o.d"
+  "CMakeFiles/filters.dir/transforms.cc.o"
+  "CMakeFiles/filters.dir/transforms.cc.o.d"
+  "libfilters.a"
+  "libfilters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

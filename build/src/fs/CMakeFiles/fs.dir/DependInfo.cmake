@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/directory.cc" "src/fs/CMakeFiles/fs.dir/directory.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/directory.cc.o.d"
+  "/root/repo/src/fs/file.cc" "src/fs/CMakeFiles/fs.dir/file.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/file.cc.o.d"
+  "/root/repo/src/fs/map_file.cc" "src/fs/CMakeFiles/fs.dir/map_file.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/map_file.cc.o.d"
+  "/root/repo/src/fs/path.cc" "src/fs/CMakeFiles/fs.dir/path.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/path.cc.o.d"
+  "/root/repo/src/fs/transaction.cc" "src/fs/CMakeFiles/fs.dir/transaction.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/transaction.cc.o.d"
+  "/root/repo/src/fs/unix_fs.cc" "src/fs/CMakeFiles/fs.dir/unix_fs.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/unix_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eden/CMakeFiles/eden.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

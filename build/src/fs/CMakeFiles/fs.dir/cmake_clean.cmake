@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs.dir/directory.cc.o"
+  "CMakeFiles/fs.dir/directory.cc.o.d"
+  "CMakeFiles/fs.dir/file.cc.o"
+  "CMakeFiles/fs.dir/file.cc.o.d"
+  "CMakeFiles/fs.dir/map_file.cc.o"
+  "CMakeFiles/fs.dir/map_file.cc.o.d"
+  "CMakeFiles/fs.dir/path.cc.o"
+  "CMakeFiles/fs.dir/path.cc.o.d"
+  "CMakeFiles/fs.dir/transaction.cc.o"
+  "CMakeFiles/fs.dir/transaction.cc.o.d"
+  "CMakeFiles/fs.dir/unix_fs.cc.o"
+  "CMakeFiles/fs.dir/unix_fs.cc.o.d"
+  "libfs.a"
+  "libfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell.dir/lexer.cc.o"
+  "CMakeFiles/shell.dir/lexer.cc.o.d"
+  "CMakeFiles/shell.dir/shell.cc.o"
+  "CMakeFiles/shell.dir/shell.cc.o.d"
+  "libshell.a"
+  "libshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shell/CMakeFiles/shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eden/CMakeFiles/eden.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_unit_test.dir/kernel_unit_test.cc.o"
+  "CMakeFiles/kernel_unit_test.dir/kernel_unit_test.cc.o.d"
+  "kernel_unit_test"
+  "kernel_unit_test.pdb"
+  "kernel_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rendezvous_map_test.dir/rendezvous_map_test.cc.o"
+  "CMakeFiles/rendezvous_map_test.dir/rendezvous_map_test.cc.o.d"
+  "rendezvous_map_test"
+  "rendezvous_map_test.pdb"
+  "rendezvous_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rendezvous_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transput_test.dir/transput_test.cc.o"
+  "CMakeFiles/transput_test.dir/transput_test.cc.o.d"
+  "transput_test"
+  "transput_test.pdb"
+  "transput_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

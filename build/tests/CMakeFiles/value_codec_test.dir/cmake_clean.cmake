@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_codec_test.dir/value_codec_test.cc.o"
+  "CMakeFiles/value_codec_test.dir/value_codec_test.cc.o.d"
+  "value_codec_test"
+  "value_codec_test.pdb"
+  "value_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/transput_test[1]_include.cmake")
+include("/root/repo/build/tests/value_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_test[1]_include.cmake")
+include("/root/repo/build/tests/shell_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/transaction_test[1]_include.cmake")
+include("/root/repo/build/tests/rendezvous_map_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_components_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_property_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
