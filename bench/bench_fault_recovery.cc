@@ -1,0 +1,141 @@
+// Experiment F5 — recovery under injected faults.
+//
+// Each benchmark runs the same two-stage pipeline (a stateful running-sum
+// filter, then a copy) twice per discipline: once fault-free, once with 1%
+// message loss in each direction plus one scheduled crash of the stateful
+// filter mid-run. Both runs use recovery mode; the baseline additionally
+// proves that recovery machinery is pure overhead when nothing fails
+// (timeouts == retries == redeliveries_dropped == recoveries == 0).
+//
+// The headline counter is `output_ok`: 1 iff the faulty run's output is
+// byte-identical to the fault-free run's. Virtual-time and retry counters
+// quantify what the recovery cost.
+#include "bench/bench_util.h"
+
+#include "src/eden/fault.h"
+
+namespace eden {
+namespace {
+
+// Stateful on purpose: crash recovery must restore the accumulated sum from
+// the checkpoint, not just the stream positions.
+class RunningSum : public Transform {
+ public:
+  void OnItem(const Value& item, const EmitFn& emit) override {
+    sum_ += item.IntOr(0);
+    emit(kChanOut, Value(sum_));
+  }
+  Value SaveState() const override {
+    Value state;
+    state.Set("sum", Value(sum_));
+    return state;
+  }
+  void RestoreState(const Value& state) override {
+    sum_ = state.Field("sum").IntOr(0);
+  }
+  std::string name() const override { return "running-sum"; }
+
+ private:
+  int64_t sum_ = 0;
+};
+
+std::vector<TransformFactory> SumChain() {
+  std::vector<TransformFactory> chain;
+  chain.push_back(MakeTransformFactory<RunningSum>());
+  chain.push_back(MakeTransformFactory<LambdaTransform>(
+      "copy", [](const Value& v, const Transform::EmitFn& emit) {
+        emit(kChanOut, v);
+      }));
+  return chain;
+}
+
+ValueList IntLoad(int n) {
+  ValueList items;
+  items.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Value(int64_t{i}));
+  }
+  return items;
+}
+
+PipelineOptions RecoveryOptions(Discipline discipline) {
+  PipelineOptions options;
+  options.discipline = discipline;
+  options.processing_cost = 20;
+  options.recovery.enabled = true;
+  options.recovery.checkpoint_every = 8;
+  return options;
+}
+
+struct FaultyRun {
+  ValueList output;
+  Stats stats;
+  Tick virtual_time = 0;
+};
+
+// Builds the kernel by hand (RunPipelineMeasured cannot: the injector must
+// be installed before the pipeline exists).
+FaultyRun RunWithFaults(Discipline discipline, int items, bool faults) {
+  Kernel kernel;
+  FaultPlan plan;
+  if (faults) {
+    plan.drop_invocation = 0.01;
+    plan.drop_reply = 0.01;
+  }
+  FaultInjector injector(plan);
+  kernel.set_fault_injector(&injector);
+  PipelineHandle handle = BuildPipeline(kernel, IntLoad(items), SumChain(),
+                                        RecoveryOptions(discipline));
+  if (faults) {
+    // The stateful filter (first stage; the conventional build interposes a
+    // pipe before it) dies mid-stream and must resume from its checkpoint.
+    Uid victim = discipline == Discipline::kConventional ? handle.ejects[2]
+                                                         : handle.ejects[1];
+    injector.ScheduleCrash(kernel, Tick{12'000}, victim);
+  }
+  Tick start = kernel.now();
+  kernel.RunUntil([&handle] { return handle.done(); });
+  FaultyRun run;
+  run.output = handle.output();
+  run.stats = kernel.stats();
+  run.virtual_time = kernel.now() - start;
+  return run;
+}
+
+void BM_FaultRecovery(benchmark::State& state) {
+  Discipline discipline = static_cast<Discipline>(state.range(0));
+  bool faults = state.range(1) != 0;
+  int items = 120;
+  FaultyRun clean;
+  FaultyRun measured;
+  for (auto _ : state) {
+    if (faults) {
+      clean = RunWithFaults(discipline, items, false);
+    }
+    measured = RunWithFaults(discipline, items, faults);
+    benchmark::DoNotOptimize(measured.output.size());
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  state.SetLabel(std::string(DisciplineName(discipline)) +
+                 (faults ? "/faulty" : "/fault-free"));
+  bool output_ok = faults ? measured.output == clean.output
+                          : measured.output.size() == static_cast<size_t>(items);
+  state.counters["output_ok"] = output_ok ? 1 : 0;
+  state.counters["timeouts"] = static_cast<double>(measured.stats.timeouts);
+  state.counters["retries"] = static_cast<double>(measured.stats.retries);
+  state.counters["dropped"] =
+      static_cast<double>(measured.stats.messages_dropped);
+  state.counters["redelivered_dropped"] =
+      static_cast<double>(measured.stats.redeliveries_dropped);
+  state.counters["recoveries"] = static_cast<double>(measured.stats.recoveries);
+  state.counters["crashes"] = static_cast<double>(measured.stats.crashes);
+  state.counters["virtual_us"] = static_cast<double>(measured.virtual_time);
+}
+BENCHMARK(BM_FaultRecovery)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

@@ -15,11 +15,13 @@ VectorSource::VectorSource(Kernel& kernel, ValueList items, Options options)
   StreamServer::ChannelOptions out;
   out.capacity = options_.work_ahead;
   out.capability_only = options_.capability_only_channels;
+  out.sequenced = options_.sequenced;
   server_.DeclareChannel(std::string(kChanOut), out);
   if (options_.report_every > 0) {
     StreamServer::ChannelOptions report;
     report.capacity = options_.work_ahead;
     report.capability_only = options_.capability_only_channels;
+    report.sequenced = options_.sequenced;
     server_.DeclareChannel(std::string(kChanReport), report);
   }
   server_.InstallOps();
@@ -53,14 +55,18 @@ PushSource::PushSource(Kernel& kernel, ValueList items, Options options)
     : Eject(kernel, kType), items_(std::move(items)), options_(options), bound_(*this) {}
 
 void PushSource::BindOutput(Uid sink, Value sink_channel) {
-  out_ = std::make_unique<StreamWriter>(*this, sink, std::move(sink_channel),
-                                        StreamWriter::Options{options_.batch});
+  StreamWriter::Options writer{options_.batch, options_.deadline,
+                               options_.retry_attempts, options_.retry_backoff,
+                               options_.sequenced};
+  out_ = std::make_unique<StreamWriter>(*this, sink, std::move(sink_channel), writer);
   bound_.Open();
 }
 
 void PushSource::BindReport(Uid sink, Value sink_channel) {
-  report_ = std::make_unique<StreamWriter>(*this, sink, std::move(sink_channel),
-                                           StreamWriter::Options{options_.batch});
+  StreamWriter::Options writer{options_.batch, options_.deadline,
+                               options_.retry_attempts, options_.retry_backoff,
+                               options_.sequenced};
+  report_ = std::make_unique<StreamWriter>(*this, sink, std::move(sink_channel), writer);
 }
 
 void PushSource::OnStart() { Spawn(Produce()); }
@@ -89,7 +95,9 @@ PullSink::PullSink(Kernel& kernel, Uid source, Value channel, Options options)
     : Eject(kernel, kType),
       options_(options),
       reader_(*this, source, std::move(channel),
-              StreamReader::Options{options.batch, options.lookahead}) {}
+              StreamReader::Options{options.batch, options.lookahead,
+                                    options.deadline, options.retry_attempts,
+                                    options.retry_backoff, options.sequenced}) {}
 
 void PullSink::OnStart() { Spawn(Pump()); }
 
@@ -119,6 +127,7 @@ PushSink::PushSink(Kernel& kernel, Options options)
     : Eject(kernel, kType), options_(options), acceptor_(*this) {
   StreamAcceptor::ChannelOptions in;
   in.capacity = options_.capacity;
+  in.sequenced = options_.sequenced;
   acceptor_.DeclareChannel(std::string(kChanIn), in);
   acceptor_.InstallOps();
 }

@@ -35,6 +35,7 @@ struct VectorSourceOptions {
   bool start_on_demand = false;
   int64_t report_every = 0;     // emit "report" channel progress if > 0
   bool capability_only_channels = false;
+  bool sequenced = false;       // number items; keep a replay window
 };
 
 class VectorSource : public Eject {
@@ -64,6 +65,11 @@ class VectorSource : public Eject {
 struct PushSourceOptions {
   int64_t batch = 1;
   int64_t report_every = 0;
+  // Fault tolerance, forwarded to the output writers.
+  Tick deadline = 0;
+  int retry_attempts = 0;
+  Tick retry_backoff = 0;
+  bool sequenced = false;
 };
 
 class PushSource : public Eject {
@@ -99,6 +105,11 @@ struct PullSinkOptions {
   // Stop after this many items even if the stream continues (for infinite
   // sources); 0 = run to end-of-stream.
   uint64_t max_items = 0;
+  // Fault tolerance, forwarded to the reader.
+  Tick deadline = 0;
+  int retry_attempts = 0;
+  Tick retry_backoff = 0;
+  bool sequenced = false;
 };
 
 class PullSink : public Eject {
@@ -133,6 +144,7 @@ class PullSink : public Eject {
 // ------------------------------------------------------------------- PushSink
 struct PushSinkOptions {
   size_t capacity = 8;
+  bool sequenced = false;  // deduplicate redelivered pushes by position
 };
 
 class PushSink : public Eject {

@@ -20,15 +20,27 @@ EmittedItems ApplyEnd(Transform& transform) {
   return emitted;
 }
 
+namespace {
+std::string FilterTypeName(const char* fallback,
+                           const FilterRecoveryOptions& recovery) {
+  return recovery.eject_type.empty() ? std::string(fallback)
+                                     : recovery.eject_type;
+}
+}  // namespace
+
 // ------------------------------------------------------------ ReadOnlyFilter
 
 ReadOnlyFilter::ReadOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
                                Options options)
-    : Eject(kernel, kType),
+    : Eject(kernel, FilterTypeName(kType, options.recovery)),
       transform_(std::move(transform)),
       options_(std::move(options)),
       reader_(*this, options_.source, options_.source_channel,
-              StreamReader::Options{options_.batch, options_.lookahead}),
+              StreamReader::Options{options_.batch, options_.lookahead,
+                                    options_.recovery.effective_deadline(),
+                                    options_.recovery.effective_retry_attempts(),
+                                    options_.recovery.effective_retry_backoff(),
+                                    options_.recovery.enabled}),
       server_(*this),
       demand_(*this) {
   assert(transform_ != nullptr);
@@ -39,9 +51,15 @@ ReadOnlyFilter::ReadOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transf
     StreamServer::ChannelOptions channel_options;
     channel_options.capacity = options_.work_ahead;
     channel_options.capability_only = options_.capability_only_channels;
+    channel_options.sequenced = options_.recovery.enabled;
     server_.DeclareChannel(name, channel_options);
   }
   server_.InstallOps();
+  if (options_.recovery.enabled) {
+    // Nothing upstream may be forgotten until our first checkpoint covers it.
+    reader_.set_durable(0);
+    Register("Ping", [](InvocationContext ctx) { ctx.Reply(); });
+  }
   if (options_.start_on_demand) {
     server_.set_on_first_demand([this] { demand_.Open(); });
   } else {
@@ -51,7 +69,42 @@ ReadOnlyFilter::ReadOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transf
 
 void ReadOnlyFilter::OnStart() { Spawn(Run()); }
 
+void ReadOnlyFilter::OnActivate() { Spawn(Run()); }
+
+Value ReadOnlyFilter::SaveState() {
+  Value state;
+  state.Set("in", Value(reader_.consumed()));
+  state.Set("processed", Value(items_processed_));
+  state.Set("transform", transform_->SaveState());
+  state.Set("server", server_.SaveChannels());
+  return state;
+}
+
+void ReadOnlyFilter::RestoreState(const Value& state) {
+  restored_ = true;
+  items_processed_ = static_cast<uint64_t>(state.Field("processed").IntOr(0));
+  transform_->RestoreState(state.Field("transform"));
+  server_.RestoreChannels(state.Field("server"));
+  uint64_t in = static_cast<uint64_t>(state.Field("in").IntOr(0));
+  reader_.ResumeAt(in);
+  reader_.set_durable(in);
+}
+
+Task<void> ReadOnlyFilter::DoCheckpoint() {
+  co_await Sleep(kernel_.costs().checkpoint);
+  Checkpoint();
+  // Everything the checkpoint consumed is durable here; upstream may drop
+  // it from its replay window.
+  reader_.set_durable(reader_.consumed());
+}
+
 Task<void> ReadOnlyFilter::Run() {
+  const bool recovery = options_.recovery.enabled;
+  if (recovery && !restored_) {
+    // Establish a passive representation before any fault can land, so a
+    // reactivating invocation always finds one.
+    co_await DoCheckpoint();
+  }
   // §4 laziness: "each Eject may be programmed so as not to do any work
   // until it is asked for output."
   co_await demand_.Wait();
@@ -70,6 +123,9 @@ Task<void> ReadOnlyFilter::Run() {
     if (transform_->Done()) {
       break;  // lazy pull: stop issuing Transfers; even infinite upstreams end
     }
+    if (recovery && items_processed_ % options_.recovery.checkpoint_every == 0) {
+      co_await DoCheckpoint();
+    }
   }
   if (!reader_.status().ok_or_end()) {
     // Upstream crashed mid-stream: propagate the failure instead of
@@ -81,32 +137,87 @@ Task<void> ReadOnlyFilter::Run() {
     co_await server_.Write(channel, std::move(value));
   }
   server_.CloseAll();
+  if (recovery) {
+    // Final checkpoint: a crash after this still serves the tail (and the
+    // end markers) from the restored replay window.
+    co_await DoCheckpoint();
+  }
 }
 
 // ----------------------------------------------------------- WriteOnlyFilter
 
 WriteOnlyFilter::WriteOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
                                  Options options)
-    : Eject(kernel, kType),
+    : Eject(kernel, FilterTypeName(kType, options.recovery)),
       transform_(std::move(transform)),
-      options_(options),
+      options_(std::move(options)),
       acceptor_(*this) {
   assert(transform_ != nullptr);
   StreamAcceptor::ChannelOptions in;
   in.capacity = options_.input_capacity;
+  in.sequenced = options_.recovery.enabled;
   acceptor_.DeclareChannel(std::string(kChanIn), in);
   acceptor_.InstallOps();
+  if (options_.recovery.enabled) {
+    // Until the first checkpoint, advertise nothing as durable: the sender
+    // must keep its whole replay window for us.
+    acceptor_.SetDurable(kChanIn, 0);
+    Register("Ping", [](InvocationContext ctx) { ctx.Reply(); });
+  }
 }
 
 void WriteOnlyFilter::BindOutput(const std::string& channel, Uid sink,
                                  Value sink_channel) {
-  writers_[channel] = std::make_unique<StreamWriter>(
-      *this, sink, std::move(sink_channel), StreamWriter::Options{options_.batch});
+  StreamWriter::Options writer{options_.batch,
+                               options_.recovery.effective_deadline(),
+                               options_.recovery.effective_retry_attempts(),
+                               options_.recovery.effective_retry_backoff(),
+                               options_.recovery.enabled};
+  writers_[channel] =
+      std::make_unique<StreamWriter>(*this, sink, std::move(sink_channel), writer);
 }
 
 void WriteOnlyFilter::OnStart() { Spawn(Run()); }
 
+void WriteOnlyFilter::OnActivate() { Spawn(Run()); }
+
+Value WriteOnlyFilter::SaveState() {
+  Value state;
+  state.Set("in", acceptor_.SaveChannels());
+  state.Set("processed", Value(items_processed_));
+  state.Set("transform", transform_->SaveState());
+  Value out;
+  for (auto& [channel, writer] : writers_) {
+    out.Set(channel, writer->SaveState());
+  }
+  state.Set("out", std::move(out));
+  return state;
+}
+
+void WriteOnlyFilter::RestoreState(const Value& state) {
+  restored_ = true;
+  acceptor_.RestoreChannels(state.Field("in"));
+  items_processed_ = static_cast<uint64_t>(state.Field("processed").IntOr(0));
+  transform_->RestoreState(state.Field("transform"));
+  const Value& out = state.Field("out");
+  for (auto& [channel, writer] : writers_) {
+    if (out.HasField(channel)) {
+      writer->RestoreState(out.Field(channel));
+    }
+  }
+}
+
+Task<void> WriteOnlyFilter::DoCheckpoint() {
+  co_await Sleep(kernel_.costs().checkpoint);
+  Checkpoint();
+  acceptor_.SetDurable(kChanIn, acceptor_.accepted(kChanIn));
+}
+
 Task<void> WriteOnlyFilter::Run() {
+  const bool recovery = options_.recovery.enabled;
+  if (recovery && !restored_) {
+    co_await DoCheckpoint();
+  }
   for (;;) {
     std::optional<Value> item = co_await acceptor_.Next(kChanIn);
     if (!item) {
@@ -125,6 +236,9 @@ Task<void> WriteOnlyFilter::Run() {
         co_await it->second->Write(std::move(value));
       }
     }
+    if (recovery && items_processed_ % options_.recovery.checkpoint_every == 0) {
+      co_await DoCheckpoint();
+    }
   }
   for (auto& [channel, value] : ApplyEnd(*transform_)) {
     auto it = writers_.find(channel);
@@ -135,6 +249,9 @@ Task<void> WriteOnlyFilter::Run() {
   for (auto& [channel, writer] : writers_) {
     co_await writer->End();
   }
+  if (recovery) {
+    co_await DoCheckpoint();
+  }
 }
 
 // -------------------------------------------------------- ConventionalFilter
@@ -142,23 +259,76 @@ Task<void> WriteOnlyFilter::Run() {
 ConventionalFilter::ConventionalFilter(Kernel& kernel,
                                        std::unique_ptr<Transform> transform,
                                        Options options)
-    : Eject(kernel, kType),
+    : Eject(kernel, FilterTypeName(kType, options.recovery)),
       transform_(std::move(transform)),
       options_(std::move(options)),
       reader_(*this, options_.source, options_.source_channel,
-              StreamReader::Options{options_.batch, options_.lookahead}) {
+              StreamReader::Options{options_.batch, options_.lookahead,
+                                    options_.recovery.effective_deadline(),
+                                    options_.recovery.effective_retry_attempts(),
+                                    options_.recovery.effective_retry_backoff(),
+                                    options_.recovery.enabled}) {
   assert(transform_ != nullptr);
+  if (options_.recovery.enabled) {
+    reader_.set_durable(0);
+    Register("Ping", [](InvocationContext ctx) { ctx.Reply(); });
+  }
 }
 
 void ConventionalFilter::BindOutput(const std::string& channel, Uid sink,
                                     Value sink_channel) {
-  writers_[channel] = std::make_unique<StreamWriter>(
-      *this, sink, std::move(sink_channel), StreamWriter::Options{options_.batch});
+  StreamWriter::Options writer{options_.batch,
+                               options_.recovery.effective_deadline(),
+                               options_.recovery.effective_retry_attempts(),
+                               options_.recovery.effective_retry_backoff(),
+                               options_.recovery.enabled};
+  writers_[channel] =
+      std::make_unique<StreamWriter>(*this, sink, std::move(sink_channel), writer);
 }
 
 void ConventionalFilter::OnStart() { Spawn(Run()); }
 
+void ConventionalFilter::OnActivate() { Spawn(Run()); }
+
+Value ConventionalFilter::SaveState() {
+  Value state;
+  state.Set("in", Value(reader_.consumed()));
+  state.Set("processed", Value(items_processed_));
+  state.Set("transform", transform_->SaveState());
+  Value out;
+  for (auto& [channel, writer] : writers_) {
+    out.Set(channel, writer->SaveState());
+  }
+  state.Set("out", std::move(out));
+  return state;
+}
+
+void ConventionalFilter::RestoreState(const Value& state) {
+  restored_ = true;
+  items_processed_ = static_cast<uint64_t>(state.Field("processed").IntOr(0));
+  transform_->RestoreState(state.Field("transform"));
+  uint64_t in = static_cast<uint64_t>(state.Field("in").IntOr(0));
+  reader_.ResumeAt(in);
+  reader_.set_durable(in);
+  const Value& out = state.Field("out");
+  for (auto& [channel, writer] : writers_) {
+    if (out.HasField(channel)) {
+      writer->RestoreState(out.Field(channel));
+    }
+  }
+}
+
+Task<void> ConventionalFilter::DoCheckpoint() {
+  co_await Sleep(kernel_.costs().checkpoint);
+  Checkpoint();
+  reader_.set_durable(reader_.consumed());
+}
+
 Task<void> ConventionalFilter::Run() {
+  const bool recovery = options_.recovery.enabled;
+  if (recovery && !restored_) {
+    co_await DoCheckpoint();
+  }
   for (;;) {
     std::optional<Value> item = co_await reader_.Next();
     if (!item) {
@@ -177,6 +347,9 @@ Task<void> ConventionalFilter::Run() {
     if (transform_->Done()) {
       break;  // stop pulling; the upstream pipe simply stays full
     }
+    if (recovery && items_processed_ % options_.recovery.checkpoint_every == 0) {
+      co_await DoCheckpoint();
+    }
   }
   for (auto& [channel, value] : ApplyEnd(*transform_)) {
     auto it = writers_.find(channel);
@@ -186,6 +359,9 @@ Task<void> ConventionalFilter::Run() {
   }
   for (auto& [channel, writer] : writers_) {
     co_await writer->End();
+  }
+  if (recovery) {
+    co_await DoCheckpoint();
   }
 }
 

@@ -9,6 +9,13 @@
 // Because the Transform is shared, a pipeline built in any discipline from
 // the same factories produces identical output — the invocation *structure*
 // is the only thing that changes, which is precisely the paper's subject.
+//
+// Recovery mode (FilterRecoveryOptions::enabled) makes a filter
+// crash-tolerant: its streams are sequenced, its active sides retry with
+// deadlines, and it periodically checkpoints {input position, transform
+// state, undelivered output} to the StableStore. A later invocation (a
+// neighbour's retry, or a monitor's probe) reactivates it from that
+// checkpoint and the stream positions make the restart exactly-once.
 #ifndef SRC_CORE_FILTER_EJECT_H_
 #define SRC_CORE_FILTER_EJECT_H_
 
@@ -33,6 +40,34 @@ using EmittedItems = std::vector<std::pair<std::string, Value>>;
 EmittedItems ApplyItem(Transform& transform, const Value& item);
 EmittedItems ApplyEnd(Transform& transform);
 
+// Shared fault-tolerance knobs for all three filter shapes.
+struct FilterRecoveryOptions {
+  // Master switch: sequence the streams, checkpoint periodically, answer
+  // liveness probes ("Ping").
+  bool enabled = false;
+  // Input items between checkpoints.
+  uint64_t checkpoint_every = 16;
+  // Per-invocation deadline / retry policy for the filter's *active* stream
+  // ends (reader Transfers, writer Pushes).
+  Tick deadline = 0;
+  int retry_attempts = 0;
+  Tick retry_backoff = 0;  // first retry delay; doubles per attempt
+  // Reactivation type name to register the Eject under. Must be unique per
+  // instance within a kernel (a checkpoint names its type, and every
+  // instance has different wiring). Empty = use the class type name, which
+  // leaves the instance unrecoverable unless registered externally.
+  std::string eject_type;
+
+  // The deadline/retry knobs apply only while `enabled` is set. A classic
+  // filter must never time out a Transfer: a hold-back stage downstream
+  // (sort, tail) legitimately parks requests for the entire streaming
+  // phase, and without sequence numbers a timed-out request's eventual
+  // reply is item loss, not a retry.
+  Tick effective_deadline() const { return enabled ? deadline : 0; }
+  int effective_retry_attempts() const { return enabled ? retry_attempts : 0; }
+  Tick effective_retry_backoff() const { return enabled ? retry_backoff : 0; }
+};
+
 // ---------------------------------------------------------------------------
 // Read-only discipline: the paper's preferred filter shape.
 struct ReadOnlyFilterOptions {
@@ -46,6 +81,7 @@ struct ReadOnlyFilterOptions {
   // Virtual compute charged per input item (models the filter's real work;
   // what work-ahead buffering overlaps with communication, §4).
   Tick processing_cost = 0;
+  FilterRecoveryOptions recovery;
 };
 
 class ReadOnlyFilter : public Eject {
@@ -58,6 +94,9 @@ class ReadOnlyFilter : public Eject {
                  Options options);
 
   void OnStart() override;
+  void OnActivate() override;
+  Value SaveState() override;
+  void RestoreState(const Value& state) override;
 
   StreamServer& server() { return server_; }
   const std::string& primary_channel() const { return primary_channel_; }
@@ -65,6 +104,7 @@ class ReadOnlyFilter : public Eject {
 
  private:
   Task<void> Run();
+  Task<void> DoCheckpoint();
 
   std::unique_ptr<Transform> transform_;
   Options options_;
@@ -73,6 +113,7 @@ class ReadOnlyFilter : public Eject {
   Gate demand_;
   std::string primary_channel_;
   uint64_t items_processed_ = 0;
+  bool restored_ = false;  // this incarnation came from a checkpoint
 };
 
 // ---------------------------------------------------------------------------
@@ -81,6 +122,7 @@ struct WriteOnlyFilterOptions {
   size_t input_capacity = 8;
   int64_t batch = 1;  // items per downstream Push
   Tick processing_cost = 0;  // virtual compute per input item
+  FilterRecoveryOptions recovery;
 };
 
 class WriteOnlyFilter : public Eject {
@@ -97,18 +139,23 @@ class WriteOnlyFilter : public Eject {
   void BindOutput(const std::string& channel, Uid sink, Value sink_channel);
 
   void OnStart() override;
+  void OnActivate() override;
+  Value SaveState() override;
+  void RestoreState(const Value& state) override;
 
   StreamAcceptor& acceptor() { return acceptor_; }
   uint64_t items_processed() const { return items_processed_; }
 
  private:
   Task<void> Run();
+  Task<void> DoCheckpoint();
 
   std::unique_ptr<Transform> transform_;
   Options options_;
   StreamAcceptor acceptor_;
   std::map<std::string, std::unique_ptr<StreamWriter>> writers_;
   uint64_t items_processed_ = 0;
+  bool restored_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -123,6 +170,7 @@ class ConventionalFilter : public Eject {
     int64_t batch = 1;
     size_t lookahead = 0;
     Tick processing_cost = 0;  // virtual compute per input item
+    FilterRecoveryOptions recovery;
   };
 
   ConventionalFilter(Kernel& kernel, std::unique_ptr<Transform> transform,
@@ -133,17 +181,22 @@ class ConventionalFilter : public Eject {
   void BindOutput(const std::string& channel, Uid sink, Value sink_channel);
 
   void OnStart() override;
+  void OnActivate() override;
+  Value SaveState() override;
+  void RestoreState(const Value& state) override;
 
   uint64_t items_processed() const { return items_processed_; }
 
  private:
   Task<void> Run();
+  Task<void> DoCheckpoint();
 
   std::unique_ptr<Transform> transform_;
   Options options_;
   StreamReader reader_;
   std::map<std::string, std::unique_ptr<StreamWriter>> writers_;
   uint64_t items_processed_ = 0;
+  bool restored_ = false;
 };
 
 }  // namespace eden

@@ -8,6 +8,7 @@ PassiveBuffer::PassiveBuffer(Kernel& kernel, Options options)
     : Eject(kernel, kType), options_(options), acceptor_(*this), server_(*this) {
   StreamAcceptor::ChannelOptions in;
   in.capacity = options_.capacity;
+  in.sequenced = options_.sequenced;
   acceptor_.DeclareChannel(std::string(kChanIn), in);
   acceptor_.InstallOps();
 
@@ -16,6 +17,7 @@ PassiveBuffer::PassiveBuffer(Kernel& kernel, Options options)
   // the output side the full capacity lets batched Transfers drain whole
   // batches, as a Unix read(2) on a pipe would.
   out.capacity = options_.capacity;
+  out.sequenced = options_.sequenced;
   server_.DeclareChannel(std::string(kChanOut), out);
   server_.InstallOps();
 }

@@ -21,6 +21,10 @@ namespace eden {
 
 struct PassiveBufferOptions {
   size_t capacity = 16;
+  // Fault tolerance: sequence both faces of the pipe, so a restarted
+  // neighbour can resend (input face deduplicates) or re-request (output
+  // face replays) without loss or duplication.
+  bool sequenced = false;
 };
 
 class PassiveBuffer : public Eject {

@@ -1,6 +1,7 @@
 #include "src/core/pipeline.h"
 
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace eden {
@@ -26,22 +27,114 @@ NodeId PlaceNext(Kernel& kernel, const PipelineOptions& options, int& counter) {
   return kernel.AddNode("pipe-node-" + std::to_string(counter++));
 }
 
+// ---- Recovery scaffolding.
+
+// A watchdog that periodically invokes every filter. The probe itself is the
+// recovery mechanism: an invocation addressed to a crashed-but-checkpointed
+// Eject makes the kernel reactivate it (paper §1). Neighbours' retries cover
+// most crashes, but a conventional filter is invoked by nobody — both of its
+// correspondents are passive — and a write-only filter whose upstream already
+// finished would likewise never hear another Push.
+class PipelineMonitor : public Eject {
+ public:
+  static constexpr const char* kType = "PipelineMonitor";
+
+  PipelineMonitor(Kernel& kernel, std::vector<Uid> targets, Tick interval,
+                  Tick deadline)
+      : Eject(kernel, kType),
+        targets_(std::move(targets)),
+        interval_(interval),
+        deadline_(deadline) {}
+
+  void set_done(std::function<bool()> done) { done_ = std::move(done); }
+
+  void OnStart() override { Spawn(Watch()); }
+
+ private:
+  Task<void> Watch() {
+    for (;;) {
+      co_await Sleep(interval_);
+      if (done_ && done_()) {
+        co_return;
+      }
+      for (const Uid& target : targets_) {
+        // The result is irrelevant; a dropped probe is re-sent next round.
+        co_await Invoke(target, "Ping", Value(), deadline_);
+        if (done_ && done_()) {
+          co_return;
+        }
+      }
+    }
+  }
+
+  std::vector<Uid> targets_;
+  Tick interval_;
+  Tick deadline_;
+  std::function<bool()> done_;
+};
+
+FilterRecoveryOptions MakeFilterRecovery(const PipelineOptions& options) {
+  FilterRecoveryOptions recovery;
+  recovery.enabled = options.recovery.enabled;
+  recovery.checkpoint_every = options.recovery.checkpoint_every;
+  recovery.deadline = options.recovery.deadline;
+  recovery.retry_attempts = options.recovery.retry_attempts;
+  recovery.retry_backoff = options.recovery.retry_backoff;
+  return recovery;
+}
+
+// A reactivation type name unique within this kernel. Deterministic given
+// the same build sequence (no global counters: two same-seed kernels in one
+// process must produce byte-identical checkpoints, and the type name is
+// part of the passive representation).
+std::string UniqueTypeName(Kernel& kernel, const std::string& base) {
+  if (!kernel.types().Contains(base)) {
+    return base;
+  }
+  int n = 2;
+  std::string name = base + "#" + std::to_string(n);
+  while (kernel.types().Contains(name)) {
+    name = base + "#" + std::to_string(++n);
+  }
+  return name;
+}
+
+void MaybeAddMonitor(Kernel& kernel, const PipelineOptions& options,
+                     PipelineHandle& handle, std::vector<Uid> filters) {
+  if (!options.recovery.enabled || filters.empty()) {
+    return;
+  }
+  PipelineMonitor& monitor = kernel.Create<PipelineMonitor>(
+      NodeId{0}, std::move(filters), options.recovery.probe_interval,
+      options.recovery.deadline);
+  PullSink* pull = handle.pull_sink;
+  PushSink* push = handle.push_sink;
+  monitor.set_done([pull, push] {
+    return pull != nullptr ? pull->done() : (push != nullptr && push->done());
+  });
+  handle.monitor = monitor.uid();
+}
+
 PipelineHandle BuildReadOnly(Kernel& kernel, ValueList input,
                              const std::vector<TransformFactory>& stages,
                              const PipelineOptions& options) {
   PipelineHandle handle;
   handle.discipline = Discipline::kReadOnly;
   int node_counter = 0;
+  const bool recovery = options.recovery.enabled;
 
   VectorSource::Options source_options;
   source_options.work_ahead = options.work_ahead;
   source_options.start_on_demand = options.start_on_demand;
+  source_options.sequenced = recovery;
   VectorSource& source = kernel.Create<VectorSource>(
       PlaceNext(kernel, options, node_counter), std::move(input), source_options);
   handle.source = source.uid();
   handle.ejects.push_back(source.uid());
 
+  std::vector<Uid> filter_uids;
   Uid upstream = source.uid();
+  int stage_index = 0;
   for (const TransformFactory& factory : stages) {
     ReadOnlyFilter::Options filter_options;
     filter_options.source = upstream;
@@ -50,22 +143,42 @@ PipelineHandle BuildReadOnly(Kernel& kernel, ValueList input,
     filter_options.work_ahead = options.work_ahead;
     filter_options.start_on_demand = options.start_on_demand;
     filter_options.processing_cost = options.processing_cost;
+    filter_options.recovery = MakeFilterRecovery(options);
+    if (recovery) {
+      filter_options.recovery.eject_type = UniqueTypeName(
+          kernel, std::string(ReadOnlyFilter::kType) + "/" +
+                      std::to_string(stage_index));
+    }
     ReadOnlyFilter& filter =
         kernel.Create<ReadOnlyFilter>(PlaceNext(kernel, options, node_counter),
                                       factory(), filter_options);
+    if (recovery) {
+      kernel.types().Register(
+          filter_options.recovery.eject_type,
+          [factory, filter_options](Kernel& k) -> std::unique_ptr<Eject> {
+            return std::make_unique<ReadOnlyFilter>(k, factory(), filter_options);
+          });
+      filter_uids.push_back(filter.uid());
+    }
     handle.ejects.push_back(filter.uid());
     upstream = filter.uid();
+    stage_index++;
   }
 
   PullSink::Options sink_options;
   sink_options.batch = options.batch;
   sink_options.lookahead = options.lookahead;
+  sink_options.deadline = recovery ? options.recovery.deadline : 0;
+  sink_options.retry_attempts = recovery ? options.recovery.retry_attempts : 0;
+  sink_options.retry_backoff = recovery ? options.recovery.retry_backoff : 0;
+  sink_options.sequenced = recovery;
   PullSink& sink = kernel.Create<PullSink>(PlaceNext(kernel, options, node_counter),
                                            upstream, Value(std::string(kChanOut)),
                                            sink_options);
   handle.sink = sink.uid();
   handle.ejects.push_back(sink.uid());
   handle.pull_sink = &sink;
+  MaybeAddMonitor(kernel, options, handle, std::move(filter_uids));
   return handle;
 }
 
@@ -75,29 +188,45 @@ PipelineHandle BuildWriteOnly(Kernel& kernel, ValueList input,
   PipelineHandle handle;
   handle.discipline = Discipline::kWriteOnly;
   int node_counter = 0;
+  const bool recovery = options.recovery.enabled;
 
   PushSource::Options source_options;
   source_options.batch = options.batch;
+  source_options.deadline = recovery ? options.recovery.deadline : 0;
+  source_options.retry_attempts = recovery ? options.recovery.retry_attempts : 0;
+  source_options.retry_backoff = recovery ? options.recovery.retry_backoff : 0;
+  source_options.sequenced = recovery;
   PushSource& source = kernel.Create<PushSource>(
       PlaceNext(kernel, options, node_counter), std::move(input), source_options);
   handle.source = source.uid();
   handle.ejects.push_back(source.uid());
 
   std::vector<WriteOnlyFilter*> filters;
+  std::vector<WriteOnlyFilter::Options> filter_option_copies;
+  int stage_index = 0;
   for (const TransformFactory& factory : stages) {
     WriteOnlyFilter::Options filter_options;
     filter_options.batch = options.batch;
     filter_options.input_capacity = options.acceptor_capacity;
     filter_options.processing_cost = options.processing_cost;
+    filter_options.recovery = MakeFilterRecovery(options);
+    if (recovery) {
+      filter_options.recovery.eject_type = UniqueTypeName(
+          kernel, std::string(WriteOnlyFilter::kType) + "/" +
+                      std::to_string(stage_index));
+    }
     WriteOnlyFilter& filter =
         kernel.Create<WriteOnlyFilter>(PlaceNext(kernel, options, node_counter),
                                        factory(), filter_options);
     handle.ejects.push_back(filter.uid());
     filters.push_back(&filter);
+    filter_option_copies.push_back(filter_options);
+    stage_index++;
   }
 
   PushSink::Options sink_options;
   sink_options.capacity = options.acceptor_capacity;
+  sink_options.sequenced = recovery;
   PushSink& sink = kernel.Create<PushSink>(PlaceNext(kernel, options, node_counter),
                                            sink_options);
   handle.sink = sink.uid();
@@ -105,12 +234,34 @@ PipelineHandle BuildWriteOnly(Kernel& kernel, ValueList input,
   handle.push_sink = &sink;
 
   // Wire source -> F1 -> ... -> Fn -> sink (data flows with control flow).
+  // Reactivation factories are registered here, once the downstream of each
+  // filter is known: the binding is part of the type, not the checkpoint.
   Uid downstream = sink.uid();
-  for (auto it = filters.rbegin(); it != filters.rend(); ++it) {
-    (*it)->BindOutput(std::string(kChanOut), downstream, Value(std::string(kChanIn)));
-    downstream = (*it)->uid();
+  for (size_t i = filters.size(); i-- > 0;) {
+    filters[i]->BindOutput(std::string(kChanOut), downstream,
+                           Value(std::string(kChanIn)));
+    if (recovery) {
+      TransformFactory factory = stages[i];
+      WriteOnlyFilter::Options filter_options = filter_option_copies[i];
+      kernel.types().Register(
+          filter_options.recovery.eject_type,
+          [factory, filter_options, downstream](Kernel& k) -> std::unique_ptr<Eject> {
+            auto fresh =
+                std::make_unique<WriteOnlyFilter>(k, factory(), filter_options);
+            fresh->BindOutput(std::string(kChanOut), downstream,
+                              Value(std::string(kChanIn)));
+            return fresh;
+          });
+    }
+    downstream = filters[i]->uid();
   }
   source.BindOutput(downstream, Value(std::string(kChanIn)));
+
+  std::vector<Uid> filter_uids;
+  for (WriteOnlyFilter* filter : filters) {
+    filter_uids.push_back(filter->uid());
+  }
+  MaybeAddMonitor(kernel, options, handle, std::move(filter_uids));
   return handle;
 }
 
@@ -120,9 +271,14 @@ PipelineHandle BuildConventional(Kernel& kernel, ValueList input,
   PipelineHandle handle;
   handle.discipline = Discipline::kConventional;
   int node_counter = 0;
+  const bool recovery = options.recovery.enabled;
 
   PushSource::Options source_options;
   source_options.batch = options.batch;
+  source_options.deadline = recovery ? options.recovery.deadline : 0;
+  source_options.retry_attempts = recovery ? options.recovery.retry_attempts : 0;
+  source_options.retry_backoff = recovery ? options.recovery.retry_backoff : 0;
+  source_options.sequenced = recovery;
   PushSource& source = kernel.Create<PushSource>(
       PlaceNext(kernel, options, node_counter), std::move(input), source_options);
   handle.source = source.uid();
@@ -130,6 +286,7 @@ PipelineHandle BuildConventional(Kernel& kernel, ValueList input,
 
   PassiveBuffer::Options pipe_options;
   pipe_options.capacity = options.pipe_capacity;
+  pipe_options.sequenced = recovery;
 
   // Every junction gets a pipe: source->p0, Fi->pi, Fn->pn->sink (Figure 1,
   // with the paper's §4 count of n+1 passive buffers).
@@ -139,13 +296,21 @@ PipelineHandle BuildConventional(Kernel& kernel, ValueList input,
   handle.passive_buffer_count++;
   source.BindOutput(first_pipe.uid(), Value(std::string(kChanIn)));
 
+  std::vector<Uid> filter_uids;
   Uid upstream_pipe = first_pipe.uid();
+  int stage_index = 0;
   for (const TransformFactory& factory : stages) {
     ConventionalFilter::Options filter_options;
     filter_options.source = upstream_pipe;
     filter_options.batch = options.batch;
     filter_options.lookahead = options.lookahead;
     filter_options.processing_cost = options.processing_cost;
+    filter_options.recovery = MakeFilterRecovery(options);
+    if (recovery) {
+      filter_options.recovery.eject_type = UniqueTypeName(
+          kernel, std::string(ConventionalFilter::kType) + "/" +
+                      std::to_string(stage_index));
+    }
     ConventionalFilter& filter =
         kernel.Create<ConventionalFilter>(PlaceNext(kernel, options, node_counter),
                                           factory(), filter_options);
@@ -156,18 +321,37 @@ PipelineHandle BuildConventional(Kernel& kernel, ValueList input,
     handle.ejects.push_back(pipe.uid());
     handle.passive_buffer_count++;
     filter.BindOutput(std::string(kChanOut), pipe.uid(), Value(std::string(kChanIn)));
+    if (recovery) {
+      Uid downstream = pipe.uid();
+      kernel.types().Register(
+          filter_options.recovery.eject_type,
+          [factory, filter_options, downstream](Kernel& k) -> std::unique_ptr<Eject> {
+            auto fresh =
+                std::make_unique<ConventionalFilter>(k, factory(), filter_options);
+            fresh->BindOutput(std::string(kChanOut), downstream,
+                              Value(std::string(kChanIn)));
+            return fresh;
+          });
+      filter_uids.push_back(filter.uid());
+    }
     upstream_pipe = pipe.uid();
+    stage_index++;
   }
 
   PullSink::Options sink_options;
   sink_options.batch = options.batch;
   sink_options.lookahead = options.lookahead;
+  sink_options.deadline = recovery ? options.recovery.deadline : 0;
+  sink_options.retry_attempts = recovery ? options.recovery.retry_attempts : 0;
+  sink_options.retry_backoff = recovery ? options.recovery.retry_backoff : 0;
+  sink_options.sequenced = recovery;
   PullSink& sink = kernel.Create<PullSink>(PlaceNext(kernel, options, node_counter),
                                            upstream_pipe,
                                            Value(std::string(kChanOut)), sink_options);
   handle.sink = sink.uid();
   handle.ejects.push_back(sink.uid());
   handle.pull_sink = &sink;
+  MaybeAddMonitor(kernel, options, handle, std::move(filter_uids));
   return handle;
 }
 

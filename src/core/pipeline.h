@@ -32,6 +32,27 @@ enum class Discipline { kReadOnly, kWriteOnly, kConventional };
 
 std::string_view DisciplineName(Discipline discipline);
 
+// Fault tolerance for pipelines. When enabled: every stream is sequenced,
+// active stream ends carry deadlines and retry with exponential backoff,
+// filters checkpoint their {input position, transform state, undelivered
+// output} every `checkpoint_every` items and register for reactivation, and
+// a monitor Eject probes the filters so a crashed one is reactivated even
+// when no neighbour would ever invoke it (the conventional discipline's
+// filters are invoked by nobody). Under these rules a pipeline run with
+// injected message loss and filter crashes produces output byte-identical
+// to a fault-free run.
+struct PipelineRecoveryOptions {
+  bool enabled = false;
+  // Per Transfer/Push invocation. Must exceed the longest legitimate reply
+  // withholding (flow control, §4's partial vacuum) or fault-free runs will
+  // record spurious timeouts.
+  Tick deadline = 25'000;
+  int retry_attempts = 8;
+  Tick retry_backoff = 2'000;  // first retry delay; doubles per attempt
+  uint64_t checkpoint_every = 16;
+  Tick probe_interval = 10'000;  // monitor liveness probe period
+};
+
 struct PipelineOptions {
   Discipline discipline = Discipline::kReadOnly;
   int64_t batch = 1;           // items per Transfer/Push
@@ -43,6 +64,7 @@ struct PipelineOptions {
   Tick processing_cost = 0;      // virtual compute per item in every filter
   // Place every Eject on its own node (distribution experiments).
   bool distinct_nodes = false;
+  PipelineRecoveryOptions recovery;
 };
 
 struct PipelineHandle {
@@ -51,6 +73,9 @@ struct PipelineHandle {
   size_t passive_buffer_count = 0;  // pipes interposed (conventional only)
   Uid source;
   Uid sink;
+  // The recovery monitor (nil unless recovery was enabled). Not part of
+  // `ejects`: it is scaffolding, not a pipeline stage.
+  Uid monitor;
   // Exactly one of these is non-null, depending on the sink kind.
   PullSink* pull_sink = nullptr;
   PushSink* push_sink = nullptr;

@@ -22,6 +22,20 @@
 //
 // A channel identifier on the wire is a Value: an integer (the prototype's
 // "integer channel identifiers", §7), a string name, or a capability UID.
+//
+// Fault-tolerant extension (sequenced channels, see PROTOCOL.md): every item
+// on a channel has a position, numbered from 0.
+//
+//   Transfer gains {seq:int, ack:int}: seq is the position of the first item
+//   the caller wants (the server re-serves already-delivered items from a
+//   replay window if needed); ack is the caller's durable position — the
+//   server may forget everything below it. Replies gain {seq:int}, the
+//   position of the first item returned.
+//
+//   Push gains {seq:int}, the position of the first item carried. Replies
+//   gain {ack:int, next:int}: ack is the receiver's durable position, next
+//   is the first position it has NOT yet accepted. next < seq+len(items)
+//   signals a gap — the sender must rewind to `next` and resend.
 #ifndef SRC_CORE_STREAM_H_
 #define SRC_CORE_STREAM_H_
 
@@ -43,6 +57,10 @@ inline constexpr std::string_view kFieldMax = "max";
 inline constexpr std::string_view kFieldItems = "items";
 inline constexpr std::string_view kFieldEnd = "end";
 inline constexpr std::string_view kFieldName = "name";
+// Sequenced channels only (fault tolerance; absent = classic protocol).
+inline constexpr std::string_view kFieldSeq = "seq";
+inline constexpr std::string_view kFieldAck = "ack";
+inline constexpr std::string_view kFieldNext = "next";
 
 // Conventional channel names. A pure filter has exactly kChanOut; impure
 // filters add kChanReport etc. (Figures 3 & 4). kChanIn names the primary
@@ -58,6 +76,16 @@ inline Value MakeTransferArgs(Value channel, int64_t max) {
   return args;
 }
 
+// Sequenced Transfer: ask for items starting at position `seq`; positions
+// below `ack` are durable at the caller and may be forgotten by the server.
+inline Value MakeTransferArgs(Value channel, int64_t max, uint64_t seq,
+                              uint64_t ack) {
+  Value args = MakeTransferArgs(std::move(channel), max);
+  args.Set(std::string(kFieldSeq), Value(seq));
+  args.Set(std::string(kFieldAck), Value(ack));
+  return args;
+}
+
 inline Value MakePushArgs(Value channel, ValueList items, bool end) {
   Value args;
   args.Set(std::string(kFieldChannel), std::move(channel));
@@ -66,10 +94,25 @@ inline Value MakePushArgs(Value channel, ValueList items, bool end) {
   return args;
 }
 
+// Sequenced Push: the first item carried sits at position `seq`.
+inline Value MakePushArgs(Value channel, ValueList items, bool end,
+                          uint64_t seq) {
+  Value args = MakePushArgs(std::move(channel), std::move(items), end);
+  args.Set(std::string(kFieldSeq), Value(seq));
+  return args;
+}
+
 inline Value MakeBatchReply(ValueList items, bool end) {
   Value reply;
   reply.Set(std::string(kFieldItems), Value(std::move(items)));
   reply.Set(std::string(kFieldEnd), Value(end));
+  return reply;
+}
+
+// Sequenced batch reply: the first item returned sits at position `seq`.
+inline Value MakeBatchReply(ValueList items, bool end, uint64_t seq) {
+  Value reply = MakeBatchReply(std::move(items), end);
+  reply.Set(std::string(kFieldSeq), Value(seq));
   return reply;
 }
 

@@ -1,5 +1,6 @@
 #include "src/core/stream_acceptor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -12,6 +13,7 @@ void StreamAcceptor::DeclareChannel(std::string name, ChannelOptions options) {
   InChannel channel;
   channel.name = name;
   channel.capacity = options.capacity;
+  channel.sequenced = options.sequenced;
   channel.available = std::make_unique<CondVar>(owner_);
   channels_.emplace(std::move(name), std::move(channel));
 }
@@ -35,6 +37,17 @@ const StreamAcceptor::InChannel* StreamAcceptor::Find(std::string_view name) con
   return it == channels_.end() ? nullptr : &it->second;
 }
 
+Value StreamAcceptor::PushReply(const InChannel& channel) const {
+  if (!channel.sequenced) {
+    return Value();
+  }
+  Value reply;
+  reply.Set(std::string(kFieldAck),
+            Value(channel.explicit_durable ? channel.durable : channel.consumed));
+  reply.Set(std::string(kFieldNext), Value(channel.next_seq));
+  return reply;
+}
+
 void StreamAcceptor::HandlePush(InvocationContext ctx) {
   std::optional<std::string> name = table_.Resolve(ctx.Arg(kFieldChannel));
   if (!name) {
@@ -44,22 +57,46 @@ void StreamAcceptor::HandlePush(InvocationContext ctx) {
   InChannel* ch = Find(*name);
   assert(ch != nullptr);
   pushes_received_++;
-  if (const ValueList* items = ctx.Arg(kFieldItems).AsList()) {
-    for (const Value& item : *items) {
-      ch->buffer.push_back(item);
-      items_received_++;
+  const ValueList* items = ctx.Arg(kFieldItems).AsList();
+  size_t count = items == nullptr ? 0 : items->size();
+  size_t skip = 0;
+  if (ch->sequenced) {
+    int64_t seq = ctx.Arg(kFieldSeq).IntOr(-1);
+    if (seq >= 0) {
+      uint64_t s = static_cast<uint64_t>(seq);
+      if (s > ch->next_seq) {
+        // Gap: a push we never saw carried positions [next_seq, s). Refuse —
+        // ingesting would reorder the stream — and reply immediately so the
+        // sender learns where to rewind to.
+        ctx.Reply(PushReply(*ch));
+        return;
+      }
+      // Duplicate prefix from a retrying sender: take only what is new.
+      skip = std::min<size_t>(ch->next_seq - s, count);
+      if (skip > 0) {
+        owner_.kernel().stats().redeliveries_dropped += skip;
+      }
     }
+  }
+  for (size_t i = skip; i < count; ++i) {
+    ch->buffer.push_back((*items)[i]);
+    ch->next_seq++;
+    items_received_++;
   }
   if (ctx.Arg(kFieldEnd).BoolOr(false)) {
     ch->ended = true;
   }
   ch->available->NotifyAll();
-  if (ch->buffer.size() > ch->capacity && !ch->ended) {
+  if (ch->ended) {
+    // Nothing more is coming; flow control is moot. Free any producer still
+    // parked on an old push before answering this one.
+    ReleaseWithheld(*ch);
+  } else if (ch->buffer.size() > ch->capacity) {
     // Flow control: withhold the reply until the owner drains the buffer.
     ch->withheld.push_back(ctx.TakeReply());
     return;
   }
-  ctx.Reply();
+  ctx.Reply(PushReply(*ch));
 }
 
 void StreamAcceptor::HandleOpenChannel(InvocationContext ctx) {
@@ -75,10 +112,11 @@ void StreamAcceptor::HandleOpenChannel(InvocationContext ctx) {
 }
 
 void StreamAcceptor::ReleaseWithheld(InChannel& channel) {
-  while (!channel.withheld.empty() && channel.buffer.size() <= channel.capacity) {
+  while (!channel.withheld.empty() &&
+         (channel.ended || channel.buffer.size() <= channel.capacity)) {
     ReplyHandle reply = std::move(channel.withheld.front());
     channel.withheld.pop_front();
-    reply.Reply();
+    reply.Reply(PushReply(channel));
   }
 }
 
@@ -95,6 +133,7 @@ Task<std::optional<Value>> StreamAcceptor::Next(std::string_view channel) {
   owner_.kernel().CountLocalStep();
   Value item = std::move(ch->buffer.front());
   ch->buffer.pop_front();
+  ch->consumed++;
   ReleaseWithheld(*ch);
   co_return std::optional<Value>(std::move(item));
 }
@@ -107,6 +146,56 @@ bool StreamAcceptor::ended(std::string_view channel) const {
 size_t StreamAcceptor::buffered(std::string_view channel) const {
   const InChannel* ch = Find(channel);
   return ch == nullptr ? 0 : ch->buffer.size();
+}
+
+uint64_t StreamAcceptor::accepted(std::string_view channel) const {
+  const InChannel* ch = Find(channel);
+  return ch == nullptr ? 0 : ch->next_seq;
+}
+
+void StreamAcceptor::SetDurable(std::string_view channel, uint64_t pos) {
+  InChannel* ch = Find(channel);
+  assert(ch != nullptr && "SetDurable on undeclared input channel");
+  ch->durable = pos;
+  ch->explicit_durable = true;
+}
+
+Value StreamAcceptor::SaveChannels() const {
+  ValueMap state;
+  for (const auto& [name, ch] : channels_) {
+    Value v;
+    v.Set("ended", Value(ch.ended));
+    v.Set("next", Value(ch.next_seq));
+    v.Set("consumed", Value(ch.consumed));
+    v.Set("buffer", Value(ValueList(ch.buffer.begin(), ch.buffer.end())));
+    state.emplace(name, std::move(v));
+  }
+  return Value(std::move(state));
+}
+
+void StreamAcceptor::RestoreChannels(const Value& state) {
+  const ValueMap* map = state.AsMap();
+  if (map == nullptr) {
+    return;
+  }
+  for (const auto& [name, v] : *map) {
+    InChannel* ch = Find(name);
+    if (ch == nullptr) {
+      continue;  // channel set is part of the type, not the checkpoint
+    }
+    ch->ended = v.Field("ended").BoolOr(false);
+    ch->next_seq = static_cast<uint64_t>(v.Field("next").IntOr(0));
+    ch->consumed = static_cast<uint64_t>(v.Field("consumed").IntOr(0));
+    ch->buffer.clear();
+    if (const ValueList* buffer = v.Field("buffer").AsList()) {
+      ch->buffer.assign(buffer->begin(), buffer->end());
+    }
+    if (ch->sequenced) {
+      // Everything the checkpoint accepted is, by definition, durable now.
+      ch->durable = ch->next_seq;
+      ch->explicit_durable = true;
+    }
+  }
 }
 
 }  // namespace eden

@@ -8,6 +8,9 @@
 // The acceptor is that buffer plus the responder. Flow control: a Push
 // whose items leave the buffer above capacity has its reply withheld until
 // the owner drains below capacity, which blocks the (awaiting) producer.
+// Once the stream has ended the buffer can only shrink, so withheld replies
+// are released immediately rather than kept hostage to a capacity the
+// producer no longer cares about.
 #ifndef SRC_CORE_STREAM_ACCEPTOR_H_
 #define SRC_CORE_STREAM_ACCEPTOR_H_
 
@@ -28,6 +31,11 @@ namespace eden {
 struct StreamAcceptorChannelOptions {
   size_t capacity = 8;
   bool capability_only = false;
+  // Fault tolerance: pushes carry item positions. Duplicate prefixes (a
+  // retrying sender resending what we already took) are dropped; a gap
+  // (sender is ahead of us — we lost a push) is refused with a reply naming
+  // the position we expect, so the sender can rewind and resend.
+  bool sequenced = false;
 };
 
 class StreamAcceptor {
@@ -55,19 +63,40 @@ class StreamAcceptor {
   uint64_t pushes_received() const { return pushes_received_; }
   ChannelTable& table() { return table_; }
 
+  // ---- Recovery support (sequenced channels).
+  // Position of the first item not yet accepted into the buffer.
+  uint64_t accepted(std::string_view channel) const;
+  // Marks positions below `pos` as durable: Push replies advertise them as
+  // `ack`, licensing the sender to forget them. Call after checkpointing.
+  // Until the first call, replies acknowledge whatever the owner consumed.
+  void SetDurable(std::string_view channel, uint64_t pos);
+  // The dynamic state of every channel (positions, undrained buffer) as a
+  // checkpointable Value, and its inverse. Withheld replies are excluded —
+  // they die with the crashed instance and the senders retry.
+  Value SaveChannels() const;
+  void RestoreChannels(const Value& state);
+
  private:
   struct InChannel {
     std::string name;
     size_t capacity = 8;
+    bool sequenced = false;
     bool ended = false;
     std::deque<Value> buffer;
     std::deque<ReplyHandle> withheld;  // flow-control: unanswered Push replies
+    uint64_t next_seq = 0;   // position of the first item not yet accepted
+    uint64_t consumed = 0;   // positions the owner has taken via Next()
+    uint64_t durable = 0;
+    bool explicit_durable = false;
     std::unique_ptr<CondVar> available;
   };
 
   void HandlePush(InvocationContext ctx);
   void HandleOpenChannel(InvocationContext ctx);
   void ReleaseWithheld(InChannel& channel);
+  // The flow-control reply payload: empty for classic channels; {ack, next}
+  // for sequenced ones.
+  Value PushReply(const InChannel& channel) const;
 
   InChannel* Find(std::string_view name);
   const InChannel* Find(std::string_view name) const;

@@ -1,8 +1,27 @@
 #include "src/core/stream_reader.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace eden {
+
+namespace {
+// Failures worth re-invoking the source over: the target was briefly gone
+// (crash before reactivation) or the network swallowed a message. Anything
+// else — bad channel, permission, data loss — is permanent.
+bool Retryable(const Status& status) {
+  return status.is(StatusCode::kUnavailable) ||
+         status.is(StatusCode::kDeadlineExceeded);
+}
+}  // namespace
+
+void StreamReader::ResumeAt(uint64_t seq) {
+  buffer_.clear();
+  next_seq_ = seq;
+  ended_ = false;
+  status_ = Status::Ok();
+}
 
 void StreamReader::Ingest(InvokeResult result) {
   if (!result.ok()) {
@@ -13,9 +32,31 @@ void StreamReader::Ingest(InvokeResult result) {
     return;
   }
   const ValueList* items = result.value.Field(kFieldItems).AsList();
+  size_t skip = 0;
+  if (options_.sequenced) {
+    // The reply names the position of its first item. A reply behind our
+    // position carries a duplicate prefix (a rolled-back producer is
+    // regenerating items we already have) — drop it. A reply *ahead* of our
+    // position would mean the source lost items we never saw; that cannot
+    // be repaired, so fail loudly rather than deliver a gapped stream.
+    uint64_t reply_seq =
+        static_cast<uint64_t>(result.value.Field(kFieldSeq).IntOr(next_seq_));
+    if (reply_seq > next_seq_) {
+      status_ = Status(StatusCode::kInternal,
+                       "stream gap: source skipped past our position");
+      ended_ = true;
+      return;
+    }
+    skip = next_seq_ - reply_seq;
+  }
   if (items != nullptr) {
-    for (const Value& item : *items) {
-      buffer_.push_back(item);
+    size_t dropped = std::min(skip, items->size());
+    if (dropped > 0) {
+      owner_.kernel().stats().redeliveries_dropped += dropped;
+    }
+    for (size_t i = dropped; i < items->size(); ++i) {
+      buffer_.push_back((*items)[i]);
+      next_seq_++;
     }
   }
   if (result.value.Field(kFieldEnd).BoolOr(false)) {
@@ -28,13 +69,34 @@ void StreamReader::Ingest(InvokeResult result) {
 
 Task<void> StreamReader::FetchOnce() {
   fetch_in_flight_ = true;
-  InvokeResult result = co_await owner_.Invoke(
-      source_, std::string(kOpTransfer), MakeTransferArgs(channel_, options_.batch));
-  fetch_in_flight_ = false;
-  Ingest(std::move(result));
+  int attempt = 0;
+  for (;;) {
+    Value args = options_.sequenced
+                     ? MakeTransferArgs(channel_, options_.batch, next_seq_, ack())
+                     : MakeTransferArgs(channel_, options_.batch);
+    InvokeResult result =
+        co_await owner_.Invoke(source_, std::string(kOpTransfer), std::move(args),
+                               options_.deadline);
+    if (!result.ok() && Retryable(result.status) &&
+        attempt < options_.retry_attempts) {
+      attempt++;
+      owner_.kernel().stats().retries++;
+      if (options_.retry_backoff > 0) {
+        co_await owner_.Sleep(options_.retry_backoff << (attempt - 1));
+      }
+      continue;
+    }
+    if (attempt > 0 && result.status.ok_or_end()) {
+      owner_.kernel().stats().recoveries++;
+    }
+    fetch_in_flight_ = false;
+    Ingest(std::move(result));
+    co_return;
+  }
 }
 
 Task<void> StreamReader::FetchLoop() {
+  assert(options_.lookahead > 0 && "fetch loop exists only in lookahead mode");
   while (!ended_) {
     while (buffer_.size() >= options_.lookahead && !ended_) {
       co_await room_.Wait();
@@ -68,7 +130,11 @@ Task<std::optional<Value>> StreamReader::Next() {
   Value item = std::move(buffer_.front());
   buffer_.pop_front();
   items_read_++;
-  room_.Notify();
+  if (options_.lookahead > 0) {
+    // Only the lookahead fetch process ever waits on room_; in inline mode
+    // there is no such process and nothing to wake.
+    room_.Notify();
+  }
   co_return std::optional<Value>(std::move(item));
 }
 
@@ -91,7 +157,9 @@ Task<ValueList> StreamReader::NextBatch() {
     buffer_.pop_front();
   }
   items_read_ += items.size();
-  room_.NotifyAll();
+  if (options_.lookahead > 0) {
+    room_.NotifyAll();
+  }
   co_return items;
 }
 

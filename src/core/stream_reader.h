@@ -25,6 +25,17 @@ struct StreamReaderOptions {
   // If > 0, a fetch process keeps up to this many items buffered ahead of
   // the consumer. 0 = fetch inline, one Transfer at a time.
   size_t lookahead = 0;
+  // ---- Fault tolerance.
+  // Per-Transfer invocation deadline (0 = wait forever).
+  Tick deadline = 0;
+  // Retries after a kUnavailable/kDeadlineExceeded failure before giving up.
+  // Re-invoking a crashed-but-checkpointed source reactivates it.
+  int retry_attempts = 0;
+  // First retry delay in virtual ticks; doubles per attempt.
+  Tick retry_backoff = 0;
+  // Send seq/ack positions with every Transfer and deduplicate redelivered
+  // items (requires a sequenced channel at the source).
+  bool sequenced = false;
 };
 
 class StreamReader {
@@ -55,6 +66,22 @@ class StreamReader {
   const Status& status() const { return status_; }
   uint64_t items_read() const { return items_read_; }
 
+  // ---- Recovery support (sequenced mode).
+  // Position of the next item the consumer has not yet taken.
+  uint64_t consumed() const { return next_seq_ - buffer_.size(); }
+  // Marks positions below `pos` as durable at the consumer: they are
+  // acknowledged to the source, which may discard them from its replay
+  // window. Call after checkpointing. Until the first call, the reader
+  // acknowledges whatever it has consumed (right for consumers that never
+  // restart, wrong for ones that do).
+  void set_durable(uint64_t pos) {
+    durable_ = pos;
+    explicit_durable_ = true;
+  }
+  // Restart the stream from position `seq`, discarding buffered items and
+  // any remembered end/failure. Used when restoring from a checkpoint.
+  void ResumeAt(uint64_t seq);
+
   const Uid& source() const { return source_; }
   const Value& channel() const { return channel_; }
 
@@ -62,6 +89,7 @@ class StreamReader {
   Task<void> FetchOnce();
   Task<void> FetchLoop();
   void Ingest(InvokeResult result);
+  uint64_t ack() const { return explicit_durable_ ? durable_ : consumed(); }
 
   Eject& owner_;
   Uid source_;
@@ -73,6 +101,9 @@ class StreamReader {
   bool fetch_in_flight_ = false;
   Status status_;
   uint64_t items_read_ = 0;
+  uint64_t next_seq_ = 0;  // position of the next item to fetch
+  uint64_t durable_ = 0;
+  bool explicit_durable_ = false;
   CondVar available_;  // consumer waits (lookahead mode)
   CondVar room_;       // fetch process waits (lookahead mode)
 };

@@ -13,6 +13,7 @@ void StreamServer::DeclareChannel(std::string name, ChannelOptions options) {
   OutChannel channel;
   channel.name = name;
   channel.capacity = options.capacity;
+  channel.sequenced = options.sequenced;
   channel.space = std::make_unique<CondVar>(owner_);
   channels_.emplace(std::move(name), std::move(channel));
 }
@@ -84,26 +85,72 @@ void StreamServer::AbortAll(Status status) {
 
 void StreamServer::Pump(OutChannel& channel) {
   while (!channel.parked.empty()) {
-    if (channel.buffer.empty() && !channel.closed) {
-      break;  // nothing to serve yet; keep the vacuum
+    if (channel.abort_status.ok()) {
+      // A request for an already-served position can be answered from the
+      // replay window even with an empty buffer.
+      const Parked& front = channel.parked.front();
+      bool replayable = channel.sequenced && front.seq >= 0 &&
+                        static_cast<uint64_t>(front.seq) < channel.next_seq;
+      if (channel.buffer.empty() && !channel.closed && !replayable) {
+        break;  // nothing to serve yet; keep the vacuum
+      }
     }
     Parked request = std::move(channel.parked.front());
     channel.parked.pop_front();
     if (!channel.abort_status.ok()) {
-      transfers_served_++;
+      transfers_aborted_++;
       request.reply.ReplyStatus(channel.abort_status);
       continue;
     }
-    ValueList items;
-    int64_t take = std::max<int64_t>(request.max, 1);
-    while (take-- > 0 && !channel.buffer.empty()) {
-      items.push_back(std::move(channel.buffer.front()));
-      channel.buffer.pop_front();
+    // Where this reply starts. Classic requests take the next fresh item; a
+    // sequenced request names its position. Requests *ahead* of production
+    // happen when a restored producer rolled back and is regenerating items
+    // the consumer already has — serve from next_seq and let the consumer
+    // discard the duplicate prefix.
+    uint64_t pos = channel.next_seq;
+    if (channel.sequenced && request.seq >= 0) {
+      uint64_t want = static_cast<uint64_t>(request.seq);
+      if (want < channel.replay_base) {
+        transfers_served_++;
+        request.reply.ReplyError(
+            StatusCode::kInternal,
+            "requested position already discarded from the replay window");
+        continue;
+      }
+      pos = std::min(want, channel.next_seq);
     }
-    bool end = channel.closed && channel.buffer.empty();
-    items_delivered_ += items.size();
+    uint64_t first = pos;
+    ValueList items;
+    size_t fresh = 0;
+    bool redelivered = false;
+    int64_t take = std::max<int64_t>(request.max, 1);
+    while (take-- > 0) {
+      if (pos < channel.next_seq) {
+        items.push_back(channel.replay[pos - channel.replay_base]);
+        redelivered = true;
+      } else if (!channel.buffer.empty()) {
+        Value item = std::move(channel.buffer.front());
+        channel.buffer.pop_front();
+        if (channel.sequenced) {
+          channel.replay.push_back(item);
+        }
+        items.push_back(std::move(item));
+        channel.next_seq++;
+        fresh++;
+      } else {
+        break;
+      }
+      pos++;
+    }
+    bool end = channel.closed && channel.buffer.empty() && pos >= channel.next_seq;
+    items_delivered_ += fresh;
     transfers_served_++;
-    request.reply.Reply(MakeBatchReply(std::move(items), end));
+    if (redelivered) {
+      owner_.kernel().stats().redeliveries++;
+    }
+    request.reply.Reply(channel.sequenced
+                            ? MakeBatchReply(std::move(items), end, first)
+                            : MakeBatchReply(std::move(items), end));
   }
   if (channel.closed || channel.buffer.size() < channel.capacity ||
       !channel.parked.empty()) {
@@ -125,9 +172,18 @@ void StreamServer::HandleTransfer(InvocationContext ctx) {
   }
   OutChannel* ch = Find(*name);
   assert(ch != nullptr);
+  if (ch->sequenced && ctx.args().HasField(kFieldAck)) {
+    // Positions below the caller's durable mark can never be re-requested.
+    uint64_t ack = static_cast<uint64_t>(ctx.Arg(kFieldAck).IntOr(0));
+    while (ch->replay_base < ack && !ch->replay.empty()) {
+      ch->replay.pop_front();
+      ch->replay_base++;
+    }
+  }
   Parked parked;
-  parked.reply = ctx.TakeReply();
   parked.max = ctx.Arg(kFieldMax).IntOr(1);
+  parked.seq = ctx.Arg(kFieldSeq).IntOr(-1);
+  parked.reply = ctx.TakeReply();
   ch->parked.push_back(std::move(parked));
   Pump(*ch);
 }
@@ -161,6 +217,54 @@ size_t StreamServer::parked_requests(std::string_view channel) const {
 bool StreamServer::closed(std::string_view channel) const {
   const OutChannel* ch = Find(channel);
   return ch == nullptr || ch->closed;
+}
+
+uint64_t StreamServer::served_seq(std::string_view channel) const {
+  const OutChannel* ch = Find(channel);
+  return ch == nullptr ? 0 : ch->next_seq;
+}
+
+uint64_t StreamServer::acked(std::string_view channel) const {
+  const OutChannel* ch = Find(channel);
+  return ch == nullptr ? 0 : ch->replay_base;
+}
+
+Value StreamServer::SaveChannels() const {
+  ValueMap state;
+  for (const auto& [name, ch] : channels_) {
+    Value v;
+    v.Set("closed", Value(ch.closed));
+    v.Set("next", Value(ch.next_seq));
+    v.Set("base", Value(ch.replay_base));
+    v.Set("replay", Value(ValueList(ch.replay.begin(), ch.replay.end())));
+    v.Set("buffer", Value(ValueList(ch.buffer.begin(), ch.buffer.end())));
+    state.emplace(name, std::move(v));
+  }
+  return Value(std::move(state));
+}
+
+void StreamServer::RestoreChannels(const Value& state) {
+  const ValueMap* map = state.AsMap();
+  if (map == nullptr) {
+    return;
+  }
+  for (const auto& [name, v] : *map) {
+    OutChannel* ch = Find(name);
+    if (ch == nullptr) {
+      continue;  // channel set is part of the type, not the checkpoint
+    }
+    ch->closed = v.Field("closed").BoolOr(false);
+    ch->next_seq = static_cast<uint64_t>(v.Field("next").IntOr(0));
+    ch->replay_base = static_cast<uint64_t>(v.Field("base").IntOr(0));
+    ch->replay.clear();
+    ch->buffer.clear();
+    if (const ValueList* replay = v.Field("replay").AsList()) {
+      ch->replay.assign(replay->begin(), replay->end());
+    }
+    if (const ValueList* buffer = v.Field("buffer").AsList()) {
+      ch->buffer.assign(buffer->begin(), buffer->end());
+    }
+  }
 }
 
 }  // namespace eden

@@ -35,6 +35,10 @@ struct StreamServerChannelOptions {
   // OpenChannel; integer/name identifiers act as if the channel does not
   // exist (paper §5).
   bool capability_only = false;
+  // Fault tolerance: number every item and keep served items in a replay
+  // window until the consumer acknowledges them as durable, so a consumer
+  // that lost a reply (or its own state) can re-request old positions.
+  bool sequenced = false;
 };
 
 class StreamServer {
@@ -76,7 +80,21 @@ class StreamServer {
   bool closed(std::string_view channel) const;
   uint64_t items_delivered() const { return items_delivered_; }
   uint64_t transfers_served() const { return transfers_served_; }
+  // Transfers answered with an abort status. Counted separately: an aborted
+  // stream served nothing, and conflating the two hides failed runs.
+  uint64_t transfers_aborted() const { return transfers_aborted_; }
+  // Sequenced channels: position of the next fresh item / the lowest
+  // position still held in the replay window.
+  uint64_t served_seq(std::string_view channel) const;
+  uint64_t acked(std::string_view channel) const;
   ChannelTable& table() { return table_; }
+
+  // ---- Recovery support: the dynamic state of every channel (positions,
+  // replay window, undelivered buffer) as a checkpointable Value. Parked
+  // requests are deliberately excluded — their reply handles die with the
+  // crashed instance and the callers retry.
+  Value SaveChannels() const;
+  void RestoreChannels(const Value& state);
 
   // Convenience: mints a capability (local call — the remote path is the
   // OpenChannel invocation).
@@ -88,14 +106,21 @@ class StreamServer {
   struct Parked {
     ReplyHandle reply;
     int64_t max = 1;
+    int64_t seq = -1;  // requested position; -1 = classic (next fresh item)
   };
   struct OutChannel {
     std::string name;
     size_t capacity = 4;
+    bool sequenced = false;
     bool closed = false;
     Status abort_status;  // non-OK once the stream is aborted
-    std::deque<Value> buffer;
+    std::deque<Value> buffer;  // produced, never served: [next_seq, ...)
     std::deque<Parked> parked;
+    // Sequenced channels: served-but-unacknowledged items occupy positions
+    // [replay_base, next_seq) and are re-served on request.
+    std::deque<Value> replay;
+    uint64_t replay_base = 0;
+    uint64_t next_seq = 0;  // position of the next fresh (unserved) item
     std::unique_ptr<CondVar> space;  // producer waits here
   };
 
@@ -115,6 +140,7 @@ class StreamServer {
   bool channels_locked_ = false;
   uint64_t items_delivered_ = 0;
   uint64_t transfers_served_ = 0;
+  uint64_t transfers_aborted_ = 0;
 };
 
 }  // namespace eden

@@ -1,21 +1,117 @@
 #include "src/core/stream_writer.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
 namespace eden {
 
+namespace {
+bool Retryable(const Status& status) {
+  return status.is(StatusCode::kUnavailable) ||
+         status.is(StatusCode::kDeadlineExceeded);
+}
+}  // namespace
+
 Task<Status> StreamWriter::Send(bool end) {
+  if (options_.sequenced) {
+    co_return co_await SendSequenced(end);
+  }
   ValueList items;
   items.swap(pending_);
   items_written_ += items.size();
-  pushes_sent_++;
-  InvokeResult result = co_await owner_.Invoke(
-      sink_, std::string(kOpPush), MakePushArgs(channel_, std::move(items), end));
-  status_ = std::move(result.status);
-  co_return status_;
+  int attempt = 0;
+  for (;;) {
+    pushes_sent_++;
+    InvokeResult result = co_await owner_.Invoke(
+        sink_, std::string(kOpPush), MakePushArgs(channel_, items, end),
+        options_.deadline);
+    if (!result.ok() && Retryable(result.status) &&
+        attempt < options_.retry_attempts) {
+      attempt++;
+      owner_.kernel().stats().retries++;
+      if (options_.retry_backoff > 0) {
+        co_await owner_.Sleep(options_.retry_backoff << (attempt - 1));
+      }
+      continue;
+    }
+    if (attempt > 0 && result.status.ok_or_end()) {
+      owner_.kernel().stats().recoveries++;
+    }
+    status_ = std::move(result.status);
+    co_return status_;
+  }
+}
+
+Task<Status> StreamWriter::SendSequenced(bool end) {
+  int attempt = 0;
+  for (;;) {
+    uint64_t first = cursor_;
+    uint64_t total = replay_base_ + replay_.size();
+    ValueList items(replay_.begin() + static_cast<ptrdiff_t>(first - replay_base_),
+                    replay_.end());
+    size_t count = items.size();
+    pushes_sent_++;
+    InvokeResult result = co_await owner_.Invoke(
+        sink_, std::string(kOpPush),
+        MakePushArgs(channel_, std::move(items), end, first), options_.deadline);
+    if (!result.ok()) {
+      if (Retryable(result.status) && attempt < options_.retry_attempts) {
+        attempt++;
+        owner_.kernel().stats().retries++;
+        if (options_.retry_backoff > 0) {
+          co_await owner_.Sleep(options_.retry_backoff << (attempt - 1));
+        }
+        continue;  // resend the same window
+      }
+      status_ = std::move(result.status);
+      co_return status_;
+    }
+    if (attempt > 0) {
+      owner_.kernel().stats().recoveries++;
+    }
+    uint64_t next = static_cast<uint64_t>(
+        result.value.Field(kFieldNext).IntOr(static_cast<int64_t>(first + count)));
+    uint64_t ack = static_cast<uint64_t>(
+        result.value.Field(kFieldAck).IntOr(static_cast<int64_t>(replay_base_)));
+    if (next < replay_base_) {
+      // The receiver wants items we have already discarded as durable —
+      // its state regressed below its own advertised ack. Unrecoverable.
+      status_ = Status(StatusCode::kInternal,
+                       "receiver rewound below the acknowledged position");
+      co_return status_;
+    }
+    // Positions the receiver checkpointed can never be re-requested.
+    while (replay_base_ < ack && !replay_.empty()) {
+      replay_.pop_front();
+      replay_base_++;
+    }
+    if (cursor_ < next) {
+      cursor_ = std::min(next, total);
+    }
+    if (next >= first + count) {
+      status_ = std::move(result.status);
+      co_return status_;  // everything we sent was accepted (or already held)
+    }
+    // Gap: an earlier push was lost and the receiver refused this one.
+    // Rewind to the first position it is missing and resend.
+    cursor_ = next;
+    owner_.kernel().stats().retries++;
+  }
 }
 
 Task<Status> StreamWriter::Write(Value item) {
   if (ended_ || !status_.ok_or_end()) {
     co_return status_.ok_or_end() ? Status(StatusCode::kEndOfStream) : status_;
+  }
+  if (options_.sequenced) {
+    replay_.push_back(std::move(item));
+    items_written_++;
+    uint64_t unsent = replay_base_ + replay_.size() - cursor_;
+    if (static_cast<int64_t>(unsent) >= options_.batch) {
+      co_return co_await Send(/*end=*/false);
+    }
+    co_return Status::Ok();
   }
   pending_.push_back(std::move(item));
   if (static_cast<int64_t>(pending_.size()) >= options_.batch) {
@@ -25,7 +121,14 @@ Task<Status> StreamWriter::Write(Value item) {
 }
 
 Task<Status> StreamWriter::Flush() {
-  if (pending_.empty() || ended_) {
+  if (ended_) {
+    co_return status_;
+  }
+  if (options_.sequenced) {
+    if (cursor_ >= replay_base_ + replay_.size()) {
+      co_return status_;
+    }
+  } else if (pending_.empty()) {
     co_return status_;
   }
   co_return co_await Send(/*end=*/false);
@@ -37,6 +140,26 @@ Task<Status> StreamWriter::End() {
   }
   ended_ = true;
   co_return co_await Send(/*end=*/true);
+}
+
+Value StreamWriter::SaveState() const {
+  Value state;
+  state.Set("base", Value(replay_base_));
+  state.Set("items", Value(ValueList(replay_.begin(), replay_.end())));
+  state.Set("ended", Value(ended_));
+  return state;
+}
+
+void StreamWriter::RestoreState(const Value& state) {
+  replay_base_ = static_cast<uint64_t>(state.Field("base").IntOr(0));
+  replay_.clear();
+  if (const ValueList* items = state.Field("items").AsList()) {
+    replay_.assign(items->begin(), items->end());
+  }
+  ended_ = state.Field("ended").BoolOr(false);
+  // Resend the whole unacknowledged window; the receiver deduplicates.
+  cursor_ = replay_base_;
+  status_ = Status::Ok();
 }
 
 }  // namespace eden

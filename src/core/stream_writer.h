@@ -4,9 +4,16 @@
 // Push reply is the flow-control signal: Write blocks (transitively) when
 // the receiver's buffer is above capacity, so a fast producer cannot flood
 // a slow consumer.
+//
+// In sequenced mode the writer keeps every unacknowledged item in a replay
+// window and stamps each Push with the position of its first item. The
+// receiver's reply carries {ack, next}: positions below `ack` are durable
+// there and are dropped from the window; `next` short of the end of what we
+// sent signals a lost push — the writer rewinds and resends from `next`.
 #ifndef SRC_CORE_STREAM_WRITER_H_
 #define SRC_CORE_STREAM_WRITER_H_
 
+#include <deque>
 #include <utility>
 
 #include "src/core/stream.h"
@@ -17,6 +24,16 @@ namespace eden {
 struct StreamWriterOptions {
   // Items accumulated locally before a Push is sent.
   int64_t batch = 1;
+  // ---- Fault tolerance.
+  // Per-Push invocation deadline (0 = wait forever).
+  Tick deadline = 0;
+  // Retries after a kUnavailable/kDeadlineExceeded failure before giving up.
+  int retry_attempts = 0;
+  // First retry delay in virtual ticks; doubles per attempt.
+  Tick retry_backoff = 0;
+  // Number items and keep them in a replay window until acknowledged
+  // (requires a sequenced channel at the receiver).
+  bool sequenced = false;
 };
 
 class StreamWriter {
@@ -45,18 +62,32 @@ class StreamWriter {
 
   const Uid& sink() const { return sink_; }
 
+  // ---- Recovery support (sequenced mode): the replay window — everything
+  // written but not yet acknowledged as durable — as a checkpointable
+  // Value, and its inverse. Restoring rewinds transmission to the start of
+  // the window; the receiver drops whatever it already has.
+  Value SaveState() const;
+  void RestoreState(const Value& state);
+
  private:
   Task<Status> Send(bool end);
+  Task<Status> SendSequenced(bool end);
 
   Eject& owner_;
   Uid sink_;
   Value channel_;
   Options options_;
-  ValueList pending_;
+  ValueList pending_;  // classic mode only; sequenced items live in replay_
   bool ended_ = false;
   Status status_;
   uint64_t items_written_ = 0;
   uint64_t pushes_sent_ = 0;
+  // Sequenced mode: unacknowledged items occupy positions
+  // [replay_base_, replay_base_ + replay_.size()); cursor_ is the next
+  // position to transmit.
+  std::deque<Value> replay_;
+  uint64_t replay_base_ = 0;
+  uint64_t cursor_ = 0;
 };
 
 }  // namespace eden

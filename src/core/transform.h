@@ -50,6 +50,14 @@ class Transform {
 
   virtual std::string name() const = 0;
 
+  // ---- Recovery support. A stateful transform (wc, sort, dedup...) that
+  // should survive a crash must serialize its accumulated state here; the
+  // hosting filter folds it into the checkpoint. Stateless transforms keep
+  // the defaults. RestoreState is called on a freshly constructed instance
+  // (same factory) before any OnItem.
+  virtual Value SaveState() const { return Value(); }
+  virtual void RestoreState(const Value& state) { (void)state; }
+
   // The output channels this transform emits to; first entry is primary.
   virtual std::vector<std::string> output_channels() const {
     return {std::string(kChanOut)};

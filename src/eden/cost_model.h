@@ -12,6 +12,7 @@
 #ifndef SRC_EDEN_COST_MODEL_H_
 #define SRC_EDEN_COST_MODEL_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/eden/clock.h"

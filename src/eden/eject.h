@@ -51,9 +51,11 @@ class Eject {
   // Starts a detached internal process. Destroyed on crash/deactivation.
   void Spawn(Task<void> task);
 
-  // Awaitables bound to this Eject.
-  InvokeAwaiter Invoke(Uid target, std::string op, Value args = Value()) {
-    return kernel_.Invoke(*this, target, std::move(op), std::move(args));
+  // Awaitables bound to this Eject. A nonzero `deadline` makes the await
+  // resume with kDeadlineExceeded if no reply is sent within that many ticks.
+  InvokeAwaiter Invoke(Uid target, std::string op, Value args = Value(),
+                       Tick deadline = 0) {
+    return kernel_.Invoke(*this, target, std::move(op), std::move(args), deadline);
   }
   SleepAwaiter Sleep(Tick delay) { return SleepAwaiter(kernel_, uid_, delay); }
   SleepAwaiter Yield() { return SleepAwaiter(kernel_, uid_, 0); }

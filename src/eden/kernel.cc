@@ -5,6 +5,7 @@
 
 #include "src/eden/codec.h"
 #include "src/eden/eject.h"
+#include "src/eden/fault.h"
 #include "src/eden/log.h"
 
 namespace eden {
@@ -58,6 +59,7 @@ void InvokeAwaiter::await_suspend(std::coroutine_handle<> h) {
   pending.caller = from_;
   pending.caller_epoch = kernel_.EpochOf(from_);
   pending.caller_node = kernel_.NodeOf(from_);
+  pending.deadline = deadline_;
   pending.awaiter = this;
   pending.waiter = h;
   kernel_.SendInvocation(from_, target_, std::move(op_), std::move(args_),
@@ -164,8 +166,9 @@ void Kernel::ScheduleAction(Tick delay, std::function<void()> action) {
 // ------------------------------------------------------------------ invocation
 
 InvokeAwaiter Kernel::Invoke(const Eject& from, Uid target, std::string op,
-                             Value args) {
-  return InvokeAwaiter(*this, from.uid(), target, std::move(op), std::move(args));
+                             Value args, Tick deadline) {
+  return InvokeAwaiter(*this, from.uid(), target, std::move(op), std::move(args),
+                       deadline);
 }
 
 void Kernel::ExternalInvoke(Uid target, std::string op, Value args,
@@ -227,11 +230,43 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
     event.id = id;
     tracer_(event);
   }
+  // Fault injection applies to inter-Eject traffic only, so external drivers
+  // keep a reliable channel. A dropped invocation leaves its pending entry in
+  // place: the deadline (if any) is the caller's only way to learn of the
+  // loss; without one the caller waits forever, exactly like 1983.
+  bool lost = false;
+  if (fault_ != nullptr && !from.IsNil()) {
+    if (fault_->ShouldDropInvocation()) {
+      lost = true;
+      fault_->invocations_dropped_++;
+      stats_.messages_dropped++;
+      EDEN_LOG(*this, kInfo) << "fault: lost invoke " << op << " (id " << id << ")";
+      if (tracer_) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::kDrop;
+        event.at = now();
+        event.from = from;
+        event.to = target;
+        event.op = op;
+        event.id = id;
+        event.ok = false;
+        tracer_(event);
+      }
+    } else {
+      cost += fault_->NextJitter();
+    }
+  }
+  Tick deadline = pending.deadline;
   pending_[id] = std::move(pending);
-  events_.Schedule(now() + cost,
-                   [this, id, target, op = std::move(op), args = std::move(args)]() mutable {
-                     DeliverInvocation(id, target, std::move(op), std::move(args));
-                   });
+  if (!lost) {
+    events_.Schedule(now() + cost,
+                     [this, id, target, op = std::move(op), args = std::move(args)]() mutable {
+                       DeliverInvocation(id, target, std::move(op), std::move(args));
+                     });
+  }
+  if (deadline > 0) {
+    events_.Schedule(now() + deadline, [this, id] { FireDeadline(id); });
+  }
 }
 
 void Kernel::DeliverInvocation(InvocationId id, Uid target, std::string op,
@@ -317,10 +352,8 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
   }
   auto it = pending_.find(id);
   if (it == pending_.end()) {
-    return;  // double reply or already failed by teardown
+    return;  // double reply, deadline already fired, or failed by teardown
   }
-  PendingInvocation pending = std::move(it->second);
-  pending_.erase(it);
 
   size_t bytes = kMessageHeaderBytes + Codec::EncodedSize(result);
   stats_.replies_sent++;
@@ -328,6 +361,30 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
   if (!status.ok_or_end()) {
     stats_.failed_invocations++;
   }
+
+  // Fault injection: a lost reply keeps the pending entry so the caller's
+  // deadline can still fire (or a later teardown can answer kUnavailable).
+  if (fault_ != nullptr && !it->second.caller.IsNil() &&
+      fault_->ShouldDropReply()) {
+    fault_->replies_dropped_++;
+    stats_.messages_dropped++;
+    EDEN_LOG(*this, kInfo) << "fault: lost reply (id " << id << ")";
+    if (tracer_) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kDrop;
+      event.at = now();
+      event.from = it->second.target;
+      event.to = it->second.caller;
+      event.op = "reply";
+      event.id = id;
+      event.ok = false;
+      tracer_(event);
+    }
+    return;
+  }
+
+  PendingInvocation pending = std::move(it->second);
+  pending_.erase(it);
   if (tracer_) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kReply;
@@ -340,6 +397,9 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
   }
   Tick cost = options_.costs.MessageCost(bytes, pending.target_node,
                                          pending.caller_node);
+  if (fault_ != nullptr && !pending.caller.IsNil()) {
+    cost += fault_->NextJitter();
+  }
   events_.Schedule(
       now() + cost,
       [this, pending = std::move(pending), status = std::move(status),
@@ -359,6 +419,32 @@ void Kernel::DeliverReply(PendingInvocation pending, Status status, Value result
   pending.awaiter->result_ = InvokeResult{std::move(status), std::move(result)};
   stats_.context_switches++;
   pending.waiter.resume();
+}
+
+void Kernel::FireDeadline(InvocationId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;  // a reply was sent in time; the deadline is moot
+  }
+  PendingInvocation pending = std::move(it->second);
+  pending_.erase(it);
+  stats_.timeouts++;
+  EDEN_LOG(*this, kInfo) << "deadline exceeded (id " << id << ")";
+  if (tracer_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kTimeout;
+    event.at = now();
+    event.from = pending.target;
+    event.to = pending.caller;
+    event.id = id;
+    event.ok = false;
+    tracer_(event);
+  }
+  // Erasing the entry above is what "drops" any later reply: SendReply for
+  // this id becomes a no-op, the same path that swallows double replies.
+  DeliverReply(std::move(pending),
+               Status(StatusCode::kDeadlineExceeded, "invocation deadline exceeded"),
+               Value());
 }
 
 // ------------------------------------------------------------------- lifecycle

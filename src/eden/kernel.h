@@ -43,6 +43,7 @@
 namespace eden {
 
 class Eject;
+class FaultInjector;
 class Kernel;
 
 // Move-only capability to reply (once) to a delivered invocation. Handlers
@@ -108,14 +109,19 @@ class InvocationContext {
 
 // co_await-able invocation. Usage inside an Eject coroutine:
 //   InvokeResult r = co_await Invoke(file, "Transfer", args);
+// A nonzero `deadline` bounds the wait: if no reply has been *sent* within
+// `deadline` ticks, the awaiter resumes with kDeadlineExceeded and any later
+// reply is dropped by the pending-invocation machinery.
 class [[nodiscard]] InvokeAwaiter {
  public:
-  InvokeAwaiter(Kernel& kernel, Uid from, Uid target, std::string op, Value args)
+  InvokeAwaiter(Kernel& kernel, Uid from, Uid target, std::string op, Value args,
+                Tick deadline = 0)
       : kernel_(kernel),
         from_(from),
         target_(target),
         op_(std::move(op)),
-        args_(std::move(args)) {}
+        args_(std::move(args)),
+        deadline_(deadline) {}
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h);
@@ -128,6 +134,7 @@ class [[nodiscard]] InvokeAwaiter {
   Uid target_;
   std::string op_;
   Value args_;
+  Tick deadline_ = 0;
   InvokeResult result_;
 };
 
@@ -207,8 +214,9 @@ class Kernel {
   void Checkpoint(Eject& eject);
 
   // ---- Invocation.
+  // `deadline` of 0 means wait forever (the classic Eden semantics).
   InvokeAwaiter Invoke(const Eject& from, Uid target, std::string op,
-                       Value args = Value());
+                       Value args = Value(), Tick deadline = 0);
   // Invocation from outside the simulated system (test drivers, examples).
   void ExternalInvoke(Uid target, std::string op, Value args,
                       std::function<void(InvokeResult)> callback);
@@ -233,6 +241,12 @@ class Kernel {
   // Optional message tracing (zero cost when unset): the hook observes
   // every invocation and reply at send time. See src/eden/trace.h.
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+  // Optional fault injection (nullptr = perfectly reliable medium). The
+  // injector only perturbs inter-Eject traffic; messages to or from the
+  // external driver are always delivered. Not owned; must outlive the run.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
 
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
@@ -272,6 +286,7 @@ class Kernel {
     NodeId caller_node = kNoNode;
     Uid target;
     NodeId target_node = 0;
+    Tick deadline = 0;  // 0 = no deadline
     bool delivered = false;
     // Exactly one of these is set.
     InvokeAwaiter* awaiter = nullptr;
@@ -286,6 +301,7 @@ class Kernel {
   void DispatchTo(Eject& eject, InvocationId id, std::string op, Value args);
   void ActivateThenDispatch(InvocationId id, Uid target, std::string op, Value args);
   void DeliverReply(PendingInvocation pending, Status status, Value result);
+  void FireDeadline(InvocationId id);
   void TearDown(const Uid& uid, bool is_crash);
   void FailDeliveredPendingFor(const Uid& target);
 
@@ -302,6 +318,7 @@ class Kernel {
   std::map<InvocationId, PendingInvocation> pending_;
   TaskList external_tasks_;
   Tracer tracer_;
+  FaultInjector* fault_ = nullptr;
   InvocationId next_invocation_id_ = 1;
   bool shutting_down_ = false;
 };

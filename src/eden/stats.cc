@@ -5,11 +5,13 @@
 namespace eden {
 
 std::string Stats::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "invocations=%llu replies=%llu bytes=%llu switches=%llu "
                 "local_steps=%llu ejects=%llu activations=%llu checkpoints=%llu "
-                "crashes=%llu events=%llu failed=%llu",
+                "crashes=%llu events=%llu failed=%llu timeouts=%llu "
+                "dropped=%llu retries=%llu recoveries=%llu redeliveries=%llu "
+                "dupes_dropped=%llu",
                 static_cast<unsigned long long>(invocations_sent),
                 static_cast<unsigned long long>(replies_sent),
                 static_cast<unsigned long long>(total_bytes()),
@@ -20,7 +22,13 @@ std::string Stats::ToString() const {
                 static_cast<unsigned long long>(checkpoints),
                 static_cast<unsigned long long>(crashes),
                 static_cast<unsigned long long>(events_processed),
-                static_cast<unsigned long long>(failed_invocations));
+                static_cast<unsigned long long>(failed_invocations),
+                static_cast<unsigned long long>(timeouts),
+                static_cast<unsigned long long>(messages_dropped),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(recoveries),
+                static_cast<unsigned long long>(redeliveries),
+                static_cast<unsigned long long>(redeliveries_dropped));
   return buf;
 }
 

@@ -28,6 +28,13 @@ struct Stats {
   uint64_t crashes = 0;
   uint64_t events_processed = 0;
   uint64_t failed_invocations = 0;  // non-OK, non-EOS replies
+  // ---- Failure handling (deadlines, fault injection, stream recovery).
+  uint64_t timeouts = 0;              // invocation deadlines that fired
+  uint64_t messages_dropped = 0;      // messages lost to the fault injector
+  uint64_t retries = 0;               // stream re-invocations after a failure
+  uint64_t recoveries = 0;            // retry sequences that eventually succeeded
+  uint64_t redeliveries = 0;          // batches re-served from a replay window
+  uint64_t redeliveries_dropped = 0;  // duplicate items discarded by receivers
 
   Stats operator-(const Stats& rhs) const {
     Stats d;
@@ -45,6 +52,12 @@ struct Stats {
     d.crashes = crashes - rhs.crashes;
     d.events_processed = events_processed - rhs.events_processed;
     d.failed_invocations = failed_invocations - rhs.failed_invocations;
+    d.timeouts = timeouts - rhs.timeouts;
+    d.messages_dropped = messages_dropped - rhs.messages_dropped;
+    d.retries = retries - rhs.retries;
+    d.recoveries = recoveries - rhs.recoveries;
+    d.redeliveries = redeliveries - rhs.redeliveries;
+    d.redeliveries_dropped = redeliveries_dropped - rhs.redeliveries_dropped;
     return d;
   }
 

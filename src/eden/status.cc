@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "WOULD_BLOCK";
     case StatusCode::kTimeout:
       return "TIMEOUT";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -30,6 +30,7 @@ enum class StatusCode {
   kNotFound,
   kWouldBlock,
   kTimeout,
+  kDeadlineExceeded,  // no reply arrived within the invocation's deadline
   kInternal,
 };
 

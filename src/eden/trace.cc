@@ -89,9 +89,21 @@ std::string TraceRecorder::Render(size_t max_rows) const {
     }
     size_t start = left * kColumnWidth + kColumnWidth / 2 + 1;
     size_t end = right * kColumnWidth + kColumnWidth / 2;
-    std::string label = event.kind == TraceEvent::Kind::kInvoke
-                            ? event.op
-                            : (event.ok ? "ok" : "fail");
+    std::string label;
+    switch (event.kind) {
+      case TraceEvent::Kind::kInvoke:
+        label = event.op;
+        break;
+      case TraceEvent::Kind::kReply:
+        label = event.ok ? "ok" : "fail";
+        break;
+      case TraceEvent::Kind::kDrop:
+        label = "LOST " + event.op;
+        break;
+      case TraceEvent::Kind::kTimeout:
+        label = "deadline";
+        break;
+    }
     char dash = event.kind == TraceEvent::Kind::kInvoke ? '-' : '.';
     std::string arrow(end - start, dash);
     if (arrow.size() > label.size() + 2) {

@@ -20,7 +20,10 @@
 namespace eden {
 
 struct TraceEvent {
-  enum class Kind { kInvoke, kReply };
+  // kDrop: the fault injector lost the message (from/to are the endpoints of
+  // the lost message). kTimeout: an invocation deadline fired at the caller
+  // before any reply arrived.
+  enum class Kind { kInvoke, kReply, kDrop, kTimeout };
   Kind kind = Kind::kInvoke;
   Tick at = 0;
   Uid from;  // nil = external driver

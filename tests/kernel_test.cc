@@ -359,10 +359,11 @@ TEST(KernelTest, CrashNodeKillsOnlyThatNode) {
   Kernel kernel;
   NodeId n1 = kernel.AddNode("n1");
   EchoEject& on0 = kernel.CreateLocal<EchoEject>();
-  EchoEject& on1 = kernel.Create<EchoEject>(n1);
+  // CrashNode destroys the Eject object itself; keep only the uid.
+  Uid on1 = kernel.Create<EchoEject>(n1).uid();
   kernel.CrashNode(n1);
   EXPECT_TRUE(kernel.IsActive(on0.uid()));
-  EXPECT_FALSE(kernel.IsActive(on1.uid()));
+  EXPECT_FALSE(kernel.IsActive(on1));
 }
 
 TEST(SyncTest, BoundedQueueBlocksAtCapacity) {

@@ -186,13 +186,14 @@ TEST(EjectTest, ActivationChargesVirtualTime) {
 TEST(EjectTest, TwoKernelsAreIndependent) {
   Kernel a;
   Kernel b;
-  IdentityKeeper& in_a = a.CreateLocal<IdentityKeeper>();
+  // Crash destroys the Eject object, so keep uids, not references.
+  Uid in_a = a.CreateLocal<IdentityKeeper>().uid();
   // Same seed: both kernels generate the same first UID...
   IdentityKeeper& in_b = b.CreateLocal<IdentityKeeper>();
-  EXPECT_EQ(in_a.uid(), in_b.uid());
+  EXPECT_EQ(in_a, in_b.uid());
   // ...but the registries are disjoint state: crash in one, fine in other.
-  a.Crash(in_a.uid());
-  EXPECT_FALSE(a.IsActive(in_a.uid()));
+  a.Crash(in_a);
+  EXPECT_FALSE(a.IsActive(in_a));
   EXPECT_TRUE(b.IsActive(in_b.uid()));
   // Distinct seeds diverge.
   KernelOptions options;

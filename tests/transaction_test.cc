@@ -14,6 +14,7 @@ class TxnFixture : public ::testing::Test {
     TFile::RegisterType(kernel_);
     TransactionManager::RegisterType(kernel_);
     manager_ = &kernel_.CreateLocal<TransactionManager>();
+    manager_uid_ = manager_->uid();
   }
 
   Uid Begin(std::optional<Uid> parent = std::nullopt) {
@@ -21,27 +22,27 @@ class TxnFixture : public ::testing::Test {
     if (parent) {
       args.Set("parent", Value(*parent));
     }
-    InvokeResult r = kernel_.InvokeAndRun(manager_->uid(), "Begin", args);
+    InvokeResult r = kernel_.InvokeAndRun(manager_uid_, "Begin", args);
     EXPECT_TRUE(r.ok()) << r.status;
     return r.value.Field("txn").UidOr(Uid());
   }
 
   Status Enlist(Uid txn, Uid file) {
     return kernel_
-        .InvokeAndRun(manager_->uid(), "Enlist",
+        .InvokeAndRun(manager_uid_, "Enlist",
                       Value().Set("txn", Value(txn)).Set("file", Value(file)))
         .status;
   }
 
   Status Commit(Uid txn) {
     return kernel_
-        .InvokeAndRun(manager_->uid(), "Commit", Value().Set("txn", Value(txn)))
+        .InvokeAndRun(manager_uid_, "Commit", Value().Set("txn", Value(txn)))
         .status;
   }
 
   Status Abort(Uid txn) {
     return kernel_
-        .InvokeAndRun(manager_->uid(), "Abort", Value().Set("txn", Value(txn)))
+        .InvokeAndRun(manager_uid_, "Abort", Value().Set("txn", Value(txn)))
         .status;
   }
 
@@ -71,13 +72,16 @@ class TxnFixture : public ::testing::Test {
   }
 
   std::string TxnState(Uid txn) {
-    InvokeResult r = kernel_.InvokeAndRun(manager_->uid(), "Status",
+    InvokeResult r = kernel_.InvokeAndRun(manager_uid_, "Status",
                                           Value().Set("txn", Value(txn)));
     return r.value.Field("state").StrOr("?");
   }
 
   Kernel kernel_;
+  // Crash destroys the manager object (it reactivates as a *new* object),
+  // so invocations go through the stable uid, never through manager_.
   TransactionManager* manager_ = nullptr;
+  Uid manager_uid_;
 };
 
 TEST_F(TxnFixture, CommitMakesWritesVisibleAndDurable) {
@@ -275,7 +279,7 @@ TEST_F(TxnFixture, ResolveShadowsAppliesCommittedAndDropsUnknown) {
   // Crash again before resolution of the orphan; then resolve.
   kernel_.Crash(file_uid);
   InvokeResult resolved = kernel_.InvokeAndRun(
-      file_uid, "ResolveShadows", Value().Set("manager", Value(manager_->uid())));
+      file_uid, "ResolveShadows", Value().Set("manager", Value(manager_uid_)));
   ASSERT_TRUE(resolved.ok()) << resolved.status;
   EXPECT_EQ(resolved.value.Field("discarded"), Value(1));  // presumed abort
 
@@ -289,13 +293,12 @@ TEST_F(TxnFixture, ResolveShadowsAppliesCommittedAndDropsUnknown) {
 
 TEST_F(TxnFixture, CoordinatorCrashForgetsActiveTransactions) {
   TFile& file = kernel_.CreateLocal<TFile>("v0\n");
-  Uid manager_uid = manager_->uid();
-  (void)kernel_.InvokeAndRun(manager_uid, "Status", Value());  // warm up
+  (void)kernel_.InvokeAndRun(manager_uid_, "Status", Value());  // warm up
   kernel_.Checkpoint(*manager_);
 
   Uid txn = Begin();
   ASSERT_TRUE(Enlist(txn, file.uid()).ok());
-  kernel_.Crash(manager_uid);
+  kernel_.Crash(manager_uid_);  // destroys the object behind manager_
 
   // Reactivated coordinator: the active transaction is gone (presumed
   // abort), durable state intact.
@@ -314,7 +317,7 @@ TEST_F(TxnFixture, ErrorsAreReported) {
   EXPECT_TRUE(Abort(Uid(9, 9)).is(StatusCode::kNotFound));
   // Begin with an unknown parent is refused.
   EXPECT_TRUE(kernel_
-                  .InvokeAndRun(manager_->uid(), "Begin",
+                  .InvokeAndRun(manager_uid_, "Begin",
                                 Value().Set("parent", Value(Uid(9, 9))))
                   .status.is(StatusCode::kNotFound));
   // Writes after prepare are refused.
