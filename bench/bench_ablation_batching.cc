@@ -45,4 +45,4 @@ BENCHMARK(BM_BatchSweep)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("ablation_batching")

@@ -150,4 +150,4 @@ BENCHMARK(BM_CrashLossVsInterval)->Arg(1)->Arg(10)->Arg(100)->Arg(1000)->Arg(0)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("ablation_checkpoint")

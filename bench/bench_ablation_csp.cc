@@ -144,4 +144,4 @@ BENCHMARK(BM_WriteOnlyInterpretation)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("ablation_csp")

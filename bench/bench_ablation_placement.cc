@@ -103,4 +103,4 @@ BENCHMARK(BM_Placement)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("ablation_placement")

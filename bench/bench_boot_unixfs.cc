@@ -76,4 +76,4 @@ BENCHMARK(BM_BootstrapRoundTrip)->Arg(100)->Arg(1000)->Arg(10000)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("boot_unixfs")

@@ -116,4 +116,4 @@ BENCHMARK(BM_ForgeryRejection)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("claim_channels")

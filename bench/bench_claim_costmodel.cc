@@ -93,4 +93,4 @@ BENCHMARK(BM_LocalVsInvocationCost)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("claim_costmodel")

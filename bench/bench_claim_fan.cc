@@ -242,4 +242,4 @@ BENCHMARK(BM_FanOutReadOnlyViaChannels)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("claim_fan")

@@ -63,4 +63,4 @@ BENCHMARK(BM_ConventionalInvocations)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("claim_invocations")

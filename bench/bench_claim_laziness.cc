@@ -89,4 +89,4 @@ BENCHMARK(BM_NoSinkNoData)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("claim_laziness")

@@ -67,47 +67,35 @@ PipelineOptions RecoveryOptions(Discipline discipline) {
   return options;
 }
 
-struct FaultyRun {
-  ValueList output;
-  Stats stats;
-  Tick virtual_time = 0;
-};
-
-// Builds the kernel by hand (RunPipelineMeasured cannot: the injector must
-// be installed before the pipeline exists).
-FaultyRun RunWithFaults(Discipline discipline, int items, bool faults) {
-  Kernel kernel;
+PipelineRunStats RunWithFaults(Discipline discipline, int items, bool faults) {
   FaultPlan plan;
   if (faults) {
     plan.drop_invocation = 0.01;
     plan.drop_reply = 0.01;
   }
   FaultInjector injector(plan);
-  kernel.set_fault_injector(&injector);
-  PipelineHandle handle = BuildPipeline(kernel, IntLoad(items), SumChain(),
-                                        RecoveryOptions(discipline));
+  PipelineInstruments instruments;
+  instruments.fault = &injector;
   if (faults) {
     // The stateful filter (first stage; the conventional build interposes a
     // pipe before it) dies mid-stream and must resume from its checkpoint.
-    Uid victim = discipline == Discipline::kConventional ? handle.ejects[2]
-                                                         : handle.ejects[1];
-    injector.ScheduleCrash(kernel, Tick{12'000}, victim);
+    instruments.on_built = [&injector, discipline](Kernel& kernel,
+                                                   PipelineHandle& handle) {
+      Uid victim = discipline == Discipline::kConventional ? handle.ejects[2]
+                                                           : handle.ejects[1];
+      injector.ScheduleCrash(kernel, Tick{12'000}, victim);
+    };
   }
-  Tick start = kernel.now();
-  kernel.RunUntil([&handle] { return handle.done(); });
-  FaultyRun run;
-  run.output = handle.output();
-  run.stats = kernel.stats();
-  run.virtual_time = kernel.now() - start;
-  return run;
+  return RunPipelineMeasured(KernelOptions(), IntLoad(items), SumChain(),
+                             RecoveryOptions(discipline), instruments);
 }
 
 void BM_FaultRecovery(benchmark::State& state) {
   Discipline discipline = static_cast<Discipline>(state.range(0));
   bool faults = state.range(1) != 0;
   int items = 120;
-  FaultyRun clean;
-  FaultyRun measured;
+  PipelineRunStats clean;
+  PipelineRunStats measured;
   for (auto _ : state) {
     if (faults) {
       clean = RunWithFaults(discipline, items, false);
@@ -121,14 +109,13 @@ void BM_FaultRecovery(benchmark::State& state) {
   bool output_ok = faults ? measured.output == clean.output
                           : measured.output.size() == static_cast<size_t>(items);
   state.counters["output_ok"] = output_ok ? 1 : 0;
-  state.counters["timeouts"] = static_cast<double>(measured.stats.timeouts);
-  state.counters["retries"] = static_cast<double>(measured.stats.retries);
-  state.counters["dropped"] =
-      static_cast<double>(measured.stats.messages_dropped);
+  state.counters["timeouts"] = static_cast<double>(measured.timeouts);
+  state.counters["retries"] = static_cast<double>(measured.retries);
+  state.counters["dropped"] = static_cast<double>(measured.messages_dropped);
   state.counters["redelivered_dropped"] =
-      static_cast<double>(measured.stats.redeliveries_dropped);
-  state.counters["recoveries"] = static_cast<double>(measured.stats.recoveries);
-  state.counters["crashes"] = static_cast<double>(measured.stats.crashes);
+      static_cast<double>(measured.redeliveries_dropped);
+  state.counters["recoveries"] = static_cast<double>(measured.recoveries);
+  state.counters["crashes"] = static_cast<double>(measured.crashes);
   state.counters["virtual_us"] = static_cast<double>(measured.virtual_time);
 }
 BENCHMARK(BM_FaultRecovery)
@@ -138,4 +125,4 @@ BENCHMARK(BM_FaultRecovery)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("fault_recovery")

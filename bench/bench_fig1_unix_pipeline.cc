@@ -77,4 +77,4 @@ BENCHMARK(BM_Fig1RealFilters)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("fig1_unix_pipeline")

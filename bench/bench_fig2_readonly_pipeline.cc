@@ -54,4 +54,4 @@ BENCHMARK(BM_Fig2VsFig1Saving)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("fig2_readonly_pipeline")

@@ -80,4 +80,4 @@ BENCHMARK(BM_Fig3WriteOnlyReports)->Arg(10)->Arg(100)->Arg(1000)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("fig3_writeonly_reports")

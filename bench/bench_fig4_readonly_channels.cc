@@ -101,4 +101,4 @@ BENCHMARK(BM_Fig4ReadOnlyChannels)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN("fig4_readonly_channels")

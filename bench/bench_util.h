@@ -4,16 +4,25 @@
 // Eject census, virtual microseconds) rather than host wall time alone: the
 // paper's claims are about message structure, and the DES makes those counts
 // exact. Host time still measures simulator throughput.
+//
+// Use EDEN_BENCH_MAIN("name") instead of BENCHMARK_MAIN(): besides the
+// console table it writes the full result set to BENCH_<name>.json in the
+// working directory (google-benchmark's JSON schema), so runs are diffable
+// and machine-readable.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/pipeline.h"
+#include "src/eden/fault.h"
+#include "src/eden/metrics.h"
 #include "src/eden/random.h"
+#include "src/eden/trace.h"
 
 namespace eden {
 
@@ -42,6 +51,17 @@ inline std::vector<TransformFactory> CopyChain(size_t n) {
   return chain;
 }
 
+// Optional observers for a measured pipeline run. All pointers are borrowed
+// and may be null; `fault` is installed before the pipeline is built (so
+// build-time traffic is subject to it too), and `on_built` runs right after
+// BuildPipeline — the place to schedule crashes against handle.ejects.
+struct PipelineInstruments {
+  FaultInjector* fault = nullptr;
+  MetricsRegistry* metrics = nullptr;  // stages labeled with their role names
+  TraceRecorder* trace = nullptr;      // hooked and labeled likewise
+  std::function<void(Kernel&, PipelineHandle&)> on_built;
+};
+
 struct PipelineRunStats {
   Stats delta;
   Tick virtual_time = 0;
@@ -49,17 +69,60 @@ struct PipelineRunStats {
   size_t ejects = 0;
   size_t passive_buffers = 0;
   Tick first_item_at = -1;
+  // Failure-handling counters, lifted out of `delta` so fault benchmarks
+  // need not reach into Kernel::stats() fields by name.
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t redeliveries = 0;
+  uint64_t recoveries = 0;
+  uint64_t redeliveries_dropped = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t crashes = 0;
+  // The collected sink output (byte-identity checks across runs).
+  ValueList output;
+
+  // {stats: {...}, virtual_time, items_out, ejects, ...} for JSON dumps.
+  Value ToValue() const {
+    Value v;
+    v.Set("stats", delta.ToValue());
+    v.Set("virtual_time", Value(static_cast<int64_t>(virtual_time)));
+    v.Set("items_out", Value(static_cast<uint64_t>(items_out)));
+    v.Set("ejects", Value(static_cast<uint64_t>(ejects)));
+    v.Set("passive_buffers", Value(static_cast<uint64_t>(passive_buffers)));
+    v.Set("first_item_at", Value(static_cast<int64_t>(first_item_at)));
+    return v;
+  }
 };
 
-// Builds and runs one pipeline to completion, returning the stat deltas.
+// Builds and runs one pipeline to completion under the given instruments,
+// returning the stat deltas.
 inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
                                             ValueList input,
                                             const std::vector<TransformFactory>& chain,
-                                            const PipelineOptions& options) {
+                                            const PipelineOptions& options,
+                                            const PipelineInstruments& instruments) {
   Kernel kernel(kernel_options);
+  if (instruments.fault != nullptr) {
+    kernel.set_fault_injector(instruments.fault);
+  }
+  if (instruments.metrics != nullptr) {
+    kernel.set_metrics(instruments.metrics);
+  }
+  if (instruments.trace != nullptr) {
+    kernel.set_tracer(instruments.trace->Hook());
+  }
   Stats before = kernel.stats();
   Tick start = kernel.now();
   PipelineHandle handle = BuildPipeline(kernel, std::move(input), chain, options);
+  if (instruments.metrics != nullptr) {
+    handle.LabelAll(*instruments.metrics);
+  }
+  if (instruments.trace != nullptr) {
+    handle.LabelAll(*instruments.trace);
+  }
+  if (instruments.on_built) {
+    instruments.on_built(kernel, handle);
+  }
   kernel.RunUntil([&handle] { return handle.done(); });
   PipelineRunStats result;
   result.delta = kernel.stats() - before;
@@ -68,7 +131,23 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
   result.ejects = handle.eject_count();
   result.passive_buffers = handle.passive_buffer_count;
   result.first_item_at = handle.first_item_at();
+  result.timeouts = result.delta.timeouts;
+  result.retries = result.delta.retries;
+  result.redeliveries = result.delta.redeliveries;
+  result.recoveries = result.delta.recoveries;
+  result.redeliveries_dropped = result.delta.redeliveries_dropped;
+  result.messages_dropped = result.delta.messages_dropped;
+  result.crashes = result.delta.crashes;
+  result.output = handle.output();
   return result;
+}
+
+inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
+                                            ValueList input,
+                                            const std::vector<TransformFactory>& chain,
+                                            const PipelineOptions& options) {
+  return RunPipelineMeasured(kernel_options, std::move(input), chain, options,
+                             PipelineInstruments{});
 }
 
 // Attaches the standard counter set to a benchmark state.
@@ -90,6 +169,41 @@ inline void ReportPipelineCounters(benchmark::State& state,
       static_cast<double>(run.virtual_time) / items;
 }
 
+// BENCHMARK_MAIN() with a JSON results file. Unless the caller already asked
+// for one, injects --benchmark_out=BENCH_<name>.json (and JSON format) before
+// initialization; explicit command-line flags always win.
+inline int RunBenchMain(const char* name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  bool has_format = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    has_out = has_out || arg.rfind("--benchmark_out=", 0) == 0;
+    has_format = has_format || arg.rfind("--benchmark_out_format=", 0) == 0;
+  }
+  std::string out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    if (!has_format) {
+      args.push_back(format_flag.data());
+    }
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace eden
+
+#define EDEN_BENCH_MAIN(name)                                  \
+  int main(int argc, char** argv) {                            \
+    return ::eden::RunBenchMain(name, argc, argv);             \
+  }
 
 #endif  // BENCH_BENCH_UTIL_H_

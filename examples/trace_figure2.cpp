@@ -4,6 +4,9 @@
 // three-item stream, records every invocation and reply, and prints the
 // chart: you can watch the sink's Transfer "suck data through the filter"
 // and the demand propagate upstream (§4's pump metaphor, made visible).
+// The same run is exported as trace_figure2.json — load it in
+// ui.perfetto.dev (or chrome://tracing) for the zoomable version, with one
+// track per Eject and flow arrows along the demand chain.
 //
 //   $ ./trace_figure2
 #include <cstdio>
@@ -11,6 +14,7 @@
 #include "src/core/filter_eject.h"
 #include "src/core/pipeline.h"
 #include "src/eden/trace.h"
+#include "src/eden/trace_export.h"
 #include "src/filters/transforms.h"
 
 int main() {
@@ -45,5 +49,13 @@ int main() {
       "\nEvery data movement is one Transfer (solid) and its reply (dotted):\n"
       "n+1 = 3 invocations per datum for n = 2 filters. The sink initiates\n"
       "everything — sources and filters only ever respond. (§4)\n");
+
+  eden::ChromeTraceExporter exporter(recorder);
+  if (exporter.WriteFile("trace_figure2.json")) {
+    std::printf(
+        "\nWrote %zu spans to trace_figure2.json — open it in "
+        "ui.perfetto.dev.\n",
+        exporter.span_count());
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/eden/metrics.h"
+
 namespace eden {
 
 PassiveBuffer::PassiveBuffer(Kernel& kernel, Options options)
@@ -31,6 +33,11 @@ Task<void> PassiveBuffer::CopyLoop() {
       break;
     }
     co_await server_.Write(kChanOut, std::move(*item));
+    if (MetricsRegistry* m = kernel().metrics()) {
+      // The pipe's store is the sum of both faces.
+      m->RecordQueueDepth("pipe", uid(),
+                          acceptor_.buffered(kChanIn) + server_.buffered(kChanOut));
+    }
   }
   server_.Close(std::string(kChanOut));
 }

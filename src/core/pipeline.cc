@@ -4,6 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include "src/eden/metrics.h"
+#include "src/eden/trace.h"
+
 namespace eden {
 
 std::string_view DisciplineName(Discipline discipline) {
@@ -355,21 +358,65 @@ PipelineHandle BuildConventional(Kernel& kernel, ValueList input,
   return handle;
 }
 
+// Role names parallel to handle.ejects. The eject order is fixed by the
+// builders: source, then (for conventional) alternating pipe/filter pairs,
+// then the sink.
+void FillStageNames(PipelineHandle& handle) {
+  handle.stage_names.clear();
+  handle.stage_names.reserve(handle.ejects.size());
+  int filter = 0;
+  int pipe = 0;
+  for (size_t i = 0; i < handle.ejects.size(); ++i) {
+    if (i == 0) {
+      handle.stage_names.push_back("source");
+    } else if (i + 1 == handle.ejects.size()) {
+      handle.stage_names.push_back("sink");
+    } else if (handle.discipline == Discipline::kConventional && i % 2 == 1) {
+      handle.stage_names.push_back("pipe" + std::to_string(pipe++));
+    } else {
+      handle.stage_names.push_back("filter" + std::to_string(++filter));
+    }
+  }
+}
+
 }  // namespace
+
+void PipelineHandle::LabelAll(TraceRecorder& recorder) const {
+  for (size_t i = 0; i < ejects.size() && i < stage_names.size(); ++i) {
+    recorder.Label(ejects[i], stage_names[i]);
+  }
+  if (!monitor.IsNil()) {
+    recorder.Label(monitor, "monitor");
+  }
+}
+
+void PipelineHandle::LabelAll(MetricsRegistry& metrics) const {
+  for (size_t i = 0; i < ejects.size() && i < stage_names.size(); ++i) {
+    metrics.Label(ejects[i], stage_names[i]);
+  }
+  if (!monitor.IsNil()) {
+    metrics.Label(monitor, "monitor");
+  }
+}
 
 PipelineHandle BuildPipeline(Kernel& kernel, ValueList input,
                              const std::vector<TransformFactory>& stages,
                              const PipelineOptions& options) {
+  PipelineHandle handle;
   switch (options.discipline) {
     case Discipline::kReadOnly:
-      return BuildReadOnly(kernel, std::move(input), stages, options);
+      handle = BuildReadOnly(kernel, std::move(input), stages, options);
+      break;
     case Discipline::kWriteOnly:
-      return BuildWriteOnly(kernel, std::move(input), stages, options);
+      handle = BuildWriteOnly(kernel, std::move(input), stages, options);
+      break;
     case Discipline::kConventional:
-      return BuildConventional(kernel, std::move(input), stages, options);
+      handle = BuildConventional(kernel, std::move(input), stages, options);
+      break;
   }
-  assert(false && "unknown discipline");
-  return PipelineHandle();
+  assert(!handle.ejects.empty() && "unknown discipline");
+  FillStageNames(handle);
+  return handle;
 }
 
 ValueList RunPipeline(Kernel& kernel, ValueList input,

@@ -28,6 +28,9 @@
 
 namespace eden {
 
+class MetricsRegistry;
+class TraceRecorder;
+
 enum class Discipline { kReadOnly, kWriteOnly, kConventional };
 
 std::string_view DisciplineName(Discipline discipline);
@@ -70,6 +73,9 @@ struct PipelineOptions {
 struct PipelineHandle {
   Discipline discipline = Discipline::kReadOnly;
   std::vector<Uid> ejects;          // all Ejects, source..sink order
+  // Human-readable role of each Eject, parallel to `ejects` ("source",
+  // "filter1", "pipe0", "sink", ...). Filled by BuildPipeline.
+  std::vector<std::string> stage_names;
   size_t passive_buffer_count = 0;  // pipes interposed (conventional only)
   Uid source;
   Uid sink;
@@ -96,6 +102,11 @@ struct PipelineHandle {
     return pull_sink != nullptr ? pull_sink->first_item_at()
                                 : (push_sink != nullptr ? push_sink->first_item_at() : -1);
   }
+
+  // Registers every stage's role name (plus the monitor, if any) so trace
+  // charts and metric snapshots print "filter1" instead of a raw UID.
+  void LabelAll(TraceRecorder& recorder) const;
+  void LabelAll(MetricsRegistry& metrics) const;
 };
 
 // Builds the pipeline and starts it; run the kernel until handle.done().

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/eden/metrics.h"
+
 namespace eden {
 
 namespace {
@@ -64,6 +66,9 @@ void StreamReader::Ingest(InvokeResult result) {
     if (status_.ok()) {
       status_ = Status(StatusCode::kEndOfStream);
     }
+  }
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
   }
 }
 
@@ -130,6 +135,9 @@ Task<std::optional<Value>> StreamReader::Next() {
   Value item = std::move(buffer_.front());
   buffer_.pop_front();
   items_read_++;
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
+  }
   if (options_.lookahead > 0) {
     // Only the lookahead fetch process ever waits on room_; in inline mode
     // there is no such process and nothing to wake.
@@ -157,6 +165,9 @@ Task<ValueList> StreamReader::NextBatch() {
     buffer_.pop_front();
   }
   items_read_ += items.size();
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
+  }
   if (options_.lookahead > 0) {
     room_.NotifyAll();
   }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/eden/metrics.h"
+
 namespace eden {
 
 void StreamServer::DeclareChannel(std::string name, ChannelOptions options) {
@@ -45,8 +47,17 @@ Task<void> StreamServer::Write(std::string_view channel, Value item) {
   if (ch->closed) {
     co_return;  // late writes after Close are dropped
   }
+  if (!ch->parked.empty()) {
+    // Proceeding because a consumer's Transfer is already parked: from here
+    // on this continuation is serving that demand, so the producer's next
+    // sends (its own upstream pull included) join the demand's causal span.
+    owner_.kernel().AdoptSpan(ch->parked.front().reply.id());
+  }
   owner_.kernel().CountLocalStep();
   ch->buffer.push_back(std::move(item));
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->RecordQueueDepth("server", owner_.uid(), ch->buffer.size());
+  }
   Pump(*ch);
 }
 
@@ -151,6 +162,9 @@ void StreamServer::Pump(OutChannel& channel) {
     request.reply.Reply(channel.sequenced
                             ? MakeBatchReply(std::move(items), end, first)
                             : MakeBatchReply(std::move(items), end));
+  }
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->RecordQueueDepth("server", owner_.uid(), channel.buffer.size());
   }
   if (channel.closed || channel.buffer.size() < channel.capacity ||
       !channel.parked.empty()) {

@@ -1,0 +1,321 @@
+#include "src/eden/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace eden {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ValueToJson(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kNil:
+      return "null";
+    case Value::Kind::kBool:
+      return *value.AsBool() ? "true" : "false";
+    case Value::Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(*value.AsInt()));
+      return buf;
+    }
+    case Value::Kind::kReal: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", *value.AsReal());
+      return buf;
+    }
+    case Value::Kind::kStr:
+      return "\"" + JsonEscape(*value.AsStr()) + "\"";
+    case Value::Kind::kBytes: {
+      std::string hex;
+      hex.reserve(value.AsBytes()->size() * 2);
+      for (uint8_t b : *value.AsBytes()) {
+        char buf[4];
+        std::snprintf(buf, sizeof(buf), "%02x", b);
+        hex += buf;
+      }
+      return "\"" + hex + "\"";
+    }
+    case Value::Kind::kUid:
+      return "\"" + JsonEscape(value.AsUid()->ToString()) + "\"";
+    case Value::Kind::kList: {
+      std::string out = "[";
+      bool first = true;
+      for (const Value& v : *value.AsList()) {
+        if (!first) {
+          out += ",";
+        }
+        first = false;
+        out += ValueToJson(v);
+      }
+      return out + "]";
+    }
+    case Value::Kind::kMap: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : *value.AsMap()) {
+        if (!first) {
+          out += ",";
+        }
+        first = false;
+        out += "\"" + JsonEscape(k) + "\":" + ValueToJson(v);
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+// Recursive-descent JSON validator. Tracks position for error reporting.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Check(std::string* error) {
+    SkipWs();
+    if (!Element()) {
+      Report(error);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      message_ = "trailing characters after document";
+      Report(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void Report(std::string* error) const {
+    if (error != nullptr) {
+      *error = message_ + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Fail(const char* why) {
+    if (message_.empty()) {
+      message_ = why;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (Eof() || Peek() != '"') {
+      return Fail("expected string");
+    }
+    pos_++;
+    while (!Eof() && Peek() != '"') {
+      if (static_cast<unsigned char>(Peek()) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (Peek() == '\\') {
+        pos_++;
+        if (Eof()) {
+          return Fail("truncated escape");
+        }
+        char e = Peek();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            pos_++;
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      pos_++;
+    }
+    if (Eof()) {
+      return Fail("unterminated string");
+    }
+    pos_++;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (!Eof() && Peek() == '-') {
+      pos_++;
+    }
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("expected digit");
+    }
+    if (Peek() == '0') {
+      pos_++;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        pos_++;
+      }
+    }
+    if (!Eof() && Peek() == '.') {
+      pos_++;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("expected fraction digit");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        pos_++;
+      }
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      pos_++;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) {
+        pos_++;
+      }
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("expected exponent digit");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        pos_++;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Element() {
+    if (Eof()) {
+      return Fail("unexpected end of input");
+    }
+    switch (Peek()) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    pos_++;  // '{'
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      pos_++;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Eof() || Peek() != ':') {
+        return Fail("expected ':'");
+      }
+      pos_++;
+      SkipWs();
+      if (!Element()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      if (!Eof() && Peek() == '}') {
+        pos_++;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array() {
+    pos_++;  // '['
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      pos_++;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Element()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      if (!Eof() && Peek() == ']') {
+        pos_++;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+bool JsonValidate(std::string_view text, std::string* error) {
+  return JsonChecker(text).Check(error);
+}
+
+}  // namespace eden

@@ -1,0 +1,33 @@
+// Minimal JSON utilities for the observability surfaces.
+//
+// The kernel's export formats (metrics snapshots, Chrome trace events, bench
+// result files) are all JSON; this is the one place that knows how to escape
+// strings, render a Value as *strict* JSON (Value::ToString is only
+// JSON-flavoured: nil, UIDs and bytes are not legal JSON there), and check a
+// document for well-formedness. The validator exists so tests can assert
+// "this output loads in Perfetto" without a third-party JSON dependency.
+#ifndef SRC_EDEN_JSON_H_
+#define SRC_EDEN_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/eden/value.h"
+
+namespace eden {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Renders a Value as strict JSON: nil -> null, bytes -> base-less hex string,
+// UID -> its "eden:..." string form, maps keep their (sorted) key order.
+std::string ValueToJson(const Value& value);
+
+// Validates that `text` is one well-formed JSON document (RFC 8259 syntax).
+// On failure returns false and, if `error` is non-null, sets a short message
+// with the byte offset of the problem.
+bool JsonValidate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_JSON_H_

@@ -7,6 +7,7 @@
 #include "src/eden/eject.h"
 #include "src/eden/fault.h"
 #include "src/eden/log.h"
+#include "src/eden/metrics.h"
 
 namespace eden {
 
@@ -150,10 +151,15 @@ bool Kernel::EpochValid(const Uid& uid, uint64_t epoch) const {
 void Kernel::ScheduleResume(const Uid& host, uint64_t epoch,
                             std::coroutine_handle<> h, Tick delay) {
   Tick at = now() + delay + options_.costs.context_switch;
-  events_.Schedule(at, [this, host, epoch, h] {
+  events_.Schedule(at, [this, host, epoch, h, span = current_span_] {
     if (EpochValid(host, epoch)) {
       stats_.context_switches++;
+      // Resume inside the span that scheduled the wakeup: a CondVar notify
+      // fired while serving invocation N wakes its waiter as part of N's
+      // causal subtree, which is what chains lazy demand across buffers.
+      InvocationId prev = std::exchange(current_span_, span);
       h.resume();
+      current_span_ = prev;
     }
     // Otherwise the frame has already been destroyed with its Eject: drop.
   });
@@ -211,6 +217,12 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
 
   pending.target = target;
   pending.target_node = NodeOf(target);
+  pending.parent = current_span_;
+  pending.sent_at = now();
+  if (metrics_ != nullptr) {
+    metrics_->CountInvocation(target);
+    pending.op = op;  // kept for latency attribution at reply time
+  }
   if (pending.caller_node != pending.target_node && pending.caller_node != kNoNode &&
       pending.target_node != kNoNode) {
     stats_.cross_node_messages++;
@@ -228,6 +240,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
     event.to = target;
     event.op = op;
     event.id = id;
+    event.parent = current_span_;
     tracer_(event);
   }
   // Fault injection applies to inter-Eject traffic only, so external drivers
@@ -249,6 +262,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
         event.to = target;
         event.op = op;
         event.id = id;
+        event.parent = current_span_;
         event.ok = false;
         tracer_(event);
       }
@@ -342,8 +356,12 @@ void Kernel::ActivateThenDispatch(InvocationId id, Uid target, std::string op,
 }
 
 void Kernel::DispatchTo(Eject& eject, InvocationId id, std::string op, Value args) {
+  // The handler runs under its own invocation's span; anything it sends (or
+  // schedules — see ScheduleResume) becomes a child of this invocation.
+  InvocationId prev = std::exchange(current_span_, id);
   eject.Dispatch(InvocationContext(std::move(op), std::move(args),
                                    ReplyHandle(this, id)));
+  current_span_ = prev;
 }
 
 void Kernel::SendReply(InvocationId id, Status status, Value result) {
@@ -377,6 +395,7 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
       event.to = it->second.caller;
       event.op = "reply";
       event.id = id;
+      event.parent = it->second.parent;
       event.ok = false;
       tracer_(event);
     }
@@ -385,6 +404,11 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
 
   PendingInvocation pending = std::move(it->second);
   pending_.erase(it);
+  if (metrics_ != nullptr) {
+    // Latency = invocation send to reply send, in virtual ticks; attributed
+    // to the operation name captured when the invocation left.
+    metrics_->RecordLatency(pending.op, static_cast<uint64_t>(now() - pending.sent_at));
+  }
   if (tracer_) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kReply;
@@ -392,6 +416,7 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
     event.from = pending.target;
     event.to = pending.caller;
     event.id = id;
+    event.parent = pending.parent;
     event.ok = status.ok_or_end();
     tracer_(event);
   }
@@ -409,16 +434,22 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
 }
 
 void Kernel::DeliverReply(PendingInvocation pending, Status status, Value result) {
+  // The caller resumes inside *its* span (the one it was serving when it
+  // invoked), not inside the replying invocation's span.
+  InvocationId prev = std::exchange(current_span_, pending.parent);
   if (pending.callback) {
     pending.callback(InvokeResult{std::move(status), std::move(result)});
+    current_span_ = prev;
     return;
   }
   if (!EpochValid(pending.caller, pending.caller_epoch)) {
+    current_span_ = prev;
     return;  // caller crashed while the reply was in flight
   }
   pending.awaiter->result_ = InvokeResult{std::move(status), std::move(result)};
   stats_.context_switches++;
   pending.waiter.resume();
+  current_span_ = prev;
 }
 
 void Kernel::FireDeadline(InvocationId id) {
@@ -437,6 +468,7 @@ void Kernel::FireDeadline(InvocationId id) {
     event.from = pending.target;
     event.to = pending.caller;
     event.id = id;
+    event.parent = pending.parent;
     event.ok = false;
     tracer_(event);
   }
@@ -482,6 +514,17 @@ void Kernel::TearDown(const Uid& uid, bool is_crash) {
   }
   if (is_crash) {
     stats_.crashes++;
+    if (tracer_) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kCrash;
+      event.at = now();
+      event.from = uid;
+      event.to = uid;
+      event.op = it->second.instance->type_name();
+      event.parent = current_span_;
+      event.ok = false;
+      tracer_(event);
+    }
   } else {
     stats_.passivations++;
   }

@@ -45,6 +45,7 @@ namespace eden {
 class Eject;
 class FaultInjector;
 class Kernel;
+class MetricsRegistry;
 
 // Move-only capability to reply (once) to a delivered invocation. Handlers
 // may reply inline, or stash the handle and reply later — stashing is how
@@ -65,6 +66,8 @@ class ReplyHandle {
   ~ReplyHandle();
 
   bool valid() const { return kernel_ != nullptr; }
+  // The invocation this handle will answer — also its causal span id.
+  InvocationId id() const { return id_; }
 
   void Reply(Value result = Value());
   void ReplyStatus(Status status, Value result = Value());
@@ -242,6 +245,26 @@ class Kernel {
   // every invocation and reply at send time. See src/eden/trace.h.
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
 
+  // Optional metrics (nullptr = none, the default; the recording sites cost
+  // one pointer test, mirroring the unset-tracer fast path). Not owned; must
+  // outlive the run. See src/eden/metrics.h.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  // The span (invocation id) currently being served, or 0 when control is in
+  // the external driver. New invocations record this as their causal parent;
+  // it follows dispatches, reply deliveries and scheduled resumptions, so a
+  // wakeup caused by work done under some span stays inside that span.
+  InvocationId current_span() const { return current_span_; }
+
+  // Reparents the rest of the current event turn onto `span`. A producer
+  // that proceeds because demand is already parked (the §4 vacuum's steady
+  // state never touches a condition variable) calls this with the parked
+  // invocation's id, making its subsequent sends children of that demand.
+  // The enclosing dispatch/resume restores the previous span when the event
+  // ends, so adoption never leaks across turns.
+  void AdoptSpan(InvocationId span) { current_span_ = span; }
+
   // Optional fault injection (nullptr = perfectly reliable medium). The
   // injector only perturbs inter-Eject traffic; messages to or from the
   // external driver are always delivered. Not owned; must outlive the run.
@@ -287,6 +310,9 @@ class Kernel {
     Uid target;
     NodeId target_node = 0;
     Tick deadline = 0;  // 0 = no deadline
+    InvocationId parent = 0;  // span being served when this was sent
+    Tick sent_at = 0;
+    std::string op;  // filled only when metrics are installed
     bool delivered = false;
     // Exactly one of these is set.
     InvokeAwaiter* awaiter = nullptr;
@@ -319,6 +345,8 @@ class Kernel {
   TaskList external_tasks_;
   Tracer tracer_;
   FaultInjector* fault_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  InvocationId current_span_ = 0;
   InvocationId next_invocation_id_ = 1;
   bool shutting_down_ = false;
 };

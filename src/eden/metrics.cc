@@ -1,0 +1,183 @@
+#include "src/eden/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "src/eden/json.h"
+
+namespace eden {
+
+void Log2Histogram::Record(uint64_t value) {
+  buckets_[BucketOf(value)]++;
+  sum_ += value;
+  min_ = count_ == 0 ? value : std::min(min_, value);
+  max_ = std::max(max_, value);
+  count_++;
+}
+
+size_t Log2Histogram::BucketOf(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  return std::min<size_t>(kBucketCount - 1,
+                          static_cast<size_t>(std::bit_width(value)));
+}
+
+uint64_t Log2Histogram::BucketLow(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  return uint64_t{1} << (index - 1);
+}
+
+uint64_t Log2Histogram::BucketHigh(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  if (index >= kBucketCount - 1) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << index) - 1;
+}
+
+uint64_t Log2Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // The rank of the sample we are after, 1-based.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    if (seen + buckets_[b] >= rank) {
+      // Linear interpolation within the bucket's value range.
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(buckets_[b]);
+      uint64_t low = BucketLow(b);
+      uint64_t high = std::min(BucketHigh(b), max_);
+      uint64_t value =
+          low + static_cast<uint64_t>(frac * static_cast<double>(high - low));
+      return std::clamp(value, min_, max_);
+    }
+    seen += buckets_[b];
+  }
+  return max_;
+}
+
+Value Log2Histogram::ToValue() const {
+  Value v;
+  v.Set("count", Value(count_));
+  v.Set("sum", Value(sum_));
+  v.Set("min", Value(min()));
+  v.Set("max", Value(max_));
+  v.Set("mean", Value(Mean()));
+  v.Set("p50", Value(Percentile(50)));
+  v.Set("p90", Value(Percentile(90)));
+  v.Set("p99", Value(Percentile(99)));
+  size_t last = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    if (buckets_[b] > 0) {
+      last = b;
+    }
+  }
+  ValueList buckets;
+  for (size_t b = 0; b <= last && count_ > 0; ++b) {
+    buckets.push_back(Value(buckets_[b]));
+  }
+  v.Set("buckets", Value(std::move(buckets)));
+  return v;
+}
+
+const Log2Histogram* MetricsRegistry::LatencyFor(std::string_view op) const {
+  auto it = latency_.find(std::string(op));
+  return it == latency_.end() ? nullptr : &it->second;
+}
+
+const MetricsRegistry::QueueGauge* MetricsRegistry::QueueFor(
+    std::string_view component, const Uid& owner) const {
+  auto it = queues_.find({std::string(component), owner});
+  return it == queues_.end() ? nullptr : &it->second;
+}
+
+uint64_t MetricsRegistry::InvocationsTo(const Uid& target) const {
+  auto it = invocations_.find(target);
+  return it == invocations_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Clear() {
+  latency_.clear();
+  queues_.clear();
+  invocations_.clear();
+}
+
+std::string MetricsRegistry::NameOf(const Uid& uid) const {
+  auto it = labels_.find(uid);
+  return it != labels_.end() ? it->second : uid.Short();
+}
+
+Value MetricsRegistry::Snapshot() const {
+  Value latency;
+  for (const auto& [op, histogram] : latency_) {
+    latency.Set(op, histogram.ToValue());
+  }
+  Value queues;
+  for (const auto& [key, gauge] : queues_) {
+    Value entry;
+    entry.Set("depth", Value(static_cast<uint64_t>(gauge.depth)));
+    entry.Set("high_water", Value(static_cast<uint64_t>(gauge.high_water)));
+    entry.Set("samples", Value(gauge.samples));
+    queues.Set(key.first + "/" + NameOf(key.second), std::move(entry));
+  }
+  Value invocations;
+  for (const auto& [uid, count] : invocations_) {
+    invocations.Set(NameOf(uid), Value(count));
+  }
+  Value snapshot;
+  snapshot.Set("latency", latency.is_nil() ? Value(ValueMap{}) : std::move(latency));
+  snapshot.Set("queues", queues.is_nil() ? Value(ValueMap{}) : std::move(queues));
+  snapshot.Set("invocations",
+               invocations.is_nil() ? Value(ValueMap{}) : std::move(invocations));
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToJson() const { return ValueToJson(Snapshot()); }
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [op, h] : latency_) {
+    std::snprintf(buf, sizeof(buf),
+                  "latency %-16s count=%llu mean=%.1f p50=%llu p90=%llu "
+                  "p99=%llu max=%llu\n",
+                  op.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.Mean(), static_cast<unsigned long long>(h.Percentile(50)),
+                  static_cast<unsigned long long>(h.Percentile(90)),
+                  static_cast<unsigned long long>(h.Percentile(99)),
+                  static_cast<unsigned long long>(h.max()));
+    out += buf;
+  }
+  for (const auto& [key, gauge] : queues_) {
+    std::snprintf(buf, sizeof(buf),
+                  "queue   %-28s depth=%zu high_water=%zu samples=%llu\n",
+                  (key.first + "/" + NameOf(key.second)).c_str(), gauge.depth,
+                  gauge.high_water, static_cast<unsigned long long>(gauge.samples));
+    out += buf;
+  }
+  for (const auto& [uid, count] : invocations_) {
+    std::snprintf(buf, sizeof(buf), "invoked %-16s count=%llu\n",
+                  NameOf(uid).c_str(), static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  if (out.empty()) {
+    out = "(no metrics recorded)\n";
+  }
+  return out;
+}
+
+}  // namespace eden

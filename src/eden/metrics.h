@@ -1,0 +1,122 @@
+// MetricsRegistry: latency histograms, queue gauges and invocation counts.
+//
+// The paper's §4 argument is quantitative, and Stats makes the totals
+// countable — but totals cannot say *which* operation spent the time or
+// which buffer backed up. The registry attributes them: a fixed-bucket log2
+// histogram of virtual-tick invocation latency per operation name, a
+// depth/high-water gauge per instrumented queue (PassiveBuffer faces,
+// StreamReader prefetch buffers, StreamServer work-ahead buffers), and an
+// invocation count per target Eject.
+//
+// Like the tracer, the registry is an optional kernel hook: when none is
+// installed (Kernel::set_metrics(nullptr), the default) the kernel and the
+// stream components skip every recording site behind a single null check,
+// preserving the tracer-unset fast path.
+#ifndef SRC_EDEN_METRICS_H_
+#define SRC_EDEN_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/eden/uid.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+// A histogram with 32 fixed power-of-two buckets: bucket 0 holds the value
+// 0, bucket b (b >= 1) holds values in [2^(b-1), 2^b - 1], and the last
+// bucket absorbs everything above 2^30. Recording is O(1) with no
+// allocation; exact min/max/sum ride along so percentile estimates can be
+// clamped to observed bounds.
+class Log2Histogram {
+ public:
+  static constexpr size_t kBucketCount = 32;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  uint64_t bucket(size_t index) const {
+    return index < kBucketCount ? buckets_[index] : 0;
+  }
+
+  // Bucket geometry (static so tests can assert the math directly).
+  static size_t BucketOf(uint64_t value);
+  static uint64_t BucketLow(size_t index);   // smallest value in the bucket
+  static uint64_t BucketHigh(size_t index);  // largest value in the bucket
+
+  // The p-th percentile (p in [0, 100]) of the recorded values, linearly
+  // interpolated within the winning bucket and clamped to [min, max].
+  // Returns 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  // {count, sum, min, max, mean, p50, p90, p99, buckets: [...]} — buckets
+  // are trimmed to the last non-empty one.
+  Value ToValue() const;
+
+ private:
+  uint64_t buckets_[kBucketCount] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  struct QueueGauge {
+    size_t depth = 0;       // most recent sample
+    size_t high_water = 0;  // largest sample ever
+    uint64_t samples = 0;
+  };
+
+  // ---- Recording hooks (kernel and stream components; callers gate on the
+  // registry pointer, so these assume they are wanted).
+  void RecordLatency(const std::string& op, uint64_t ticks) {
+    latency_[op].Record(ticks);
+  }
+  void CountInvocation(const Uid& target) { invocations_[target]++; }
+  void RecordQueueDepth(std::string_view component, const Uid& owner,
+                        size_t depth) {
+    QueueGauge& gauge = queues_[{std::string(component), owner}];
+    gauge.depth = depth;
+    gauge.high_water = depth > gauge.high_water ? depth : gauge.high_water;
+    gauge.samples++;
+  }
+
+  // Pretty names for snapshot keys (defaults to the short UID).
+  void Label(const Uid& uid, std::string name) { labels_[uid] = std::move(name); }
+
+  // ---- Introspection.
+  const Log2Histogram* LatencyFor(std::string_view op) const;
+  const QueueGauge* QueueFor(std::string_view component, const Uid& owner) const;
+  uint64_t InvocationsTo(const Uid& target) const;
+
+  void Clear();
+
+  // {"latency": {op: histogram...}, "queues": {"component/name": {depth,
+  // high_water, samples}}, "invocations": {name: count}}.
+  Value Snapshot() const;
+  std::string ToJson() const;
+  // One line per metric, human-readable.
+  std::string ToString() const;
+
+ private:
+  std::string NameOf(const Uid& uid) const;
+
+  std::map<std::string, Log2Histogram> latency_;
+  std::map<std::pair<std::string, Uid>, QueueGauge> queues_;
+  std::map<Uid, uint64_t> invocations_;
+  std::map<Uid, std::string> labels_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_METRICS_H_

@@ -5,31 +5,25 @@
 namespace eden {
 
 std::string Stats::ToString() const {
-  char buf[768];
-  std::snprintf(buf, sizeof(buf),
-                "invocations=%llu replies=%llu bytes=%llu switches=%llu "
-                "local_steps=%llu ejects=%llu activations=%llu checkpoints=%llu "
-                "crashes=%llu events=%llu failed=%llu timeouts=%llu "
-                "dropped=%llu retries=%llu recoveries=%llu redeliveries=%llu "
-                "dupes_dropped=%llu",
-                static_cast<unsigned long long>(invocations_sent),
-                static_cast<unsigned long long>(replies_sent),
-                static_cast<unsigned long long>(total_bytes()),
-                static_cast<unsigned long long>(context_switches),
-                static_cast<unsigned long long>(local_steps),
-                static_cast<unsigned long long>(ejects_created),
-                static_cast<unsigned long long>(activations),
-                static_cast<unsigned long long>(checkpoints),
-                static_cast<unsigned long long>(crashes),
-                static_cast<unsigned long long>(events_processed),
-                static_cast<unsigned long long>(failed_invocations),
-                static_cast<unsigned long long>(timeouts),
-                static_cast<unsigned long long>(messages_dropped),
-                static_cast<unsigned long long>(retries),
-                static_cast<unsigned long long>(recoveries),
-                static_cast<unsigned long long>(redeliveries),
-                static_cast<unsigned long long>(redeliveries_dropped));
-  return buf;
+  std::string out;
+  char buf[64];
+#define EDEN_STATS_PRINT(field, label)                               \
+  std::snprintf(buf, sizeof(buf), "%s%s=%llu", out.empty() ? "" : " ", \
+                label, static_cast<unsigned long long>(field));      \
+  out += buf;
+  EDEN_STATS_FIELDS(EDEN_STATS_PRINT)
+#undef EDEN_STATS_PRINT
+  return out;
+}
+
+Value Stats::ToValue() const {
+  Value v;
+#define EDEN_STATS_VALUE(field, label) v.Set(label, Value(field));
+  EDEN_STATS_FIELDS(EDEN_STATS_VALUE)
+#undef EDEN_STATS_VALUE
+  v.Set("total_messages", Value(total_messages()));
+  v.Set("total_bytes", Value(total_bytes()));
+  return v;
 }
 
 }  // namespace eden

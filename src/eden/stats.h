@@ -3,6 +3,11 @@
 // The §4 analysis is entirely in terms of invocation counts, Eject counts and
 // process switches; Stats makes those first-class and diffable so benchmarks
 // can report "invocations per datum" exactly.
+//
+// Every counter lives on the EDEN_STATS_FIELDS X-macro list: the field
+// declarations, operator-, ToString and ToValue are all generated from it,
+// so a new counter can never be silently omitted from diffs or dumps
+// (kernel_unit_test has a regression test that diffs every field).
 #ifndef SRC_EDEN_STATS_H_
 #define SRC_EDEN_STATS_H_
 
@@ -10,61 +15,67 @@
 #include <string>
 
 #include "src/eden/clock.h"
+#include "src/eden/value.h"
 
 namespace eden {
 
+// X(field, label):
+//   invocations_sent     invocation messages (not replies)
+//   invocation_bytes     encoded argument payloads
+//   context_switches     coroutine resumptions
+//   local_steps          intra-Eject queue/monitor operations
+//   activations          passive -> active transitions
+//   passivations         explicit Deactivate calls
+//   failed_invocations   non-OK, non-EOS replies
+// Failure handling (deadlines, fault injection, stream recovery):
+//   timeouts             invocation deadlines that fired
+//   messages_dropped     messages lost to the fault injector
+//   retries              stream re-invocations after a failure
+//   recoveries           retry sequences that eventually succeeded
+//   redeliveries         batches re-served from a replay window
+//   redeliveries_dropped duplicate items discarded by receivers
+#define EDEN_STATS_FIELDS(X)                \
+  X(invocations_sent, "invocations")        \
+  X(replies_sent, "replies")                \
+  X(invocation_bytes, "invocation_bytes")   \
+  X(reply_bytes, "reply_bytes")             \
+  X(cross_node_messages, "cross_node")      \
+  X(context_switches, "switches")           \
+  X(local_steps, "local_steps")             \
+  X(ejects_created, "ejects")               \
+  X(activations, "activations")             \
+  X(passivations, "passivations")           \
+  X(checkpoints, "checkpoints")             \
+  X(crashes, "crashes")                     \
+  X(events_processed, "events")             \
+  X(failed_invocations, "failed")           \
+  X(timeouts, "timeouts")                   \
+  X(messages_dropped, "dropped")            \
+  X(retries, "retries")                     \
+  X(recoveries, "recoveries")               \
+  X(redeliveries, "redeliveries")           \
+  X(redeliveries_dropped, "dupes_dropped")
+
 struct Stats {
-  uint64_t invocations_sent = 0;   // invocation messages (not replies)
-  uint64_t replies_sent = 0;
-  uint64_t invocation_bytes = 0;   // encoded argument payloads
-  uint64_t reply_bytes = 0;
-  uint64_t cross_node_messages = 0;
-  uint64_t context_switches = 0;   // coroutine resumptions
-  uint64_t local_steps = 0;        // intra-Eject queue/monitor operations
-  uint64_t ejects_created = 0;
-  uint64_t activations = 0;        // passive -> active transitions
-  uint64_t passivations = 0;       // explicit Deactivate calls
-  uint64_t checkpoints = 0;
-  uint64_t crashes = 0;
-  uint64_t events_processed = 0;
-  uint64_t failed_invocations = 0;  // non-OK, non-EOS replies
-  // ---- Failure handling (deadlines, fault injection, stream recovery).
-  uint64_t timeouts = 0;              // invocation deadlines that fired
-  uint64_t messages_dropped = 0;      // messages lost to the fault injector
-  uint64_t retries = 0;               // stream re-invocations after a failure
-  uint64_t recoveries = 0;            // retry sequences that eventually succeeded
-  uint64_t redeliveries = 0;          // batches re-served from a replay window
-  uint64_t redeliveries_dropped = 0;  // duplicate items discarded by receivers
+#define EDEN_STATS_DECLARE(field, label) uint64_t field = 0;
+  EDEN_STATS_FIELDS(EDEN_STATS_DECLARE)
+#undef EDEN_STATS_DECLARE
 
   Stats operator-(const Stats& rhs) const {
     Stats d;
-    d.invocations_sent = invocations_sent - rhs.invocations_sent;
-    d.replies_sent = replies_sent - rhs.replies_sent;
-    d.invocation_bytes = invocation_bytes - rhs.invocation_bytes;
-    d.reply_bytes = reply_bytes - rhs.reply_bytes;
-    d.cross_node_messages = cross_node_messages - rhs.cross_node_messages;
-    d.context_switches = context_switches - rhs.context_switches;
-    d.local_steps = local_steps - rhs.local_steps;
-    d.ejects_created = ejects_created - rhs.ejects_created;
-    d.activations = activations - rhs.activations;
-    d.passivations = passivations - rhs.passivations;
-    d.checkpoints = checkpoints - rhs.checkpoints;
-    d.crashes = crashes - rhs.crashes;
-    d.events_processed = events_processed - rhs.events_processed;
-    d.failed_invocations = failed_invocations - rhs.failed_invocations;
-    d.timeouts = timeouts - rhs.timeouts;
-    d.messages_dropped = messages_dropped - rhs.messages_dropped;
-    d.retries = retries - rhs.retries;
-    d.recoveries = recoveries - rhs.recoveries;
-    d.redeliveries = redeliveries - rhs.redeliveries;
-    d.redeliveries_dropped = redeliveries_dropped - rhs.redeliveries_dropped;
+#define EDEN_STATS_DIFF(field, label) d.field = field - rhs.field;
+    EDEN_STATS_FIELDS(EDEN_STATS_DIFF)
+#undef EDEN_STATS_DIFF
     return d;
   }
 
   uint64_t total_messages() const { return invocations_sent + replies_sent; }
   uint64_t total_bytes() const { return invocation_bytes + reply_bytes; }
 
+  // "label=value" pairs for every field, in declaration order.
   std::string ToString() const;
+  // A map of label -> count (every field; plus the derived totals).
+  Value ToValue() const;
 };
 
 }  // namespace eden

@@ -6,7 +6,21 @@
 namespace eden {
 
 Tracer TraceRecorder::Hook() {
-  return [this](const TraceEvent& event) { events_.push_back(event); };
+  return [this](const TraceEvent& event) {
+    if (capacity_ > 0 && events_.size() >= capacity_) {
+      events_.pop_front();
+      events_dropped_++;
+    }
+    events_.push_back(event);
+  };
+}
+
+void TraceRecorder::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  while (capacity_ > 0 && events_.size() > capacity_) {
+    events_.pop_front();
+    events_dropped_++;
+  }
 }
 
 void TraceRecorder::Label(const Uid& uid, std::string name) {
@@ -23,7 +37,7 @@ std::string TraceRecorder::NameOf(const Uid& uid) const {
 
 void TraceRecorder::FilterOps(const std::vector<std::string>& ops) {
   std::set<InvocationId> kept_ids;
-  std::vector<TraceEvent> kept;
+  std::deque<TraceEvent> kept;
   for (const TraceEvent& event : events_) {
     if (event.kind == TraceEvent::Kind::kInvoke) {
       if (std::find(ops.begin(), ops.end(), event.op) != ops.end()) {
@@ -35,6 +49,69 @@ void TraceRecorder::FilterOps(const std::vector<std::string>& ops) {
     }
   }
   events_ = std::move(kept);
+}
+
+std::map<InvocationId, TraceRecorder::Span> TraceRecorder::SpanIndex() const {
+  std::map<InvocationId, Span> spans;
+  for (const TraceEvent& event : events_) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kInvoke: {
+        Span& span = spans[event.id];
+        span.id = event.id;
+        span.parent = event.parent;
+        span.from = event.from;
+        span.to = event.to;
+        span.op = event.op;
+        span.start = event.at;
+        break;
+      }
+      case TraceEvent::Kind::kReply: {
+        auto it = spans.find(event.id);
+        if (it == spans.end()) {
+          break;  // orphan: the opening event was evicted by the ring
+        }
+        it->second.end = event.at;
+        it->second.ok = event.ok;
+        break;
+      }
+      case TraceEvent::Kind::kDrop: {
+        auto it = spans.find(event.id);
+        if (it != spans.end()) {
+          it->second.dropped = true;
+        }
+        break;
+      }
+      case TraceEvent::Kind::kTimeout: {
+        auto it = spans.find(event.id);
+        if (it != spans.end()) {
+          it->second.timed_out = true;
+          it->second.end = event.at;
+        }
+        break;
+      }
+      case TraceEvent::Kind::kCrash:
+        break;
+    }
+  }
+  for (auto& [id, span] : spans) {
+    if (span.parent != 0) {
+      auto parent_it = spans.find(span.parent);
+      if (parent_it != spans.end()) {
+        parent_it->second.children.push_back(id);
+      }
+    }
+  }
+  return spans;
+}
+
+size_t TraceRecorder::span_count() const {
+  size_t n = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == TraceEvent::Kind::kInvoke) {
+      n++;
+    }
+  }
+  return n;
 }
 
 std::string TraceRecorder::Render(size_t max_rows) const {
@@ -87,8 +164,6 @@ std::string TraceRecorder::Render(size_t max_rows) const {
     for (size_t i = 0; i < parties.size(); ++i) {
       row[i * kColumnWidth + kColumnWidth / 2] = '|';
     }
-    size_t start = left * kColumnWidth + kColumnWidth / 2 + 1;
-    size_t end = right * kColumnWidth + kColumnWidth / 2;
     std::string label;
     switch (event.kind) {
       case TraceEvent::Kind::kInvoke:
@@ -103,12 +178,27 @@ std::string TraceRecorder::Render(size_t max_rows) const {
       case TraceEvent::Kind::kTimeout:
         label = "deadline";
         break;
+      case TraceEvent::Kind::kCrash:
+        label = "CRASH " + event.op;
+        break;
     }
+    if (from == to) {
+      // Self-directed marker (crashes): annotate the lifeline itself.
+      size_t at = from * kColumnWidth + kColumnWidth / 2;
+      std::string marker = "* " + label;
+      row.replace(at, std::min(marker.size(), row.size() - at), marker);
+      out += row + "  t=" + std::to_string(event.at) + "\n";
+      continue;
+    }
+    size_t start = left * kColumnWidth + kColumnWidth / 2 + 1;
+    size_t end = right * kColumnWidth + kColumnWidth / 2;
     char dash = event.kind == TraceEvent::Kind::kInvoke ? '-' : '.';
     std::string arrow(end - start, dash);
-    if (arrow.size() > label.size() + 2) {
-      size_t offset = (arrow.size() - label.size()) / 2;
-      arrow.replace(offset, label.size(), label);
+    if (!label.empty() && arrow.size() > 2) {
+      // A label longer than the arrow is truncated, never omitted.
+      size_t fit = std::min(label.size(), arrow.size() - 2);
+      size_t offset = (arrow.size() - fit) / 2;
+      arrow.replace(offset, fit, label.substr(0, fit));
     }
     bool rightward = to > from;
     if (rightward) {

@@ -1,0 +1,138 @@
+#include "src/eden/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "src/eden/json.h"
+
+namespace eden {
+
+namespace {
+
+// Tracks are numbered in order of first appearance, matching the ASCII
+// chart's lifeline order so the two renderings agree.
+std::map<Uid, int> AssignTracks(const std::deque<TraceEvent>& events) {
+  std::map<Uid, int> tracks;
+  int next = 0;
+  for (const TraceEvent& event : events) {
+    if (tracks.emplace(event.from, next).second) {
+      next++;
+    }
+    if (tracks.emplace(event.to, next).second) {
+      next++;
+    }
+  }
+  return tracks;
+}
+
+void AppendEvent(std::string& out, bool& first, const std::string& body) {
+  if (!first) {
+    out += ",\n";
+  }
+  first = false;
+  out += "  " + body;
+}
+
+std::string Common(const char* ph, const std::string& name, int tid, Tick ts) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "\"ph\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%lld",
+                ph, tid, static_cast<long long>(ts));
+  return "{\"name\":\"" + JsonEscape(name) + "\"," + buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceExporter::Export() const {
+  const std::deque<TraceEvent>& events = recorder_.events();
+  std::map<Uid, int> tracks = AssignTracks(events);
+  std::map<InvocationId, TraceRecorder::Span> spans = recorder_.SpanIndex();
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Track names.
+  for (const auto& [uid, tid] : tracks) {
+    AppendEvent(out, first,
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+                    std::to_string(tid) + ",\"args\":{\"name\":\"" +
+                    JsonEscape(recorder_.NameOf(uid)) + "\"}}");
+  }
+
+  char buf[192];
+  for (const TraceEvent& event : events) {
+    int from_tid = tracks.at(event.from);
+    int to_tid = tracks.at(event.to);
+    switch (event.kind) {
+      case TraceEvent::Kind::kInvoke: {
+        auto it = spans.find(event.id);
+        Tick duration = 0;
+        const char* status = "open";
+        if (it != spans.end()) {
+          const TraceRecorder::Span& span = it->second;
+          duration = span.end >= span.start ? span.end - span.start : 0;
+          status = span.dropped ? "dropped"
+                   : span.timed_out ? "timeout"
+                   : span.end < 0   ? "open"
+                   : span.ok        ? "ok"
+                                    : "fail";
+        }
+        std::snprintf(buf, sizeof(buf),
+                      ",\"dur\":%lld,\"cat\":\"invoke\",\"args\":{\"span\":%llu,"
+                      "\"parent\":%llu,\"status\":\"%s\"}}",
+                      static_cast<long long>(duration),
+                      static_cast<unsigned long long>(event.id),
+                      static_cast<unsigned long long>(event.parent), status);
+        AppendEvent(out, first, Common("X", event.op, to_tid, event.at) + buf);
+        // Flow arrow from the sender to the serving span.
+        std::snprintf(buf, sizeof(buf), ",\"cat\":\"flow\",\"id\":%llu}",
+                      static_cast<unsigned long long>(event.id));
+        AppendEvent(out, first, Common("s", event.op, from_tid, event.at) + buf);
+        std::snprintf(buf, sizeof(buf), ",\"cat\":\"flow\",\"bp\":\"e\",\"id\":%llu}",
+                      static_cast<unsigned long long>(event.id));
+        AppendEvent(out, first,
+                    Common("f", event.op, to_tid, event.at + 1) + buf);
+        break;
+      }
+      case TraceEvent::Kind::kReply:
+        // The reply closes its span ("X" duration above); no extra event.
+        break;
+      case TraceEvent::Kind::kDrop: {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"s\":\"t\",\"cat\":\"fault\",\"args\":{\"span\":%llu}}",
+                      static_cast<unsigned long long>(event.id));
+        AppendEvent(out, first,
+                    Common("i", "LOST " + event.op, to_tid, event.at) + buf);
+        break;
+      }
+      case TraceEvent::Kind::kTimeout: {
+        // to == the caller whose deadline fired.
+        std::snprintf(buf, sizeof(buf),
+                      ",\"s\":\"t\",\"cat\":\"fault\",\"args\":{\"span\":%llu}}",
+                      static_cast<unsigned long long>(event.id));
+        AppendEvent(out, first, Common("i", "deadline", to_tid, event.at) + buf);
+        break;
+      }
+      case TraceEvent::Kind::kCrash: {
+        AppendEvent(out, first,
+                    Common("i", "CRASH " + event.op, to_tid, event.at) +
+                        ",\"s\":\"t\",\"cat\":\"fault\"}");
+        break;
+      }
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool ChromeTraceExporter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << Export();
+  return static_cast<bool>(file);
+}
+
+}  // namespace eden

@@ -1,0 +1,43 @@
+// ChromeTraceExporter: Chrome trace-event JSON from a TraceRecorder.
+//
+// The output is the "JSON Object Format" ({"traceEvents": [...]}) understood
+// by Perfetto and chrome://tracing. Mapping:
+//   * one track (tid) per Eject, named from the recorder's labels;
+//   * one complete event ("ph":"X") per invocation span, placed on the
+//     *target's* track (the Eject doing the serving), lasting from send to
+//     reply (zero-length if no reply was observed);
+//   * one flow arrow ("ph":"s" -> "ph":"f") per invocation, from the
+//     sender's track to the target's, so the causal chain is drawn;
+//   * instant events ("ph":"i") for message drops, deadline timeouts and
+//     crashes.
+// Virtual ticks map 1:1 onto trace microseconds.
+#ifndef SRC_EDEN_TRACE_EXPORT_H_
+#define SRC_EDEN_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/eden/trace.h"
+
+namespace eden {
+
+class ChromeTraceExporter {
+ public:
+  explicit ChromeTraceExporter(const TraceRecorder& recorder)
+      : recorder_(recorder) {}
+
+  // The JSON document. One complete ("ph":"X") event is emitted per retained
+  // invocation event, so the span count equals recorder.span_count().
+  std::string Export() const;
+
+  // Writes Export() to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  size_t span_count() const { return recorder_.span_count(); }
+
+ private:
+  const TraceRecorder& recorder_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_TRACE_EXPORT_H_

@@ -3,9 +3,13 @@
 #include <cstdlib>
 #include <utility>
 
+#include <sstream>
+
 #include "src/core/endpoints.h"
 #include "src/core/filter_eject.h"
 #include "src/core/stream.h"
+#include "src/eden/json.h"
+#include "src/eden/trace_export.h"
 #include "src/filters/multi_input.h"
 #include "src/filters/registry.h"
 #include "src/shell/lexer.h"
@@ -25,6 +29,14 @@ ShellResult Fail(std::string message) {
   result.ok = false;
   result.error = std::move(message);
   return result;
+}
+
+void PushLines(ShellResult& result, const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    result.output.push_back(line);
+  }
 }
 
 }  // namespace
@@ -117,7 +129,87 @@ bool EdenShell::Parse(const std::string& input, std::vector<Stage>& stages,
   return true;
 }
 
+void EdenShell::LabelStage(const Uid& uid, const std::string& name) {
+  if (trace_on_) {
+    recorder_.Label(uid, name);
+  }
+  if (metrics_on_) {
+    metrics_.Label(uid, name);
+  }
+}
+
+std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
+  std::istringstream stream(command);
+  std::vector<std::string> words;
+  std::string word;
+  while (stream >> word) {
+    words.push_back(word);
+  }
+  if (words.empty() ||
+      (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics")) {
+    return std::nullopt;
+  }
+  ShellResult result;
+  if (words[0] == "stats") {
+    if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, ValueToJson(kernel_.stats().ToValue()));
+    } else if (words.size() == 1) {
+      result.output.push_back(kernel_.stats().ToString());
+    } else {
+      return Fail("usage: stats [json]");
+    }
+    return result;
+  }
+  if (words[0] == "trace") {
+    if (words.size() >= 2 && words[1] == "on" && words.size() <= 3) {
+      if (words.size() == 3) {
+        recorder_.set_capacity(std::strtoull(words[2].c_str(), nullptr, 10));
+      }
+      kernel_.set_tracer(recorder_.Hook());
+      trace_on_ = true;
+      result.output.push_back("trace on");
+    } else if (words.size() == 2 && words[1] == "off") {
+      kernel_.set_tracer(Tracer());
+      trace_on_ = false;
+      result.output.push_back("trace off");
+    } else if (words.size() == 2 && words[1] == "show") {
+      PushLines(result, recorder_.Render());
+    } else if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, ChromeTraceExporter(recorder_).Export());
+    } else if (words.size() == 2 && words[1] == "clear") {
+      recorder_.Clear();
+      result.output.push_back("trace cleared");
+    } else {
+      return Fail("usage: trace on [CAP]|off|show|json|clear");
+    }
+    return result;
+  }
+  // metrics
+  if (words.size() == 2 && words[1] == "on") {
+    kernel_.set_metrics(&metrics_);
+    metrics_on_ = true;
+    result.output.push_back("metrics on");
+  } else if (words.size() == 2 && words[1] == "off") {
+    kernel_.set_metrics(nullptr);
+    metrics_on_ = false;
+    result.output.push_back("metrics off");
+  } else if (words.size() == 2 && words[1] == "show") {
+    PushLines(result, metrics_.ToString());
+  } else if (words.size() == 2 && words[1] == "json") {
+    PushLines(result, metrics_.ToJson());
+  } else if (words.size() == 2 && words[1] == "clear") {
+    metrics_.Clear();
+    result.output.push_back("metrics cleared");
+  } else {
+    return Fail("usage: metrics on|off|show|json|clear");
+  }
+  return result;
+}
+
 ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
+  if (std::optional<ShellResult> control = RunControl(command)) {
+    return *control;
+  }
   std::vector<Stage> stages;
   std::string error;
   if (!Parse(command, stages, error)) {
@@ -193,6 +285,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
   } else {
     return Fail("unknown source: " + source_stage.command);
   }
+  LabelStage(upstream, source_stage.command);
 
   // ---- Filter stages.
   std::vector<ReportWindow*> attached_windows;
@@ -214,6 +307,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
       window.Attach(filter.uid(), Value(channel), stage.command);
       attached_windows.push_back(&window);
     }
+    LabelStage(filter.uid(), stage.command);
     upstream = filter.uid();
   }
 
@@ -244,6 +338,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
   if (sink_stage.command == "collect" && sink_stage.args.empty()) {
     PullSink& sink =
         kernel_.CreateLocal<PullSink>(upstream, Value(std::string(kChanOut)));
+    LabelStage(sink.uid(), "collect");
     kernel_.RunUntil([&] { return sink.done(); }, max_events);
     if (!sink.done()) {
       return Fail("pipeline did not complete (infinite source? use head N)");
@@ -257,6 +352,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     if (term == nullptr) {
       term = &kernel_.CreateLocal<TerminalSink>();
     }
+    LabelStage(term->uid(), "terminal:" + name);
     term->Connect(upstream, Value(std::string(kChanOut)));
     kernel_.RunUntil([&] { return term->idle(); }, max_events);
     result.output.assign(term->screen().begin(), term->screen().end());
@@ -266,6 +362,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     if (printer == nullptr) {
       printer = &kernel_.CreateLocal<PrinterSink>();
     }
+    LabelStage(printer->uid(), "printer:" + name);
     printer->Print(upstream, Value(std::string(kChanOut)));
     kernel_.RunUntil([&] { return printer->idle(); }, max_events);
     for (size_t p = 0; p < printer->pages().size(); ++p) {
@@ -310,6 +407,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     }
     NullSink& sink = kernel_.CreateLocal<NullSink>(
         upstream, Value(std::string(kChanOut)), max_items);
+    LabelStage(sink.uid(), "null");
     kernel_.RunUntil([&] { return sink.done(); }, max_events);
     result.output.push_back("discarded " + std::to_string(sink.discarded()));
   } else {

@@ -37,11 +37,14 @@
 #define SRC_SHELL_SHELL_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/devices/devices.h"
 #include "src/eden/kernel.h"
+#include "src/eden/metrics.h"
+#include "src/eden/trace.h"
 #include "src/fs/unix_fs.h"
 
 namespace eden {
@@ -65,7 +68,21 @@ class EdenShell {
   std::optional<Uid> Resolve(const std::string& name) const;
 
   // Parses and runs one pipeline to completion (bounded by max_events).
+  //
+  // Besides pipelines, the shell understands observability commands:
+  //   stats [json]             kernel counters since boot
+  //   trace on [CAP]|off       install/remove the shell's TraceRecorder
+  //                            (CAP bounds the event ring; default unbounded)
+  //   trace show|json|clear    ASCII chart / Chrome trace JSON / reset
+  //   metrics on|off           install/remove the shell's MetricsRegistry
+  //   metrics show|json|clear  human-readable / JSON snapshot / reset
+  // While tracing or metering is on, pipeline stages are labeled with their
+  // command names, so charts read "grep" rather than a raw UID.
   ShellResult Run(const std::string& command, uint64_t max_events = 2'000'000);
+
+  // The shell-owned instruments (live across commands; inspectable in tests).
+  TraceRecorder& recorder() { return recorder_; }
+  MetricsRegistry& metrics() { return metrics_; }
 
   // Named windows/terminals/printers created by previous commands.
   TerminalSink* terminal(const std::string& name);
@@ -82,10 +99,18 @@ class EdenShell {
   bool Parse(const std::string& input, std::vector<Stage>& stages,
              std::string& error);
   ReportWindow& WindowOrCreate(const std::string& name);
+  // Handles stats/trace/metrics; nullopt if `command` is a pipeline.
+  std::optional<ShellResult> RunControl(const std::string& command);
+  // Labels `uid` in whichever instruments are currently installed.
+  void LabelStage(const Uid& uid, const std::string& name);
 
   Kernel& kernel_;
   HostFs* host_;
   UnixFileSystemEject* unixfs_ = nullptr;  // created on first use
+  TraceRecorder recorder_;
+  MetricsRegistry metrics_;
+  bool trace_on_ = false;
+  bool metrics_on_ = false;
   std::map<std::string, Uid> bindings_;
   std::map<std::string, TerminalSink*> terminals_;
   std::map<std::string, PrinterSink*> printers_;

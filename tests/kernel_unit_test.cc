@@ -320,5 +320,44 @@ TEST(ValueTest, SizeOfScalarsIsZero) {
   EXPECT_EQ(Value("abc").Size(), 3u);
 }
 
+// ----------------------------------------------------------- Stats X-macro
+
+// Regression guard for the EDEN_STATS_FIELDS list: every field must survive
+// operator- and appear (by label) in both ToString and ToValue. Adding a
+// counter to the struct without adding it to the macro is impossible; this
+// test makes the reverse drift (a macro entry missing from a dump) fail too.
+TEST(StatsTest, EveryFieldDiffsAndIsDumped) {
+  Stats a;
+  Stats b;
+  uint64_t seed = 100;
+#define EDEN_STATS_FILL(field, label) \
+  a.field = 2 * seed;                 \
+  b.field = seed;                     \
+  seed += 7;
+  EDEN_STATS_FIELDS(EDEN_STATS_FILL)
+#undef EDEN_STATS_FILL
+
+  Stats d = a - b;
+  std::string text = d.ToString();
+  Value map = d.ToValue();
+  seed = 100;
+#define EDEN_STATS_CHECK(field, label)                                   \
+  EXPECT_EQ(d.field, seed) << #field;                                    \
+  EXPECT_NE(text.find(std::string(label) + "=" + std::to_string(seed)),  \
+            std::string::npos)                                           \
+      << label;                                                          \
+  EXPECT_EQ(map.Field(label).IntOr(-1), static_cast<int64_t>(seed))      \
+      << label;                                                          \
+  seed += 7;
+  EDEN_STATS_FIELDS(EDEN_STATS_CHECK)
+#undef EDEN_STATS_CHECK
+
+  EXPECT_EQ(d.total_messages(), d.invocations_sent + d.replies_sent);
+  EXPECT_EQ(map.Field("total_messages").IntOr(-1),
+            static_cast<int64_t>(d.total_messages()));
+  EXPECT_EQ(map.Field("total_bytes").IntOr(-1),
+            static_cast<int64_t>(d.total_bytes()));
+}
+
 }  // namespace
 }  // namespace eden

@@ -1,0 +1,324 @@
+// MetricsRegistry, Log2Histogram, JSON emission and the ChromeTraceExporter
+// acceptance criteria (Fig. 2 pipeline: valid trace JSON, one span per
+// invocation, n+1 spans per datum).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/endpoints.h"
+#include "src/core/pipeline.h"
+#include "src/eden/fault.h"
+#include "src/eden/json.h"
+#include "src/eden/kernel.h"
+#include "src/eden/metrics.h"
+#include "src/eden/trace.h"
+#include "src/eden/trace_export.h"
+
+namespace eden {
+namespace {
+
+std::vector<TransformFactory> Copies(size_t n) {
+  std::vector<TransformFactory> chain;
+  for (size_t i = 0; i < n; ++i) {
+    chain.push_back([] {
+      return std::make_unique<LambdaTransform>(
+          "copy", [](const Value& v, const Transform::EmitFn& emit) {
+            emit(kChanOut, v);
+          });
+    });
+  }
+  return chain;
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Log2HistogramTest, BucketGeometry) {
+  EXPECT_EQ(Log2Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Log2Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Log2Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Log2Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Log2Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Log2Histogram::BucketOf(7), 3u);
+  EXPECT_EQ(Log2Histogram::BucketOf(8), 4u);
+  EXPECT_EQ(Log2Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Log2Histogram::BucketOf(1024), 11u);
+  // The last bucket absorbs everything huge.
+  EXPECT_EQ(Log2Histogram::BucketOf(UINT64_MAX), Log2Histogram::kBucketCount - 1);
+
+  // Low/high bounds tile the value space: bucket b = [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Log2Histogram::BucketLow(0), 0u);
+  EXPECT_EQ(Log2Histogram::BucketHigh(0), 0u);
+  for (size_t b = 1; b + 1 < Log2Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(Log2Histogram::BucketLow(b), uint64_t{1} << (b - 1));
+    EXPECT_EQ(Log2Histogram::BucketHigh(b), (uint64_t{1} << b) - 1);
+    EXPECT_EQ(Log2Histogram::BucketLow(b + 1), Log2Histogram::BucketHigh(b) + 1);
+    EXPECT_EQ(Log2Histogram::BucketOf(Log2Histogram::BucketLow(b)), b);
+    EXPECT_EQ(Log2Histogram::BucketOf(Log2Histogram::BucketHigh(b)), b);
+  }
+}
+
+TEST(Log2HistogramTest, CountsSumMinMaxMean) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  EXPECT_EQ(h.bucket(Log2Histogram::BucketOf(10)), 1u);
+}
+
+TEST(Log2HistogramTest, PercentilesAreClampedToObservedRange) {
+  Log2Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v);
+  }
+  // Estimates interpolate within buckets, so allow bucket-sized slack, but
+  // order and clamping must hold exactly.
+  EXPECT_GE(h.Percentile(0), h.min());
+  EXPECT_LE(h.Percentile(100), h.max());
+  EXPECT_EQ(h.Percentile(100), 100u);
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p90 = h.Percentile(90);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 32u);  // true p50 = 50, bucket [32,63]
+  EXPECT_LE(p50, 63u);
+  EXPECT_GE(p90, 64u);  // true p90 = 90, bucket [64,100] after clamp
+  EXPECT_LE(p99, 100u);
+}
+
+TEST(Log2HistogramTest, SingleValueHistogramIsExact) {
+  Log2Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Percentile(0), 42u);
+  EXPECT_EQ(h.Percentile(50), 42u);
+  EXPECT_EQ(h.Percentile(100), 42u);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, RecordsAndSnapshots) {
+  MetricsRegistry metrics;
+  Uid pipe(1, 2);
+  metrics.Label(pipe, "pipe0");
+  metrics.RecordLatency("Transfer", 120);
+  metrics.RecordLatency("Transfer", 240);
+  metrics.RecordQueueDepth("pipe", pipe, 3);
+  metrics.RecordQueueDepth("pipe", pipe, 7);
+  metrics.RecordQueueDepth("pipe", pipe, 2);
+  metrics.CountInvocation(pipe);
+  metrics.CountInvocation(pipe);
+
+  const Log2Histogram* latency = metrics.LatencyFor("Transfer");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 2u);
+  const MetricsRegistry::QueueGauge* gauge = metrics.QueueFor("pipe", pipe);
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->depth, 2u);        // latest
+  EXPECT_EQ(gauge->high_water, 7u);   // peak
+  EXPECT_EQ(gauge->samples, 3u);
+  EXPECT_EQ(metrics.InvocationsTo(pipe), 2u);
+
+  Value snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.Field("latency").Field("Transfer").Field("count").IntOr(0), 2);
+  EXPECT_EQ(snapshot.Field("queues").Field("pipe/pipe0").Field("high_water").IntOr(0), 7);
+  EXPECT_EQ(snapshot.Field("invocations").Field("pipe0").IntOr(0), 2);
+
+  std::string error;
+  EXPECT_TRUE(JsonValidate(metrics.ToJson(), &error)) << error;
+  EXPECT_NE(metrics.ToString().find("Transfer"), std::string::npos);
+
+  metrics.Clear();
+  EXPECT_EQ(metrics.LatencyFor("Transfer"), nullptr);
+  EXPECT_EQ(metrics.QueueFor("pipe", pipe), nullptr);
+  EXPECT_EQ(metrics.InvocationsTo(pipe), 0u);
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  std::string error;
+  EXPECT_TRUE(JsonValidate("{}", &error));
+  EXPECT_TRUE(JsonValidate("[1, 2.5, -3e4, \"a\\nb\", true, false, null]", &error));
+  EXPECT_TRUE(JsonValidate("{\"k\": {\"nested\": [{}]}}", &error));
+  EXPECT_FALSE(JsonValidate("", &error));
+  EXPECT_FALSE(JsonValidate("{", &error));
+  EXPECT_FALSE(JsonValidate("{\"k\": }", &error));
+  EXPECT_FALSE(JsonValidate("[1,]", &error));
+  EXPECT_FALSE(JsonValidate("{} trailing", &error));
+  EXPECT_FALSE(JsonValidate("'single'", &error));
+}
+
+// ----------------------------------------------- kernel-integrated metrics
+
+TEST(MetricsKernelTest, LatencyQueuesAndInvocationCountsFromAPipeline) {
+  Kernel kernel;
+  MetricsRegistry metrics;
+  kernel.set_metrics(&metrics);
+
+  ValueList input;
+  for (int i = 0; i < 8; ++i) {
+    input.push_back(Value(int64_t{i}));
+  }
+  PipelineOptions options;
+  options.discipline = Discipline::kConventional;
+  PipelineHandle handle = BuildPipeline(kernel, std::move(input), Copies(1), options);
+  handle.LabelAll(metrics);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  ASSERT_EQ(handle.output().size(), 8u);
+
+  // Every Transfer that completed has a recorded latency.
+  const Log2Histogram* transfer = metrics.LatencyFor(std::string(kOpTransfer));
+  ASSERT_NE(transfer, nullptr);
+  EXPECT_GT(transfer->count(), 0u);
+  EXPECT_GT(transfer->Percentile(50), 0u);
+
+  // The pipes sampled their queue depth; invocation counts landed on stages.
+  bool saw_pipe_gauge = false;
+  for (size_t i = 0; i < handle.ejects.size(); ++i) {
+    if (metrics.QueueFor("pipe", handle.ejects[i]) != nullptr) {
+      saw_pipe_gauge = true;
+    }
+  }
+  EXPECT_TRUE(saw_pipe_gauge);
+  uint64_t invoked = 0;
+  for (const Uid& uid : handle.ejects) {
+    invoked += metrics.InvocationsTo(uid);
+  }
+  EXPECT_GT(invoked, 0u);
+
+  std::string error;
+  EXPECT_TRUE(JsonValidate(metrics.ToJson(), &error)) << error;
+}
+
+TEST(MetricsKernelTest, NoRegistryMeansNoRecording) {
+  // Guards the fast path's *semantics* (the perf claim is bench_claim_
+  // invocations'): running without a registry must leave a later-installed
+  // one untouched.
+  Kernel kernel;
+  VectorSource& source = kernel.CreateLocal<VectorSource>(ValueList{Value("x")});
+  PullSink& sink = kernel.CreateLocal<PullSink>(source.uid(),
+                                                Value(std::string(kChanOut)));
+  kernel.RunUntil([&] { return sink.done(); });
+  MetricsRegistry metrics;
+  kernel.set_metrics(&metrics);
+  EXPECT_EQ(metrics.LatencyFor(std::string(kOpTransfer)), nullptr);
+}
+
+// ------------------------------------------------------------ trace export
+
+// ISSUE acceptance: the Chrome trace of a Fig. 2 read-only run must be valid
+// JSON whose per-datum span count matches Stats' invocation count — n+1
+// Transfers per datum for n filters (each hop moves m items in m+1
+// Transfers, the last carrying the end marker).
+TEST(ChromeTraceExportTest, Figure2SpansMatchInvocationCounts) {
+  constexpr size_t kFilters = 3;
+  constexpr int kItems = 5;
+
+  Kernel kernel;
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+  Stats before = kernel.stats();
+
+  ValueList input;
+  for (int i = 0; i < kItems; ++i) {
+    input.push_back(Value(int64_t{i}));
+  }
+  PipelineOptions options;
+  options.discipline = Discipline::kReadOnly;
+  options.work_ahead = 0;
+  PipelineHandle handle =
+      BuildPipeline(kernel, std::move(input), Copies(kFilters), options);
+  handle.LabelAll(recorder);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  ASSERT_EQ(handle.output().size(), static_cast<size_t>(kItems));
+
+  Stats delta = kernel.stats() - before;
+  ChromeTraceExporter exporter(recorder);
+
+  // One span per invocation, (n+1) Transfer hops serving (m+1) Transfers each.
+  EXPECT_EQ(exporter.span_count(), delta.invocations_sent);
+  EXPECT_EQ(delta.invocations_sent,
+            (kFilters + 1) * (static_cast<uint64_t>(kItems) + 1));
+
+  std::string json = exporter.Export();
+  std::string error;
+  ASSERT_TRUE(JsonValidate(json, &error)) << error;
+
+  // Structure: the document is the Chrome trace JSON-object form, spans are
+  // complete events, stage labels become thread names.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);  // flow arrows
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("filter1"), std::string::npos);
+  // Exactly span_count() complete events.
+  size_t complete = 0;
+  for (size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    complete++;
+  }
+  EXPECT_EQ(complete, exporter.span_count());
+}
+
+TEST(ChromeTraceExportTest, FaultEventsBecomeInstants) {
+  Kernel kernel;
+  FaultPlan plan;
+  plan.drop_invocation = 1.0;
+  FaultInjector injector(plan);
+  kernel.set_fault_injector(&injector);
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+
+  VectorSource& source = kernel.CreateLocal<VectorSource>(ValueList{Value("x")});
+  PullSink::Options options;
+  options.deadline = 500;
+  PullSink& sink = kernel.CreateLocal<PullSink>(
+      source.uid(), Value(std::string(kChanOut)), options);
+  kernel.RunUntil([&] { return sink.done(); });
+  kernel.Crash(source.uid());
+
+  std::string json = ChromeTraceExporter(recorder).Export();
+  std::string error;
+  ASSERT_TRUE(JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("LOST Transfer"), std::string::npos);
+  EXPECT_NE(json.find("deadline"), std::string::npos);
+  EXPECT_NE(json.find("CRASH VectorSource"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"dropped\""), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, WritesFile) {
+  TraceRecorder recorder;
+  Tracer hook = recorder.Hook();
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kInvoke;
+  event.id = 1;
+  event.op = "Ping";
+  hook(event);
+
+  ChromeTraceExporter exporter(recorder);
+  std::string path = ::testing::TempDir() + "/eden_trace_test.json";
+  ASSERT_TRUE(exporter.WriteFile(path));
+  FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, exporter.Export());
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,6 +1,7 @@
 // Shell tests: lexer, pipeline construction, redirection, bootstrap fs.
 #include <gtest/gtest.h>
 
+#include "src/eden/json.h"
 #include "src/eden/kernel.h"
 #include "src/fs/file.h"
 #include "src/shell/lexer.h"
@@ -200,6 +201,92 @@ TEST(ShellTest, FanInSourceErrors) {
   EXPECT_FALSE(shell.Run("cmp a b | collect").ok);
   EXPECT_FALSE(shell.Run("merge onlyone | collect").ok);
   EXPECT_FALSE(shell.Run("sed x | collect").ok);
+}
+
+// ------------------------------------------------- observability commands
+
+std::string Joined(const ShellResult& r) {
+  std::string all;
+  for (const std::string& line : r.output) {
+    all += line;
+    all += '\n';
+  }
+  return all;
+}
+
+TEST(ShellTest, StatsCommandReportsCounters) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("echo a b | collect").ok);
+  ShellResult text = shell.Run("stats");
+  ASSERT_TRUE(text.ok) << text.error;
+  EXPECT_NE(Joined(text).find("invocations="), std::string::npos);
+
+  ShellResult json = shell.Run("stats json");
+  ASSERT_TRUE(json.ok) << json.error;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
+  EXPECT_FALSE(shell.Run("stats nonsense").ok);
+}
+
+TEST(ShellTest, TraceCommandsCaptureLabelAndExport) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("trace on").ok);
+  ASSERT_TRUE(shell.Run("echo alpha beta | upper | collect").ok);
+
+  ShellResult chart = shell.Run("trace show");
+  ASSERT_TRUE(chart.ok) << chart.error;
+  // Stages are labeled by command name while tracing.
+  EXPECT_NE(Joined(chart).find("echo"), std::string::npos);
+  EXPECT_NE(Joined(chart).find("upper"), std::string::npos);
+  EXPECT_NE(Joined(chart).find("Transfer"), std::string::npos);
+
+  ShellResult json = shell.Run("trace json");
+  ASSERT_TRUE(json.ok) << json.error;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
+  EXPECT_NE(Joined(json).find("traceEvents"), std::string::npos);
+  EXPECT_GT(shell.recorder().span_count(), 0u);
+
+  ASSERT_TRUE(shell.Run("trace clear").ok);
+  EXPECT_EQ(shell.recorder().size(), 0u);
+  ASSERT_TRUE(shell.Run("trace off").ok);
+  EXPECT_FALSE(shell.Run("trace sideways").ok);
+}
+
+TEST(ShellTest, TraceCapacityBoundsTheRing) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("trace on 4").ok);
+  ASSERT_TRUE(shell.Run("echo a b c d e f g h | collect").ok);
+  EXPECT_LE(shell.recorder().size(), 4u);
+  EXPECT_GT(shell.recorder().events_dropped(), 0u);
+}
+
+TEST(ShellTest, MetricsCommandsMeterPipelines) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("metrics on").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | collect").ok);
+
+  ShellResult show = shell.Run("metrics show");
+  ASSERT_TRUE(show.ok) << show.error;
+  EXPECT_NE(Joined(show).find("latency"), std::string::npos);
+  EXPECT_NE(Joined(show).find("Transfer"), std::string::npos);
+  EXPECT_NE(Joined(show).find("invoked"), std::string::npos);
+  EXPECT_NE(Joined(show).find("upper"), std::string::npos);  // labeled stage
+
+  ShellResult json = shell.Run("metrics json");
+  ASSERT_TRUE(json.ok) << json.error;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
+
+  ASSERT_TRUE(shell.Run("metrics clear").ok);
+  EXPECT_NE(Joined(shell.Run("metrics show")).find("no metrics"),
+            std::string::npos);
+  ASSERT_TRUE(shell.Run("metrics off").ok);
+  EXPECT_FALSE(shell.Run("metrics upside-down").ok);
 }
 
 }  // namespace

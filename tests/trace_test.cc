@@ -1,12 +1,30 @@
-// Trace facility tests: event capture, filtering, rendering.
+// Trace facility tests: event capture, filtering, rendering, ring-buffer
+// bounds, and the causal span index.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/core/endpoints.h"
+#include "src/core/pipeline.h"
+#include "src/eden/fault.h"
 #include "src/eden/kernel.h"
 #include "src/eden/trace.h"
 
 namespace eden {
 namespace {
+
+std::vector<TransformFactory> Copies(size_t n) {
+  std::vector<TransformFactory> chain;
+  for (size_t i = 0; i < n; ++i) {
+    chain.push_back([] {
+      return std::make_unique<LambdaTransform>(
+          "copy", [](const Value& v, const Transform::EmitFn& emit) {
+            emit(kChanOut, v);
+          });
+    });
+  }
+  return chain;
+}
 
 TEST(TraceTest, CapturesInvocationAndReplyPairs) {
   Kernel kernel;
@@ -95,6 +113,155 @@ TEST(TraceTest, RenderTruncatesLongTraces) {
 TEST(TraceTest, EmptyTraceRenders) {
   TraceRecorder recorder;
   EXPECT_EQ(recorder.Render(), "(no events)\n");
+}
+
+TEST(TraceTest, DropAndTimeoutAreRecordedAndRendered) {
+  Kernel kernel;
+  FaultPlan plan;
+  plan.drop_invocation = 1.0;  // every inter-Eject invocation is lost
+  FaultInjector injector(plan);
+  kernel.set_fault_injector(&injector);
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+
+  VectorSource& source = kernel.CreateLocal<VectorSource>(ValueList{Value("x")});
+  PullSink::Options options;
+  options.deadline = 500;
+  PullSink& sink = kernel.CreateLocal<PullSink>(
+      source.uid(), Value(std::string(kChanOut)), options);
+  kernel.RunUntil([&] { return sink.done(); });
+
+  size_t drops = 0;
+  size_t timeouts = 0;
+  for (const TraceEvent& event : recorder.events()) {
+    drops += event.kind == TraceEvent::Kind::kDrop ? 1 : 0;
+    timeouts += event.kind == TraceEvent::Kind::kTimeout ? 1 : 0;
+  }
+  ASSERT_GE(drops, 1u);
+  ASSERT_GE(timeouts, 1u);
+
+  // The span remembers both fates.
+  auto spans = recorder.SpanIndex();
+  bool saw_doomed = false;
+  for (const auto& [id, span] : spans) {
+    if (span.dropped) {
+      saw_doomed = true;
+      EXPECT_TRUE(span.timed_out);
+      EXPECT_EQ(span.to, source.uid());
+    }
+  }
+  EXPECT_TRUE(saw_doomed);
+
+  std::string chart = recorder.Render();
+  EXPECT_NE(chart.find("LOST Transfer"), std::string::npos);
+  EXPECT_NE(chart.find("deadline"), std::string::npos);
+}
+
+TEST(TraceTest, CrashRendersAsSelfMarker) {
+  Kernel kernel;
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+  Uid source = kernel.CreateLocal<VectorSource>(ValueList{Value("x")}).uid();
+  kernel.Run();
+  kernel.Crash(source);  // destroys the Eject; only the uid stays valid
+
+  bool saw_crash = false;
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.kind == TraceEvent::Kind::kCrash) {
+      saw_crash = true;
+      EXPECT_EQ(event.from, source);
+      EXPECT_EQ(event.to, source);
+      EXPECT_EQ(event.op, "VectorSource");
+    }
+  }
+  ASSERT_TRUE(saw_crash);
+  EXPECT_NE(recorder.Render().find("CRASH VectorSource"), std::string::npos);
+}
+
+TEST(TraceTest, RingBufferEvictsOldestAndCounts) {
+  TraceRecorder recorder(4);
+  Tracer hook = recorder.Hook();
+  for (uint64_t i = 1; i <= 10; ++i) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kInvoke;
+    event.id = i;
+    event.at = static_cast<Tick>(i);
+    event.op = "Op";
+    hook(event);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.events_dropped(), 6u);
+  EXPECT_EQ(recorder.events().front().id, 7u);  // oldest retained
+  EXPECT_EQ(recorder.events().back().id, 10u);
+
+  recorder.set_capacity(2);  // shrinking evicts immediately
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.events_dropped(), 8u);
+  EXPECT_EQ(recorder.events().front().id, 9u);
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.events_dropped(), 0u);
+}
+
+// The acceptance test for causal spans: in a fully lazy 3-filter read-only
+// chain, a Transfer arriving at the source must be causally descended from
+// the sink's original demand — parent links hop filter by filter.
+TEST(TraceTest, SpanParentsFollowTheDemandChain) {
+  Kernel kernel;
+  TraceRecorder recorder;
+  kernel.set_tracer(recorder.Hook());
+
+  ValueList input;
+  for (int i = 0; i < 6; ++i) {
+    input.push_back(Value(int64_t{i}));
+  }
+  PipelineOptions options;
+  options.discipline = Discipline::kReadOnly;
+  options.work_ahead = 0;  // fully lazy: every Transfer is demand-driven
+  PipelineHandle handle = BuildPipeline(kernel, std::move(input), Copies(3), options);
+  handle.LabelAll(recorder);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  ASSERT_EQ(handle.output().size(), 6u);
+
+  auto spans = recorder.SpanIndex();
+  ASSERT_EQ(spans.size(), recorder.span_count());
+
+  // Parent/child integrity: every recorded parent link has the matching
+  // child entry, and children never predate their parents.
+  for (const auto& [id, span] : spans) {
+    if (span.parent == 0) {
+      continue;
+    }
+    auto parent = spans.find(span.parent);
+    ASSERT_NE(parent, spans.end());
+    EXPECT_GE(span.start, parent->second.start);
+    const auto& siblings = parent->second.children;
+    EXPECT_NE(std::find(siblings.begin(), siblings.end(), id), siblings.end());
+  }
+
+  // ejects = [source, F1, F2, F3, sink]. Walk one source-bound Transfer's
+  // ancestry: it should climb F1 -> F2 -> F3 and terminate at a root span
+  // (the sink's own pump loop).
+  const Uid& source = handle.ejects[0];
+  bool chained = false;
+  for (const auto& [id, span] : spans) {
+    if (span.to != source || span.op != std::string(kOpTransfer)) {
+      continue;
+    }
+    std::vector<Uid> ancestors;
+    InvocationId at = span.parent;
+    while (at != 0 && spans.count(at) > 0) {
+      ancestors.push_back(spans.at(at).to);
+      at = spans.at(at).parent;
+    }
+    if (ancestors.size() == 3 && ancestors[0] == handle.ejects[1] &&
+        ancestors[1] == handle.ejects[2] && ancestors[2] == handle.ejects[3]) {
+      chained = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(chained);
 }
 
 }  // namespace
