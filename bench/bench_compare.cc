@@ -1,0 +1,140 @@
+// Bench regression gate: diffs BENCH_*.json runs against checked-in
+// baselines.
+//
+//   bench_compare [--threshold=F] [--counters-only] [--metric=NAME] \
+//                 BASELINE CURRENT
+//
+// BASELINE and CURRENT are either two JSON files (compared directly) or two
+// directories (every BENCH_*.json present in *both* is compared; baselines
+// that never ran are reported but only count as regressions in file mode).
+// Exits 0 when nothing regressed, 1 on any regression or unreadable input.
+//
+// Host times are only comparable on one machine, so CI passes
+// --counters-only: the repo's counters (inv_per_datum, msgs_per_datum, ...)
+// are deterministic identities from the paper, and any drift is a claim
+// change that needs an explicit re-baseline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/eden/analysis.h"
+#include "src/eden/json.h"
+#include "src/eden/value.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool LoadJson(const fs::path& path, eden::Value* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  std::optional<eden::Value> parsed = eden::JsonParse(text, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  *out = std::move(*parsed);
+  return true;
+}
+
+std::vector<std::string> BenchFiles(const fs::path& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--threshold=F] [--counters-only] "
+               "[--metric=NAME] BASELINE CURRENT\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eden::BenchCompareOptions options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      options.time_threshold = std::atof(arg.c_str() + 12);
+    } else if (arg == "--counters-only") {
+      options.counters_only = true;
+    } else if (arg.rfind("--metric=", 0) == 0) {
+      options.time_metric = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (positional.size() != 2) {
+    return Usage();
+  }
+  fs::path base_path = positional[0];
+  fs::path cur_path = positional[1];
+
+  size_t regressions = 0;
+  if (fs::is_directory(base_path) && fs::is_directory(cur_path)) {
+    std::vector<std::string> base_files = BenchFiles(base_path);
+    std::vector<std::string> cur_files = BenchFiles(cur_path);
+    size_t compared = 0;
+    for (const std::string& name : base_files) {
+      if (std::find(cur_files.begin(), cur_files.end(), name) ==
+          cur_files.end()) {
+        std::printf("%s: no current run (skipped)\n", name.c_str());
+        continue;
+      }
+      eden::Value base, cur;
+      if (!LoadJson(base_path / name, &base) ||
+          !LoadJson(cur_path / name, &cur)) {
+        return 1;
+      }
+      eden::BenchComparison cmp = eden::CompareBenchRuns(base, cur, options);
+      std::printf("== %s\n%s", name.c_str(), cmp.ToString().c_str());
+      regressions += cmp.regressions;
+      compared++;
+    }
+    if (compared == 0) {
+      std::fprintf(stderr, "bench_compare: no BENCH_*.json pairs to compare\n");
+      return 1;
+    }
+  } else {
+    eden::Value base, cur;
+    if (!LoadJson(base_path, &base) || !LoadJson(cur_path, &cur)) {
+      return 1;
+    }
+    eden::BenchComparison cmp = eden::CompareBenchRuns(base, cur, options);
+    std::printf("%s", cmp.ToString().c_str());
+    regressions = cmp.regressions;
+  }
+  return regressions == 0 ? 0 : 1;
+}

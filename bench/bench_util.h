@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "src/core/pipeline.h"
+#include "src/eden/analysis.h"
 #include "src/eden/fault.h"
 #include "src/eden/metrics.h"
+#include "src/eden/monitor.h"
 #include "src/eden/random.h"
 #include "src/eden/trace.h"
 
@@ -59,6 +61,10 @@ struct PipelineInstruments {
   FaultInjector* fault = nullptr;
   MetricsRegistry* metrics = nullptr;  // stages labeled with their role names
   TraceRecorder* trace = nullptr;      // hooked and labeled likewise
+  InvariantMonitor* monitor = nullptr; // online invariant checking
+  // Run the PipelineDoctor over `trace` (+ `metrics`) after the run and
+  // attach the Diagnosis to the stats. Requires `trace`.
+  bool diagnose = false;
   std::function<void(Kernel&, PipelineHandle&)> on_built;
 };
 
@@ -80,6 +86,11 @@ struct PipelineRunStats {
   uint64_t crashes = 0;
   // The collected sink output (byte-identity checks across runs).
   ValueList output;
+  // When an InvariantMonitor was installed: its end-of-run Check() count.
+  uint64_t invariant_violations = 0;
+  // When instruments.diagnose was set: the doctor's report and verdict.
+  Value diagnosis;
+  std::string verdict;
 
   // {stats: {...}, virtual_time, items_out, ejects, ...} for JSON dumps.
   Value ToValue() const {
@@ -90,6 +101,10 @@ struct PipelineRunStats {
     v.Set("ejects", Value(static_cast<uint64_t>(ejects)));
     v.Set("passive_buffers", Value(static_cast<uint64_t>(passive_buffers)));
     v.Set("first_item_at", Value(static_cast<int64_t>(first_item_at)));
+    v.Set("invariant_violations", Value(invariant_violations));
+    if (!diagnosis.is_nil()) {
+      v.Set("diagnosis", diagnosis);
+    }
     return v;
   }
 };
@@ -111,6 +126,12 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
   if (instruments.trace != nullptr) {
     kernel.set_tracer(instruments.trace->Hook());
   }
+  if (instruments.monitor != nullptr) {
+    if (instruments.trace != nullptr) {
+      instruments.monitor->set_trace_sink(instruments.trace->Hook());
+    }
+    kernel.set_monitor(instruments.monitor);
+  }
   Stats before = kernel.stats();
   Tick start = kernel.now();
   PipelineHandle handle = BuildPipeline(kernel, std::move(input), chain, options);
@@ -119,6 +140,9 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
   }
   if (instruments.trace != nullptr) {
     handle.LabelAll(*instruments.trace);
+  }
+  if (instruments.monitor != nullptr) {
+    handle.LabelAll(*instruments.monitor);
   }
   if (instruments.on_built) {
     instruments.on_built(kernel, handle);
@@ -139,6 +163,15 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
   result.messages_dropped = result.delta.messages_dropped;
   result.crashes = result.delta.crashes;
   result.output = handle.output();
+  if (instruments.monitor != nullptr) {
+    result.invariant_violations = instruments.monitor->Check().size();
+  }
+  if (instruments.diagnose && instruments.trace != nullptr) {
+    Diagnosis diagnosis =
+        PipelineDoctor(*instruments.trace, instruments.metrics).Diagnose();
+    result.verdict = diagnosis.verdict;
+    result.diagnosis = diagnosis.ToValue();
+  }
   return result;
 }
 

@@ -1,0 +1,71 @@
+// Runs the pipeline doctor over Figure 1 and Figure 2 and prints both
+// diagnoses side by side.
+//
+// The same 3-filter / 40-item workload is built in the conventional
+// discipline (Fig. 1: passive buffers at every junction) and the read-only
+// discipline (Fig. 2: filters respond to demand), each filter charged 100
+// virtual ticks of compute per item. The two diagnoses show what the
+// disciplines do to the critical path: in a fully lazy Fig. 2 run the whole
+// demand chain hangs off the sink's Transfer, so the path is n+1 spans deep
+// and the filters' compute stacks up along it; in Fig. 1 the passive
+// buffers decouple the stages, so the path is shallow but twice as many
+// invocations move each datum.
+//
+//   $ ./pipeline_doctor
+#include <cstdio>
+
+#include "src/core/filter_eject.h"
+#include "src/core/pipeline.h"
+#include "src/eden/analysis.h"
+#include "src/eden/metrics.h"
+#include "src/eden/trace.h"
+#include "src/filters/transforms.h"
+
+namespace {
+
+eden::Diagnosis RunOnce(eden::Discipline discipline) {
+  eden::Kernel kernel;
+  eden::TraceRecorder recorder;
+  eden::MetricsRegistry metrics;
+  kernel.set_tracer(recorder.Hook());
+  kernel.set_metrics(&metrics);
+
+  eden::ValueList input;
+  for (int i = 0; i < 40; ++i) {
+    input.push_back(eden::Value("item " + std::to_string(i)));
+  }
+  std::vector<eden::TransformFactory> stages = {
+      [] { return std::make_unique<eden::CopyTransform>(); },
+      [] { return std::make_unique<eden::CopyTransform>(); },
+      [] { return std::make_unique<eden::CopyTransform>(); },
+  };
+  eden::PipelineOptions options;
+  options.discipline = discipline;
+  options.work_ahead = 0;        // fully lazy read-only chain
+  options.processing_cost = 100; // virtual compute per item in every filter
+  eden::PipelineHandle handle =
+      eden::BuildPipeline(kernel, std::move(input), stages, options);
+  handle.LabelAll(recorder);
+  handle.LabelAll(metrics);
+  kernel.RunUntil([&handle] { return handle.done(); });
+
+  return eden::PipelineDoctor(recorder, &metrics).Diagnose();
+}
+
+}  // namespace
+
+int main() {
+  for (eden::Discipline discipline :
+       {eden::Discipline::kConventional, eden::Discipline::kReadOnly}) {
+    eden::Diagnosis d = RunOnce(discipline);
+    std::printf("=== %s (Fig. %s) ===\n%s\n",
+                std::string(eden::DisciplineName(discipline)).c_str(),
+                discipline == eden::Discipline::kConventional ? "1" : "2",
+                d.ToString().c_str());
+  }
+  std::printf(
+      "The read-only run's critical path is the demand chain itself (n+1\n"
+      "spans deep); the conventional run's buffers cut the chain short but\n"
+      "bill twice the invocations per datum. (§4)\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/eden/metrics.h"
+#include "src/eden/monitor.h"
 #include "src/eden/trace.h"
 
 namespace eden {
@@ -396,6 +397,15 @@ void PipelineHandle::LabelAll(MetricsRegistry& metrics) const {
   }
   if (!monitor.IsNil()) {
     metrics.Label(monitor, "monitor");
+  }
+}
+
+void PipelineHandle::LabelAll(InvariantMonitor& checker) const {
+  for (size_t i = 0; i < ejects.size() && i < stage_names.size(); ++i) {
+    checker.Label(ejects[i], stage_names[i]);
+  }
+  if (!monitor.IsNil()) {
+    checker.Label(monitor, "monitor");
   }
 }
 

@@ -28,6 +28,7 @@
 
 namespace eden {
 
+class InvariantMonitor;
 class MetricsRegistry;
 class TraceRecorder;
 
@@ -107,6 +108,7 @@ struct PipelineHandle {
   // charts and metric snapshots print "filter1" instead of a raw UID.
   void LabelAll(TraceRecorder& recorder) const;
   void LabelAll(MetricsRegistry& metrics) const;
+  void LabelAll(InvariantMonitor& checker) const;
 };
 
 // Builds the pipeline and starts it; run the kernel until handle.done().

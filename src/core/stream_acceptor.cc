@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/eden/monitor.h"
+
 namespace eden {
 
 void StreamAcceptor::DeclareChannel(std::string name, ChannelOptions options) {
@@ -83,6 +85,15 @@ void StreamAcceptor::HandlePush(InvocationContext ctx) {
     ch->next_seq++;
     items_received_++;
   }
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    if (count > skip) {
+      mon->OnAccepted(owner_.uid(), owner_.kernel().now(), count - skip);
+    }
+    if (ch->sequenced) {
+      mon->OnSequence(owner_.uid(), owner_.kernel().now(), "acceptor.next",
+                      ch->next_seq);
+    }
+  }
   if (ctx.Arg(kFieldEnd).BoolOr(false)) {
     ch->ended = true;
   }
@@ -134,6 +145,9 @@ Task<std::optional<Value>> StreamAcceptor::Next(std::string_view channel) {
   Value item = std::move(ch->buffer.front());
   ch->buffer.pop_front();
   ch->consumed++;
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    mon->OnConsumed(owner_.uid(), owner_.kernel().now(), 1);
+  }
   ReleaseWithheld(*ch);
   co_return std::optional<Value>(std::move(item));
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/eden/metrics.h"
+#include "src/eden/monitor.h"
 
 namespace eden {
 
@@ -59,6 +60,14 @@ void StreamReader::Ingest(InvokeResult result) {
     for (size_t i = dropped; i < items->size(); ++i) {
       buffer_.push_back((*items)[i]);
       next_seq_++;
+    }
+    if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+      // Fresh items only: the duplicate prefix was counted when it first
+      // arrived, so the pull edge accounts exactly once per item.
+      if (items->size() > dropped) {
+        mon->OnPulled(owner_.uid(), source_, owner_.kernel().now(),
+                      items->size() - dropped);
+      }
     }
   }
   if (result.value.Field(kFieldEnd).BoolOr(false)) {
@@ -135,6 +144,9 @@ Task<std::optional<Value>> StreamReader::Next() {
   Value item = std::move(buffer_.front());
   buffer_.pop_front();
   items_read_++;
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    mon->OnConsumed(owner_.uid(), owner_.kernel().now(), 1);
+  }
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
   }
@@ -165,6 +177,11 @@ Task<ValueList> StreamReader::NextBatch() {
     buffer_.pop_front();
   }
   items_read_ += items.size();
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    if (!items.empty()) {
+      mon->OnConsumed(owner_.uid(), owner_.kernel().now(), items.size());
+    }
+  }
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
   }

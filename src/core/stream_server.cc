@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/eden/metrics.h"
+#include "src/eden/monitor.h"
 
 namespace eden {
 
@@ -55,6 +56,9 @@ Task<void> StreamServer::Write(std::string_view channel, Value item) {
   }
   owner_.kernel().CountLocalStep();
   ch->buffer.push_back(std::move(item));
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    mon->OnProduced(owner_.uid(), owner_.kernel().now(), 1);
+  }
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("server", owner_.uid(), ch->buffer.size());
   }
@@ -156,6 +160,16 @@ void StreamServer::Pump(OutChannel& channel) {
     bool end = channel.closed && channel.buffer.empty() && pos >= channel.next_seq;
     items_delivered_ += fresh;
     transfers_served_++;
+    if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+      // Fresh items only: replayed positions were counted when first served.
+      if (fresh > 0) {
+        mon->OnServed(owner_.uid(), owner_.kernel().now(), fresh);
+      }
+      if (channel.sequenced) {
+        mon->OnSequence(owner_.uid(), owner_.kernel().now(), "server.next",
+                        channel.next_seq);
+      }
+    }
     if (redelivered) {
       owner_.kernel().stats().redeliveries++;
     }
@@ -192,6 +206,10 @@ void StreamServer::HandleTransfer(InvocationContext ctx) {
     while (ch->replay_base < ack && !ch->replay.empty()) {
       ch->replay.pop_front();
       ch->replay_base++;
+    }
+    if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+      mon->OnSequence(owner_.uid(), owner_.kernel().now(), "server.ack",
+                      ch->replay_base);
     }
   }
   Parked parked;

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <string>
 
+#include "src/eden/monitor.h"
+
 namespace eden {
 
 namespace {
@@ -20,6 +22,12 @@ Task<Status> StreamWriter::Send(bool end) {
   ValueList items;
   items.swap(pending_);
   items_written_ += items.size();
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    if (!items.empty()) {
+      mon->OnProduced(owner_.uid(), owner_.kernel().now(), items.size());
+      mon->OnPushed(owner_.uid(), sink_, owner_.kernel().now(), items.size());
+    }
+  }
   int attempt = 0;
   for (;;) {
     pushes_sent_++;
@@ -52,6 +60,15 @@ Task<Status> StreamWriter::SendSequenced(bool end) {
                     replay_.end());
     size_t count = items.size();
     pushes_sent_++;
+    if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+      // Only positions beyond the transmission high-water mark are fresh; a
+      // rewound resend after a lost push retransmits already-counted items.
+      if (first + count > sent_high_) {
+        mon->OnPushed(owner_.uid(), sink_, owner_.kernel().now(),
+                      first + count - sent_high_);
+      }
+    }
+    sent_high_ = std::max(sent_high_, first + count);
     InvokeResult result = co_await owner_.Invoke(
         sink_, std::string(kOpPush),
         MakePushArgs(channel_, std::move(items), end, first), options_.deadline);
@@ -86,6 +103,10 @@ Task<Status> StreamWriter::SendSequenced(bool end) {
       replay_.pop_front();
       replay_base_++;
     }
+    if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+      mon->OnSequence(owner_.uid(), owner_.kernel().now(), "writer.ack",
+                      replay_base_);
+    }
     if (cursor_ < next) {
       cursor_ = std::min(next, total);
     }
@@ -107,6 +128,9 @@ Task<Status> StreamWriter::Write(Value item) {
   if (options_.sequenced) {
     replay_.push_back(std::move(item));
     items_written_++;
+    if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+      mon->OnProduced(owner_.uid(), owner_.kernel().now(), 1);
+    }
     uint64_t unsent = replay_base_ + replay_.size() - cursor_;
     if (static_cast<int64_t>(unsent) >= options_.batch) {
       co_return co_await Send(/*end=*/false);
@@ -159,6 +183,10 @@ void StreamWriter::RestoreState(const Value& state) {
   ended_ = state.Field("ended").BoolOr(false);
   // Resend the whole unacknowledged window; the receiver deduplicates.
   cursor_ = replay_base_;
+  // A restored writer retransmits its window: assume the lost incarnation
+  // already transmitted it so the monitor does not double count (crash runs
+  // are outside the exact-balance guarantee either way; see monitor.h).
+  sent_high_ = replay_base_ + replay_.size();
   status_ = Status::Ok();
 }
 

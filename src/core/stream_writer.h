@@ -88,6 +88,9 @@ class StreamWriter {
   std::deque<Value> replay_;
   uint64_t replay_base_ = 0;
   uint64_t cursor_ = 0;
+  // Highest position ever transmitted (sequenced mode): rewound resends are
+  // not fresh, so the invariant monitor's wire accounting stays exactly-once.
+  uint64_t sent_high_ = 0;
 };
 
 }  // namespace eden

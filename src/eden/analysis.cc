@@ -1,0 +1,431 @@
+#include "src/eden/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "src/eden/metrics.h"
+
+namespace eden {
+
+namespace {
+
+using Span = TraceRecorder::Span;
+using SpanMap = std::map<InvocationId, Span>;
+
+bool Closed(const Span& span) { return span.end >= span.start; }
+
+// Total length of [span.start, span.end] covered by its closed children
+// (clipped to the span). Children lists are ascending by id, which is also
+// ascending by start time, so one merge pass suffices.
+Tick CoveredByChildren(const Span& span, const SpanMap& spans) {
+  Tick covered = 0;
+  Tick cursor = span.start;
+  for (InvocationId child_id : span.children) {
+    auto it = spans.find(child_id);
+    if (it == spans.end() || !Closed(it->second)) {
+      continue;
+    }
+    Tick lo = std::max(it->second.start, cursor);
+    Tick hi = std::min(it->second.end, span.end);
+    if (hi > lo) {
+      covered += hi - lo;
+      cursor = hi;
+    }
+  }
+  return covered;
+}
+
+// The child that gated this span's completion: the closed child with the
+// latest reply (ties go to the later span id, i.e. the one sent last).
+const Span* CriticalChild(const Span& span, const SpanMap& spans) {
+  const Span* best = nullptr;
+  for (InvocationId child_id : span.children) {
+    auto it = spans.find(child_id);
+    if (it == spans.end() || !Closed(it->second)) {
+      continue;
+    }
+    if (best == nullptr || it->second.end >= best->end) {
+      best = &it->second;
+    }
+  }
+  return best;
+}
+
+// Union length of a set of [start, end] intervals.
+Tick UnionLength(std::vector<std::pair<Tick, Tick>>& intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  Tick total = 0;
+  Tick cursor = -1;
+  bool open = false;
+  for (const auto& [lo, hi] : intervals) {
+    if (!open || lo > cursor) {
+      total += hi - lo;
+      cursor = hi;
+      open = true;
+    } else if (hi > cursor) {
+      total += hi - cursor;
+      cursor = hi;
+    }
+  }
+  return total;
+}
+
+double NumberOr(const Value& v, double fallback) {
+  return v.AsReal().value_or(fallback);
+}
+
+}  // namespace
+
+Diagnosis PipelineDoctor::Diagnose() const {
+  Diagnosis d;
+  SpanMap spans = trace_.SpanIndex();
+  d.span_count = spans.size();
+  if (spans.empty()) {
+    d.verdict = "no spans recorded (enable tracing before the run)";
+    return d;
+  }
+
+  // Self time per span, stage aggregation, makespan.
+  std::map<InvocationId, Tick> self_of;
+  std::map<Uid, StageDiagnosis> stages;
+  std::map<Uid, std::vector<std::pair<Tick, Tick>>> stage_intervals;
+  Tick first_start = -1;
+  Tick last_end = 0;
+  for (const auto& [id, span] : spans) {
+    if (span.parent == 0) {
+      d.root_count++;
+    }
+    if (span.orphaned) {
+      d.orphaned++;
+    }
+    if (!Closed(span)) {
+      continue;
+    }
+    Tick self = (span.end - span.start) - CoveredByChildren(span, spans);
+    self_of[id] = self;
+    StageDiagnosis& stage = stages[span.to];
+    stage.uid = span.to;
+    stage.spans++;
+    stage.self_time += self;
+    stage.wait_time += (span.end - span.start) - self;
+    stage_intervals[span.to].push_back({span.start, span.end});
+    if (first_start < 0 || span.start < first_start) {
+      first_start = span.start;
+    }
+    last_end = std::max(last_end, span.end);
+  }
+  d.makespan = first_start >= 0 ? last_end - first_start : 0;
+
+  // Critical chains: from every root, follow the gating child to a leaf.
+  // Self time along these chains, grouped by stage, is where the run's
+  // ticks actually went; the longest chain is reported step by step.
+  const Span* longest_root = nullptr;
+  for (const auto& [id, span] : spans) {
+    if (span.parent != 0 || !Closed(span)) {
+      continue;
+    }
+    for (const Span* at = &span; at != nullptr; at = CriticalChild(*at, spans)) {
+      auto it = self_of.find(at->id);
+      if (it != self_of.end()) {
+        stages[at->to].critical_self += it->second;
+        d.critical_total += it->second;
+      }
+    }
+    if (longest_root == nullptr ||
+        span.end - span.start > longest_root->end - longest_root->start) {
+      longest_root = &span;
+    }
+  }
+  if (longest_root != nullptr) {
+    d.critical_ticks = longest_root->end - longest_root->start;
+    for (const Span* at = longest_root; at != nullptr;
+         at = CriticalChild(*at, spans)) {
+      CriticalStep step;
+      step.id = at->id;
+      step.stage = at->to;
+      step.name = trace_.NameOf(at->to);
+      step.op = at->op;
+      step.start = at->start;
+      step.end = at->end;
+      auto it = self_of.find(at->id);
+      step.self = it == self_of.end() ? 0 : it->second;
+      d.critical_path.push_back(std::move(step));
+    }
+    d.critical_depth = d.critical_path.size();
+  }
+
+  // Queue high-water marks from the metrics snapshot: keys are
+  // "component/label", so match on the label part.
+  std::map<std::string, uint64_t> high_water;
+  if (metrics_ != nullptr) {
+    Value snapshot = metrics_->Snapshot();
+    if (const ValueMap* queues = snapshot.Field("queues").AsMap()) {
+      for (const auto& [key, gauge] : *queues) {
+        size_t slash = key.find('/');
+        std::string label = slash == std::string::npos ? key : key.substr(slash + 1);
+        uint64_t hw = static_cast<uint64_t>(gauge.Field("high_water").IntOr(0));
+        high_water[label] = std::max(high_water[label], hw);
+      }
+    }
+  }
+
+  for (auto& [uid, stage] : stages) {
+    stage.name = trace_.NameOf(uid);
+    stage.busy = UnionLength(stage_intervals[uid]);
+    stage.utilization =
+        d.makespan > 0 ? static_cast<double>(stage.busy) / d.makespan : 0;
+    auto it = high_water.find(stage.name);
+    if (it != high_water.end()) {
+      stage.queue_high_water = it->second;
+    }
+    d.stages.push_back(stage);
+  }
+  std::sort(d.stages.begin(), d.stages.end(),
+            [](const StageDiagnosis& a, const StageDiagnosis& b) {
+              if (a.critical_self != b.critical_self) {
+                return a.critical_self > b.critical_self;
+              }
+              if (a.self_time != b.self_time) {
+                return a.self_time > b.self_time;
+              }
+              return a.uid < b.uid;
+            });
+
+  if (!d.stages.empty() && d.critical_total > 0) {
+    const StageDiagnosis& top = d.stages.front();
+    d.bottleneck = top.name;
+    d.bottleneck_share =
+        static_cast<double>(top.critical_self) / d.critical_total;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "bottleneck: %s, %d%% of critical path, queue high-water %llu",
+                  top.name.c_str(),
+                  static_cast<int>(d.bottleneck_share * 100 + 0.5),
+                  static_cast<unsigned long long>(top.queue_high_water));
+    d.verdict = buf;
+  } else {
+    d.verdict = "no closed spans to attribute (run still in flight?)";
+  }
+  return d;
+}
+
+std::string Diagnosis::ToString() const {
+  std::ostringstream out;
+  out << "pipeline doctor: " << span_count << " spans, " << root_count
+      << " roots";
+  if (orphaned > 0) {
+    out << " (" << orphaned << " orphaned by ring eviction)";
+  }
+  out << ", makespan " << makespan << " ticks\n";
+  out << "verdict: " << verdict << "\n";
+  if (!critical_path.empty()) {
+    out << "critical path (" << critical_depth << " spans, " << critical_ticks
+        << " ticks):\n";
+    for (const CriticalStep& step : critical_path) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  #%llu %-12s %-12s [%lld..%lld] self %lld\n",
+                    static_cast<unsigned long long>(step.id), step.name.c_str(),
+                    step.op.c_str(), static_cast<long long>(step.start),
+                    static_cast<long long>(step.end),
+                    static_cast<long long>(step.self));
+      out << line;
+    }
+  }
+  if (!stages.empty()) {
+    out << "stages (by critical self time):\n";
+    out << "  stage         spans  self    wait    crit-self  util   queue-hw\n";
+    for (const StageDiagnosis& stage : stages) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-12s %6zu %7lld %7lld %10lld %5.0f%% %9llu\n",
+                    stage.name.c_str(), stage.spans,
+                    static_cast<long long>(stage.self_time),
+                    static_cast<long long>(stage.wait_time),
+                    static_cast<long long>(stage.critical_self),
+                    stage.utilization * 100,
+                    static_cast<unsigned long long>(stage.queue_high_water));
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+Value Diagnosis::ToValue() const {
+  Value v;
+  v.Set("span_count", Value(static_cast<int64_t>(span_count)));
+  v.Set("root_count", Value(static_cast<int64_t>(root_count)));
+  v.Set("orphaned", Value(static_cast<int64_t>(orphaned)));
+  v.Set("makespan", Value(static_cast<int64_t>(makespan)));
+  v.Set("critical_ticks", Value(static_cast<int64_t>(critical_ticks)));
+  v.Set("critical_depth", Value(static_cast<int64_t>(critical_depth)));
+  v.Set("critical_total", Value(static_cast<int64_t>(critical_total)));
+  v.Set("bottleneck", Value(bottleneck));
+  v.Set("bottleneck_share", Value(bottleneck_share));
+  v.Set("verdict", Value(verdict));
+  ValueList path;
+  for (const CriticalStep& step : critical_path) {
+    Value s;
+    s.Set("id", Value(static_cast<int64_t>(step.id)));
+    s.Set("stage", Value(step.name));
+    s.Set("op", Value(step.op));
+    s.Set("start", Value(static_cast<int64_t>(step.start)));
+    s.Set("end", Value(static_cast<int64_t>(step.end)));
+    s.Set("self", Value(static_cast<int64_t>(step.self)));
+    path.push_back(std::move(s));
+  }
+  v.Set("critical_path", Value(std::move(path)));
+  ValueList stage_list;
+  for (const StageDiagnosis& stage : stages) {
+    Value s;
+    s.Set("stage", Value(stage.name));
+    s.Set("spans", Value(static_cast<int64_t>(stage.spans)));
+    s.Set("busy", Value(static_cast<int64_t>(stage.busy)));
+    s.Set("self_time", Value(static_cast<int64_t>(stage.self_time)));
+    s.Set("wait_time", Value(static_cast<int64_t>(stage.wait_time)));
+    s.Set("critical_self", Value(static_cast<int64_t>(stage.critical_self)));
+    s.Set("utilization", Value(stage.utilization));
+    s.Set("queue_high_water",
+          Value(static_cast<int64_t>(stage.queue_high_water)));
+    stage_list.push_back(std::move(s));
+  }
+  v.Set("stages", Value(std::move(stage_list)));
+  return v;
+}
+
+// ---------------------------------------------------------- bench comparison
+
+namespace {
+
+// Fields of a google-benchmark entry that are not user counters.
+bool IsStandardBenchField(const std::string& key) {
+  static const std::set<std::string> kStandard = {
+      "name",       "run_name",         "run_type",
+      "family_index", "per_family_instance_index",
+      "repetitions", "repetition_index", "threads",
+      "iterations", "real_time",        "cpu_time",
+      "time_unit",  "aggregate_name",   "aggregate_unit",
+      // Rate counters are wall-time divided by work: host-speed facts, not
+      // deterministic identities. The time comparison already covers them.
+      "items_per_second", "bytes_per_second",
+  };
+  return kStandard.count(key) > 0;
+}
+
+std::map<std::string, const Value*> BenchmarksByName(const Value& doc) {
+  std::map<std::string, const Value*> out;
+  if (const ValueList* list = doc.Field("benchmarks").AsList()) {
+    for (const Value& bench : *list) {
+      const std::string* name = bench.Field("name").AsStr();
+      if (name != nullptr) {
+        out[*name] = &bench;
+      }
+    }
+  }
+  return out;
+}
+
+bool RelativeChangeExceeds(double base, double current, double threshold) {
+  if (base == current) {
+    return false;
+  }
+  double denom = std::max(std::abs(base), 1e-12);
+  return std::abs(current - base) / denom > threshold;
+}
+
+}  // namespace
+
+BenchComparison CompareBenchRuns(const Value& baseline, const Value& current,
+                                 const BenchCompareOptions& options) {
+  BenchComparison cmp;
+  std::map<std::string, const Value*> base = BenchmarksByName(baseline);
+  std::map<std::string, const Value*> cur = BenchmarksByName(current);
+
+  for (const auto& [name, base_bench] : base) {
+    BenchDelta row;
+    row.name = name;
+    auto it = cur.find(name);
+    if (it == cur.end()) {
+      row.missing_in_current = true;
+      cmp.regressions++;
+      cmp.rows.push_back(std::move(row));
+      continue;
+    }
+    const Value& cur_bench = *it->second;
+    row.base_time = NumberOr(base_bench->Field(options.time_metric), 0);
+    row.current_time = NumberOr(cur_bench.Field(options.time_metric), 0);
+    if (!options.counters_only && row.base_time > 0) {
+      row.ratio = row.current_time / row.base_time;
+      row.time_regressed = row.ratio > 1.0 + options.time_threshold;
+      row.time_improved = row.ratio < 1.0 - options.time_threshold;
+      if (row.time_regressed) {
+        cmp.regressions++;
+      }
+    }
+    if (const ValueMap* fields = base_bench->AsMap()) {
+      for (const auto& [key, base_value] : *fields) {
+        if (IsStandardBenchField(key) || !base_value.AsReal().has_value()) {
+          continue;
+        }
+        if (!cur_bench.HasField(key)) {
+          continue;  // counter set changed shape; name-level diff is enough
+        }
+        double b = NumberOr(base_value, 0);
+        double c = NumberOr(cur_bench.Field(key), 0);
+        if (RelativeChangeExceeds(b, c, options.counter_threshold)) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf), "%s: %g -> %g", key.c_str(), b, c);
+          row.counter_changes.push_back(buf);
+          cmp.regressions++;
+        }
+      }
+    }
+    cmp.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, bench] : cur) {
+    if (base.count(name) == 0) {
+      BenchDelta row;
+      row.name = name;
+      row.new_in_current = true;
+      row.current_time = NumberOr(bench->Field(options.time_metric), 0);
+      cmp.rows.push_back(std::move(row));
+    }
+  }
+  return cmp;
+}
+
+std::string BenchComparison::ToString() const {
+  std::ostringstream out;
+  out << "benchmark                                baseline     current   "
+         "ratio  status\n";
+  for (const BenchDelta& row : rows) {
+    const char* status = "ok";
+    if (row.missing_in_current) {
+      status = "MISSING";
+    } else if (row.new_in_current) {
+      status = "new";
+    } else if (row.time_regressed || !row.counter_changes.empty()) {
+      status = "REGRESSED";
+    } else if (row.time_improved) {
+      status = "improved";
+    }
+    char line[200];
+    std::snprintf(line, sizeof(line), "%-38s %10.1f  %10.1f  %6.2f  %s\n",
+                  row.name.c_str(), row.base_time, row.current_time, row.ratio,
+                  status);
+    out << line;
+    for (const std::string& change : row.counter_changes) {
+      out << "    counter " << change << "\n";
+    }
+  }
+  out << (regressions == 0
+              ? "no regressions\n"
+              : std::to_string(regressions) + " regression(s)\n");
+  return out.str();
+}
+
+}  // namespace eden

@@ -1,0 +1,156 @@
+// Analysis over the observability data: the pipeline doctor and the bench
+// regression comparator.
+//
+// PR 2 recorded faithfully (causal spans, latency histograms); nothing yet
+// *interpreted* the recording. PipelineDoctor folds TraceRecorder::SpanIndex()
+// and MetricsRegistry::Snapshot() into a diagnosis: the critical path through
+// the demand chain (the longest root-to-leaf chain of spans in virtual
+// ticks — in an asynchronous execution the happened-before order is the only
+// meaningful notion of "longest"), per-stage self-time vs. wait-time
+// attribution, queue-backpressure ranking, utilization per Eject, and a
+// one-line verdict naming the bottleneck.
+//
+// Attribution model: a span covers [start, end] in virtual time at its
+// target Eject. Its *self time* is the part of that interval not covered by
+// its children — time the serving stage spent computing or blocked on its
+// own machinery rather than waiting on upstream; the rest is *wait time*.
+// The critical chain of a root follows, at each span, the child whose reply
+// arrived last (that child gated the parent's completion); summing self
+// times along every root's critical chain and grouping by stage yields the
+// bottleneck ranking: the stage with the largest critical self time is where
+// ticks actually went.
+//
+// CompareBenchRuns diffs two google-benchmark JSON documents (the
+// EDEN_BENCH_MAIN sidecar format) with a noise threshold, separating *time*
+// metrics (noisy, machine-dependent; generous threshold) from *counters*
+// (this repo's are deterministic paper identities — inv_per_datum and
+// friends — so any change is a claim change and is flagged at a tight
+// threshold). bench/bench_compare.cc wraps it in a CLI that exits nonzero on
+// regression; tests drive it directly on synthetic documents.
+#ifndef SRC_EDEN_ANALYSIS_H_
+#define SRC_EDEN_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/eden/clock.h"
+#include "src/eden/trace.h"
+#include "src/eden/uid.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+class MetricsRegistry;
+
+// One hop on the critical chain.
+struct CriticalStep {
+  InvocationId id = 0;
+  Uid stage;          // the Eject that served this span
+  std::string name;   // its label (or short uid)
+  std::string op;
+  Tick start = 0;
+  Tick end = 0;
+  Tick self = 0;      // interval not covered by this span's children
+};
+
+// Per-stage attribution, aggregated over every span served by the stage.
+struct StageDiagnosis {
+  Uid uid;
+  std::string name;
+  size_t spans = 0;
+  Tick busy = 0;           // union of served-span intervals
+  Tick self_time = 0;      // busy not covered by child spans
+  Tick wait_time = 0;      // busy spent waiting on children
+  Tick critical_self = 0;  // self time on critical chains only
+  double utilization = 0;  // busy / makespan
+  uint64_t queue_high_water = 0;  // peak queue depth, from metrics (if any)
+};
+
+struct Diagnosis {
+  size_t span_count = 0;
+  size_t root_count = 0;
+  size_t orphaned = 0;   // spans re-rooted because the ring evicted parents
+  Tick makespan = 0;     // last end - first start over closed spans
+
+  // The longest critical chain (by root-span duration), root first.
+  std::vector<CriticalStep> critical_path;
+  Tick critical_ticks = 0;   // duration of that chain's root span
+  size_t critical_depth = 0; // spans on the chain (= n+1 on a lazy Fig. 2 run)
+
+  // Stages sorted by critical self time, descending.
+  std::vector<StageDiagnosis> stages;
+  Tick critical_total = 0;   // sum of critical_self over all stages
+
+  std::string bottleneck;          // name of stages[0], if any
+  double bottleneck_share = 0;     // its critical_self / critical_total
+
+  // "bottleneck: filter2, 61% of critical path, queue high-water 64"
+  std::string verdict;
+
+  std::string ToString() const;
+  Value ToValue() const;
+};
+
+// Folds the span tree (and optionally the metrics snapshot, for queue
+// high-water marks) into a Diagnosis. Reads only; both sources must outlive
+// the doctor.
+class PipelineDoctor {
+ public:
+  explicit PipelineDoctor(const TraceRecorder& trace,
+                          const MetricsRegistry* metrics = nullptr)
+      : trace_(trace), metrics_(metrics) {}
+
+  Diagnosis Diagnose() const;
+
+ private:
+  const TraceRecorder& trace_;
+  const MetricsRegistry* metrics_;
+};
+
+// ---------------------------------------------------------- bench comparison
+
+struct BenchCompareOptions {
+  // Relative change in the time metric tolerated as noise.
+  double time_threshold = 0.30;
+  // Relative change tolerated in counters. Ours are deterministic, so any
+  // real change exceeds this.
+  double counter_threshold = 0.001;
+  // Which google-benchmark time field to compare.
+  std::string time_metric = "cpu_time";
+  // Ignore time entirely (for cross-machine CI, where only the
+  // deterministic counters are comparable).
+  bool counters_only = false;
+};
+
+struct BenchDelta {
+  std::string name;
+  double base_time = 0;
+  double current_time = 0;
+  double ratio = 1.0;  // current / base
+  bool time_regressed = false;
+  bool time_improved = false;
+  // "inv_per_datum: 4 -> 8" — any counter change beyond the threshold; a
+  // changed identity needs an explicit re-baseline either way.
+  std::vector<std::string> counter_changes;
+  bool missing_in_current = false;  // benchmark disappeared
+  bool new_in_current = false;      // no baseline yet (not a regression)
+};
+
+struct BenchComparison {
+  std::vector<BenchDelta> rows;
+  size_t regressions = 0;
+  bool ok() const { return regressions == 0; }
+  // Per-benchmark delta table.
+  std::string ToString() const;
+};
+
+// Compares two parsed BENCH_*.json documents ({"context": ..., "benchmarks":
+// [{"name", "cpu_time", <counters>...}, ...]}).
+BenchComparison CompareBenchRuns(const Value& baseline, const Value& current,
+                                 const BenchCompareOptions& options = {});
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_ANALYSIS_H_

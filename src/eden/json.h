@@ -9,6 +9,7 @@
 #ifndef SRC_EDEN_JSON_H_
 #define SRC_EDEN_JSON_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -27,6 +28,15 @@ std::string ValueToJson(const Value& value);
 // On failure returns false and, if `error` is non-null, sets a short message
 // with the byte offset of the problem.
 bool JsonValidate(std::string_view text, std::string* error = nullptr);
+
+// Parses one JSON document into a Value (the inverse of ValueToJson, modulo
+// the lossy encodings: null -> nil, numbers without fraction/exponent ->
+// Int, others -> Real; UIDs and bytes come back as strings). Exists so
+// bench_compare can read BENCH_*.json files without a third-party JSON
+// dependency. Returns nullopt on malformed input (same diagnostics as
+// JsonValidate via `error`).
+std::optional<Value> JsonParse(std::string_view text,
+                               std::string* error = nullptr);
 
 }  // namespace eden
 

@@ -8,6 +8,7 @@
 #include "src/eden/fault.h"
 #include "src/eden/log.h"
 #include "src/eden/metrics.h"
+#include "src/eden/monitor.h"
 
 namespace eden {
 
@@ -232,7 +233,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
               options_.costs.dispatch;
   EDEN_LOG(*this, kDebug) << "invoke " << from.Short() << " -> " << target.Short()
                           << " " << op << " (id " << id << ")";
-  if (tracer_) {
+  if (observing()) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kInvoke;
     event.at = now();
@@ -241,7 +242,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
     event.op = op;
     event.id = id;
     event.parent = current_span_;
-    tracer_(event);
+    Observe(event);
   }
   // Fault injection applies to inter-Eject traffic only, so external drivers
   // keep a reliable channel. A dropped invocation leaves its pending entry in
@@ -254,7 +255,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
       fault_->invocations_dropped_++;
       stats_.messages_dropped++;
       EDEN_LOG(*this, kInfo) << "fault: lost invoke " << op << " (id " << id << ")";
-      if (tracer_) {
+      if (observing()) {
         TraceEvent event;
         event.kind = TraceEvent::Kind::kDrop;
         event.at = now();
@@ -264,7 +265,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
         event.id = id;
         event.parent = current_span_;
         event.ok = false;
-        tracer_(event);
+        Observe(event);
       }
     } else {
       cost += fault_->NextJitter();
@@ -387,7 +388,7 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
     fault_->replies_dropped_++;
     stats_.messages_dropped++;
     EDEN_LOG(*this, kInfo) << "fault: lost reply (id " << id << ")";
-    if (tracer_) {
+    if (observing()) {
       TraceEvent event;
       event.kind = TraceEvent::Kind::kDrop;
       event.at = now();
@@ -397,7 +398,7 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
       event.id = id;
       event.parent = it->second.parent;
       event.ok = false;
-      tracer_(event);
+      Observe(event);
     }
     return;
   }
@@ -409,7 +410,7 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
     // to the operation name captured when the invocation left.
     metrics_->RecordLatency(pending.op, static_cast<uint64_t>(now() - pending.sent_at));
   }
-  if (tracer_) {
+  if (observing()) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kReply;
     event.at = now();
@@ -418,7 +419,7 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
     event.id = id;
     event.parent = pending.parent;
     event.ok = status.ok_or_end();
-    tracer_(event);
+    Observe(event);
   }
   Tick cost = options_.costs.MessageCost(bytes, pending.target_node,
                                          pending.caller_node);
@@ -461,7 +462,7 @@ void Kernel::FireDeadline(InvocationId id) {
   pending_.erase(it);
   stats_.timeouts++;
   EDEN_LOG(*this, kInfo) << "deadline exceeded (id " << id << ")";
-  if (tracer_) {
+  if (observing()) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kTimeout;
     event.at = now();
@@ -470,7 +471,7 @@ void Kernel::FireDeadline(InvocationId id) {
     event.id = id;
     event.parent = pending.parent;
     event.ok = false;
-    tracer_(event);
+    Observe(event);
   }
   // Erasing the entry above is what "drops" any later reply: SendReply for
   // this id becomes a no-op, the same path that swallows double replies.
@@ -514,7 +515,7 @@ void Kernel::TearDown(const Uid& uid, bool is_crash) {
   }
   if (is_crash) {
     stats_.crashes++;
-    if (tracer_) {
+    if (observing()) {
       TraceEvent event;
       event.kind = TraceEvent::Kind::kCrash;
       event.at = now();
@@ -523,7 +524,7 @@ void Kernel::TearDown(const Uid& uid, bool is_crash) {
       event.op = it->second.instance->type_name();
       event.parent = current_span_;
       event.ok = false;
-      tracer_(event);
+      Observe(event);
     }
   } else {
     stats_.passivations++;
@@ -594,6 +595,15 @@ bool Kernel::RunUntil(const std::function<bool()>& done, uint64_t max_events) {
     }
   }
   return done();
+}
+
+void Kernel::Observe(const TraceEvent& event) {
+  if (tracer_) {
+    tracer_(event);
+  }
+  if (monitor_ != nullptr) {
+    monitor_->OnTraceEvent(event);
+  }
 }
 
 }  // namespace eden

@@ -44,6 +44,7 @@ namespace eden {
 
 class Eject;
 class FaultInjector;
+class InvariantMonitor;
 class Kernel;
 class MetricsRegistry;
 
@@ -251,6 +252,13 @@ class Kernel {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
   MetricsRegistry* metrics() const { return metrics_; }
 
+  // Optional invariant monitor (nullptr = none, the default; same
+  // one-pointer-test fast path as metrics). The kernel forwards every trace
+  // event to it; the stream primitives report item flows through it. Not
+  // owned; must outlive the run. See src/eden/monitor.h.
+  void set_monitor(InvariantMonitor* monitor) { monitor_ = monitor; }
+  InvariantMonitor* monitor() const { return monitor_; }
+
   // The span (invocation id) currently being served, or 0 when control is in
   // the external driver. New invocations record this as their causal parent;
   // it follows dispatches, reply deliveries and scheduled resumptions, so a
@@ -330,6 +338,10 @@ class Kernel {
   void FireDeadline(InvocationId id);
   void TearDown(const Uid& uid, bool is_crash);
   void FailDeliveredPendingFor(const Uid& target);
+  // Fans a trace event out to the tracer and the invariant monitor. Callers
+  // gate on `observing()` so the unset fast path stays cheap.
+  bool observing() const { return tracer_ != nullptr || monitor_ != nullptr; }
+  void Observe(const TraceEvent& event);
 
   KernelOptions options_;
   VirtualClock clock_;
@@ -346,6 +358,7 @@ class Kernel {
   Tracer tracer_;
   FaultInjector* fault_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  InvariantMonitor* monitor_ = nullptr;
   InvocationId current_span_ = 0;
   InvocationId next_invocation_id_ = 1;
   bool shutting_down_ = false;

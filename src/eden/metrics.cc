@@ -56,11 +56,18 @@ uint64_t Log2Histogram::Percentile(double p) const {
       continue;
     }
     if (seen + buckets_[b] >= rank) {
-      // Linear interpolation within the bucket's value range.
+      // Linear interpolation within the bucket's value range. When every
+      // sample landed in this one bucket the observed [min, max] is a
+      // tighter range than the bucket bounds — and when min == max the
+      // answer is exact, not an interpolation artifact.
       double frac = static_cast<double>(rank - seen) /
                     static_cast<double>(buckets_[b]);
       uint64_t low = BucketLow(b);
       uint64_t high = std::min(BucketHigh(b), max_);
+      if (buckets_[b] == count_) {
+        low = min_;
+        high = max_;
+      }
       uint64_t value =
           low + static_cast<uint64_t>(frac * static_cast<double>(high - low));
       return std::clamp(value, min_, max_);

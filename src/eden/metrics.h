@@ -53,8 +53,9 @@ class Log2Histogram {
   static uint64_t BucketHigh(size_t index);  // largest value in the bucket
 
   // The p-th percentile (p in [0, 100]) of the recorded values, linearly
-  // interpolated within the winning bucket and clamped to [min, max].
-  // Returns 0 when empty.
+  // interpolated within the winning bucket and clamped to [min, max]. When
+  // all samples fall in one bucket the interpolation range tightens to the
+  // observed [min, max] — exact when min == max. Returns 0 when empty.
   uint64_t Percentile(double p) const;
 
   // {count, sum, min, max, mean, p50, p90, p99, buckets: [...]} — buckets

@@ -1,0 +1,325 @@
+#include "src/eden/monitor.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace eden {
+
+namespace {
+
+const char* KindName(InvariantMonitor::Violation::Kind kind) {
+  using Kind = InvariantMonitor::Violation::Kind;
+  switch (kind) {
+    case Kind::kFlowConservation:
+      return "flow-conservation";
+    case Kind::kInvocationCount:
+      return "invocation-count";
+    case Kind::kSpanTree:
+      return "span-tree";
+    case Kind::kSequence:
+      return "sequence";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void InvariantMonitor::Report(Violation::Kind kind, Tick at, const Uid& stage,
+                              std::string detail) {
+  Violation violation;
+  violation.kind = kind;
+  violation.at = at;
+  violation.stage = stage;
+  violation.detail = std::move(detail);
+  if (trace_sink_) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kViolation;
+    event.at = at;
+    event.from = stage;
+    event.to = stage;
+    event.op = std::string(KindName(kind)) + ": " + violation.detail;
+    event.ok = false;
+    trace_sink_(event);
+  }
+  violations_.push_back(std::move(violation));
+}
+
+void InvariantMonitor::OnTraceEvent(const TraceEvent& event) {
+  events_seen_++;
+  if (event.kind != TraceEvent::Kind::kInvoke) {
+    return;
+  }
+  invocations_by_op_[event.op]++;
+  // Span-tree well-formedness. The monitor observes every invocation in id
+  // order (ids are allocated sequentially at send time), so a well-formed
+  // parent link always names a strictly smaller, already-seen id; anything
+  // else is a cycle or a reference into the future. Unlike the ring-buffered
+  // recorder there is no eviction here, so these are real defects.
+  if (event.id <= max_span_id_) {
+    Report(Violation::Kind::kSpanTree, event.at, event.from,
+           "span id " + std::to_string(event.id) + " not monotone (last " +
+               std::to_string(max_span_id_) + ")");
+  }
+  max_span_id_ = event.id > max_span_id_ ? event.id : max_span_id_;
+  if (event.parent != 0 && event.parent >= event.id) {
+    Report(Violation::Kind::kSpanTree, event.at, event.from,
+           "span " + std::to_string(event.id) + " names parent " +
+               std::to_string(event.parent) +
+               " which it cannot causally descend from");
+  }
+}
+
+void InvariantMonitor::OnProduced(const Uid& stage, Tick, uint64_t items) {
+  flows_[stage].produced += items;
+}
+
+void InvariantMonitor::OnServed(const Uid& stage, Tick at, uint64_t items) {
+  Flow& flow = flows_[stage];
+  flow.served += items;
+  if (flow.served + flow.pushed > flow.produced) {
+    Report(Violation::Kind::kFlowConservation, at, stage,
+           NameOf(stage) + " delivered " +
+               std::to_string(flow.served + flow.pushed) +
+               " items but produced only " + std::to_string(flow.produced));
+  }
+}
+
+void InvariantMonitor::OnPushed(const Uid& stage, const Uid& sink, Tick at,
+                                uint64_t items) {
+  Flow& flow = flows_[stage];
+  flow.pushed += items;
+  push_edges_[{stage, sink}] += items;
+  if (flow.served + flow.pushed > flow.produced) {
+    Report(Violation::Kind::kFlowConservation, at, stage,
+           NameOf(stage) + " delivered " +
+               std::to_string(flow.served + flow.pushed) +
+               " items but produced only " + std::to_string(flow.produced));
+  }
+}
+
+void InvariantMonitor::OnPulled(const Uid& stage, const Uid& source, Tick,
+                                uint64_t items) {
+  flows_[stage].pulled += items;
+  pull_edges_[{source, stage}] += items;
+}
+
+void InvariantMonitor::OnAccepted(const Uid& stage, Tick, uint64_t items) {
+  flows_[stage].accepted += items;
+}
+
+void InvariantMonitor::OnConsumed(const Uid& stage, Tick at, uint64_t items) {
+  Flow& flow = flows_[stage];
+  flow.consumed += items;
+  if (flow.consumed > flow.pulled + flow.accepted) {
+    Report(Violation::Kind::kFlowConservation, at, stage,
+           NameOf(stage) + " consumed " + std::to_string(flow.consumed) +
+               " items but only " +
+               std::to_string(flow.pulled + flow.accepted) + " arrived");
+  }
+}
+
+void InvariantMonitor::OnSequence(const Uid& stage, Tick at,
+                                  std::string_view counter, uint64_t value) {
+  auto key = std::make_pair(stage, std::string(counter));
+  auto it = sequences_.find(key);
+  if (it == sequences_.end()) {
+    sequences_.emplace(std::move(key), value);
+    return;
+  }
+  if (value < it->second) {
+    Report(Violation::Kind::kSequence, at, stage,
+           NameOf(stage) + " " + std::string(counter) + " regressed " +
+               std::to_string(it->second) + " -> " + std::to_string(value));
+  }
+  it->second = value;
+}
+
+void InvariantMonitor::ExpectInvocations(std::string op, uint64_t count) {
+  expected_invocations_[std::move(op)] = count;
+}
+
+void InvariantMonitor::ExpectReadOnlyPipeline(uint64_t filters,
+                                              uint64_t items) {
+  // §4: each of the n+1 hops moves m items in m+1 Transfers (the last
+  // carries the end-of-stream marker).
+  ExpectInvocations("Transfer", (filters + 1) * (items + 1));
+}
+
+uint64_t InvariantMonitor::invocations_of(std::string_view op) const {
+  auto it = invocations_by_op_.find(op);
+  return it == invocations_by_op_.end() ? 0 : it->second;
+}
+
+std::vector<InvariantMonitor::Violation> InvariantMonitor::Check() const {
+  std::vector<Violation> result = violations_;
+  auto report = [&result](Violation::Kind kind, const Uid& stage,
+                          std::string detail) {
+    Violation violation;
+    violation.kind = kind;
+    violation.stage = stage;
+    violation.detail = std::move(detail);
+    result.push_back(std::move(violation));
+  };
+
+  // Wire conservation, pull side: everything a server handed out over
+  // Transfer replies must have been ingested by some reader. A shortfall
+  // means a reply (and the items it carried) was lost in flight.
+  std::map<Uid, uint64_t> pulled_from;
+  for (const auto& [edge, items] : pull_edges_) {
+    pulled_from[edge.first] += items;
+  }
+  for (const auto& [stage, flow] : flows_) {
+    uint64_t arrived = 0;
+    if (auto it = pulled_from.find(stage); it != pulled_from.end()) {
+      arrived = it->second;
+    }
+    if (flow.served != arrived) {
+      report(Violation::Kind::kFlowConservation, stage,
+             NameOf(stage) + " served " + std::to_string(flow.served) +
+                 " items but consumers ingested " + std::to_string(arrived) +
+                 " (lost on the wire)");
+    }
+  }
+  for (const auto& [stage, arrived] : pulled_from) {
+    if (flows_.find(stage) == flows_.end() && arrived != 0) {
+      report(Violation::Kind::kFlowConservation, stage,
+             "consumers ingested " + std::to_string(arrived) + " items from " +
+                 NameOf(stage) + " which served none");
+    }
+  }
+
+  // Wire conservation, push side: everything a writer transmitted must have
+  // been accepted by the acceptor it names as its sink.
+  std::map<Uid, uint64_t> pushed_into;
+  for (const auto& [edge, items] : push_edges_) {
+    pushed_into[edge.second] += items;
+  }
+  for (const auto& [sink, sent] : pushed_into) {
+    uint64_t accepted = 0;
+    if (auto it = flows_.find(sink); it != flows_.end()) {
+      accepted = it->second.accepted;
+    }
+    if (sent != accepted) {
+      report(Violation::Kind::kFlowConservation, sink,
+             "writers pushed " + std::to_string(sent) + " items at " +
+                 NameOf(sink) + " but it accepted " +
+                 std::to_string(accepted) + " (lost on the wire)");
+    }
+  }
+
+  // Invocation-count identities.
+  for (const auto& [op, expected] : expected_invocations_) {
+    uint64_t actual = invocations_of(op);
+    if (actual != expected) {
+      report(Violation::Kind::kInvocationCount, Uid(),
+             "expected " + std::to_string(expected) + " " + op +
+                 " invocations, observed " + std::to_string(actual));
+    }
+  }
+  return result;
+}
+
+void InvariantMonitor::Label(const Uid& uid, std::string name) {
+  labels_[uid] = std::move(name);
+}
+
+std::string InvariantMonitor::NameOf(const Uid& uid) const {
+  auto it = labels_.find(uid);
+  return it == labels_.end() ? uid.Short() : it->second;
+}
+
+std::string InvariantMonitor::ToString() const {
+  std::ostringstream out;
+  out << "invariant monitor: " << events_seen_ << " events, " << flows_.size()
+      << " stages\n";
+  out << "  stage            in(pull+acc)  consumed  produced  out(srv+psh)"
+         "  buffered\n";
+  for (const auto& [stage, flow] : flows_) {
+    int64_t in = static_cast<int64_t>(flow.pulled + flow.accepted);
+    int64_t delivered = static_cast<int64_t>(flow.served + flow.pushed);
+    // in - consumed still sits in input buffers; produced - delivered in
+    // output buffers. Both are >= 0 when conservation holds (signed so a
+    // violated run prints a legible negative, not a wrapped uint64).
+    int64_t buffered = (in - static_cast<int64_t>(flow.consumed)) +
+                       (static_cast<int64_t>(flow.produced) - delivered);
+    char line[128];
+    std::snprintf(line, sizeof(line), "  %-16s %12lld %9llu %9llu %13lld %9lld\n",
+                  NameOf(stage).c_str(), static_cast<long long>(in),
+                  static_cast<unsigned long long>(flow.consumed),
+                  static_cast<unsigned long long>(flow.produced),
+                  static_cast<long long>(delivered),
+                  static_cast<long long>(buffered));
+    out << line;
+  }
+  std::vector<Violation> all = Check();
+  if (all.empty()) {
+    out << "  all invariants hold\n";
+  } else {
+    out << "  VIOLATIONS (" << all.size() << "):\n";
+    for (const Violation& violation : all) {
+      out << "    [" << KindName(violation.kind) << "]";
+      if (violation.at != 0) {
+        out << " t=" << violation.at;
+      }
+      out << " " << violation.detail << "\n";
+    }
+  }
+  return out.str();
+}
+
+void InvariantMonitor::Describe(const Violation& violation, Value& out) {
+  out.Set("kind", Value(std::string(KindName(violation.kind))));
+  out.Set("at", Value(static_cast<int64_t>(violation.at)));
+  if (!violation.stage.IsNil()) {
+    out.Set("stage", Value(violation.stage));
+  }
+  out.Set("detail", Value(violation.detail));
+}
+
+Value InvariantMonitor::ToValue() const {
+  Value flows;
+  for (const auto& [stage, flow] : flows_) {
+    Value entry;
+    entry.Set("produced", Value(static_cast<int64_t>(flow.produced)));
+    entry.Set("served", Value(static_cast<int64_t>(flow.served)));
+    entry.Set("pushed", Value(static_cast<int64_t>(flow.pushed)));
+    entry.Set("pulled", Value(static_cast<int64_t>(flow.pulled)));
+    entry.Set("accepted", Value(static_cast<int64_t>(flow.accepted)));
+    entry.Set("consumed", Value(static_cast<int64_t>(flow.consumed)));
+    flows.Set(NameOf(stage), std::move(entry));
+  }
+  Value invocations;
+  for (const auto& [op, count] : invocations_by_op_) {
+    invocations.Set(op, Value(static_cast<int64_t>(count)));
+  }
+  std::vector<Violation> all = Check();
+  ValueList violations;
+  for (const Violation& violation : all) {
+    Value entry;
+    Describe(violation, entry);
+    violations.push_back(std::move(entry));
+  }
+  Value report;
+  report.Set("events", Value(static_cast<int64_t>(events_seen_)));
+  report.Set("flows", std::move(flows));
+  report.Set("invocations", std::move(invocations));
+  report.Set("ok", Value(all.empty()));
+  report.Set("violations", Value(std::move(violations)));
+  return report;
+}
+
+void InvariantMonitor::Clear() {
+  flows_.clear();
+  pull_edges_.clear();
+  push_edges_.clear();
+  sequences_.clear();
+  invocations_by_op_.clear();
+  expected_invocations_.clear();
+  max_span_id_ = 0;
+  events_seen_ = 0;
+  violations_.clear();
+  labels_.clear();
+}
+
+}  // namespace eden

@@ -1,0 +1,155 @@
+// InvariantMonitor: an online checker for the paper's arithmetic identities.
+//
+// The paper's claims are conservation laws: every datum a stage consumes
+// arrived on some wire, every datum it delivers was produced by it, the
+// read-only discipline moves m items in exactly (n+1)(m+1) Transfers (§4),
+// and sequenced channels never move their seq/ack marks backwards. The
+// monitor is installed like the tracer and metrics registry — an optional
+// kernel hook with a one-pointer-test fast path when unset — and verifies
+// these identities while the pipeline runs, so a violated invariant names
+// the guilty stage at the tick it went wrong instead of surfacing as a
+// mysterious hang later.
+//
+// Two feeds converge here:
+//   - the kernel forwards every TraceEvent (invoke/reply/drop/timeout/crash),
+//     from which the monitor checks span-tree well-formedness (no cycles, no
+//     forward parent references — the monitor sees *all* events, so unlike
+//     the ring-buffered TraceRecorder a missing parent is a real defect) and
+//     counts invocations per op for the (n+1)(m+1) identity;
+//   - the stream primitives report item movements (produced, served, pushed,
+//     pulled, accepted, consumed) and sequence-counter advances, from which
+//     the monitor checks per-stage flow conservation and, at quiescence, the
+//     wire conservation `items sent over edge == items received over edge`.
+//
+// Counting is *fresh-only*: replayed/redelivered items (sequenced recovery)
+// are excluded by every reporting site, so retries account exactly once and
+// a run with retries still balances. Crash/restore runs replace writer or
+// reader instances mid-stream and are outside the exact-balance guarantee —
+// don't assert `ok()` on runs that crash stages (the trace records those
+// crashes; the monitor keeps counting but conservation may legitimately
+// fail, which is precisely what makes a *silent* loss detectable in runs
+// that are supposed to be loss-free).
+//
+// Inline violations (span-tree, sequence regressions, impossible flows) are
+// appended to `violations()` as they happen and optionally emitted into a
+// trace sink as kViolation events; `Check()` re-derives the end-of-run
+// conservation and expectation checks on top, without mutating state, so
+// the shell can call it repeatedly.
+#ifndef SRC_EDEN_MONITOR_H_
+#define SRC_EDEN_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/eden/clock.h"
+#include "src/eden/trace.h"
+#include "src/eden/uid.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+class InvariantMonitor {
+ public:
+  struct Violation {
+    enum class Kind {
+      kFlowConservation,   // items lost or duplicated on a wire/stage
+      kInvocationCount,    // an ExpectInvocations identity failed
+      kSpanTree,           // orphan parent / cycle in the causal tree
+      kSequence,           // a seq/ack counter moved backwards
+    };
+    Kind kind = Kind::kFlowConservation;
+    Tick at = 0;
+    Uid stage;  // nil when not attributable to one Eject
+    std::string detail;
+  };
+
+  // Per-stage item accounting (fresh items only; see file comment).
+  struct Flow {
+    uint64_t produced = 0;  // items the stage wrote into its output primitive
+    uint64_t served = 0;    // items delivered to consumers via Transfer reply
+    uint64_t pushed = 0;    // items sent downstream via Push
+    uint64_t pulled = 0;    // items ingested from an upstream server
+    uint64_t accepted = 0;  // items accepted from an upstream pusher
+    uint64_t consumed = 0;  // items the stage's own logic took from buffers
+  };
+
+  InvariantMonitor() = default;
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  // ---- Kernel feed (installed via Kernel::set_monitor).
+  void OnTraceEvent(const TraceEvent& event);
+
+  // ---- Stream-primitive feed. Callers gate on kernel().monitor() so the
+  // uninstalled fast path stays one pointer test. `at` is kernel().now() —
+  // passed in so the monitor needs no back-pointer to the kernel.
+  void OnProduced(const Uid& stage, Tick at, uint64_t items);
+  void OnServed(const Uid& stage, Tick at, uint64_t items);
+  void OnPushed(const Uid& stage, const Uid& sink, Tick at, uint64_t items);
+  void OnPulled(const Uid& stage, const Uid& source, Tick at, uint64_t items);
+  void OnAccepted(const Uid& stage, Tick at, uint64_t items);
+  void OnConsumed(const Uid& stage, Tick at, uint64_t items);
+  // Monotonicity check for a named per-stage counter (server next/ack,
+  // acceptor next, writer ack). Violation if `value` regresses.
+  void OnSequence(const Uid& stage, Tick at, std::string_view counter,
+                  uint64_t value);
+
+  // ---- Expectations, checked by Check().
+  // Exactly `count` invocations of `op` by the end of the run.
+  void ExpectInvocations(std::string op, uint64_t count);
+  // The §4 identity: a read-only pipeline of n filters moving m items costs
+  // (n+1)(m+1) Transfers. Sugar over ExpectInvocations.
+  void ExpectReadOnlyPipeline(uint64_t filters, uint64_t items);
+
+  // ---- Results.
+  // Inline violations recorded so far (span-tree, sequence, impossible
+  // flows) — grows while the run executes.
+  const std::vector<Violation>& violations() const { return violations_; }
+  // Inline violations plus the end-of-run checks (wire conservation per
+  // edge, invocation-count expectations). Non-mutating and idempotent;
+  // meaningful once the kernel is quiescent.
+  std::vector<Violation> Check() const;
+  bool ok() const { return Check().empty(); }
+
+  const std::map<Uid, Flow>& flows() const { return flows_; }
+  uint64_t invocations_of(std::string_view op) const;
+
+  // Violations are also emitted as TraceEvent::Kind::kViolation into this
+  // sink (e.g. a TraceRecorder::Hook()) as they are detected.
+  void set_trace_sink(Tracer sink) { trace_sink_ = std::move(sink); }
+
+  void Label(const Uid& uid, std::string name);
+  std::string NameOf(const Uid& uid) const;
+
+  // Flow table + violation list, for the shell and reports.
+  std::string ToString() const;
+  Value ToValue() const;
+
+  void Clear();
+
+ private:
+  void Report(Violation::Kind kind, Tick at, const Uid& stage,
+              std::string detail);
+  static void Describe(const Violation& violation, Value& out);
+
+  std::map<Uid, Flow> flows_;
+  // Wire accounting, recorded by the active end (which knows both parties).
+  std::map<std::pair<Uid, Uid>, uint64_t> pull_edges_;  // (server, reader)
+  std::map<std::pair<Uid, Uid>, uint64_t> push_edges_;  // (writer, acceptor)
+  std::map<std::pair<Uid, std::string>, uint64_t, std::less<>> sequences_;
+  std::map<std::string, uint64_t, std::less<>> invocations_by_op_;
+  std::map<std::string, uint64_t, std::less<>> expected_invocations_;
+  InvocationId max_span_id_ = 0;
+  uint64_t events_seen_ = 0;
+  std::vector<Violation> violations_;
+  Tracer trace_sink_;
+  std::map<Uid, std::string> labels_;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_MONITOR_H_

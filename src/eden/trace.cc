@@ -90,6 +90,7 @@ std::map<InvocationId, TraceRecorder::Span> TraceRecorder::SpanIndex() const {
         break;
       }
       case TraceEvent::Kind::kCrash:
+      case TraceEvent::Kind::kViolation:
         break;
     }
   }
@@ -98,6 +99,10 @@ std::map<InvocationId, TraceRecorder::Span> TraceRecorder::SpanIndex() const {
       auto parent_it = spans.find(span.parent);
       if (parent_it != spans.end()) {
         parent_it->second.children.push_back(id);
+      } else {
+        // Parent evicted by the ring: re-root rather than dangle.
+        span.parent = 0;
+        span.orphaned = true;
       }
     }
   }
@@ -180,6 +185,9 @@ std::string TraceRecorder::Render(size_t max_rows) const {
         break;
       case TraceEvent::Kind::kCrash:
         label = "CRASH " + event.op;
+        break;
+      case TraceEvent::Kind::kViolation:
+        label = "INVARIANT " + event.op;
         break;
     }
     if (from == to) {

@@ -27,8 +27,10 @@ struct TraceEvent {
   // kDrop: the fault injector lost the message (from/to are the endpoints of
   // the lost message). kTimeout: an invocation deadline fired at the caller
   // before any reply arrived. kCrash: an Eject's volatile state vanished
-  // (from == to == the victim; op is its type name).
-  enum class Kind { kInvoke, kReply, kDrop, kTimeout, kCrash };
+  // (from == to == the victim; op is its type name). kViolation: an
+  // InvariantMonitor check failed (from == to == the guilty stage, or nil;
+  // op carries the violation description).
+  enum class Kind { kInvoke, kReply, kDrop, kTimeout, kCrash, kViolation };
   Kind kind = Kind::kInvoke;
   Tick at = 0;
   Uid from;  // nil = external driver
@@ -90,11 +92,17 @@ class TraceRecorder {
     bool ok = false;
     bool dropped = false;    // the invocation message was lost in flight
     bool timed_out = false;  // the caller's deadline fired first
+    // The recorded parent was ring-evicted: the span is re-rooted (parent
+    // rewritten to 0) so no link dangles, and flagged so analyses can tell
+    // true roots from eviction artifacts.
+    bool orphaned = false;
     std::vector<InvocationId> children;  // ascending span ids
   };
 
   // Builds the index from the retained events. Ring eviction can orphan a
-  // span (its kInvoke evicted, its reply retained); orphans are skipped.
+  // span two ways: a reply whose kInvoke was evicted is skipped entirely,
+  // and a span whose *parent* was evicted is kept but re-rooted with
+  // `orphaned` set (a dangling parent id would otherwise escape the map).
   std::map<InvocationId, Span> SpanIndex() const;
   // Number of retained invocation (span-opening) events.
   size_t span_count() const;

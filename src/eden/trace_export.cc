@@ -120,6 +120,12 @@ std::string ChromeTraceExporter::Export() const {
                         ",\"s\":\"t\",\"cat\":\"fault\"}");
         break;
       }
+      case TraceEvent::Kind::kViolation: {
+        AppendEvent(out, first,
+                    Common("i", "INVARIANT " + event.op, to_tid, event.at) +
+                        ",\"s\":\"t\",\"cat\":\"violation\"}");
+        break;
+      }
     }
   }
   out += "\n]}\n";

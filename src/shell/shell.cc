@@ -3,11 +3,13 @@
 #include <cstdlib>
 #include <utility>
 
+#include <fstream>
 #include <sstream>
 
 #include "src/core/endpoints.h"
 #include "src/core/filter_eject.h"
 #include "src/core/stream.h"
+#include "src/eden/analysis.h"
 #include "src/eden/json.h"
 #include "src/eden/trace_export.h"
 #include "src/filters/multi_input.h"
@@ -37,6 +39,21 @@ void PushLines(ShellResult& result, const std::string& text) {
   while (std::getline(stream, line)) {
     result.output.push_back(line);
   }
+}
+
+ShellResult SaveText(const std::string& path, const std::string& text,
+                     const std::string& what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Fail("cannot open " + path + " for writing");
+  }
+  out << text;
+  if (!out) {
+    return Fail("write to " + path + " failed");
+  }
+  ShellResult result;
+  result.output.push_back(what + " saved to " + path);
+  return result;
 }
 
 }  // namespace
@@ -136,6 +153,9 @@ void EdenShell::LabelStage(const Uid& uid, const std::string& name) {
   if (metrics_on_) {
     metrics_.Label(uid, name);
   }
+  if (monitor_on_) {
+    monitor_.Label(uid, name);
+  }
 }
 
 std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
@@ -146,7 +166,8 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
     words.push_back(word);
   }
   if (words.empty() ||
-      (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics")) {
+      (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics" &&
+       words[0] != "monitor" && words[0] != "doctor")) {
     return std::nullopt;
   }
   ShellResult result;
@@ -179,29 +200,72 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
     } else if (words.size() == 2 && words[1] == "clear") {
       recorder_.Clear();
       result.output.push_back("trace cleared");
+    } else if (words.size() == 3 && words[1] == "save") {
+      return SaveText(words[2], ChromeTraceExporter(recorder_).Export(),
+                      "trace");
     } else {
-      return Fail("usage: trace on [CAP]|off|show|json|clear");
+      return Fail("usage: trace on [CAP]|off|show|json|clear|save FILE");
     }
     return result;
   }
-  // metrics
-  if (words.size() == 2 && words[1] == "on") {
-    kernel_.set_metrics(&metrics_);
-    metrics_on_ = true;
-    result.output.push_back("metrics on");
-  } else if (words.size() == 2 && words[1] == "off") {
-    kernel_.set_metrics(nullptr);
-    metrics_on_ = false;
-    result.output.push_back("metrics off");
-  } else if (words.size() == 2 && words[1] == "show") {
-    PushLines(result, metrics_.ToString());
+  if (words[0] == "metrics") {
+    if (words.size() == 2 && words[1] == "on") {
+      kernel_.set_metrics(&metrics_);
+      metrics_on_ = true;
+      result.output.push_back("metrics on");
+    } else if (words.size() == 2 && words[1] == "off") {
+      kernel_.set_metrics(nullptr);
+      metrics_on_ = false;
+      result.output.push_back("metrics off");
+    } else if (words.size() == 2 && words[1] == "show") {
+      PushLines(result, metrics_.ToString());
+    } else if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, metrics_.ToJson());
+    } else if (words.size() == 2 && words[1] == "clear") {
+      metrics_.Clear();
+      result.output.push_back("metrics cleared");
+    } else if (words.size() == 3 && words[1] == "save") {
+      return SaveText(words[2], metrics_.ToJson(), "metrics");
+    } else {
+      return Fail("usage: metrics on|off|show|json|clear|save FILE");
+    }
+    return result;
+  }
+  if (words[0] == "monitor") {
+    if (words.size() == 2 && words[1] == "on") {
+      // Violations double as trace events, so a trace taken alongside the
+      // monitor shows *where* in the causal history the invariant broke.
+      monitor_.set_trace_sink(recorder_.Hook());
+      kernel_.set_monitor(&monitor_);
+      monitor_on_ = true;
+      result.output.push_back("monitor on");
+    } else if (words.size() == 2 && words[1] == "off") {
+      kernel_.set_monitor(nullptr);
+      monitor_on_ = false;
+      result.output.push_back("monitor off");
+    } else if (words.size() == 2 && words[1] == "show") {
+      PushLines(result, monitor_.ToString());
+    } else if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, ValueToJson(monitor_.ToValue()));
+    } else if (words.size() == 2 && words[1] == "clear") {
+      monitor_.Clear();
+      result.output.push_back("monitor cleared");
+    } else {
+      return Fail("usage: monitor on|off|show|json|clear");
+    }
+    return result;
+  }
+  // doctor
+  PipelineDoctor doctor(recorder_, metrics_on_ ? &metrics_ : nullptr);
+  if (words.size() == 1) {
+    PushLines(result, doctor.Diagnose().ToString());
   } else if (words.size() == 2 && words[1] == "json") {
-    PushLines(result, metrics_.ToJson());
-  } else if (words.size() == 2 && words[1] == "clear") {
-    metrics_.Clear();
-    result.output.push_back("metrics cleared");
+    PushLines(result, ValueToJson(doctor.Diagnose().ToValue()));
+  } else if (words.size() == 3 && words[1] == "save") {
+    return SaveText(words[2], ValueToJson(doctor.Diagnose().ToValue()),
+                    "diagnosis");
   } else {
-    return Fail("usage: metrics on|off|show|json|clear");
+    return Fail("usage: doctor [json]|doctor save FILE");
   }
   return result;
 }

@@ -44,6 +44,7 @@
 #include "src/devices/devices.h"
 #include "src/eden/kernel.h"
 #include "src/eden/metrics.h"
+#include "src/eden/monitor.h"
 #include "src/eden/trace.h"
 #include "src/fs/unix_fs.h"
 
@@ -76,13 +77,23 @@ class EdenShell {
   //   trace show|json|clear    ASCII chart / Chrome trace JSON / reset
   //   metrics on|off           install/remove the shell's MetricsRegistry
   //   metrics show|json|clear  human-readable / JSON snapshot / reset
-  // While tracing or metering is on, pipeline stages are labeled with their
-  // command names, so charts read "grep" rather than a raw UID.
+  //   monitor on|off           install/remove the InvariantMonitor (its
+  //                            violations also land in the trace as events)
+  //   monitor show|json|clear  flow table + violations / JSON / reset
+  //   doctor [json]            PipelineDoctor diagnosis of the recorded
+  //                            trace (+ metrics when on): critical path,
+  //                            bottleneck verdict, per-stage attribution
+  //   trace save FILE          write the Chrome trace JSON to FILE
+  //   metrics save FILE        write the metrics snapshot JSON to FILE
+  //   doctor save FILE         write the diagnosis JSON to FILE
+  // While tracing, metering or monitoring is on, pipeline stages are labeled
+  // with their command names, so charts read "grep" rather than a raw UID.
   ShellResult Run(const std::string& command, uint64_t max_events = 2'000'000);
 
   // The shell-owned instruments (live across commands; inspectable in tests).
   TraceRecorder& recorder() { return recorder_; }
   MetricsRegistry& metrics() { return metrics_; }
+  InvariantMonitor& monitor() { return monitor_; }
 
   // Named windows/terminals/printers created by previous commands.
   TerminalSink* terminal(const std::string& name);
@@ -109,8 +120,10 @@ class EdenShell {
   UnixFileSystemEject* unixfs_ = nullptr;  // created on first use
   TraceRecorder recorder_;
   MetricsRegistry metrics_;
+  InvariantMonitor monitor_;
   bool trace_on_ = false;
   bool metrics_on_ = false;
+  bool monitor_on_ = false;
   std::map<std::string, Uid> bindings_;
   std::map<std::string, TerminalSink*> terminals_;
   std::map<std::string, PrinterSink*> printers_;

@@ -103,6 +103,47 @@ TEST(Log2HistogramTest, SingleValueHistogramIsExact) {
   EXPECT_EQ(h.Percentile(100), 42u);
 }
 
+TEST(Log2HistogramTest, RepeatedValueIsExactAtEveryPercentile) {
+  // All samples in one bucket with min == max: no interpolation slack.
+  Log2Histogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(100);
+  }
+  EXPECT_EQ(h.Percentile(1), 100u);
+  EXPECT_EQ(h.Percentile(50), 100u);
+  EXPECT_EQ(h.Percentile(99), 100u);
+}
+
+TEST(Log2HistogramTest, SingleBucketInterpolatesWithinObservedRange) {
+  // 40 and 60 share bucket [32, 63], so estimates must stay inside the
+  // observed [40, 60], not the bucket bounds.
+  Log2Histogram h;
+  h.Record(40);
+  h.Record(60);
+  for (double p : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    EXPECT_GE(h.Percentile(p), 40u) << "p=" << p;
+    EXPECT_LE(h.Percentile(p), 60u) << "p=" << p;
+  }
+  EXPECT_EQ(h.Percentile(100), 60u);
+}
+
+TEST(Log2HistogramTest, PercentilesAtBucketBoundaries) {
+  // Samples exactly at 2^k - 1 and 2^k fall in adjacent buckets; the
+  // percentile walk must respect the split.
+  for (size_t k : {3u, 7u, 10u}) {
+    uint64_t below = (uint64_t{1} << k) - 1;
+    uint64_t at = uint64_t{1} << k;
+    ASSERT_NE(Log2Histogram::BucketOf(below), Log2Histogram::BucketOf(at));
+    Log2Histogram h;
+    h.Record(below);
+    h.Record(at);
+    EXPECT_EQ(h.Percentile(50), below);
+    EXPECT_EQ(h.Percentile(100), at);
+    EXPECT_GE(h.Percentile(75), below);
+    EXPECT_LE(h.Percentile(75), at);
+  }
+}
+
 // ----------------------------------------------------------------- registry
 
 TEST(MetricsRegistryTest, RecordsAndSnapshots) {

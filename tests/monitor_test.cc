@@ -1,0 +1,190 @@
+// InvariantMonitor tests: conservation on clean runs in all three
+// disciplines, the (n+1)(m+1) invocation identity, detection of seeded
+// message loss, span-tree and sequence-counter checks, and violation events
+// flowing into a trace recorder.
+#include <gtest/gtest.h>
+
+#include "src/core/endpoints.h"
+#include "src/core/pipeline.h"
+#include "src/eden/fault.h"
+#include "src/eden/json.h"
+#include "src/eden/kernel.h"
+#include "src/eden/monitor.h"
+#include "src/eden/trace.h"
+
+namespace eden {
+namespace {
+
+std::vector<TransformFactory> Copies(size_t n) {
+  std::vector<TransformFactory> chain;
+  for (size_t i = 0; i < n; ++i) {
+    chain.push_back([] {
+      return std::make_unique<LambdaTransform>(
+          "copy", [](const Value& v, const Transform::EmitFn& emit) {
+            emit(kChanOut, v);
+          });
+    });
+  }
+  return chain;
+}
+
+ValueList Items(size_t n) {
+  ValueList input;
+  for (size_t i = 0; i < n; ++i) {
+    input.push_back(Value(static_cast<int64_t>(i)));
+  }
+  return input;
+}
+
+// Runs one clean pipeline under the monitor; returns the handle's output
+// size so callers can sanity-check the run itself.
+size_t RunMonitored(Discipline discipline, InvariantMonitor& monitor,
+                    size_t filters, size_t items, int work_ahead = 0) {
+  Kernel kernel;
+  kernel.set_monitor(&monitor);
+  PipelineOptions options;
+  options.discipline = discipline;
+  options.work_ahead = work_ahead;
+  PipelineHandle handle =
+      BuildPipeline(kernel, Items(items), Copies(filters), options);
+  handle.LabelAll(monitor);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  return handle.output().size();
+}
+
+TEST(MonitorTest, CleanReadOnlyRunSatisfiesAllInvariants) {
+  InvariantMonitor monitor;
+  monitor.ExpectReadOnlyPipeline(3, 5);  // the §4 identity: (3+1)(5+1) = 24
+  ASSERT_EQ(RunMonitored(Discipline::kReadOnly, monitor, 3, 5), 5u);
+  std::vector<InvariantMonitor::Violation> violations = monitor.Check();
+  EXPECT_TRUE(violations.empty()) << monitor.ToString();
+  EXPECT_TRUE(monitor.ok());
+  EXPECT_EQ(monitor.invocations_of("Transfer"), 24u);
+  EXPECT_TRUE(JsonValidate(ValueToJson(monitor.ToValue())));
+  EXPECT_NE(monitor.ToString().find("all invariants hold"), std::string::npos);
+}
+
+TEST(MonitorTest, CleanWriteOnlyRunBalances) {
+  InvariantMonitor monitor;
+  ASSERT_EQ(RunMonitored(Discipline::kWriteOnly, monitor, 3, 5), 5u);
+  EXPECT_TRUE(monitor.ok()) << monitor.ToString();
+}
+
+TEST(MonitorTest, CleanConventionalRunBalances) {
+  InvariantMonitor monitor;
+  ASSERT_EQ(RunMonitored(Discipline::kConventional, monitor, 3, 5), 5u);
+  EXPECT_TRUE(monitor.ok()) << monitor.ToString();
+}
+
+TEST(MonitorTest, WorkAheadRunStillBalances) {
+  InvariantMonitor monitor;
+  ASSERT_EQ(RunMonitored(Discipline::kReadOnly, monitor, 2, 8,
+                         /*work_ahead=*/4),
+            8u);
+  EXPECT_TRUE(monitor.ok()) << monitor.ToString();
+}
+
+// The detection test: with every reply dropped and no retries, the source's
+// server serves its first batch but the items never reach the sink's reader
+// — flow conservation must flag items lost on the wire.
+TEST(MonitorTest, SeededReplyDropBreaksWireConservation) {
+  Kernel kernel;
+  FaultPlan plan;
+  plan.drop_reply = 1.0;
+  FaultInjector injector(plan);
+  kernel.set_fault_injector(&injector);
+  InvariantMonitor monitor;
+  kernel.set_monitor(&monitor);
+
+  PipelineOptions options;
+  options.discipline = Discipline::kReadOnly;
+  PipelineHandle handle = BuildPipeline(kernel, Items(5), Copies(1), options);
+  handle.LabelAll(monitor);
+  kernel.Run();  // deadlocks quietly: every reply is lost
+
+  EXPECT_LT(handle.output().size(), 5u);
+  std::vector<InvariantMonitor::Violation> violations = monitor.Check();
+  ASSERT_FALSE(violations.empty());
+  bool saw_conservation = false;
+  for (const auto& violation : violations) {
+    saw_conservation =
+        saw_conservation ||
+        violation.kind == InvariantMonitor::Violation::Kind::kFlowConservation;
+  }
+  EXPECT_TRUE(saw_conservation) << monitor.ToString();
+  EXPECT_NE(monitor.ToString().find("VIOLATIONS"), std::string::npos);
+}
+
+TEST(MonitorTest, WrongInvocationExpectationIsFlagged) {
+  InvariantMonitor monitor;
+  monitor.ExpectInvocations("Transfer", 999);
+  RunMonitored(Discipline::kReadOnly, monitor, 3, 5);
+  std::vector<InvariantMonitor::Violation> violations = monitor.Check();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind,
+            InvariantMonitor::Violation::Kind::kInvocationCount);
+  EXPECT_NE(violations[0].detail.find("999"), std::string::npos);
+}
+
+TEST(MonitorTest, SpanTreeViolationsAreCaughtInline) {
+  InvariantMonitor monitor;
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kInvoke;
+  event.op = "Transfer";
+  event.id = 5;
+  event.parent = 7;  // a parent from the future: impossible causality
+  monitor.OnTraceEvent(event);
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations()[0].kind,
+            InvariantMonitor::Violation::Kind::kSpanTree);
+
+  event.id = 5;  // replayed id: allocation is strictly monotone
+  event.parent = 0;
+  monitor.OnTraceEvent(event);
+  EXPECT_EQ(monitor.violations().size(), 2u);
+}
+
+TEST(MonitorTest, SequenceRegressionIsCaughtInline) {
+  InvariantMonitor monitor;
+  const Uid stage(4, 4);
+  monitor.OnSequence(stage, 10, "server.next", 5);
+  monitor.OnSequence(stage, 20, "server.next", 7);
+  EXPECT_TRUE(monitor.violations().empty());
+  monitor.OnSequence(stage, 30, "server.next", 3);
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations()[0].kind,
+            InvariantMonitor::Violation::Kind::kSequence);
+  EXPECT_EQ(monitor.violations()[0].at, 30);
+}
+
+TEST(MonitorTest, ViolationsFlowIntoTheTraceAsEvents) {
+  TraceRecorder recorder;
+  InvariantMonitor monitor;
+  monitor.set_trace_sink(recorder.Hook());
+  const Uid stage(4, 4);
+  monitor.OnSequence(stage, 10, "acceptor.next", 5);
+  monitor.OnSequence(stage, 20, "acceptor.next", 2);
+
+  ASSERT_EQ(recorder.size(), 1u);
+  const TraceEvent& event = recorder.events().front();
+  EXPECT_EQ(event.kind, TraceEvent::Kind::kViolation);
+  EXPECT_EQ(event.at, 20);
+  EXPECT_EQ(event.from, stage);
+  EXPECT_NE(event.op.find("sequence"), std::string::npos);
+  // And the renderer knows how to print it.
+  EXPECT_NE(recorder.Render().find("INVARIANT"), std::string::npos);
+}
+
+TEST(MonitorTest, ClearResetsEverything) {
+  InvariantMonitor monitor;
+  monitor.ExpectInvocations("Transfer", 999);
+  RunMonitored(Discipline::kReadOnly, monitor, 1, 2);
+  EXPECT_FALSE(monitor.ok());
+  monitor.Clear();
+  EXPECT_TRUE(monitor.ok());
+  EXPECT_TRUE(monitor.flows().empty());
+  EXPECT_EQ(monitor.invocations_of("Transfer"), 0u);
+}
+
+}  // namespace
+}  // namespace eden

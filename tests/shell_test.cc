@@ -1,6 +1,9 @@
 // Shell tests: lexer, pipeline construction, redirection, bootstrap fs.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "src/eden/json.h"
 #include "src/eden/kernel.h"
 #include "src/fs/file.h"
@@ -287,6 +290,77 @@ TEST(ShellTest, MetricsCommandsMeterPipelines) {
             std::string::npos);
   ASSERT_TRUE(shell.Run("metrics off").ok);
   EXPECT_FALSE(shell.Run("metrics upside-down").ok);
+}
+
+TEST(ShellTest, MonitorCommandsCheckInvariants) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("monitor on").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | collect").ok);
+
+  ShellResult show = shell.Run("monitor show");
+  ASSERT_TRUE(show.ok) << show.error;
+  EXPECT_NE(Joined(show).find("all invariants hold"), std::string::npos);
+  EXPECT_NE(Joined(show).find("upper"), std::string::npos);  // labeled stage
+
+  ShellResult json = shell.Run("monitor json");
+  ASSERT_TRUE(json.ok) << json.error;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
+  EXPECT_NE(Joined(json).find("\"ok\":true"), std::string::npos);
+
+  ASSERT_TRUE(shell.Run("monitor clear").ok);
+  EXPECT_TRUE(shell.monitor().flows().empty());
+  ASSERT_TRUE(shell.Run("monitor off").ok);
+  EXPECT_FALSE(shell.Run("monitor loudly").ok);
+}
+
+TEST(ShellTest, DoctorDiagnosesTheRecordedTrace) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  // Without a trace there is nothing to diagnose.
+  EXPECT_NE(Joined(shell.Run("doctor")).find("no spans"), std::string::npos);
+
+  ASSERT_TRUE(shell.Run("trace on").ok);
+  ASSERT_TRUE(shell.Run("metrics on").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | nl | collect").ok);
+
+  ShellResult report = shell.Run("doctor");
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NE(Joined(report).find("verdict: bottleneck"), std::string::npos);
+  EXPECT_NE(Joined(report).find("critical path"), std::string::npos);
+
+  ShellResult json = shell.Run("doctor json");
+  ASSERT_TRUE(json.ok) << json.error;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
+  EXPECT_FALSE(shell.Run("doctor backwards").ok);
+}
+
+TEST(ShellTest, SaveCommandsWriteJsonFiles) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("trace on").ok);
+  ASSERT_TRUE(shell.Run("metrics on").ok);
+  ASSERT_TRUE(shell.Run("echo a b | upper | collect").ok);
+
+  auto check_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    EXPECT_TRUE(JsonValidate(buf.str(), &error)) << path << ": " << error;
+  };
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(shell.Run("trace save " + dir + "shell_trace.json").ok);
+  check_file(dir + "shell_trace.json");
+  ASSERT_TRUE(shell.Run("metrics save " + dir + "shell_metrics.json").ok);
+  check_file(dir + "shell_metrics.json");
+  ASSERT_TRUE(shell.Run("doctor save " + dir + "shell_doctor.json").ok);
+  check_file(dir + "shell_doctor.json");
+  // An unwritable path fails cleanly.
+  EXPECT_FALSE(shell.Run("trace save /nonexistent-dir/x.json").ok);
 }
 
 }  // namespace

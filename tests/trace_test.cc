@@ -204,6 +204,47 @@ TEST(TraceTest, RingBufferEvictsOldestAndCounts) {
   EXPECT_EQ(recorder.events_dropped(), 0u);
 }
 
+// Ring eviction can strand a span whose parent's kInvoke was dropped: the
+// index must re-root it (parent = 0, orphaned flag set) rather than leave a
+// dangling parent id, and links between surviving spans must stay intact.
+TEST(TraceTest, SpanIndexReRootsSpansWithEvictedParents) {
+  TraceRecorder recorder(2);
+  Tracer hook = recorder.Hook();
+  auto invoke = [&hook](InvocationId id, InvocationId parent) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kInvoke;
+    event.id = id;
+    event.parent = parent;
+    event.op = "Transfer";
+    event.at = static_cast<Tick>(id * 10);
+    hook(event);
+  };
+  invoke(1, 0);
+  invoke(2, 1);
+  invoke(3, 2);  // evicts id 1: span 2's parent is now gone
+
+  auto spans = recorder.SpanIndex();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceRecorder::Span& two = spans.at(2);
+  EXPECT_TRUE(two.orphaned);
+  EXPECT_EQ(two.parent, 0u);
+  const TraceRecorder::Span& three = spans.at(3);
+  EXPECT_FALSE(three.orphaned);
+  EXPECT_EQ(three.parent, 2u);
+  ASSERT_EQ(two.children.size(), 1u);
+  EXPECT_EQ(two.children[0], 3u);
+  // True roots are distinguishable from eviction artifacts.
+  size_t true_roots = 0;
+  size_t orphans = 0;
+  for (const auto& [id, span] : spans) {
+    if (span.parent == 0) {
+      (span.orphaned ? orphans : true_roots)++;
+    }
+  }
+  EXPECT_EQ(true_roots, 0u);
+  EXPECT_EQ(orphans, 1u);
+}
+
 // The acceptance test for causal spans: in a fully lazy 3-filter read-only
 // chain, a Transfer arriving at the source must be causally descended from
 // the sink's original demand — parent links hop filter by filter.
