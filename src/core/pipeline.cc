@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/core/pipeline_verify.h"
+
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
 #include "src/eden/trace.h"
@@ -412,6 +414,18 @@ void PipelineHandle::LabelAll(InvariantMonitor& checker) const {
 PipelineHandle BuildPipeline(Kernel& kernel, ValueList input,
                              const std::vector<TransformFactory>& stages,
                              const PipelineOptions& options) {
+  verify::LintReport lint;
+  if (options.lint_before_activate) {
+    lint = LintPipelinePlan(stages.size(), options);
+    if (!lint.ok()) {
+      // Refuse activation: no Eject was created, the kernel is untouched.
+      PipelineHandle rejected;
+      rejected.discipline = options.discipline;
+      rejected.lint = std::move(lint);
+      rejected.lint_rejected = true;
+      return rejected;
+    }
+  }
   PipelineHandle handle;
   switch (options.discipline) {
     case Discipline::kReadOnly:
@@ -425,6 +439,7 @@ PipelineHandle BuildPipeline(Kernel& kernel, ValueList input,
       break;
   }
   assert(!handle.ejects.empty() && "unknown discipline");
+  handle.lint = std::move(lint);
   FillStageNames(handle);
   return handle;
 }
@@ -433,6 +448,9 @@ ValueList RunPipeline(Kernel& kernel, ValueList input,
                       const std::vector<TransformFactory>& stages,
                       const PipelineOptions& options) {
   PipelineHandle handle = BuildPipeline(kernel, std::move(input), stages, options);
+  if (handle.lint_rejected) {
+    return ValueList();
+  }
   kernel.RunUntil([&handle] { return handle.done(); });
   return handle.output();
 }

@@ -25,6 +25,7 @@
 #include "src/core/passive_buffer.h"
 #include "src/core/transform.h"
 #include "src/eden/kernel.h"
+#include "src/eden/verify/lint.h"
 
 namespace eden {
 
@@ -68,6 +69,11 @@ struct PipelineOptions {
   Tick processing_cost = 0;      // virtual compute per item in every filter
   // Place every Eject on its own node (distribution experiments).
   bool distinct_nodes = false;
+  // Run the PipelineLinter over the plan before creating any Eject, and
+  // refuse activation (empty handle, lint_rejected set, report attached) if
+  // it finds errors. Catches e.g. recovery knob inconsistencies (ASC006)
+  // before the kernel is perturbed.
+  bool lint_before_activate = false;
   PipelineRecoveryOptions recovery;
 };
 
@@ -86,6 +92,10 @@ struct PipelineHandle {
   // Exactly one of these is non-null, depending on the sink kind.
   PullSink* pull_sink = nullptr;
   PushSink* push_sink = nullptr;
+  // Filled when PipelineOptions::lint_before_activate was set. When the
+  // report has errors, lint_rejected is true and nothing was constructed.
+  verify::LintReport lint;
+  bool lint_rejected = false;
 
   size_t eject_count() const { return ejects.size(); }
   bool done() const {

@@ -105,6 +105,9 @@ Task<void> StreamReader::FetchOnce() {
     }
     fetch_in_flight_ = false;
     Ingest(std::move(result));
+    if (fetch_done_.waiter_count() > 0) {
+      fetch_done_.NotifyAll();
+    }
     co_return;
   }
 }
@@ -135,6 +138,13 @@ Task<std::optional<Value>> StreamReader::Next() {
     }
   } else {
     while (buffer_.empty() && !ended_) {
+      if (fetch_in_flight_) {
+        // Another consumer's Transfer is already outstanding; wait for its
+        // reply rather than issuing a duplicate, which would double-consume
+        // the source in unsequenced mode.
+        co_await fetch_done_.Wait();
+        continue;
+      }
       co_await FetchOnce();
     }
   }
@@ -168,7 +178,12 @@ Task<ValueList> StreamReader::NextBatch() {
       co_await available_.Wait();
     }
   } else if (buffer_.empty() && !ended_) {
-    co_await FetchOnce();
+    while (fetch_in_flight_) {
+      co_await fetch_done_.Wait();
+    }
+    if (buffer_.empty() && !ended_) {
+      co_await FetchOnce();
+    }
   }
   ValueList items;
   items.reserve(buffer_.size());

@@ -48,7 +48,8 @@ class StreamReader {
         channel_(std::move(channel)),
         options_(options),
         available_(owner),
-        room_(owner) {}
+        room_(owner),
+        fetch_done_(owner) {}
   StreamReader(const StreamReader&) = delete;
   StreamReader& operator=(const StreamReader&) = delete;
 
@@ -104,8 +105,9 @@ class StreamReader {
   uint64_t next_seq_ = 0;  // position of the next item to fetch
   uint64_t durable_ = 0;
   bool explicit_durable_ = false;
-  CondVar available_;  // consumer waits (lookahead mode)
-  CondVar room_;       // fetch process waits (lookahead mode)
+  CondVar available_;   // consumer waits (lookahead mode)
+  CondVar room_;        // fetch process waits (lookahead mode)
+  CondVar fetch_done_;  // duplicate inline fetchers wait here
 };
 
 }  // namespace eden

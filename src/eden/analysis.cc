@@ -213,6 +213,31 @@ Diagnosis PipelineDoctor::Diagnose() const {
   return d;
 }
 
+void Diagnosis::AnnotateStatic(size_t errors, size_t warnings,
+                               std::string summary) {
+  lint_errors = static_cast<int>(errors);
+  lint_warnings = static_cast<int>(warnings);
+  lint_summary = std::move(summary);
+  if (errors == 0 && warnings == 0) {
+    verdict += "; lint clean";
+    return;
+  }
+  verdict += "; lint: ";
+  if (errors > 0) {
+    verdict += std::to_string(errors) + (errors == 1 ? " error" : " errors");
+    if (warnings > 0) {
+      verdict += ", ";
+    }
+  }
+  if (warnings > 0) {
+    verdict +=
+        std::to_string(warnings) + (warnings == 1 ? " warning" : " warnings");
+  }
+  if (!lint_summary.empty()) {
+    verdict += " (" + lint_summary + ")";
+  }
+}
+
 std::string Diagnosis::ToString() const {
   std::ostringstream out;
   out << "pipeline doctor: " << span_count << " spans, " << root_count
@@ -267,6 +292,13 @@ Value Diagnosis::ToValue() const {
   v.Set("bottleneck", Value(bottleneck));
   v.Set("bottleneck_share", Value(bottleneck_share));
   v.Set("verdict", Value(verdict));
+  if (lint_errors >= 0) {
+    Value lint;
+    lint.Set("errors", Value(static_cast<int64_t>(lint_errors)));
+    lint.Set("warnings", Value(static_cast<int64_t>(lint_warnings)));
+    lint.Set("summary", Value(lint_summary));
+    v.Set("lint", std::move(lint));
+  }
   ValueList path;
   for (const CriticalStep& step : critical_path) {
     Value s;

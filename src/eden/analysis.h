@@ -89,6 +89,17 @@ struct Diagnosis {
   // "bottleneck: filter2, 61% of critical path, queue high-water 64"
   std::string verdict;
 
+  // Static-verification summary, folded in via AnnotateStatic. -1 = no lint
+  // ran; otherwise counts from the PipelineLinter report.
+  int lint_errors = -1;
+  int lint_warnings = 0;
+  std::string lint_summary;  // first few findings, "ASC006 ..."
+
+  // Appends the linter's outcome to the verdict line ("; lint clean" or
+  // "; lint: 1 error (ASC006 ...)") so one line carries both the dynamic
+  // and the static story.
+  void AnnotateStatic(size_t errors, size_t warnings, std::string summary);
+
   std::string ToString() const;
   Value ToValue() const;
 };

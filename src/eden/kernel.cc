@@ -57,6 +57,11 @@ void ReplyHandle::ReplyError(StatusCode code, std::string message) {
 // --------------------------------------------------------------- InvokeAwaiter
 
 void InvokeAwaiter::await_suspend(std::coroutine_handle<> h) {
+  if (LockObserver* observer = kernel_.lock_observer()) {
+    // The caller's process is now parked until a reply (or deadline): if it
+    // holds a mutex, every peer needing that mutex is parked with it.
+    observer->OnBlocking(from_, "Invoke " + op_, kernel_.now());
+  }
   Kernel::PendingInvocation pending;
   pending.caller = from_;
   pending.caller_epoch = kernel_.EpochOf(from_);

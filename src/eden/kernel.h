@@ -30,6 +30,7 @@
 #include "src/eden/clock.h"
 #include "src/eden/cost_model.h"
 #include "src/eden/event_queue.h"
+#include "src/eden/lock_observer.h"
 #include "src/eden/message.h"
 #include "src/eden/stable_store.h"
 #include "src/eden/stats.h"
@@ -273,6 +274,18 @@ class Kernel {
   // ends, so adoption never leaks across turns.
   void AdoptSpan(InvocationId span) { current_span_ = span; }
 
+  // Optional lock instrumentation (nullptr = none, the default; recording
+  // sites cost one pointer test, like metrics). Mutex/CondVar (sync.h) and
+  // the blocking-invocation path feed it; verify::LockOrderAnalyzer turns
+  // the feed into lockdep-style deadlock detection. Not owned; must outlive
+  // the run.
+  void set_lock_observer(LockObserver* observer) { lock_observer_ = observer; }
+  LockObserver* lock_observer() const { return lock_observer_; }
+
+  // Kernel-unique id for a sync primitive (Mutex), so the lock observer can
+  // tell instances apart without taking addresses of movable state.
+  uint64_t AllocateLockId() { return ++last_lock_id_; }
+
   // Optional fault injection (nullptr = perfectly reliable medium). The
   // injector only perturbs inter-Eject traffic; messages to or from the
   // external driver are always delivered. Not owned; must outlive the run.
@@ -359,6 +372,8 @@ class Kernel {
   FaultInjector* fault_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   InvariantMonitor* monitor_ = nullptr;
+  LockObserver* lock_observer_ = nullptr;
+  uint64_t last_lock_id_ = 0;
   InvocationId current_span_ = 0;
   InvocationId next_invocation_id_ = 1;
   bool shutting_down_ = false;

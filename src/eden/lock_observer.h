@@ -1,0 +1,46 @@
+// LockObserver: the kernel's instrumentation hook for synchronization
+// primitives, in the style of the tracer/metrics/monitor hooks — a single
+// pointer test when unset, an interface call when installed.
+//
+// Three call sites feed it:
+//   * Mutex (src/eden/sync.h) reports every acquisition and release,
+//     identifying the acquiring process by its host Eject UID;
+//   * CondVar reports a process suspending on a condition;
+//   * the kernel's invocation path reports a process suspending on a
+//     blocking Invoke.
+// The verify layer's LockOrderAnalyzer (src/eden/verify/lockdep.h)
+// implements the interface and turns the feed into a lockdep-style order
+// graph with cycle detection plus lock-held-across-blocking hazards.
+#ifndef SRC_EDEN_LOCK_OBSERVER_H_
+#define SRC_EDEN_LOCK_OBSERVER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/eden/clock.h"
+#include "src/eden/uid.h"
+
+namespace eden {
+
+class LockObserver {
+ public:
+  virtual ~LockObserver() = default;
+
+  // `holder` is the host Eject of the acquiring process (nil = the kernel's
+  // external driver). `lock` is the kernel-allocated lock id; `name` is the
+  // human label the Mutex was created with.
+  virtual void OnAcquire(const Uid& holder, uint64_t lock,
+                         std::string_view name, Tick at) = 0;
+  virtual void OnRelease(const Uid& holder, uint64_t lock, Tick at) = 0;
+
+  // A process of `holder` is suspending on something that needs another
+  // process to make progress — a condition wait or a blocking invocation.
+  // `what` describes the suspension site ("Invoke Transfer", "condition
+  // wait", "mutex wait").
+  virtual void OnBlocking(const Uid& holder, std::string_view what,
+                          Tick at) = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_LOCK_OBSERVER_H_

@@ -19,6 +19,8 @@ const char* KindName(InvariantMonitor::Violation::Kind kind) {
       return "span-tree";
     case Kind::kSequence:
       return "sequence";
+    case Kind::kStatic:
+      return "static-lint";
   }
   return "unknown";
 }
@@ -133,6 +135,11 @@ void InvariantMonitor::OnSequence(const Uid& stage, Tick at,
                std::to_string(it->second) + " -> " + std::to_string(value));
   }
   it->second = value;
+}
+
+void InvariantMonitor::OnStaticFinding(Tick at, const Uid& stage,
+                                       std::string detail) {
+  Report(Violation::Kind::kStatic, at, stage, std::move(detail));
 }
 
 void InvariantMonitor::ExpectInvocations(std::string op, uint64_t count) {

@@ -60,6 +60,7 @@ class InvariantMonitor {
       kInvocationCount,    // an ExpectInvocations identity failed
       kSpanTree,           // orphan parent / cycle in the causal tree
       kSequence,           // a seq/ack counter moved backwards
+      kStatic,             // a lint finding from the verification layer
     };
     Kind kind = Kind::kFlowConservation;
     Tick at = 0;
@@ -97,6 +98,10 @@ class InvariantMonitor {
   // acceptor next, writer ack). Violation if `value` regresses.
   void OnSequence(const Uid& stage, Tick at, std::string_view counter,
                   uint64_t value);
+  // ---- Static-verification feed. The PipelineLinter's error findings join
+  // the violation stream here (kind kStatic), so one `monitor` report and
+  // one kViolation trace carry both the runtime and the static story.
+  void OnStaticFinding(Tick at, const Uid& stage, std::string detail);
 
   // ---- Expectations, checked by Check().
   // Exactly `count` invocations of `op` by the end of the run.

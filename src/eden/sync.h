@@ -26,6 +26,13 @@ namespace eden {
 // the simulation is sequential, so condition checks are atomic by
 // construction — but waiters must still re-test their predicate in a loop,
 // because another process may run between Notify and the wakeup.
+//
+// When a LockObserver is installed on the kernel, every suspension is
+// reported as a blocking point, so a process that waits on a condition
+// while holding a Mutex is flagged as a potential-deadlock hazard (there is
+// no atomic unlock-and-wait here; holding a lock across a wait parks every
+// peer that needs it). The Mutex's own internal condition suppresses the
+// hook — contending for a lock *is* the thing being analysed, not a hazard.
 class CondVar {
  public:
   explicit CondVar(Eject& owner) : kernel_(owner.kernel()), owner_(&owner) {}
@@ -37,7 +44,15 @@ class CondVar {
    public:
     explicit Waiter(CondVar& cv) : cv_(cv) {}
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { cv_.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      if (cv_.hook_blocking_) {
+        if (LockObserver* observer = cv_.kernel_.lock_observer()) {
+          observer->OnBlocking(cv_.host_uid(), "condition wait",
+                               cv_.kernel_.now());
+        }
+      }
+      cv_.waiters_.push_back(h);
+    }
     void await_resume() const noexcept {}
 
    private:
@@ -54,11 +69,64 @@ class CondVar {
   size_t waiter_count() const { return waiters_.size(); }
 
  private:
+  friend class Mutex;
+
   Uid host_uid() const;
 
   Kernel& kernel_;
   Eject* owner_;
+  bool hook_blocking_ = true;  // cleared by Mutex for its internal condition
   std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// A virtual-time mutual-exclusion lock. The sequential DES makes plain data
+// races impossible, but *logical* exclusion across suspension points is
+// still needed the moment a process co_awaits mid-critical-section (another
+// process runs and may observe or mutate the half-updated state). The Mutex
+// provides that exclusion — and, like lockdep, instruments every
+// acquisition through the kernel's LockObserver so the verify layer can
+// build the global lock-order graph and flag AB/BA inversions before any
+// run actually deadlocks.
+//
+// The acquiring process is identified by the host Eject (nil for the
+// kernel's external driver): lock ordering is checked at that granularity,
+// which is conservative for Ejects running several worker processes.
+class Mutex {
+ public:
+  explicit Mutex(Eject& owner, std::string name = "mutex");
+  explicit Mutex(Kernel& kernel, std::string name = "mutex");
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // co_await mutex.Lock(); ... mutex.Unlock();  FIFO and deterministic.
+  Task<void> Lock();
+  void Unlock();
+
+  bool locked() const { return locked_; }
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Uid host_uid() const { return available_.host_uid(); }
+
+  CondVar available_;
+  Kernel& kernel_;
+  bool locked_ = false;
+  uint64_t id_;
+  std::string name_;
+};
+
+// RAII-style scope helper for Mutex in coroutines:
+//   co_await mutex.Lock();
+//   LockGuard guard(mutex);   // unlocks on scope exit
+struct LockGuard {
+  explicit LockGuard(Mutex& mutex) : mutex_(mutex) {}
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  ~LockGuard() { mutex_.Unlock(); }
+
+ private:
+  Mutex& mutex_;
 };
 
 // A bounded FIFO connecting processes inside one Eject. This is the "buffer

@@ -1,0 +1,104 @@
+// LockOrderAnalyzer: lockdep-style deadlock detection for the virtual-time
+// Mutex (src/eden/sync.h), in the Eraser/lockdep lineage: rather than wait
+// for an actual deadlock (which needs an unlucky interleaving), record the
+// *order* in which every process nests lock acquisitions and flag a cycle in
+// that global order graph the first time it appears — any interleaving of
+// the same code can then deadlock, whether or not this run did.
+//
+// Model:
+//   * A "process" is identified by its host Eject UID (nil = the kernel's
+//     external driver). The DES runs one coroutine at a time, but coroutines
+//     interleave at every suspension point, so AB/BA nesting between two
+//     processes is a real potential deadlock in virtual time. Coroutines
+//     sharing one host are conflated into one holder — conservative: it can
+//     add order edges a finer-grained model would split, never miss one.
+//   * OnAcquire(h, B) with A already held by h adds edge A -> B to the
+//     global order graph; a path B -> ... -> A closing a cycle is reported
+//     once per offending edge, with the cycle spelled out.
+//   * OnBlocking(h, what) with any lock held by h is the second hazard
+//     class: a process that suspends on a condition or a blocking Invoke
+//     while holding a mutex parks every peer that needs that mutex, and if
+//     the wakeup it awaits requires the mutex, parks itself for good.
+//
+// Violations are recorded, optionally emitted as kViolation trace events
+// (set_trace_sink), and rendered by the shell's `lockdep` command. The
+// analyzer self-tests by seeding an AB/BA inversion through its own public
+// interface (SelfTest), so a broken cycle detector is caught without any
+// kernel at all.
+#ifndef SRC_EDEN_VERIFY_LOCKDEP_H_
+#define SRC_EDEN_VERIFY_LOCKDEP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/eden/lock_observer.h"
+#include "src/eden/trace.h"
+#include "src/eden/value.h"
+
+namespace eden::verify {
+
+class LockOrderAnalyzer : public LockObserver {
+ public:
+  struct LockViolation {
+    enum class Kind {
+      kOrderCycle,         // A->B and B->A nesting observed (AB/BA)
+      kHeldAcrossBlocking, // suspended on cv/Invoke with a mutex held
+    };
+    Kind kind = Kind::kOrderCycle;
+    Tick at = 0;
+    Uid holder;                  // process whose acquisition closed the cycle
+    std::vector<uint64_t> cycle; // lock ids along the cycle, first == last's successor
+    std::string detail;
+  };
+
+  LockOrderAnalyzer() = default;
+  LockOrderAnalyzer(const LockOrderAnalyzer&) = delete;
+  LockOrderAnalyzer& operator=(const LockOrderAnalyzer&) = delete;
+
+  // ---- LockObserver feed (installed via Kernel::set_lock_observer).
+  void OnAcquire(const Uid& holder, uint64_t lock, std::string_view name,
+                 Tick at) override;
+  void OnRelease(const Uid& holder, uint64_t lock, Tick at) override;
+  void OnBlocking(const Uid& holder, std::string_view what, Tick at) override;
+
+  // ---- Results.
+  const std::vector<LockViolation>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+  size_t locks_seen() const { return lock_names_.size(); }
+  size_t edges_seen() const;
+
+  // Violations double as TraceEvent::Kind::kViolation into this sink as
+  // they are detected (same contract as InvariantMonitor).
+  void set_trace_sink(Tracer sink) { trace_sink_ = std::move(sink); }
+
+  std::string NameOf(uint64_t lock) const;
+  std::string ToString() const;
+  Value ToValue() const;
+  void Clear();
+
+  // Seeds an AB/BA inversion (process 1 nests A then B, process 2 nests B
+  // then A) through the public interface and checks that exactly the order
+  // cycle is reported. Returns true on success; `report` (if non-null)
+  // receives a transcript either way.
+  static bool SelfTest(std::string* report = nullptr);
+
+ private:
+  void Report(LockViolation violation);
+  // Is `to` reachable from `from` in the order graph?
+  bool FindPath(uint64_t from, uint64_t to, std::vector<uint64_t>& path) const;
+
+  std::map<uint64_t, std::string> lock_names_;
+  std::map<Uid, std::vector<uint64_t>> held_;       // acquisition stack per holder
+  std::map<uint64_t, std::set<uint64_t>> order_;    // edge: held -> acquired
+  std::set<std::pair<uint64_t, uint64_t>> reported_edges_;
+  std::set<std::pair<Uid, std::string>> reported_blocking_;
+  std::vector<LockViolation> violations_;
+  Tracer trace_sink_;
+};
+
+}  // namespace eden::verify
+
+#endif  // SRC_EDEN_VERIFY_LOCKDEP_H_

@@ -1,0 +1,107 @@
+// The static topology model the verification layer analyses.
+//
+// Paper §4 classifies every stream end as active or passive, and §5 derives
+// the structural rules from that classification: a read-only stream (passive
+// output, active input) admits arbitrary fan-in but no fan-out; the
+// write-only dual admits fan-out but no fan-in; and distinct channel
+// identifiers — UIDs minted as capabilities — are the one sanctioned way to
+// restore multiple outputs. A TopologySpec captures exactly the facts those
+// rules quantify over: the stages, how each of their ends behaves, which
+// wires connect them, and which channel identifier each wire is qualified
+// by. It is deliberately independent of the runtime types (core builds one
+// from a PipelineOptions plan or a finished PipelineHandle; tests build them
+// by hand), so the linter can reject a bad wiring *before* any Eject exists.
+#ifndef SRC_EDEN_VERIFY_TOPOLOGY_H_
+#define SRC_EDEN_VERIFY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/eden/clock.h"
+#include "src/eden/uid.h"
+
+namespace eden::verify {
+
+// Which of the paper's figures the topology instantiates. kMixed covers
+// hand-wired graphs (shell pipelines with report channels, tests).
+enum class Flavor { kReadOnly, kWriteOnly, kConventional, kMixed };
+
+std::string_view FlavorName(Flavor flavor);
+
+// One pipeline stage, described by how its stream ends behave (§4's
+// active/passive taxonomy — the behaviour, not the implementation type).
+struct StageSpec {
+  Uid uid;
+  std::string name;  // "source", "filter1", "pipe0", ... (diagnostics)
+  std::string type;  // Eject type name, informational
+
+  bool is_source = false;  // injects data into the graph from outside
+  bool is_sink = false;    // removes data from the graph
+
+  // Stream ends this stage owns. A read-only filter is active_input +
+  // passive_output; the write-only dual is passive_input + active_output; a
+  // PassiveBuffer is passive both ways; a conventional filter active both.
+  bool active_input = false;    // issues Transfer invocations (reader)
+  bool passive_output = false;  // answers Transfer invocations (server)
+  bool active_output = false;   // issues Push invocations (writer)
+  bool passive_input = false;   // answers Push invocations (acceptor)
+
+  // §4 laziness: the stage does no work until the first Transfer arrives.
+  // Such a stage is only ever started by demand reaching it from a sink.
+  bool lazy = false;
+};
+
+// One wire. `from` is always the data producer and `to` the data consumer;
+// `mode` records which end is active (who invokes whom), which is the whole
+// subject of the paper.
+struct EdgeSpec {
+  enum class Mode {
+    kPull,  // `to` invokes Transfer on `from`  (read-only discipline)
+    kPush,  // `from` invokes Push on `to`      (write-only discipline)
+  };
+
+  Uid from;
+  Uid to;
+  Mode mode = Mode::kPull;
+  // The channel identifier qualifying this wire, as the §5 rules see it:
+  // either a declared channel name (integer/string spellings collapse to
+  // this) or a capability UID minted by OpenChannel. Two wires with the
+  // same name and no capability share one stream; distinct capability UIDs
+  // are distinct streams even under one name.
+  std::string channel = "out";
+  Uid channel_uid;  // non-nil = capability-mediated (§5)
+};
+
+// The recovery knobs the linter cross-checks (mirrors the effective_* gating
+// from the filter options: when `enabled` is false the builders zero every
+// other knob, so a spec carrying nonzero knobs with enabled=false records a
+// configuration the runtime would silently ignore).
+struct RecoveryKnobs {
+  bool enabled = false;
+  Tick deadline = 0;
+  int retry_attempts = 0;
+  Tick retry_backoff = 0;
+  uint64_t checkpoint_every = 0;
+  Tick probe_interval = 0;
+};
+
+struct TopologySpec {
+  Flavor flavor = Flavor::kMixed;
+  std::vector<StageSpec> stages;
+  std::vector<EdgeSpec> edges;
+  RecoveryKnobs recovery;
+
+  StageSpec& AddStage(StageSpec stage);
+  EdgeSpec& AddEdge(EdgeSpec edge);
+  // Convenience for hand-built specs (tests, shell): wire `from` -> `to`.
+  EdgeSpec& Connect(const Uid& from, const Uid& to, EdgeSpec::Mode mode,
+                    std::string channel = "out", Uid channel_uid = Uid());
+
+  const StageSpec* Find(const Uid& uid) const;
+  std::string NameOf(const Uid& uid) const;  // stage name or short UID
+};
+
+}  // namespace eden::verify
+
+#endif  // SRC_EDEN_VERIFY_TOPOLOGY_H_

@@ -167,7 +167,8 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
   }
   if (words.empty() ||
       (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics" &&
-       words[0] != "monitor" && words[0] != "doctor")) {
+       words[0] != "monitor" && words[0] != "doctor" && words[0] != "lint" &&
+       words[0] != "lockdep")) {
     return std::nullopt;
   }
   ShellResult result;
@@ -255,19 +256,103 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
     }
     return result;
   }
+  if (words[0] == "lint") {
+    if (words.size() == 2 && words[1] == "rules") {
+      for (const verify::PipelineLinter::RuleInfo& rule :
+           verify::PipelineLinter::Rules()) {
+        result.output.push_back(std::string(rule.id) + " [" +
+                                std::string(SeverityName(rule.worst)) + "] " +
+                                std::string(rule.summary));
+      }
+      return result;
+    }
+    if (!have_topology_) {
+      result.output.push_back(
+          "no pipeline linted yet (run a pipeline first; every pipeline is "
+          "linted as it is wired)");
+      return result;
+    }
+    if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, ValueToJson(last_lint_.ToValue()));
+    } else if (words.size() == 1) {
+      PushLines(result, last_lint_.ToString());
+    } else {
+      return Fail("usage: lint [json|rules]");
+    }
+    return result;
+  }
+  if (words[0] == "lockdep") {
+    if (words.size() == 2 && words[1] == "on") {
+      // Violations double as trace events (same contract as the monitor).
+      lockdep_.set_trace_sink(recorder_.Hook());
+      kernel_.set_lock_observer(&lockdep_);
+      lockdep_on_ = true;
+      result.output.push_back("lockdep on");
+    } else if (words.size() == 2 && words[1] == "off") {
+      kernel_.set_lock_observer(nullptr);
+      lockdep_on_ = false;
+      result.output.push_back("lockdep off");
+    } else if (words.size() == 1 ||
+               (words.size() == 2 && words[1] == "show")) {
+      PushLines(result, lockdep_.ToString());
+    } else if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, ValueToJson(lockdep_.ToValue()));
+    } else if (words.size() == 2 && words[1] == "clear") {
+      lockdep_.Clear();
+      result.output.push_back("lockdep cleared");
+    } else if (words.size() == 2 && words[1] == "selftest") {
+      std::string report;
+      bool passed = verify::LockOrderAnalyzer::SelfTest(&report);
+      PushLines(result, report);
+      result.output.push_back(passed ? "selftest passed" : "selftest FAILED");
+      if (!passed) {
+        result.ok = false;
+      }
+    } else {
+      return Fail("usage: lockdep on|off|show|json|clear|selftest");
+    }
+    return result;
+  }
   // doctor
   PipelineDoctor doctor(recorder_, metrics_on_ ? &metrics_ : nullptr);
+  auto diagnose = [&] {
+    Diagnosis d = doctor.Diagnose();
+    if (have_topology_) {
+      // One verdict line carries both stories: the dynamic bottleneck and
+      // the static lint outcome for the pipeline that produced the trace.
+      d.AnnotateStatic(last_lint_.error_count(), last_lint_.warning_count(),
+                       last_lint_.Summary());
+    }
+    return d;
+  };
   if (words.size() == 1) {
-    PushLines(result, doctor.Diagnose().ToString());
+    PushLines(result, diagnose().ToString());
   } else if (words.size() == 2 && words[1] == "json") {
-    PushLines(result, ValueToJson(doctor.Diagnose().ToValue()));
+    PushLines(result, ValueToJson(diagnose().ToValue()));
   } else if (words.size() == 3 && words[1] == "save") {
-    return SaveText(words[2], ValueToJson(doctor.Diagnose().ToValue()),
+    return SaveText(words[2], ValueToJson(diagnose().ToValue()),
                     "diagnosis");
   } else {
     return Fail("usage: doctor [json]|doctor save FILE");
   }
   return result;
+}
+
+void EdenShell::LintTopology(verify::TopologySpec topology) {
+  last_topology_ = std::move(topology);
+  have_topology_ = true;
+  last_lint_ = verify::PipelineLinter().Lint(last_topology_);
+  if (monitor_on_) {
+    for (const verify::LintDiagnostic& diag : last_lint_.diagnostics) {
+      if (diag.severity == verify::Severity::kError) {
+        monitor_.OnStaticFinding(
+            kernel_.now(), diag.stage,
+            diag.rule + " " +
+                (diag.stage_name.empty() ? "topology" : diag.stage_name) +
+                ": " + diag.message);
+      }
+    }
+  }
 }
 
 ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
@@ -280,6 +365,37 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     return Fail(error);
   }
   uint64_t ejects_before = kernel_.stats().ejects_created;
+
+  // Every pipeline is also recorded as a TopologySpec and linted as it is
+  // wired (the §5 structural rules as a graph pass); the report is served by
+  // `lint`, folded into the doctor's verdict, and — when the monitor is on —
+  // errors join its violation stream.
+  verify::TopologySpec topo;
+  topo.flavor = verify::Flavor::kMixed;
+  auto note_stage = [&](const Uid& uid, const std::string& name,
+                        const std::string& type, bool is_source, bool is_sink,
+                        bool active_input, bool passive_output) {
+    if (topo.Find(uid) != nullptr) {
+      return;
+    }
+    verify::StageSpec stage;
+    stage.uid = uid;
+    stage.name = name;
+    stage.type = type;
+    stage.is_source = is_source;
+    stage.is_sink = is_sink;
+    stage.active_input = active_input;
+    stage.passive_output = passive_output;
+    topo.AddStage(std::move(stage));
+  };
+  // A bound stream a fan-in source (cmp/merge/sed) pulls from.
+  auto note_input = [&](const Uid& input, const std::string& name,
+                        const Uid& reader) {
+    note_stage(input, name, "bound", /*is_source=*/true, /*is_sink=*/false,
+               /*active_input=*/false, /*passive_output=*/true);
+    topo.Connect(input, reader, verify::EdgeSpec::Mode::kPull,
+                 std::string(kChanOut));
+  };
 
   // ---- Source stage.
   const Stage& source_stage = stages.front();
@@ -329,16 +445,23 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
       return Fail("unbound name in cmp");
     }
     upstream = kernel_.CreateLocal<CmpEject>(StreamRef{*left}, StreamRef{*right}).uid();
+    note_input(*left, source_stage.args[0], upstream);
+    note_input(*right, source_stage.args[1], upstream);
   } else if (source_stage.command == "merge" && source_stage.args.size() >= 2) {
     std::vector<StreamRef> inputs;
+    std::vector<Uid> input_uids;
     for (const std::string& name : source_stage.args) {
       auto uid = Resolve(name);
       if (!uid) {
         return Fail("unbound name in merge: " + name);
       }
       inputs.push_back(StreamRef{*uid});
+      input_uids.push_back(*uid);
     }
     upstream = kernel_.CreateLocal<MergeEject>(std::move(inputs)).uid();
+    for (size_t i = 0; i < input_uids.size(); ++i) {
+      note_input(input_uids[i], source_stage.args[i], upstream);
+    }
   } else if (source_stage.command == "sed" && source_stage.args.size() == 2) {
     auto commands = Resolve(source_stage.args[0]);
     auto text = Resolve(source_stage.args[1]);
@@ -346,10 +469,20 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
       return Fail("unbound name in sed");
     }
     upstream = kernel_.CreateLocal<SedLite>(StreamRef{*commands}, StreamRef{*text}).uid();
+    note_input(*commands, source_stage.args[0], upstream);
+    note_input(*text, source_stage.args[1], upstream);
   } else {
     return Fail("unknown source: " + source_stage.command);
   }
   LabelStage(upstream, source_stage.command);
+  // cmp/merge/sed pull from the bound inputs recorded above (§5 fan-in);
+  // every other source injects data from outside the graph.
+  const bool fan_in_source = source_stage.command == "cmp" ||
+                             source_stage.command == "merge" ||
+                             source_stage.command == "sed";
+  note_stage(upstream, source_stage.command, source_stage.command,
+             /*is_source=*/!fan_in_source, /*is_sink=*/false,
+             /*active_input=*/fan_in_source, /*passive_output=*/true);
 
   // ---- Filter stages.
   std::vector<ReportWindow*> attached_windows;
@@ -370,7 +503,20 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
       ReportWindow& window = WindowOrCreate(window_name);
       window.Attach(filter.uid(), Value(channel), stage.command);
       attached_windows.push_back(&window);
+      // Figure 4: the window reads a *distinct* channel of the filter — the
+      // sanctioned multiple-output form the linter distinguishes from
+      // read-only fan-out on one stream.
+      note_stage(window.uid(), "window:" + window_name, ReportWindow::kType,
+                 /*is_source=*/false, /*is_sink=*/true, /*active_input=*/true,
+                 /*passive_output=*/false);
+      topo.Connect(filter.uid(), window.uid(), verify::EdgeSpec::Mode::kPull,
+                   channel);
     }
+    note_stage(filter.uid(), stage.command, ReadOnlyFilter::kType,
+               /*is_source=*/false, /*is_sink=*/false, /*active_input=*/true,
+               /*passive_output=*/true);
+    topo.Connect(upstream, filter.uid(), verify::EdgeSpec::Mode::kPull,
+                 std::string(kChanOut));
     LabelStage(filter.uid(), stage.command);
     upstream = filter.uid();
   }
@@ -381,6 +527,17 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     return Fail("redirection is only valid on filter stages");
   }
   ShellResult result;
+
+  // Completes the topology with the sink and lints it before the run starts
+  // (the static check must not depend on how the run goes).
+  auto note_sink = [&](const Uid& uid, const std::string& name,
+                       const std::string& type) {
+    note_stage(uid, name, type, /*is_source=*/false, /*is_sink=*/true,
+               /*active_input=*/true, /*passive_output=*/false);
+    topo.Connect(upstream, uid, verify::EdgeSpec::Mode::kPull,
+                 std::string(kChanOut));
+    LintTopology(std::move(topo));
+  };
 
   auto finish = [&]() {
     // Give attached report windows a chance to drain.
@@ -403,6 +560,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     PullSink& sink =
         kernel_.CreateLocal<PullSink>(upstream, Value(std::string(kChanOut)));
     LabelStage(sink.uid(), "collect");
+    note_sink(sink.uid(), "collect", PullSink::kType);
     kernel_.RunUntil([&] { return sink.done(); }, max_events);
     if (!sink.done()) {
       return Fail("pipeline did not complete (infinite source? use head N)");
@@ -417,6 +575,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
       term = &kernel_.CreateLocal<TerminalSink>();
     }
     LabelStage(term->uid(), "terminal:" + name);
+    note_sink(term->uid(), "terminal:" + name, TerminalSink::kType);
     term->Connect(upstream, Value(std::string(kChanOut)));
     kernel_.RunUntil([&] { return term->idle(); }, max_events);
     result.output.assign(term->screen().begin(), term->screen().end());
@@ -427,6 +586,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
       printer = &kernel_.CreateLocal<PrinterSink>();
     }
     LabelStage(printer->uid(), "printer:" + name);
+    note_sink(printer->uid(), "printer:" + name, PrinterSink::kType);
     printer->Print(upstream, Value(std::string(kChanOut)));
     kernel_.RunUntil([&] { return printer->idle(); }, max_events);
     for (size_t p = 0; p < printer->pages().size(); ++p) {
@@ -440,6 +600,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     if (!uid) {
       return Fail("unbound name: " + sink_stage.args[0]);
     }
+    note_sink(*uid, "tofile:" + sink_stage.args[0], "FileEject");
     InvokeResult absorbed = kernel_.InvokeAndRun(
         *uid, "Absorb", Value().Set("source", Value(upstream)));
     if (!absorbed.ok()) {
@@ -462,6 +623,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
       return Fail("UseStream failed: " + used.status.ToString());
     }
     auto file = used.value.Field("file").AsUid();
+    note_sink(*file, "usestream:" + sink_stage.args[0], "UnixFile");
     kernel_.RunUntil([&] { return !kernel_.IsActive(*file); }, max_events);
     result.output.push_back("wrote " + sink_stage.args[0]);
   } else if (sink_stage.command == "null" && sink_stage.args.size() <= 1) {
@@ -472,6 +634,7 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     NullSink& sink = kernel_.CreateLocal<NullSink>(
         upstream, Value(std::string(kChanOut)), max_items);
     LabelStage(sink.uid(), "null");
+    note_sink(sink.uid(), "null", NullSink::kType);
     kernel_.RunUntil([&] { return sink.done(); }, max_events);
     result.output.push_back("discarded " + std::to_string(sink.discarded()));
   } else {

@@ -46,6 +46,9 @@
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
 #include "src/eden/trace.h"
+#include "src/eden/verify/lint.h"
+#include "src/eden/verify/lockdep.h"
+#include "src/eden/verify/topology.h"
 #include "src/fs/unix_fs.h"
 
 namespace eden {
@@ -86,6 +89,17 @@ class EdenShell {
   //   trace save FILE          write the Chrome trace JSON to FILE
   //   metrics save FILE        write the metrics snapshot JSON to FILE
   //   doctor save FILE         write the diagnosis JSON to FILE
+  //   lint [json]              PipelineLinter report for the last pipeline
+  //                            this shell wired (re-lints on every pipeline;
+  //                            errors also join the monitor's violations and
+  //                            the doctor's verdict line)
+  //   lint rules               the rule table (ASC001..) with summaries
+  //   lockdep on|off           install/remove the LockOrderAnalyzer as the
+  //                            kernel's lock observer (violations land in
+  //                            the trace as kViolation events, like monitor)
+  //   lockdep [show|json|clear]  order graph + potential deadlocks / reset
+  //   lockdep selftest         seed an AB/BA inversion through the analyzer
+  //                            and report whether it was caught
   // While tracing, metering or monitoring is on, pipeline stages are labeled
   // with their command names, so charts read "grep" rather than a raw UID.
   ShellResult Run(const std::string& command, uint64_t max_events = 2'000'000);
@@ -94,6 +108,11 @@ class EdenShell {
   TraceRecorder& recorder() { return recorder_; }
   MetricsRegistry& metrics() { return metrics_; }
   InvariantMonitor& monitor() { return monitor_; }
+  verify::LockOrderAnalyzer& lockdep() { return lockdep_; }
+  // The lint report for the last pipeline this shell wired (empty before the
+  // first pipeline). Every pipeline is linted as it is built.
+  const verify::LintReport& last_lint() const { return last_lint_; }
+  const verify::TopologySpec& last_topology() const { return last_topology_; }
 
   // Named windows/terminals/printers created by previous commands.
   TerminalSink* terminal(const std::string& name);
@@ -115,15 +134,24 @@ class EdenShell {
   // Labels `uid` in whichever instruments are currently installed.
   void LabelStage(const Uid& uid, const std::string& name);
 
+  // Records the built pipeline as a TopologySpec, lints it, and feeds any
+  // errors into the monitor's violation stream (when the monitor is on).
+  void LintTopology(verify::TopologySpec topology);
+
   Kernel& kernel_;
   HostFs* host_;
   UnixFileSystemEject* unixfs_ = nullptr;  // created on first use
   TraceRecorder recorder_;
   MetricsRegistry metrics_;
   InvariantMonitor monitor_;
+  verify::LockOrderAnalyzer lockdep_;
+  verify::TopologySpec last_topology_;
+  verify::LintReport last_lint_;
+  bool have_topology_ = false;
   bool trace_on_ = false;
   bool metrics_on_ = false;
   bool monitor_on_ = false;
+  bool lockdep_on_ = false;
   std::map<std::string, Uid> bindings_;
   std::map<std::string, TerminalSink*> terminals_;
   std::map<std::string, PrinterSink*> printers_;

@@ -1,0 +1,665 @@
+// Static verification layer tests: one positive and one negative case per
+// lint rule (ASC001..ASC008), the pipeline plan/describe bridge, the
+// lint_before_activate gate, and the lockdep analyzer against both its
+// seeded self-test and real Mutexes on a live kernel.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/pipeline_verify.h"
+#include "src/eden/analysis.h"
+#include "src/eden/kernel.h"
+#include "src/eden/monitor.h"
+#include "src/eden/sync.h"
+#include "src/eden/trace.h"
+#include "src/eden/verify/lint.h"
+#include "src/eden/verify/lockdep.h"
+#include "src/eden/verify/topology.h"
+#include "src/shell/shell.h"
+
+namespace eden {
+namespace {
+
+using verify::EdgeSpec;
+using verify::Flavor;
+using verify::LintReport;
+using verify::LockOrderAnalyzer;
+using verify::PipelineLinter;
+using verify::Severity;
+using verify::StageSpec;
+using verify::TopologySpec;
+
+Uid U(uint64_t n) { return Uid(0, n); }
+
+// source <- filter1 <- sink, the Figure 2 read-only shape. Lints clean.
+TopologySpec ReadOnlyChain() {
+  TopologySpec t;
+  t.flavor = Flavor::kReadOnly;
+  t.AddStage({.uid = U(1), .name = "source", .type = "VectorSource",
+              .is_source = true, .passive_output = true});
+  t.AddStage({.uid = U(2), .name = "filter1", .type = "ReadOnlyFilter",
+              .active_input = true, .passive_output = true});
+  t.AddStage({.uid = U(3), .name = "sink", .type = "PullSink",
+              .is_sink = true, .active_input = true});
+  t.Connect(U(1), U(2), EdgeSpec::Mode::kPull);
+  t.Connect(U(2), U(3), EdgeSpec::Mode::kPull);
+  return t;
+}
+
+// source -> filter1 -> sink, the §5 write-only dual. Lints clean.
+TopologySpec WriteOnlyChain() {
+  TopologySpec t;
+  t.flavor = Flavor::kWriteOnly;
+  t.AddStage({.uid = U(1), .name = "source", .type = "PushSource",
+              .is_source = true, .active_output = true});
+  t.AddStage({.uid = U(2), .name = "filter1", .type = "WriteOnlyFilter",
+              .active_output = true, .passive_input = true});
+  t.AddStage({.uid = U(3), .name = "sink", .type = "PushSink",
+              .is_sink = true, .passive_input = true});
+  t.Connect(U(1), U(2), EdgeSpec::Mode::kPush, "in");
+  t.Connect(U(2), U(3), EdgeSpec::Mode::kPush, "in");
+  return t;
+}
+
+std::vector<std::string> Rules(const LintReport& report) {
+  std::vector<std::string> rules;
+  for (const verify::LintDiagnostic& d : report.diagnostics) {
+    rules.push_back(d.rule);
+  }
+  return rules;
+}
+
+TEST(LintTest, CleanChainsAreWellFormed) {
+  for (const TopologySpec& t : {ReadOnlyChain(), WriteOnlyChain()}) {
+    LintReport report = PipelineLinter().Lint(t);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_TRUE(report.diagnostics.empty()) << report.ToString();
+    EXPECT_NE(report.ToString().find("topology is well-formed"),
+              std::string::npos);
+  }
+}
+
+TEST(LintTest, ASC001RejectsReadOnlyFanOut) {
+  // A second reader pulling the same (server, channel) stream: §5 forbids it.
+  TopologySpec t = ReadOnlyChain();
+  t.AddStage({.uid = U(4), .name = "sink2", .type = "PullSink",
+              .is_sink = true, .active_input = true});
+  t.Connect(U(2), U(4), EdgeSpec::Mode::kPull);
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC001")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_NE(report.ToString().find("fan-out"), std::string::npos);
+}
+
+TEST(LintTest, ASC001AllowsCapabilityMediatedFanOut) {
+  // Same wiring, but each reader presents a distinct capability UID — the
+  // sanctioned §5 escape (OpenChannel mints one stream per consumer).
+  TopologySpec t = ReadOnlyChain();
+  t.AddStage({.uid = U(4), .name = "sink2", .type = "PullSink",
+              .is_sink = true, .active_input = true});
+  t.edges.pop_back();  // drop filter1 -> sink
+  t.Connect(U(2), U(3), EdgeSpec::Mode::kPull, "out", U(100));
+  t.Connect(U(2), U(4), EdgeSpec::Mode::kPull, "out", U(101));
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_FALSE(report.HasRule("ASC001")) << report.ToString();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LintTest, ASC002RejectsWriteOnlyFanIn) {
+  // A second writer pushing the same (acceptor, channel) stream: the
+  // write-only dual of ASC001.
+  TopologySpec t = WriteOnlyChain();
+  t.AddStage({.uid = U(4), .name = "source2", .type = "PushSource",
+              .is_source = true, .active_output = true});
+  t.Connect(U(4), U(3), EdgeSpec::Mode::kPush, "in");
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC002")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_NE(report.ToString().find("fan-in"), std::string::npos);
+}
+
+TEST(LintTest, ASC002AllowsCapabilityMediatedFanIn) {
+  TopologySpec t = WriteOnlyChain();
+  t.AddStage({.uid = U(4), .name = "source2", .type = "PushSource",
+              .is_source = true, .active_output = true});
+  t.edges.pop_back();  // drop filter1 -> sink
+  t.Connect(U(2), U(3), EdgeSpec::Mode::kPush, "in", U(100));
+  t.Connect(U(4), U(3), EdgeSpec::Mode::kPush, "in", U(101));
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_FALSE(report.HasRule("ASC002")) << report.ToString();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LintTest, ASC003RejectsCycles) {
+  TopologySpec t = ReadOnlyChain();
+  // sink feeds data back to the source: demand can never quiesce.
+  t.Connect(U(3), U(1), EdgeSpec::Mode::kPush, "back");
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC003")) << report.ToString();
+  EXPECT_FALSE(PipelineLinter().Lint(ReadOnlyChain()).HasRule("ASC003"));
+}
+
+TEST(LintTest, ASC004FlagsOrphanUnreachableAndDeadEnd) {
+  // Orphan: declared but wired to nothing.
+  TopologySpec orphan = ReadOnlyChain();
+  orphan.AddStage({.uid = U(9), .name = "stray", .type = "ReadOnlyFilter",
+                   .active_input = true, .passive_output = true});
+  LintReport report = PipelineLinter().Lint(orphan);
+  ASSERT_TRUE(report.HasRule("ASC004")) << report.ToString();
+  EXPECT_NE(report.ToString().find("orphan"), std::string::npos);
+
+  // Unreachable: wired, but no source transitively feeds it.
+  TopologySpec unreachable = ReadOnlyChain();
+  unreachable.AddStage({.uid = U(9), .name = "late", .type = "ReadOnlyFilter",
+                        .active_input = true, .passive_output = true});
+  unreachable.Connect(U(9), U(3), EdgeSpec::Mode::kPull, "side");
+  report = PipelineLinter().Lint(unreachable);
+  ASSERT_TRUE(report.HasRule("ASC004")) << report.ToString();
+  EXPECT_NE(report.ToString().find("unreachable"), std::string::npos);
+
+  // Dead end: reachable from a source but no sink observes it — a warning,
+  // not an error (discarding data is legal, just suspicious).
+  TopologySpec deadend = ReadOnlyChain();
+  deadend.AddStage({.uid = U(9), .name = "drop", .type = "ReadOnlyFilter",
+                    .active_input = true, .passive_output = true});
+  deadend.Connect(U(1), U(9), EdgeSpec::Mode::kPull, "side", U(100));
+  report = PipelineLinter().Lint(deadend);
+  ASSERT_TRUE(report.HasRule("ASC004")) << report.ToString();
+  EXPECT_EQ(report.error_count(), 0u) << report.ToString();
+  EXPECT_GE(report.warning_count(), 1u);
+  EXPECT_NE(report.ToString().find("dead-end"), std::string::npos);
+
+  // Undeclared endpoint: a wire naming a stage the spec never declared.
+  TopologySpec dangling = ReadOnlyChain();
+  dangling.Connect(U(2), U(42), EdgeSpec::Mode::kPull, "side", U(100));
+  report = PipelineLinter().Lint(dangling);
+  ASSERT_TRUE(report.HasRule("ASC004")) << report.ToString();
+  EXPECT_NE(report.ToString().find("undeclared"), std::string::npos);
+}
+
+TEST(LintTest, ASC005RejectsDuplicateCapabilityClaims) {
+  TopologySpec t = ReadOnlyChain();
+  t.AddStage({.uid = U(4), .name = "sink2", .type = "PullSink",
+              .is_sink = true, .active_input = true});
+  t.edges.pop_back();
+  // Both readers present the *same* capability UID: they alias one stream
+  // while claiming to be distinct.
+  t.Connect(U(2), U(3), EdgeSpec::Mode::kPull, "out", U(100));
+  t.Connect(U(2), U(4), EdgeSpec::Mode::kPull, "out", U(100));
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC005")) << report.ToString();
+}
+
+TEST(LintTest, ASC006ChecksRecoveryKnobConsistency) {
+  // Enabled without a deadline: a lost reply parks the stream forever.
+  TopologySpec t = ReadOnlyChain();
+  t.recovery = {.enabled = true, .deadline = 0, .retry_attempts = 4,
+                .retry_backoff = 100, .checkpoint_every = 8,
+                .probe_interval = 500};
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC006")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+
+  // Enabled without retries: deadlines convert hangs into data loss.
+  t.recovery = {.enabled = true, .deadline = 1000, .retry_attempts = 0,
+                .retry_backoff = 100, .checkpoint_every = 8,
+                .probe_interval = 500};
+  report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC006")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+
+  // checkpoint_every == 0 is legal but replays the world: warning only.
+  t.recovery = {.enabled = true, .deadline = 1000, .retry_attempts = 4,
+                .retry_backoff = 100, .checkpoint_every = 0,
+                .probe_interval = 500};
+  report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC006")) << report.ToString();
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_GE(report.warning_count(), 1u);
+
+  // Conventional discipline without a probe: both correspondents of a
+  // crashed filter are passive, nothing reactivates it.
+  t.flavor = Flavor::kConventional;
+  t.recovery = {.enabled = true, .deadline = 1000, .retry_attempts = 4,
+                .retry_backoff = 100, .checkpoint_every = 8,
+                .probe_interval = 0};
+  report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC006")) << report.ToString();
+  EXPECT_GE(report.warning_count(), 1u);
+  t.flavor = Flavor::kReadOnly;
+
+  // Knobs set but recovery disabled: the effective_* gating ignores them.
+  t.recovery = {.enabled = false, .deadline = 1000, .retry_attempts = 4,
+                .retry_backoff = 100, .checkpoint_every = 8,
+                .probe_interval = 500};
+  report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC006")) << report.ToString();
+  EXPECT_EQ(report.error_count(), 0u);
+
+  // Fully consistent configuration: silent.
+  t.recovery = {.enabled = true, .deadline = 1000, .retry_attempts = 4,
+                .retry_backoff = 100, .checkpoint_every = 8,
+                .probe_interval = 500};
+  report = PipelineLinter().Lint(t);
+  EXPECT_FALSE(report.HasRule("ASC006")) << report.ToString();
+}
+
+TEST(LintTest, ASC007RequiresDemandToReachLazyStages) {
+  // A lazy source in a pull chain ending at an active sink is fine.
+  TopologySpec good = ReadOnlyChain();
+  good.stages[0].lazy = true;
+  good.stages[1].lazy = true;
+  EXPECT_FALSE(PipelineLinter().Lint(good).HasRule("ASC007"));
+
+  // A lazy stage whose only path onward is a push wire: the Transfer that
+  // would start it never arrives.
+  TopologySpec bad;
+  bad.flavor = Flavor::kMixed;
+  bad.AddStage({.uid = U(1), .name = "source", .type = "VectorSource",
+                .is_source = true, .passive_output = true,
+                .active_output = true, .lazy = true});
+  bad.AddStage({.uid = U(2), .name = "sink", .type = "PushSink",
+                .is_sink = true, .passive_input = true});
+  bad.Connect(U(1), U(2), EdgeSpec::Mode::kPush, "in");
+  LintReport report = PipelineLinter().Lint(bad);
+  ASSERT_TRUE(report.HasRule("ASC007")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+}
+
+TEST(LintTest, ASC008RejectsPortDisciplineMismatches) {
+  // Pull wire from a stage with no passive output (nobody serves Transfer).
+  TopologySpec t = ReadOnlyChain();
+  t.stages[0].passive_output = false;
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC008")) << report.ToString();
+
+  // Pull wire into a stage with no active input (nobody issues Transfer).
+  t = ReadOnlyChain();
+  t.stages[2].active_input = false;
+  report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC008")) << report.ToString();
+
+  // Push wire into a stage with no passive input (nobody accepts Push).
+  t = WriteOnlyChain();
+  t.stages[2].passive_input = false;
+  report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.HasRule("ASC008")) << report.ToString();
+}
+
+TEST(LintTest, RuleTableCoversAllEightRules) {
+  const std::vector<PipelineLinter::RuleInfo>& rules = PipelineLinter::Rules();
+  ASSERT_EQ(rules.size(), 8u);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, "ASC00" + std::to_string(i + 1));
+    EXPECT_FALSE(rules[i].summary.empty());
+  }
+}
+
+TEST(LintTest, SummaryNamesLeadingErrors) {
+  TopologySpec t = ReadOnlyChain();
+  t.AddStage({.uid = U(4), .name = "sink2", .type = "PullSink",
+              .is_sink = true, .active_input = true});
+  t.Connect(U(2), U(4), EdgeSpec::Mode::kPull);
+  LintReport report = PipelineLinter().Lint(t);
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("ASC001"), std::string::npos) << summary;
+}
+
+// ---- Pipeline plan bridge (core/pipeline_verify).
+
+PipelineOptions OptionsFor(Discipline d) {
+  PipelineOptions options;
+  options.discipline = d;
+  return options;
+}
+
+TransformFactory Copy() {
+  return MakeTransformFactory<LambdaTransform>(
+      "copy", [](const Value& v, const Transform::EmitFn& emit) {
+        emit(kChanOut, v);
+      });
+}
+
+TEST(PipelinePlanTest, AllDisciplinesPlanClean) {
+  for (Discipline d : {Discipline::kReadOnly, Discipline::kWriteOnly,
+                       Discipline::kConventional}) {
+    PipelineOptions options = OptionsFor(d);
+    LintReport report = LintPipelinePlan(3, options);
+    EXPECT_TRUE(report.ok()) << DisciplineName(d) << "\n" << report.ToString();
+    EXPECT_TRUE(report.diagnostics.empty())
+        << DisciplineName(d) << "\n" << report.ToString();
+
+    // Recovery enabled with the default knobs is also consistent.
+    options.recovery.enabled = true;
+    report = LintPipelinePlan(3, options);
+    EXPECT_TRUE(report.diagnostics.empty())
+        << DisciplineName(d) << "\n" << report.ToString();
+  }
+  // §4 laziness plans clean too (ASC007 must see the demand chain).
+  PipelineOptions lazy = OptionsFor(Discipline::kReadOnly);
+  lazy.start_on_demand = true;
+  EXPECT_TRUE(LintPipelinePlan(3, lazy).diagnostics.empty());
+}
+
+TEST(PipelinePlanTest, DescribePipelineMatchesAsBuilt) {
+  Kernel kernel;
+  PipelineOptions options = OptionsFor(Discipline::kConventional);
+  std::vector<TransformFactory> stages = {Copy(), Copy()};
+  ValueList input = {Value("a"), Value("b")};
+  PipelineHandle handle = BuildPipeline(kernel, input, stages, options);
+  kernel.Run();
+  ASSERT_TRUE(handle.done());
+
+  verify::TopologySpec spec = DescribePipeline(handle, options);
+  ASSERT_EQ(spec.stages.size(), handle.ejects.size());
+  for (size_t i = 0; i < spec.stages.size(); ++i) {
+    EXPECT_EQ(spec.stages[i].uid, handle.ejects[i]);
+    EXPECT_EQ(spec.stages[i].name, handle.stage_names[i]);
+  }
+  LintReport report = PipelineLinter().Lint(spec);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(PipelinePlanTest, PlanNamesMatchBuiltStageNames) {
+  for (Discipline d : {Discipline::kReadOnly, Discipline::kWriteOnly,
+                       Discipline::kConventional}) {
+    Kernel kernel;
+    PipelineOptions options = OptionsFor(d);
+    std::vector<TransformFactory> stages = {Copy(), Copy()};
+    PipelineHandle handle =
+        BuildPipeline(kernel, {Value("x")}, stages, options);
+    verify::TopologySpec plan = PlanTopology(stages.size(), options);
+    ASSERT_EQ(plan.stages.size(), handle.stage_names.size())
+        << DisciplineName(d);
+    for (size_t i = 0; i < plan.stages.size(); ++i) {
+      EXPECT_EQ(plan.stages[i].name, handle.stage_names[i])
+          << DisciplineName(d) << " stage " << i;
+    }
+    kernel.Run();
+  }
+}
+
+// ---- The lint_before_activate gate.
+
+TEST(LintGateTest, RejectsInconsistentRecoveryBeforeAnyEjectExists) {
+  Kernel kernel;
+  PipelineOptions options;
+  options.lint_before_activate = true;
+  options.recovery.enabled = true;
+  options.recovery.deadline = 0;  // ASC006: enabled without a deadline
+  std::vector<TransformFactory> stages = {Copy()};
+  PipelineHandle handle =
+      BuildPipeline(kernel, {Value("x")}, stages, options);
+  EXPECT_TRUE(handle.lint_rejected);
+  EXPECT_TRUE(handle.lint.HasRule("ASC006")) << handle.lint.ToString();
+  EXPECT_TRUE(handle.ejects.empty());
+  // The kernel was never perturbed: no Eject exists, nothing to run.
+  EXPECT_EQ(kernel.stats().ejects_created, 0u);
+
+  // RunPipeline under the same options returns empty instead of hanging.
+  ValueList out = RunPipeline(kernel, {Value("x")}, stages, options);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(kernel.stats().ejects_created, 0u);
+}
+
+TEST(LintGateTest, CleanPlanActivatesAndAttachesReport) {
+  Kernel kernel;
+  PipelineOptions options;
+  options.lint_before_activate = true;
+  std::vector<TransformFactory> stages = {Copy()};
+  ValueList input = {Value("a"), Value("b"), Value("c")};
+  PipelineHandle handle = BuildPipeline(kernel, input, stages, options);
+  EXPECT_FALSE(handle.lint_rejected);
+  EXPECT_TRUE(handle.lint.ok()) << handle.lint.ToString();
+  kernel.Run();
+  ASSERT_TRUE(handle.done());
+  EXPECT_EQ(handle.output(), input);
+}
+
+// ---- Lockdep.
+
+TEST(LockdepTest, SelfTestPasses) {
+  std::string report;
+  EXPECT_TRUE(LockOrderAnalyzer::SelfTest(&report)) << report;
+  EXPECT_NE(report.find("inversion detected"), std::string::npos) << report;
+}
+
+// Two coroutines of one host nesting two mutexes in opposite orders. The
+// runs don't overlap in this schedule — lockdep's point is that the *order
+// graph* cycle already proves an interleaving exists that deadlocks.
+class InvertedLocker : public Eject {
+ public:
+  explicit InvertedLocker(Kernel& kernel)
+      : Eject(kernel, "InvertedLocker"), a_(*this, "A"), b_(*this, "B") {}
+
+  Task<void> LockAB() {
+    co_await a_.Lock();
+    co_await b_.Lock();
+    b_.Unlock();
+    a_.Unlock();
+  }
+  Task<void> LockBA() {
+    co_await b_.Lock();
+    co_await a_.Lock();
+    a_.Unlock();
+    b_.Unlock();
+  }
+
+  Mutex a_;
+  Mutex b_;
+};
+
+TEST(LockdepTest, RealMutexInversionIsReported) {
+  Kernel kernel;
+  TraceRecorder recorder;
+  LockOrderAnalyzer analyzer;
+  analyzer.set_trace_sink(recorder.Hook());
+  kernel.set_lock_observer(&analyzer);
+
+  InvertedLocker& host = kernel.CreateLocal<InvertedLocker>();
+  host.Spawn(host.LockAB());
+  kernel.Run();
+  EXPECT_TRUE(analyzer.ok());  // AB alone establishes order, no cycle yet
+
+  host.Spawn(host.LockBA());
+  kernel.Run();
+  ASSERT_EQ(analyzer.violations().size(), 1u) << analyzer.ToString();
+  const LockOrderAnalyzer::LockViolation& v = analyzer.violations().front();
+  EXPECT_EQ(v.kind, LockOrderAnalyzer::LockViolation::Kind::kOrderCycle);
+  EXPECT_EQ(v.holder, host.uid());
+  EXPECT_EQ(analyzer.locks_seen(), 2u);
+  EXPECT_NE(analyzer.ToString().find("VIOLATIONS"), std::string::npos);
+
+  // The violation doubled as a kViolation trace event, like the monitor's.
+  bool traced = false;
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.kind == TraceEvent::Kind::kViolation &&
+        event.op.find("lock-order-cycle") != std::string::npos) {
+      traced = true;
+    }
+  }
+  EXPECT_TRUE(traced);
+
+  kernel.set_lock_observer(nullptr);
+}
+
+TEST(LockdepTest, ConsistentOrderIsClean) {
+  Kernel kernel;
+  LockOrderAnalyzer analyzer;
+  kernel.set_lock_observer(&analyzer);
+  InvertedLocker& host = kernel.CreateLocal<InvertedLocker>();
+  host.Spawn(host.LockAB());
+  kernel.Run();
+  host.Spawn(host.LockAB());  // same order twice: no inversion
+  kernel.Run();
+  EXPECT_TRUE(analyzer.ok()) << analyzer.ToString();
+  kernel.set_lock_observer(nullptr);
+}
+
+class BlockingHolder : public Eject {
+ public:
+  explicit BlockingHolder(Kernel& kernel)
+      : Eject(kernel, "BlockingHolder"), m_(*this, "M"), wake_(*this) {}
+
+  Task<void> HoldAcrossWait() {
+    co_await m_.Lock();
+    co_await wake_.Wait();  // suspends with M held: the second hazard class
+    m_.Unlock();
+  }
+
+  Mutex m_;
+  CondVar wake_;
+};
+
+TEST(LockdepTest, SuspensionWithLockHeldIsReported) {
+  Kernel kernel;
+  LockOrderAnalyzer analyzer;
+  kernel.set_lock_observer(&analyzer);
+  BlockingHolder& host = kernel.CreateLocal<BlockingHolder>();
+  host.Spawn(host.HoldAcrossWait());
+  kernel.Run();
+  ASSERT_EQ(analyzer.violations().size(), 1u) << analyzer.ToString();
+  const LockOrderAnalyzer::LockViolation& v = analyzer.violations().front();
+  EXPECT_EQ(v.kind,
+            LockOrderAnalyzer::LockViolation::Kind::kHeldAcrossBlocking);
+  EXPECT_NE(v.detail.find("condition wait"), std::string::npos) << v.detail;
+
+  host.wake_.Notify();  // let the coroutine finish cleanly
+  kernel.Run();
+  EXPECT_FALSE(host.m_.locked());
+  kernel.set_lock_observer(nullptr);
+}
+
+TEST(LockdepTest, MutexContentionItselfIsNotBlockingHazard) {
+  // Waiting *for* a mutex is ordinary contention, not a held-across-blocking
+  // hazard; only the order graph judges it. Two coroutines contending on one
+  // mutex in a consistent order must stay clean.
+  Kernel kernel;
+  LockOrderAnalyzer analyzer;
+  kernel.set_lock_observer(&analyzer);
+  InvertedLocker& host = kernel.CreateLocal<InvertedLocker>();
+  host.Spawn(host.LockAB());
+  host.Spawn(host.LockAB());
+  kernel.Run();
+  EXPECT_TRUE(analyzer.ok()) << analyzer.ToString();
+  EXPECT_FALSE(host.a_.locked());
+  EXPECT_FALSE(host.b_.locked());
+  kernel.set_lock_observer(nullptr);
+}
+
+// ---- Monitor and doctor wiring.
+
+TEST(VerifyWiringTest, MonitorRecordsStaticFindings) {
+  InvariantMonitor monitor;
+  monitor.OnStaticFinding(5, Uid(0, 7), "ASC001 filter2: read-only fan-out");
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations().front().kind,
+            InvariantMonitor::Violation::Kind::kStatic);
+  EXPECT_NE(monitor.violations().front().detail.find("ASC001"),
+            std::string::npos);
+}
+
+TEST(VerifyWiringTest, DoctorVerdictCarriesLintOutcome) {
+  Diagnosis clean;
+  clean.verdict = "verdict: bottleneck: filter1, 80% of critical path";
+  clean.AnnotateStatic(0, 0, "");
+  // The CI grep for "verdict: bottleneck" must keep matching: the lint
+  // outcome appends to the verdict line, never replaces it.
+  EXPECT_NE(clean.verdict.find("verdict: bottleneck"), std::string::npos);
+  EXPECT_NE(clean.verdict.find("lint clean"), std::string::npos);
+
+  Diagnosis dirty;
+  dirty.verdict = "verdict: bottleneck: filter1";
+  dirty.AnnotateStatic(2, 1, "ASC001 at filter1, ASC006");
+  EXPECT_NE(dirty.verdict.find("2 errors"), std::string::npos);
+  EXPECT_NE(dirty.verdict.find("1 warning"), std::string::npos);
+  EXPECT_NE(dirty.verdict.find("ASC001"), std::string::npos);
+}
+
+// ---- Shell integration.
+
+std::string Joined(const ShellResult& r) {
+  std::string out;
+  for (const std::string& line : r.output) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(VerifyShellTest, PipelinesAreLintedAndReportedClean) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("echo a b | upper | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(shell.last_lint().ok()) << shell.last_lint().ToString();
+  EXPECT_FALSE(shell.last_topology().stages.empty());
+
+  r = shell.Run("lint");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("topology is well-formed"), std::string::npos);
+}
+
+TEST(VerifyShellTest, ReportRedirectPipelinesLintClean) {
+  // A report>WIN redirect adds a second output channel on one filter; the
+  // distinct channel name keeps it off ASC001 (Figure 4's discipline).
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("echo a b | collect").ok);
+  ShellResult r = shell.Run("echo x | upper | report 2 copy report>win | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(shell.last_lint().ok()) << shell.last_lint().ToString();
+}
+
+TEST(VerifyShellTest, LintRulesListsTheRuleTable) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("lint rules");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.output.size(), 8u);
+  EXPECT_EQ(r.output.front().substr(0, 6), "ASC001");
+  EXPECT_EQ(r.output.back().substr(0, 6), "ASC008");
+}
+
+TEST(VerifyShellTest, LintBeforeAnyPipelineExplainsItself) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("lint");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("no pipeline"), std::string::npos);
+}
+
+TEST(VerifyShellTest, LockdepCommandLifecycle) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("lockdep on").ok);
+  ASSERT_TRUE(shell.Run("echo a b | upper | collect").ok);
+  ShellResult r = shell.Run("lockdep show");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("no potential deadlocks"), std::string::npos);
+  ASSERT_TRUE(shell.Run("lockdep clear").ok);
+  ASSERT_TRUE(shell.Run("lockdep off").ok);
+}
+
+TEST(VerifyShellTest, LockdepSelfTestRunsFromTheShell) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("lockdep selftest");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("selftest passed"), std::string::npos);
+}
+
+TEST(VerifyShellTest, DoctorVerdictAnnotatedAfterLintedPipeline) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("trace on").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | collect").ok);
+  ShellResult r = shell.Run("doctor");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("lint clean"), std::string::npos) << Joined(r);
+}
+
+}  // namespace
+}  // namespace eden
