@@ -14,12 +14,14 @@ VectorSource::VectorSource(Kernel& kernel, ValueList items, Options options)
       demand_(*this) {
   StreamServer::ChannelOptions out;
   out.capacity = options_.work_ahead;
+  out.lowat = options_.work_ahead_lowat;
   out.capability_only = options_.capability_only_channels;
   out.sequenced = options_.sequenced;
   server_.DeclareChannel(std::string(kChanOut), out);
   if (options_.report_every > 0) {
     StreamServer::ChannelOptions report;
     report.capacity = options_.work_ahead;
+    report.lowat = options_.work_ahead_lowat;
     report.capability_only = options_.capability_only_channels;
     report.sequenced = options_.sequenced;
     server_.DeclareChannel(std::string(kChanReport), report);
@@ -127,6 +129,8 @@ PushSink::PushSink(Kernel& kernel, Options options)
     : Eject(kernel, kType), options_(options), acceptor_(*this) {
   StreamAcceptor::ChannelOptions in;
   in.capacity = options_.capacity;
+  in.hiwat = options_.hiwat;
+  in.lowat = options_.lowat;
   in.sequenced = options_.sequenced;
   acceptor_.DeclareChannel(std::string(kChanIn), in);
   acceptor_.InstallOps();
@@ -136,14 +140,19 @@ void PushSink::OnStart() { Spawn(Drain()); }
 
 Task<void> PushSink::Drain() {
   for (;;) {
-    std::optional<Value> item = co_await acceptor_.Next(kChanIn);
-    if (!item) {
+    std::optional<StreamAcceptor::Taken> taken = co_await acceptor_.Take(kChanIn);
+    if (!taken) {
       break;
     }
     if (first_item_at_ < 0) {
       first_item_at_ = kernel_.now();
     }
-    items_.push_back(std::move(*item));
+    if (taken->band == Band::kControl) {
+      control_items_.push_back(std::move(taken->item));
+      control_at_.push_back(kernel_.now());
+    } else {
+      items_.push_back(std::move(taken->item));
+    }
   }
   done_ = true;
   if (on_done_) {

@@ -31,7 +31,8 @@ namespace eden {
 
 // --------------------------------------------------------------- VectorSource
 struct VectorSourceOptions {
-  size_t work_ahead = 4;        // 0 = fully lazy
+  size_t work_ahead = 4;        // 0 = fully lazy; acts as hiwat
+  size_t work_ahead_lowat = 0;  // 0 = derive (hiwat/2, min 1)
   bool start_on_demand = false;
   int64_t report_every = 0;     // emit "report" channel progress if > 0
   bool capability_only_channels = false;
@@ -143,7 +144,9 @@ class PullSink : public Eject {
 
 // ------------------------------------------------------------------- PushSink
 struct PushSinkOptions {
-  size_t capacity = 8;
+  size_t capacity = 8;     // acts as hiwat when hiwat is 0
+  size_t hiwat = 0;        // block pushers at this depth
+  size_t lowat = 0;        // release them below this (0 = derive)
   bool sequenced = false;  // deduplicate redelivered pushes by position
 };
 
@@ -159,6 +162,13 @@ class PushSink : public Eject {
 
   bool done() const { return done_; }
   const ValueList& items() const { return items_; }
+  // Control-band arrivals, kept apart from the data stream (they overtake
+  // it, so merging them into `items` would scramble data-order checks).
+  const ValueList& control_items() const { return control_items_; }
+  // Virtual times at which each control item was drained, index-aligned
+  // with control_items() — the bench measures control latency from these.
+  const std::vector<Tick>& control_drained_at() const { return control_at_; }
+  StreamAcceptor& acceptor() { return acceptor_; }
   Tick first_item_at() const { return first_item_at_; }
   void set_on_done(std::function<void()> fn) { on_done_ = std::move(fn); }
 
@@ -168,6 +178,8 @@ class PushSink : public Eject {
   Options options_;
   StreamAcceptor acceptor_;
   ValueList items_;
+  ValueList control_items_;
+  std::vector<Tick> control_at_;
   bool done_ = false;
   Tick first_item_at_ = -1;
   std::function<void()> on_done_;

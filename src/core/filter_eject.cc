@@ -50,6 +50,7 @@ ReadOnlyFilter::ReadOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> transf
   for (const std::string& name : channels) {
     StreamServer::ChannelOptions channel_options;
     channel_options.capacity = options_.work_ahead;
+    channel_options.lowat = options_.work_ahead_lowat;
     channel_options.capability_only = options_.capability_only_channels;
     channel_options.sequenced = options_.recovery.enabled;
     server_.DeclareChannel(name, channel_options);
@@ -155,6 +156,8 @@ WriteOnlyFilter::WriteOnlyFilter(Kernel& kernel, std::unique_ptr<Transform> tran
   assert(transform_ != nullptr);
   StreamAcceptor::ChannelOptions in;
   in.capacity = options_.input_capacity;
+  in.hiwat = options_.input_hiwat;
+  in.lowat = options_.input_lowat;
   in.sequenced = options_.recovery.enabled;
   acceptor_.DeclareChannel(std::string(kChanIn), in);
   acceptor_.InstallOps();

@@ -75,7 +75,9 @@ struct ReadOnlyFilterOptions {
   Value source_channel = Value(std::string(kChanOut));
   int64_t batch = 1;                // items per upstream Transfer
   size_t lookahead = 0;             // reader prefetch depth
-  size_t work_ahead = 4;            // output buffer beyond demand (0 = lazy)
+  size_t work_ahead = 4;            // output buffer beyond demand (0 = lazy);
+                                    // acts as the output hiwat
+  size_t work_ahead_lowat = 0;      // resume producing below this (0 = derive)
   bool start_on_demand = false;     // do no work until first Transfer (§4)
   bool capability_only_channels = false;  // §5 channel security
   // Virtual compute charged per input item (models the filter's real work;
@@ -119,7 +121,9 @@ class ReadOnlyFilter : public Eject {
 // ---------------------------------------------------------------------------
 // Write-only discipline: the dual arrangement of §5.
 struct WriteOnlyFilterOptions {
-  size_t input_capacity = 8;
+  size_t input_capacity = 8;  // acts as the input hiwat when input_hiwat is 0
+  size_t input_hiwat = 0;     // withhold Push replies at this depth
+  size_t input_lowat = 0;     // release them below this (0 = derive)
   int64_t batch = 1;  // items per downstream Push
   Tick processing_cost = 0;  // virtual compute per input item
   FilterRecoveryOptions recovery;

@@ -21,6 +21,11 @@ namespace eden {
 
 struct PassiveBufferOptions {
   size_t capacity = 16;
+  // Watermarks for both faces (0 = derive: hiwat from capacity, lowat as
+  // hiwat/2). Producers pushing at the input face block at hiwat and are
+  // released once the face drains below lowat.
+  size_t hiwat = 0;
+  size_t lowat = 0;
   // Fault tolerance: sequence both faces of the pipe, so a restarted
   // neighbour can resend (input face deduplicates) or re-request (output
   // face replays) without loss or duplication.
@@ -40,13 +45,17 @@ class PassiveBuffer : public Eject {
   uint64_t items_through() const { return server_.items_delivered(); }
 
  private:
-  // Copies items from the input buffer to the output buffer; closes the
-  // output when the input ends. Intra-Eject communication only.
-  Task<void> CopyLoop();
+  // Copies one band from the input buffer to the output buffer; closes the
+  // output once both band loops have drained a finished input. One loop per
+  // band (STREAMS service procedures): the control loop never waits behind
+  // a data item stuck in output-face flow control, so control latency stays
+  // independent of data-band saturation through the pipe.
+  Task<void> BandLoop(Band band);
 
   Options options_;
   StreamAcceptor acceptor_;
   StreamServer server_;
+  int loops_done_ = 0;
 };
 
 }  // namespace eden

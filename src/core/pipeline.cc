@@ -131,6 +131,7 @@ PipelineHandle BuildReadOnly(Kernel& kernel, ValueList input,
 
   VectorSource::Options source_options;
   source_options.work_ahead = options.work_ahead;
+  source_options.work_ahead_lowat = options.work_ahead_lowat;
   source_options.start_on_demand = options.start_on_demand;
   source_options.sequenced = recovery;
   VectorSource& source = kernel.Create<VectorSource>(
@@ -147,6 +148,7 @@ PipelineHandle BuildReadOnly(Kernel& kernel, ValueList input,
     filter_options.batch = options.batch;
     filter_options.lookahead = options.lookahead;
     filter_options.work_ahead = options.work_ahead;
+    filter_options.work_ahead_lowat = options.work_ahead_lowat;
     filter_options.start_on_demand = options.start_on_demand;
     filter_options.processing_cost = options.processing_cost;
     filter_options.recovery = MakeFilterRecovery(options);
@@ -214,6 +216,7 @@ PipelineHandle BuildWriteOnly(Kernel& kernel, ValueList input,
     WriteOnlyFilter::Options filter_options;
     filter_options.batch = options.batch;
     filter_options.input_capacity = options.acceptor_capacity;
+    filter_options.input_lowat = options.acceptor_lowat;
     filter_options.processing_cost = options.processing_cost;
     filter_options.recovery = MakeFilterRecovery(options);
     if (recovery) {
@@ -232,6 +235,7 @@ PipelineHandle BuildWriteOnly(Kernel& kernel, ValueList input,
 
   PushSink::Options sink_options;
   sink_options.capacity = options.acceptor_capacity;
+  sink_options.lowat = options.acceptor_lowat;
   sink_options.sequenced = recovery;
   PushSink& sink = kernel.Create<PushSink>(PlaceNext(kernel, options, node_counter),
                                            sink_options);
@@ -292,6 +296,7 @@ PipelineHandle BuildConventional(Kernel& kernel, ValueList input,
 
   PassiveBuffer::Options pipe_options;
   pipe_options.capacity = options.pipe_capacity;
+  pipe_options.lowat = options.pipe_lowat;
   pipe_options.sequenced = recovery;
 
   // Every junction gets a pipe: source->p0, Fi->pi, Fn->pn->sink (Figure 1,

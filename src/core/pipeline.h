@@ -62,9 +62,12 @@ struct PipelineOptions {
   Discipline discipline = Discipline::kReadOnly;
   int64_t batch = 1;           // items per Transfer/Push
   size_t lookahead = 0;        // reader prefetch (read-only & conventional)
-  size_t work_ahead = 4;       // producer-side buffering beyond demand
-  size_t pipe_capacity = 16;   // PassiveBuffer capacity (conventional)
-  size_t acceptor_capacity = 8;
+  size_t work_ahead = 4;       // producer-side buffering beyond demand (hiwat)
+  size_t work_ahead_lowat = 0; // resume work-ahead below this (0 = derive)
+  size_t pipe_capacity = 16;   // PassiveBuffer capacity/hiwat (conventional)
+  size_t pipe_lowat = 0;       // release parked pushers below this (0 = derive)
+  size_t acceptor_capacity = 8;   // passive-input hiwat (write-only)
+  size_t acceptor_lowat = 0;      // release withheld pushes below this
   bool start_on_demand = false;  // §4 laziness (read-only only)
   Tick processing_cost = 0;      // virtual compute per item in every filter
   // Place every Eject on its own node (distribution experiments).

@@ -59,6 +59,11 @@ verify::TopologySpec BuildSpec(size_t stage_count,
     ends.type = std::move(type);
     return spec.AddStage(std::move(ends));
   };
+  auto watermark = [](verify::StageSpec& ends, size_t hiwat, size_t lowat) {
+    ends.bounded = true;
+    ends.hiwat = hiwat;
+    ends.lowat = lowat;
+  };
 
   switch (options.discipline) {
     case Discipline::kReadOnly: {
@@ -66,12 +71,14 @@ verify::TopologySpec BuildSpec(size_t stage_count,
       source.is_source = true;
       source.passive_output = true;
       source.lazy = lazy;
+      watermark(source, options.work_ahead, options.work_ahead_lowat);
       Uid upstream = add("source", VectorSource::kType, source).uid;
       for (size_t i = 0; i < stage_count; ++i) {
         verify::StageSpec filter;
         filter.active_input = true;
         filter.passive_output = true;
         filter.lazy = lazy;
+        watermark(filter, options.work_ahead, options.work_ahead_lowat);
         Uid uid = add("filter" + std::to_string(i + 1),
                       ReadOnlyFilter::kType, filter)
                       .uid;
@@ -94,6 +101,7 @@ verify::TopologySpec BuildSpec(size_t stage_count,
         verify::StageSpec filter;
         filter.passive_input = true;
         filter.active_output = true;
+        watermark(filter, options.acceptor_capacity, options.acceptor_lowat);
         Uid uid = add("filter" + std::to_string(i + 1),
                       WriteOnlyFilter::kType, filter)
                       .uid;
@@ -103,6 +111,7 @@ verify::TopologySpec BuildSpec(size_t stage_count,
       verify::StageSpec sink;
       sink.is_sink = true;
       sink.passive_input = true;
+      watermark(sink, options.acceptor_capacity, options.acceptor_lowat);
       Uid uid = add("sink", PushSink::kType, sink).uid;
       spec.Connect(upstream, uid, verify::EdgeSpec::Mode::kPush, std::string(kChanIn));
       break;
@@ -116,6 +125,7 @@ verify::TopologySpec BuildSpec(size_t stage_count,
         verify::StageSpec pipe;
         pipe.passive_input = true;
         pipe.passive_output = true;
+        watermark(pipe, options.pipe_capacity, options.pipe_lowat);
         Uid pipe_uid =
             add("pipe" + std::to_string(i), PassiveBuffer::kType, pipe).uid;
         spec.Connect(upstream, pipe_uid, verify::EdgeSpec::Mode::kPush,
@@ -133,6 +143,7 @@ verify::TopologySpec BuildSpec(size_t stage_count,
       verify::StageSpec last_pipe;
       last_pipe.passive_input = true;
       last_pipe.passive_output = true;
+      watermark(last_pipe, options.pipe_capacity, options.pipe_lowat);
       Uid pipe_uid = add("pipe" + std::to_string(stage_count),
                          PassiveBuffer::kType, last_pipe)
                          .uid;

@@ -36,9 +36,20 @@
 //   gain {ack:int, next:int}: ack is the receiver's durable position, next
 //   is the first position it has NOT yet accepted. next < seq+len(items)
 //   signals a gap — the sender must rewind to `next` and resend.
+//
+// Flow-control extension (watermarks + priority bands, see PROTOCOL.md):
+//
+//   Push gains {band:int}: 0 = data (default, may be withheld by flow
+//   control), 1 = control (overtakes queued data and is never withheld).
+//   Bands are FIFO within themselves; control items are delivered ahead of
+//   any data still queued at the receiver. Sequenced channels are
+//   single-band — positions define a total order that band overtaking would
+//   violate — so a control write on a sequenced channel degrades to data.
 #ifndef SRC_CORE_STREAM_H_
 #define SRC_CORE_STREAM_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -61,6 +72,41 @@ inline constexpr std::string_view kFieldName = "name";
 inline constexpr std::string_view kFieldSeq = "seq";
 inline constexpr std::string_view kFieldAck = "ack";
 inline constexpr std::string_view kFieldNext = "next";
+// Priority band of a Push (absent = kBandData).
+inline constexpr std::string_view kFieldBand = "band";
+
+// Priority bands. Two are enough for the paper's needs: everything is data
+// except the control messages (end, checkpoint, reactivate) that must not
+// queue behind it.
+enum class Band : int { kData = 0, kControl = 1 };
+
+inline constexpr int BandIndex(Band band) { return static_cast<int>(band); }
+
+// Watermark pair governing one bounded queue (STREAMS mi_hiwat/mi_lowat in
+// miniature). Producers are blocked when the queue reaches `hiwat` and
+// released only once it has drained below `lowat` — the gap is the
+// hysteresis that stops a saturated queue from thrashing its producer awake
+// once per item. hiwat 0 means "no work-ahead" and is only meaningful for
+// passive-output channels (pure §4 laziness).
+struct FlowLimits {
+  size_t hiwat = 0;
+  size_t lowat = 0;
+
+  // Canonical form: a zero lowat derives as hiwat/2 (at least 1 when hiwat
+  // is nonzero), and lowat never exceeds hiwat.
+  static FlowLimits Resolve(size_t hiwat, size_t lowat) {
+    FlowLimits limits;
+    limits.hiwat = hiwat;
+    if (hiwat == 0) {
+      limits.lowat = 0;
+    } else if (lowat == 0) {
+      limits.lowat = std::max<size_t>(1, hiwat / 2);
+    } else {
+      limits.lowat = std::min(lowat, hiwat);
+    }
+    return limits;
+  }
+};
 
 // Conventional channel names. A pure filter has exactly kChanOut; impure
 // filters add kChanReport etc. (Figures 3 & 4). kChanIn names the primary
@@ -99,6 +145,17 @@ inline Value MakePushArgs(Value channel, ValueList items, bool end,
                           uint64_t seq) {
   Value args = MakePushArgs(std::move(channel), std::move(items), end);
   args.Set(std::string(kFieldSeq), Value(seq));
+  return args;
+}
+
+// Banded Push: items travel on `band`. Data-band pushes omit the field (the
+// classic wire form stays byte-identical).
+inline Value MakePushArgs(Value channel, ValueList items, bool end,
+                          Band band) {
+  Value args = MakePushArgs(std::move(channel), std::move(items), end);
+  if (band != Band::kData) {
+    args.Set(std::string(kFieldBand), Value(static_cast<int64_t>(BandIndex(band))));
+  }
   return args;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
 
 namespace eden {
@@ -14,9 +15,15 @@ void StreamAcceptor::DeclareChannel(std::string name, ChannelOptions options) {
   (void)fresh;
   InChannel channel;
   channel.name = name;
-  channel.capacity = options.capacity;
+  channel.limits = FlowLimits::Resolve(
+      options.hiwat != 0 ? options.hiwat : options.capacity, options.lowat);
   channel.sequenced = options.sequenced;
   channel.available = std::make_unique<CondVar>(owner_);
+  CondVar* available = channel.available.get();
+  // The service procedure wakes the (possibly blocked) consumer once per
+  // burst of pushes instead of once per push.
+  channel.service = std::make_unique<ServiceProc>(
+      owner_.kernel(), [available] { available->NotifyAll(); });
   channels_.emplace(std::move(name), std::move(channel));
 }
 
@@ -50,6 +57,12 @@ Value StreamAcceptor::PushReply(const InChannel& channel) const {
   return reply;
 }
 
+void StreamAcceptor::RecordDepth(const InChannel& channel) const {
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->RecordQueueDepth("acceptor", owner_.uid(), Depth(channel));
+  }
+}
+
 void StreamAcceptor::HandlePush(InvocationContext ctx) {
   std::optional<std::string> name = table_.Resolve(ctx.Arg(kFieldChannel));
   if (!name) {
@@ -61,6 +74,11 @@ void StreamAcceptor::HandlePush(InvocationContext ctx) {
   pushes_received_++;
   const ValueList* items = ctx.Arg(kFieldItems).AsList();
   size_t count = items == nullptr ? 0 : items->size();
+  // Sequenced channels are single-band: positions define a total order that
+  // band overtaking would violate, so the band field is ignored there.
+  Band band = !ch->sequenced && ctx.Arg(kFieldBand).IntOr(0) != 0
+                  ? Band::kControl
+                  : Band::kData;
   size_t skip = 0;
   if (ch->sequenced) {
     int64_t seq = ctx.Arg(kFieldSeq).IntOr(-1);
@@ -80,30 +98,44 @@ void StreamAcceptor::HandlePush(InvocationContext ctx) {
       }
     }
   }
+  std::deque<Value>& queue = band == Band::kControl ? ch->control : ch->buffer;
   for (size_t i = skip; i < count; ++i) {
-    ch->buffer.push_back((*items)[i]);
+    queue.push_back((*items)[i]);
     ch->next_seq++;
     items_received_++;
   }
   if (InvariantMonitor* mon = owner_.kernel().monitor()) {
     if (count > skip) {
-      mon->OnAccepted(owner_.uid(), owner_.kernel().now(), count - skip);
+      mon->OnAccepted(owner_.uid(), owner_.kernel().now(), count - skip,
+                      BandIndex(band));
     }
     if (ch->sequenced) {
       mon->OnSequence(owner_.uid(), owner_.kernel().now(), "acceptor.next",
                       ch->next_seq);
     }
   }
+  RecordDepth(*ch);
   if (ctx.Arg(kFieldEnd).BoolOr(false)) {
     ch->ended = true;
   }
-  ch->available->NotifyAll();
+  // Deferred service: wake a blocked consumer once, at the next event, so a
+  // burst of pushes coalesces into one wakeup.
+  if (ch->available->waiter_count() > 0) {
+    ch->service->Schedule();
+  }
   if (ch->ended) {
     // Nothing more is coming; flow control is moot. Free any producer still
     // parked on an old push before answering this one.
     ReleaseWithheld(*ch);
-  } else if (ch->buffer.size() > ch->capacity) {
-    // Flow control: withhold the reply until the owner drains the buffer.
+  } else if (band == Band::kData &&
+             (!ch->withheld.empty() || Depth(*ch) >= ch->limits.hiwat)) {
+    // Flow control: the buffer reached hiwat (or earlier producers are
+    // already parked — joining behind them keeps releases FIFO). Withhold
+    // the reply until the owner drains below lowat. Control pushes are
+    // exempt: they must overtake data, not park behind it.
+    if (MetricsRegistry* m = owner_.kernel().metrics()) {
+      m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kHiwatHit);
+    }
     ch->withheld.push_back(ctx.TakeReply());
     return;
   }
@@ -123,43 +155,141 @@ void StreamAcceptor::HandleOpenChannel(InvocationContext ctx) {
 }
 
 void StreamAcceptor::ReleaseWithheld(InChannel& channel) {
+  // The lowat rule: a parked producer stays parked until the owner drains
+  // the queue below the low watermark (hysteresis — one wakeup per drain
+  // cycle, not per item). End of stream voids flow control entirely: the
+  // queue can only shrink, so every producer is released immediately —
+  // including when `ended` arrives while a final drain is still in flight.
   while (!channel.withheld.empty() &&
-         (channel.ended || channel.buffer.size() <= channel.capacity)) {
+         (channel.ended || Depth(channel) < channel.limits.lowat)) {
     ReplyHandle reply = std::move(channel.withheld.front());
     channel.withheld.pop_front();
     reply.Reply(PushReply(channel));
   }
 }
 
-Task<std::optional<Value>> StreamAcceptor::Next(std::string_view channel) {
+Task<std::optional<StreamAcceptor::Taken>> StreamAcceptor::Take(
+    std::string_view channel) {
   InChannel* ch = Find(channel);
   assert(ch != nullptr && "read from undeclared input channel");
-  while (ch->buffer.empty() && !ch->ended) {
+  while (ch->buffer.empty() && ch->control.empty() && !ch->ended) {
     co_await ch->available->Wait();
   }
-  if (ch->buffer.empty()) {
+  if (ch->buffer.empty() && ch->control.empty()) {
     ReleaseWithheld(*ch);
     co_return std::nullopt;
   }
   owner_.kernel().CountLocalStep();
-  Value item = std::move(ch->buffer.front());
-  ch->buffer.pop_front();
+  Taken taken;
+  if (!ch->control.empty()) {
+    // Control overtakes: served ahead of any queued data.
+    taken.band = Band::kControl;
+    taken.item = std::move(ch->control.front());
+    ch->control.pop_front();
+    if (!ch->buffer.empty()) {
+      if (MetricsRegistry* m = owner_.kernel().metrics()) {
+        m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kBandOvertake);
+      }
+    }
+  } else {
+    taken.band = Band::kData;
+    taken.item = std::move(ch->buffer.front());
+    ch->buffer.pop_front();
+  }
   ch->consumed++;
   if (InvariantMonitor* mon = owner_.kernel().monitor()) {
-    mon->OnConsumed(owner_.uid(), owner_.kernel().now(), 1);
+    mon->OnConsumed(owner_.uid(), owner_.kernel().now(), 1,
+                    BandIndex(taken.band));
   }
+  RecordDepth(*ch);
+  ReleaseWithheld(*ch);
+  co_return std::optional<Taken>(std::move(taken));
+}
+
+Task<std::optional<Value>> StreamAcceptor::NextOnBand(std::string_view channel,
+                                                      Band band) {
+  InChannel* ch = Find(channel);
+  assert(ch != nullptr && "read from undeclared input channel");
+  // Sequenced channels are single-band: their control queue is always
+  // empty, so a control-band loop simply idles until end of stream.
+  std::deque<Value>& queue = band == Band::kControl ? ch->control : ch->buffer;
+  while (queue.empty() && !ch->ended) {
+    co_await ch->available->Wait();
+  }
+  if (queue.empty()) {
+    ReleaseWithheld(*ch);
+    co_return std::nullopt;
+  }
+  owner_.kernel().CountLocalStep();
+  if (band == Band::kControl && !ch->buffer.empty()) {
+    if (MetricsRegistry* m = owner_.kernel().metrics()) {
+      m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kBandOvertake);
+    }
+  }
+  Value item = std::move(queue.front());
+  queue.pop_front();
+  ch->consumed++;
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    mon->OnConsumed(owner_.uid(), owner_.kernel().now(), 1, BandIndex(band));
+  }
+  RecordDepth(*ch);
   ReleaseWithheld(*ch);
   co_return std::optional<Value>(std::move(item));
 }
 
+Task<std::optional<Value>> StreamAcceptor::Next(std::string_view channel) {
+  std::optional<Taken> taken = co_await Take(channel);
+  if (!taken) {
+    co_return std::nullopt;
+  }
+  co_return std::optional<Value>(std::move(taken->item));
+}
+
+bool StreamAcceptor::CanPut(std::string_view channel, Band band) const {
+  const InChannel* ch = Find(channel);
+  if (ch == nullptr) {
+    return false;
+  }
+  if (band == Band::kControl && !ch->sequenced) {
+    return true;  // control is never subject to flow control
+  }
+  return ch->withheld.empty() && Depth(*ch) < ch->limits.hiwat;
+}
+
+void StreamAcceptor::PutBack(std::string_view channel, Value item, Band band) {
+  InChannel* ch = Find(channel);
+  assert(ch != nullptr && "put-back to undeclared input channel");
+  assert(ch->consumed > 0 && "put-back without a matching take");
+  if (ch->sequenced) {
+    band = Band::kData;  // sequenced channels are single-band
+  }
+  std::deque<Value>& queue = band == Band::kControl ? ch->control : ch->buffer;
+  queue.push_front(std::move(item));
+  // The position is back in the queue: un-consume it so sequenced acks (and
+  // the saved consumed mark) stay truthful.
+  ch->consumed--;
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    mon->OnPutBack(owner_.uid(), owner_.kernel().now(), 1, BandIndex(band));
+  }
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kPutBack);
+  }
+  RecordDepth(*ch);
+}
+
 bool StreamAcceptor::ended(std::string_view channel) const {
   const InChannel* ch = Find(channel);
-  return ch == nullptr || (ch->ended && ch->buffer.empty());
+  return ch == nullptr || (ch->ended && Depth(*ch) == 0);
 }
 
 size_t StreamAcceptor::buffered(std::string_view channel) const {
   const InChannel* ch = Find(channel);
-  return ch == nullptr ? 0 : ch->buffer.size();
+  return ch == nullptr ? 0 : Depth(*ch);
+}
+
+FlowLimits StreamAcceptor::limits(std::string_view channel) const {
+  const InChannel* ch = Find(channel);
+  return ch == nullptr ? FlowLimits{} : ch->limits;
 }
 
 uint64_t StreamAcceptor::accepted(std::string_view channel) const {
@@ -182,6 +312,9 @@ Value StreamAcceptor::SaveChannels() const {
     v.Set("next", Value(ch.next_seq));
     v.Set("consumed", Value(ch.consumed));
     v.Set("buffer", Value(ValueList(ch.buffer.begin(), ch.buffer.end())));
+    if (!ch.control.empty()) {
+      v.Set("control", Value(ValueList(ch.control.begin(), ch.control.end())));
+    }
     state.emplace(name, std::move(v));
   }
   return Value(std::move(state));
@@ -201,8 +334,12 @@ void StreamAcceptor::RestoreChannels(const Value& state) {
     ch->next_seq = static_cast<uint64_t>(v.Field("next").IntOr(0));
     ch->consumed = static_cast<uint64_t>(v.Field("consumed").IntOr(0));
     ch->buffer.clear();
+    ch->control.clear();
     if (const ValueList* buffer = v.Field("buffer").AsList()) {
       ch->buffer.assign(buffer->begin(), buffer->end());
+    }
+    if (const ValueList* control = v.Field("control").AsList()) {
+      ch->control.assign(control->begin(), control->end());
     }
     if (ch->sequenced) {
       // Everything the checkpoint accepted is, by definition, durable now.

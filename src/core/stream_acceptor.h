@@ -5,12 +5,19 @@
 //  incoming Write invocations and use the data thus obtained to fill the
 //  same buffer."                                                 (paper §5)
 //
-// The acceptor is that buffer plus the responder. Flow control: a Push
-// whose items leave the buffer above capacity has its reply withheld until
-// the owner drains below capacity, which blocks the (awaiting) producer.
-// Once the stream has ended the buffer can only shrink, so withheld replies
-// are released immediately rather than kept hostage to a capacity the
-// producer no longer cares about.
+// The acceptor is that buffer plus the responder. Flow control is
+// watermark-based (STREAMS mi_hiwat/mi_lowat in miniature): a Push whose
+// items bring the buffer to `hiwat` or above has its reply withheld, which
+// blocks the (awaiting) producer; withheld replies are released only once
+// the owner has drained the buffer below `lowat`, so a saturated producer is
+// woken once per drain cycle instead of once per item. Once the stream has
+// ended the buffer can only shrink, so withheld replies are released
+// immediately rather than kept hostage to a watermark the producer no longer
+// cares about.
+//
+// Two priority bands (see PROTOCOL.md): data pushes are subject to flow
+// control; control pushes are never withheld, and Take() serves queued
+// control items ahead of queued data. Sequenced channels are single-band.
 #ifndef SRC_CORE_STREAM_ACCEPTOR_H_
 #define SRC_CORE_STREAM_ACCEPTOR_H_
 
@@ -29,7 +36,11 @@
 namespace eden {
 
 struct StreamAcceptorChannelOptions {
+  // Legacy single-threshold capacity; acts as `hiwat` when hiwat is 0.
   size_t capacity = 8;
+  // Watermarks (0 = derive: hiwat from capacity, lowat as hiwat/2, min 1).
+  size_t hiwat = 0;
+  size_t lowat = 0;
   bool capability_only = false;
   // Fault tolerance: pushes carry item positions. Duplicate prefixes (a
   // retrying sender resending what we already took) are dropped; a gap
@@ -41,6 +52,12 @@ struct StreamAcceptorChannelOptions {
 class StreamAcceptor {
  public:
   using ChannelOptions = StreamAcceptorChannelOptions;
+
+  // One item taken from a channel, with the band it travelled on.
+  struct Taken {
+    Value item;
+    Band band = Band::kData;
+  };
 
   explicit StreamAcceptor(Eject& owner) : owner_(owner) {}
   StreamAcceptor(const StreamAcceptor&) = delete;
@@ -54,11 +71,27 @@ class StreamAcceptor {
 
   // ---- Consumer side (owner's coroutines).
   // Next item on `channel`, or nullopt once the stream has ended and the
-  // buffer is drained.
+  // buffer is drained. Control-band items overtake queued data.
   Task<std::optional<Value>> Next(std::string_view channel);
+  // As Next, but reports which band the item arrived on.
+  Task<std::optional<Taken>> Take(std::string_view channel);
+  // Next item on one band only, ignoring the other (for consumers that run
+  // one service loop per band, like PassiveBuffer — the control loop then
+  // never waits behind a data item stuck in flow control). Returns nullopt
+  // once the stream has ended and *this band* is drained.
+  Task<std::optional<Value>> NextOnBand(std::string_view channel, Band band);
+
+  // Admission check (STREAMS canput): would a Push on `band` be admitted
+  // without its reply being withheld? Control pushes always are.
+  bool CanPut(std::string_view channel, Band band = Band::kData) const;
+  // Back-enqueue (STREAMS putbq): returns an item the owner took but cannot
+  // finish to the *front* of its band, preserving order within the band.
+  // The monitor is told, so flow conservation still balances.
+  void PutBack(std::string_view channel, Value item, Band band = Band::kData);
 
   bool ended(std::string_view channel) const;
   size_t buffered(std::string_view channel) const;
+  FlowLimits limits(std::string_view channel) const;
   uint64_t items_received() const { return items_received_; }
   uint64_t pushes_received() const { return pushes_received_; }
   ChannelTable& table() { return table_; }
@@ -79,24 +112,33 @@ class StreamAcceptor {
  private:
   struct InChannel {
     std::string name;
-    size_t capacity = 8;
+    FlowLimits limits;
     bool sequenced = false;
     bool ended = false;
-    std::deque<Value> buffer;
+    std::deque<Value> buffer;   // data band (band 0)
+    std::deque<Value> control;  // control band (band 1): served first
     std::deque<ReplyHandle> withheld;  // flow-control: unanswered Push replies
     uint64_t next_seq = 0;   // position of the first item not yet accepted
     uint64_t consumed = 0;   // positions the owner has taken via Next()
     uint64_t durable = 0;
     bool explicit_durable = false;
     std::unique_ptr<CondVar> available;
+    // Deferred service (STREAMS srv): coalesces consumer wakeups so a burst
+    // of pushes wakes a blocked consumer once, at drain time.
+    std::unique_ptr<ServiceProc> service;
   };
 
   void HandlePush(InvocationContext ctx);
   void HandleOpenChannel(InvocationContext ctx);
   void ReleaseWithheld(InChannel& channel);
+  // Total queued depth across both bands.
+  static size_t Depth(const InChannel& channel) {
+    return channel.buffer.size() + channel.control.size();
+  }
   // The flow-control reply payload: empty for classic channels; {ack, next}
   // for sequenced ones.
   Value PushReply(const InChannel& channel) const;
+  void RecordDepth(const InChannel& channel) const;
 
   InChannel* Find(std::string_view name);
   const InChannel* Find(std::string_view name) const;

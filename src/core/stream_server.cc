@@ -15,9 +15,15 @@ void StreamServer::DeclareChannel(std::string name, ChannelOptions options) {
   (void)fresh;
   OutChannel channel;
   channel.name = name;
-  channel.capacity = options.capacity;
+  channel.limits = FlowLimits::Resolve(
+      options.hiwat != 0 ? options.hiwat : options.capacity, options.lowat);
   channel.sequenced = options.sequenced;
   channel.space = std::make_unique<CondVar>(owner_);
+  CondVar* space = channel.space.get();
+  // The service procedure wakes blocked producers once per drain cycle
+  // instead of once per served batch.
+  channel.service = std::make_unique<ServiceProc>(
+      owner_.kernel(), [space] { space->NotifyAll(); });
   channels_.emplace(std::move(name), std::move(channel));
 }
 
@@ -37,13 +43,47 @@ const StreamServer::OutChannel* StreamServer::Find(std::string_view name) const 
   return it == channels_.end() ? nullptr : &it->second;
 }
 
+bool StreamServer::WriteBlocked(OutChannel& channel) {
+  // hiwat 0 is pure §4 laziness: the producer proceeds only on parked
+  // demand (checked by the caller) or once the channel closes.
+  if (channel.limits.hiwat == 0) {
+    return true;
+  }
+  size_t depth = Depth(channel);
+  if (depth >= channel.limits.hiwat) {
+    if (!channel.flow_blocked) {
+      channel.flow_blocked = true;
+      if (MetricsRegistry* m = owner_.kernel().metrics()) {
+        m->CountFlowEvent("server", owner_.uid(), FlowEvent::kHiwatHit);
+      }
+    }
+    return true;
+  }
+  if (channel.flow_blocked && depth >= channel.limits.lowat) {
+    return true;  // hysteresis: stay blocked until drained below lowat
+  }
+  channel.flow_blocked = false;
+  return false;
+}
+
 Task<void> StreamServer::Write(std::string_view channel, Value item) {
+  co_await Write(channel, std::move(item), Band::kData);
+}
+
+Task<void> StreamServer::Write(std::string_view channel, Value item, Band band) {
   OutChannel* ch = Find(channel);
   assert(ch != nullptr && "write to undeclared channel");
-  // The producer may run ahead of demand by at most `capacity` items; with
-  // capacity 0 it proceeds only when a consumer is already waiting.
-  while (!ch->closed && ch->parked.empty() && ch->buffer.size() >= ch->capacity) {
-    co_await ch->space->Wait();
+  if (ch->sequenced) {
+    band = Band::kData;  // sequenced channels are single-band
+  }
+  if (band == Band::kData) {
+    // The producer may run ahead of demand by at most `hiwat` items; with
+    // hiwat 0 it proceeds only when a consumer is already waiting. Once
+    // blocked at hiwat it stays blocked until the buffer drains below
+    // lowat. Control writes skip this entirely: they must overtake data.
+    while (!ch->closed && ch->parked.empty() && WriteBlocked(*ch)) {
+      co_await ch->space->Wait();
+    }
   }
   if (ch->closed) {
     co_return;  // late writes after Close are dropped
@@ -55,14 +95,54 @@ Task<void> StreamServer::Write(std::string_view channel, Value item) {
     owner_.kernel().AdoptSpan(ch->parked.front().reply.id());
   }
   owner_.kernel().CountLocalStep();
-  ch->buffer.push_back(std::move(item));
+  (band == Band::kControl ? ch->control : ch->buffer).push_back(std::move(item));
   if (InvariantMonitor* mon = owner_.kernel().monitor()) {
     mon->OnProduced(owner_.uid(), owner_.kernel().now(), 1);
   }
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
-    m->RecordQueueDepth("server", owner_.uid(), ch->buffer.size());
+    m->RecordQueueDepth("server", owner_.uid(), Depth(*ch));
   }
   Pump(*ch);
+}
+
+bool StreamServer::CanPut(std::string_view channel, Band band) const {
+  const OutChannel* ch = Find(channel);
+  if (ch == nullptr || ch->closed) {
+    return false;
+  }
+  if (band == Band::kControl && !ch->sequenced) {
+    return true;  // control is never subject to flow control
+  }
+  if (!ch->parked.empty()) {
+    return true;  // parked demand admits a write regardless of depth
+  }
+  if (ch->limits.hiwat == 0) {
+    return false;  // pure laziness: no demand, no admission
+  }
+  size_t depth = Depth(*ch);
+  if (depth >= ch->limits.hiwat) {
+    return false;
+  }
+  return !(ch->flow_blocked && depth >= ch->limits.lowat);
+}
+
+void StreamServer::PutBack(std::string_view channel, Value item, Band band) {
+  OutChannel* ch = Find(channel);
+  assert(ch != nullptr && "put-back to undeclared channel");
+  if (ch->sequenced) {
+    band = Band::kData;  // sequenced channels are single-band
+  }
+  (band == Band::kControl ? ch->control : ch->buffer).push_front(std::move(item));
+  // The item enters the production buffer for the first time (the owner
+  // cannot take items back out of a server buffer), so it counts as
+  // produced — conservation must see it before Pump serves it.
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    mon->OnProduced(owner_.uid(), owner_.kernel().now(), 1);
+  }
+  if (MetricsRegistry* m = owner_.kernel().metrics()) {
+    m->CountFlowEvent("server", owner_.uid(), FlowEvent::kPutBack);
+    m->RecordQueueDepth("server", owner_.uid(), Depth(*ch));
+  }
 }
 
 void StreamServer::Close(std::string_view channel) {
@@ -93,6 +173,7 @@ void StreamServer::AbortAll(Status status) {
       channel.abort_status = status;
     }
     channel.buffer.clear();
+    channel.control.clear();
     Pump(channel);
     channel.space->NotifyAll();
   }
@@ -106,7 +187,7 @@ void StreamServer::Pump(OutChannel& channel) {
       const Parked& front = channel.parked.front();
       bool replayable = channel.sequenced && front.seq >= 0 &&
                         static_cast<uint64_t>(front.seq) < channel.next_seq;
-      if (channel.buffer.empty() && !channel.closed && !replayable) {
+      if (Depth(channel) == 0 && !channel.closed && !replayable) {
         break;  // nothing to serve yet; keep the vacuum
       }
     }
@@ -137,12 +218,23 @@ void StreamServer::Pump(OutChannel& channel) {
     uint64_t first = pos;
     ValueList items;
     size_t fresh = 0;
+    size_t overtakes = 0;
     bool redelivered = false;
     int64_t take = std::max<int64_t>(request.max, 1);
     while (take-- > 0) {
-      if (pos < channel.next_seq) {
+      if (!channel.control.empty()) {
+        // Control overtakes: queued control items lead every batch, ahead
+        // of replay and data. (Sequenced channels never queue control.)
+        if (!channel.buffer.empty()) {
+          overtakes++;
+        }
+        items.push_back(std::move(channel.control.front()));
+        channel.control.pop_front();
+        fresh++;
+      } else if (pos < channel.next_seq) {
         items.push_back(channel.replay[pos - channel.replay_base]);
         redelivered = true;
+        pos++;
       } else if (!channel.buffer.empty()) {
         Value item = std::move(channel.buffer.front());
         channel.buffer.pop_front();
@@ -152,12 +244,12 @@ void StreamServer::Pump(OutChannel& channel) {
         items.push_back(std::move(item));
         channel.next_seq++;
         fresh++;
+        pos++;
       } else {
         break;
       }
-      pos++;
     }
-    bool end = channel.closed && channel.buffer.empty() && pos >= channel.next_seq;
+    bool end = channel.closed && Depth(channel) == 0 && pos >= channel.next_seq;
     items_delivered_ += fresh;
     transfers_served_++;
     if (InvariantMonitor* mon = owner_.kernel().monitor()) {
@@ -173,16 +265,32 @@ void StreamServer::Pump(OutChannel& channel) {
     if (redelivered) {
       owner_.kernel().stats().redeliveries++;
     }
+    if (overtakes > 0) {
+      if (MetricsRegistry* m = owner_.kernel().metrics()) {
+        while (overtakes-- > 0) {
+          m->CountFlowEvent("server", owner_.uid(), FlowEvent::kBandOvertake);
+        }
+      }
+    }
     request.reply.Reply(channel.sequenced
                             ? MakeBatchReply(std::move(items), end, first)
                             : MakeBatchReply(std::move(items), end));
   }
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
-    m->RecordQueueDepth("server", owner_.uid(), channel.buffer.size());
+    m->RecordQueueDepth("server", owner_.uid(), Depth(channel));
   }
-  if (channel.closed || channel.buffer.size() < channel.capacity ||
-      !channel.parked.empty()) {
-    channel.space->NotifyAll();
+  // Back-enable the producer under the lowat rule: closed channels and
+  // parked demand always release; a watermarked channel releases only once
+  // drained below lowat (clearing the hysteresis latch). Deferred service
+  // coalesces the wakeup to drain time.
+  bool drained = channel.limits.hiwat != 0 && Depth(channel) < channel.limits.lowat;
+  if (drained) {
+    channel.flow_blocked = false;
+  }
+  if (channel.closed || drained || !channel.parked.empty()) {
+    if (channel.space->waiter_count() > 0) {
+      channel.service->Schedule();
+    }
   }
 }
 
@@ -238,7 +346,12 @@ void StreamServer::HandleOpenChannel(InvocationContext ctx) {
 
 size_t StreamServer::buffered(std::string_view channel) const {
   const OutChannel* ch = Find(channel);
-  return ch == nullptr ? 0 : ch->buffer.size();
+  return ch == nullptr ? 0 : Depth(*ch);
+}
+
+FlowLimits StreamServer::limits(std::string_view channel) const {
+  const OutChannel* ch = Find(channel);
+  return ch == nullptr ? FlowLimits{} : ch->limits;
 }
 
 size_t StreamServer::parked_requests(std::string_view channel) const {
@@ -270,6 +383,9 @@ Value StreamServer::SaveChannels() const {
     v.Set("base", Value(ch.replay_base));
     v.Set("replay", Value(ValueList(ch.replay.begin(), ch.replay.end())));
     v.Set("buffer", Value(ValueList(ch.buffer.begin(), ch.buffer.end())));
+    if (!ch.control.empty()) {
+      v.Set("control", Value(ValueList(ch.control.begin(), ch.control.end())));
+    }
     state.emplace(name, std::move(v));
   }
   return Value(std::move(state));
@@ -290,11 +406,16 @@ void StreamServer::RestoreChannels(const Value& state) {
     ch->replay_base = static_cast<uint64_t>(v.Field("base").IntOr(0));
     ch->replay.clear();
     ch->buffer.clear();
+    ch->control.clear();
+    ch->flow_blocked = false;
     if (const ValueList* replay = v.Field("replay").AsList()) {
       ch->replay.assign(replay->begin(), replay->end());
     }
     if (const ValueList* buffer = v.Field("buffer").AsList()) {
       ch->buffer.assign(buffer->begin(), buffer->end());
+    }
+    if (const ValueList* control = v.Field("control").AsList()) {
+      ch->control.assign(control->begin(), control->end());
     }
   }
 }

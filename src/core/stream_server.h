@@ -30,7 +30,13 @@ namespace eden {
 struct StreamServerChannelOptions {
   // Work-ahead limit: how many items the producer may buffer beyond
   // demand. 0 = pure laziness (produce only in response to a Transfer).
+  // Acts as `hiwat` when hiwat is 0.
   size_t capacity = 4;
+  // Watermarks (0 = derive: hiwat from capacity, lowat as hiwat/2, min 1).
+  // A producer blocked at hiwat is released only once the buffer has
+  // drained below lowat (hysteresis): one wakeup per drain cycle.
+  size_t hiwat = 0;
+  size_t lowat = 0;
   // If set, the channel can be addressed only via capabilities minted by
   // OpenChannel; integer/name identifiers act as if the channel does not
   // exist (paper §5).
@@ -58,6 +64,18 @@ class StreamServer {
   // Blocks until the channel can accept the item (space, or parked demand).
   // Items written to a closed channel are silently dropped.
   Task<void> Write(std::string_view channel, Value item);
+  // Writes `item` on the band: control items are exempt from flow control
+  // (never block) and are served ahead of queued data. On a sequenced
+  // channel (single-band: positions define a total order) a control write
+  // degrades to a data write.
+  Task<void> Write(std::string_view channel, Value item, Band band);
+  // Admission check (STREAMS canput): would a data Write proceed without
+  // blocking right now?
+  bool CanPut(std::string_view channel, Band band = Band::kData) const;
+  // Back-enqueue (STREAMS putbq): returns an item to the *front* of its
+  // band, preserving order within the band. For producers that obtained an
+  // item (e.g. from an upstream pull) but cannot finish it this round.
+  void PutBack(std::string_view channel, Value item, Band band = Band::kData);
   // Marks end-of-stream; flushes the end marker to parked readers.
   void Close(std::string_view channel);
   void CloseAll();
@@ -78,6 +96,7 @@ class StreamServer {
   size_t buffered(std::string_view channel) const;
   size_t parked_requests(std::string_view channel) const;
   bool closed(std::string_view channel) const;
+  FlowLimits limits(std::string_view channel) const;
   uint64_t items_delivered() const { return items_delivered_; }
   uint64_t transfers_served() const { return transfers_served_; }
   // Transfers answered with an abort status. Counted separately: an aborted
@@ -110,11 +129,16 @@ class StreamServer {
   };
   struct OutChannel {
     std::string name;
-    size_t capacity = 4;
+    FlowLimits limits;  // hiwat 0 = pure laziness (block until demand)
     bool sequenced = false;
     bool closed = false;
+    // Hysteresis latch: set when the buffer reaches hiwat, cleared only
+    // once it drains below lowat — a blocked producer is woken once per
+    // drain cycle, not once per item.
+    bool flow_blocked = false;
     Status abort_status;  // non-OK once the stream is aborted
-    std::deque<Value> buffer;  // produced, never served: [next_seq, ...)
+    std::deque<Value> buffer;   // data band: produced, never served
+    std::deque<Value> control;  // control band: served ahead of data
     std::deque<Parked> parked;
     // Sequenced channels: served-but-unacknowledged items occupy positions
     // [replay_base, next_seq) and are re-served on request.
@@ -122,12 +146,19 @@ class StreamServer {
     uint64_t replay_base = 0;
     uint64_t next_seq = 0;  // position of the next fresh (unserved) item
     std::unique_ptr<CondVar> space;  // producer waits here
+    // Deferred service: coalesces producer wakeups to drain time.
+    std::unique_ptr<ServiceProc> service;
   };
 
   void HandleTransfer(InvocationContext ctx);
   void HandleOpenChannel(InvocationContext ctx);
   // Serves parked requests while items (or the end marker) are available.
   void Pump(OutChannel& channel);
+  // Watermark admission for a data write; maintains the hysteresis latch.
+  bool WriteBlocked(OutChannel& channel);
+  static size_t Depth(const OutChannel& channel) {
+    return channel.buffer.size() + channel.control.size();
+  }
 
   OutChannel* Find(std::string_view name);
   const OutChannel* Find(std::string_view name) const;

@@ -144,6 +144,45 @@ Task<Status> StreamWriter::Write(Value item) {
   co_return Status::Ok();
 }
 
+Task<Status> StreamWriter::WriteControl(Value item) {
+  if (ended_ || !status_.ok_or_end()) {
+    co_return status_.ok_or_end() ? Status(StatusCode::kEndOfStream) : status_;
+  }
+  if (options_.sequenced) {
+    co_return co_await Write(std::move(item));
+  }
+  items_written_++;
+  if (InvariantMonitor* mon = owner_.kernel().monitor()) {
+    mon->OnProduced(owner_.uid(), owner_.kernel().now(), 1);
+    mon->OnPushed(owner_.uid(), sink_, owner_.kernel().now(), 1);
+  }
+  int attempt = 0;
+  for (;;) {
+    pushes_sent_++;
+    // `item` is copied per attempt so a retry resends the same payload.
+    ValueList payload;
+    payload.push_back(item);
+    Value args = MakePushArgs(channel_, std::move(payload), /*end=*/false,
+                              Band::kControl);
+    InvokeResult result = co_await owner_.Invoke(
+        sink_, std::string(kOpPush), std::move(args), options_.deadline);
+    if (!result.ok() && Retryable(result.status) &&
+        attempt < options_.retry_attempts) {
+      attempt++;
+      owner_.kernel().stats().retries++;
+      if (options_.retry_backoff > 0) {
+        co_await owner_.Sleep(options_.retry_backoff << (attempt - 1));
+      }
+      continue;
+    }
+    if (attempt > 0 && result.status.ok_or_end()) {
+      owner_.kernel().stats().recoveries++;
+    }
+    status_ = std::move(result.status);
+    co_return status_;
+  }
+}
+
 Task<Status> StreamWriter::Flush() {
   if (ended_) {
     co_return status_;

@@ -49,6 +49,12 @@ class StreamWriter {
   // last Push reply (kOk if the item was only queued locally).
   Task<Status> Write(Value item);
 
+  // Sends one control-band item immediately, bypassing the local batch: the
+  // whole point of the control band is to overtake queued data, so it never
+  // waits behind pending_. On a sequenced channel bands collapse (positions
+  // define a total order), so this degrades to a plain Write.
+  Task<Status> WriteControl(Value item);
+
   // Sends any locally queued items now.
   Task<Status> Flush();
 

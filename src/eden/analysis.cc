@@ -158,9 +158,15 @@ Diagnosis PipelineDoctor::Diagnose() const {
     d.critical_depth = d.critical_path.size();
   }
 
-  // Queue high-water marks from the metrics snapshot: keys are
-  // "component/label", so match on the label part.
+  // Queue high-water marks and flow-control counters from the metrics
+  // snapshot: keys are "component/label", so match on the label part.
   std::map<std::string, uint64_t> high_water;
+  struct FlowTotals {
+    uint64_t hiwat_hits = 0;
+    uint64_t putbacks = 0;
+    uint64_t band_overtakes = 0;
+  };
+  std::map<std::string, FlowTotals> flow_totals;
   if (metrics_ != nullptr) {
     Value snapshot = metrics_->Snapshot();
     if (const ValueMap* queues = snapshot.Field("queues").AsMap()) {
@@ -169,6 +175,19 @@ Diagnosis PipelineDoctor::Diagnose() const {
         std::string label = slash == std::string::npos ? key : key.substr(slash + 1);
         uint64_t hw = static_cast<uint64_t>(gauge.Field("high_water").IntOr(0));
         high_water[label] = std::max(high_water[label], hw);
+      }
+    }
+    if (const ValueMap* flows = snapshot.Field("flow").AsMap()) {
+      for (const auto& [key, counters] : *flows) {
+        size_t slash = key.find('/');
+        std::string label = slash == std::string::npos ? key : key.substr(slash + 1);
+        FlowTotals& totals = flow_totals[label];
+        totals.hiwat_hits +=
+            static_cast<uint64_t>(counters.Field("hiwat_hits").IntOr(0));
+        totals.putbacks +=
+            static_cast<uint64_t>(counters.Field("putbacks").IntOr(0));
+        totals.band_overtakes +=
+            static_cast<uint64_t>(counters.Field("band_overtakes").IntOr(0));
       }
     }
   }
@@ -181,6 +200,12 @@ Diagnosis PipelineDoctor::Diagnose() const {
     auto it = high_water.find(stage.name);
     if (it != high_water.end()) {
       stage.queue_high_water = it->second;
+    }
+    auto flow_it = flow_totals.find(stage.name);
+    if (flow_it != flow_totals.end()) {
+      stage.hiwat_hits = flow_it->second.hiwat_hits;
+      stage.putbacks = flow_it->second.putbacks;
+      stage.band_overtakes = flow_it->second.band_overtakes;
     }
     d.stages.push_back(stage);
   }
@@ -200,13 +225,20 @@ Diagnosis PipelineDoctor::Diagnose() const {
     d.bottleneck = top.name;
     d.bottleneck_share =
         static_cast<double>(top.critical_self) / d.critical_total;
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "bottleneck: %s, %d%% of critical path, queue high-water %llu",
                   top.name.c_str(),
                   static_cast<int>(d.bottleneck_share * 100 + 0.5),
                   static_cast<unsigned long long>(top.queue_high_water));
     d.verdict = buf;
+    if (top.hiwat_hits > 0) {
+      // The bottleneck stage filled to its high watermark: backpressure, not
+      // compute, is the likely cause — say so in the one-line story.
+      std::snprintf(buf, sizeof(buf), ", flow: %llu hiwat hits",
+                    static_cast<unsigned long long>(top.hiwat_hits));
+      d.verdict += buf;
+    }
   } else {
     d.verdict = "no closed spans to attribute (run still in flight?)";
   }
@@ -262,12 +294,21 @@ std::string Diagnosis::ToString() const {
     }
   }
   if (!stages.empty()) {
-    out << "stages (by critical self time):\n";
-    out << "  stage         spans  self    wait    crit-self  util   queue-hw\n";
+    bool any_flow = false;
     for (const StageDiagnosis& stage : stages) {
-      char line[160];
+      any_flow = any_flow || stage.hiwat_hits > 0 || stage.putbacks > 0 ||
+                 stage.band_overtakes > 0;
+    }
+    out << "stages (by critical self time):\n";
+    out << "  stage         spans  self    wait    crit-self  util   queue-hw";
+    if (any_flow) {
+      out << "  hiwat  putbq  ovrtk";
+    }
+    out << "\n";
+    for (const StageDiagnosis& stage : stages) {
+      char line[200];
       std::snprintf(line, sizeof(line),
-                    "  %-12s %6zu %7lld %7lld %10lld %5.0f%% %9llu\n",
+                    "  %-12s %6zu %7lld %7lld %10lld %5.0f%% %9llu",
                     stage.name.c_str(), stage.spans,
                     static_cast<long long>(stage.self_time),
                     static_cast<long long>(stage.wait_time),
@@ -275,6 +316,14 @@ std::string Diagnosis::ToString() const {
                     stage.utilization * 100,
                     static_cast<unsigned long long>(stage.queue_high_water));
       out << line;
+      if (any_flow) {
+        std::snprintf(line, sizeof(line), " %6llu %6llu %6llu",
+                      static_cast<unsigned long long>(stage.hiwat_hits),
+                      static_cast<unsigned long long>(stage.putbacks),
+                      static_cast<unsigned long long>(stage.band_overtakes));
+        out << line;
+      }
+      out << "\n";
     }
   }
   return out.str();
@@ -323,6 +372,14 @@ Value Diagnosis::ToValue() const {
     s.Set("utilization", Value(stage.utilization));
     s.Set("queue_high_water",
           Value(static_cast<int64_t>(stage.queue_high_water)));
+    if (stage.hiwat_hits > 0 || stage.putbacks > 0 || stage.band_overtakes > 0) {
+      Value flow;
+      flow.Set("hiwat_hits", Value(static_cast<int64_t>(stage.hiwat_hits)));
+      flow.Set("putbacks", Value(static_cast<int64_t>(stage.putbacks)));
+      flow.Set("band_overtakes",
+               Value(static_cast<int64_t>(stage.band_overtakes)));
+      s.Set("flow", std::move(flow));
+    }
     stage_list.push_back(std::move(s));
   }
   v.Set("stages", Value(std::move(stage_list)));

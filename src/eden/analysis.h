@@ -66,6 +66,12 @@ struct StageDiagnosis {
   Tick critical_self = 0;  // self time on critical chains only
   double utilization = 0;  // busy / makespan
   uint64_t queue_high_water = 0;  // peak queue depth, from metrics (if any)
+  // Flow-control counters, from the metrics "flow" section (if any):
+  // how often this stage filled to hiwat, re-enqueued items with PutBack,
+  // and had a control item overtake queued data.
+  uint64_t hiwat_hits = 0;
+  uint64_t putbacks = 0;
+  uint64_t band_overtakes = 0;
 };
 
 struct Diagnosis {
@@ -86,7 +92,9 @@ struct Diagnosis {
   std::string bottleneck;          // name of stages[0], if any
   double bottleneck_share = 0;     // its critical_self / critical_total
 
-  // "bottleneck: filter2, 61% of critical path, queue high-water 64"
+  // "bottleneck: filter2, 61% of critical path, queue high-water 64" — plus
+  // ", flow: N hiwat hits" when the bottleneck stage hit its hiwat, naming
+  // backpressure (not compute) as the likely cause.
   std::string verdict;
 
   // Static-verification summary, folded in via AnnotateStatic. -1 = no lint

@@ -175,6 +175,29 @@ void Kernel::ScheduleAction(Tick delay, std::function<void()> action) {
   events_.Schedule(now() + delay, std::move(action));
 }
 
+ServiceProc::ServiceProc(Kernel& kernel, std::function<void()> fn)
+    : kernel_(kernel), state_(std::make_shared<State>()) {
+  state_->fn = std::move(fn);
+}
+
+void ServiceProc::Schedule() {
+  if (state_->pending) {
+    kernel_.stats().services_coalesced++;
+    return;
+  }
+  state_->pending = true;
+  Kernel* kernel = &kernel_;
+  kernel_.ScheduleAction(0, [kernel, weak = std::weak_ptr<State>(state_)] {
+    std::shared_ptr<State> state = weak.lock();
+    if (state == nullptr) {
+      return;  // channel torn down with the run still queued
+    }
+    state->pending = false;
+    kernel->stats().services_run++;
+    state->fn();
+  });
+}
+
 // ------------------------------------------------------------------ invocation
 
 InvokeAwaiter Kernel::Invoke(const Eject& from, Uid target, std::string op,

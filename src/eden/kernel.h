@@ -379,6 +379,34 @@ class Kernel {
   bool shutting_down_ = false;
 };
 
+// A deferred service procedure — STREAMS srv() in miniature. A queue whose
+// consumer may be blocked does not notify on every put (spin-notifying costs
+// one wakeup per item even when the consumer cannot run yet); it calls
+// Schedule(), which enqueues `fn` as a single kernel event at the current
+// tick. Further Schedule() calls while that event is pending coalesce into
+// it, so a burst of puts wakes the consumer exactly once, at drain time.
+//
+// Lifetime: the callback state is held by shared_ptr and captured weakly by
+// the scheduled event, so a ServiceProc (and the channel owning it) may be
+// destroyed with a run still queued — the orphaned event is a no-op.
+class ServiceProc {
+ public:
+  ServiceProc(Kernel& kernel, std::function<void()> fn);
+
+  // Runs `fn` once at the current tick unless a run is already pending.
+  void Schedule();
+  bool pending() const { return state_->pending; }
+
+ private:
+  struct State {
+    std::function<void()> fn;
+    bool pending = false;
+  };
+
+  Kernel& kernel_;
+  std::shared_ptr<State> state_;
+};
+
 }  // namespace eden
 
 #endif  // SRC_EDEN_KERNEL_H_

@@ -112,6 +112,12 @@ const MetricsRegistry::QueueGauge* MetricsRegistry::QueueFor(
   return it == queues_.end() ? nullptr : &it->second;
 }
 
+const MetricsRegistry::FlowCounters* MetricsRegistry::FlowFor(
+    std::string_view component, const Uid& owner) const {
+  auto it = flow_.find({std::string(component), owner});
+  return it == flow_.end() ? nullptr : &it->second;
+}
+
 uint64_t MetricsRegistry::InvocationsTo(const Uid& target) const {
   auto it = invocations_.find(target);
   return it == invocations_.end() ? 0 : it->second;
@@ -120,6 +126,7 @@ uint64_t MetricsRegistry::InvocationsTo(const Uid& target) const {
 void MetricsRegistry::Clear() {
   latency_.clear();
   queues_.clear();
+  flow_.clear();
   invocations_.clear();
 }
 
@@ -141,6 +148,14 @@ Value MetricsRegistry::Snapshot() const {
     entry.Set("samples", Value(gauge.samples));
     queues.Set(key.first + "/" + NameOf(key.second), std::move(entry));
   }
+  Value flow;
+  for (const auto& [key, counters] : flow_) {
+    Value entry;
+    entry.Set("hiwat_hits", Value(counters.hiwat_hits));
+    entry.Set("putbacks", Value(counters.putbacks));
+    entry.Set("band_overtakes", Value(counters.band_overtakes));
+    flow.Set(key.first + "/" + NameOf(key.second), std::move(entry));
+  }
   Value invocations;
   for (const auto& [uid, count] : invocations_) {
     invocations.Set(NameOf(uid), Value(count));
@@ -148,6 +163,9 @@ Value MetricsRegistry::Snapshot() const {
   Value snapshot;
   snapshot.Set("latency", latency.is_nil() ? Value(ValueMap{}) : std::move(latency));
   snapshot.Set("queues", queues.is_nil() ? Value(ValueMap{}) : std::move(queues));
+  if (!flow.is_nil()) {
+    snapshot.Set("flow", std::move(flow));
+  }
   snapshot.Set("invocations",
                invocations.is_nil() ? Value(ValueMap{}) : std::move(invocations));
   return snapshot;
@@ -174,6 +192,16 @@ std::string MetricsRegistry::ToString() const {
                   "queue   %-28s depth=%zu high_water=%zu samples=%llu\n",
                   (key.first + "/" + NameOf(key.second)).c_str(), gauge.depth,
                   gauge.high_water, static_cast<unsigned long long>(gauge.samples));
+    out += buf;
+  }
+  for (const auto& [key, counters] : flow_) {
+    std::snprintf(buf, sizeof(buf),
+                  "flow    %-28s hiwat_hits=%llu putbacks=%llu "
+                  "band_overtakes=%llu\n",
+                  (key.first + "/" + NameOf(key.second)).c_str(),
+                  static_cast<unsigned long long>(counters.hiwat_hits),
+                  static_cast<unsigned long long>(counters.putbacks),
+                  static_cast<unsigned long long>(counters.band_overtakes));
     out += buf;
   }
   for (const auto& [uid, count] : invocations_) {

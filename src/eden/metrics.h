@@ -70,12 +70,25 @@ class Log2Histogram {
   uint64_t max_ = 0;
 };
 
+// Flow-control incidents on one queue (see PROTOCOL.md "Flow control").
+enum class FlowEvent {
+  kHiwatHit,       // a producer was blocked/withheld at the high watermark
+  kPutBack,        // an item was returned to the front of its band (putbq)
+  kBandOvertake,   // a control item was served ahead of queued data
+};
+
 class MetricsRegistry {
  public:
   struct QueueGauge {
     size_t depth = 0;       // most recent sample
     size_t high_water = 0;  // largest sample ever
     uint64_t samples = 0;
+  };
+
+  struct FlowCounters {
+    uint64_t hiwat_hits = 0;
+    uint64_t putbacks = 0;
+    uint64_t band_overtakes = 0;
   };
 
   // ---- Recording hooks (kernel and stream components; callers gate on the
@@ -91,6 +104,15 @@ class MetricsRegistry {
     gauge.high_water = depth > gauge.high_water ? depth : gauge.high_water;
     gauge.samples++;
   }
+  void CountFlowEvent(std::string_view component, const Uid& owner,
+                      FlowEvent event) {
+    FlowCounters& counters = flow_[{std::string(component), owner}];
+    switch (event) {
+      case FlowEvent::kHiwatHit: counters.hiwat_hits++; break;
+      case FlowEvent::kPutBack: counters.putbacks++; break;
+      case FlowEvent::kBandOvertake: counters.band_overtakes++; break;
+    }
+  }
 
   // Pretty names for snapshot keys (defaults to the short UID).
   void Label(const Uid& uid, std::string name) { labels_[uid] = std::move(name); }
@@ -98,12 +120,15 @@ class MetricsRegistry {
   // ---- Introspection.
   const Log2Histogram* LatencyFor(std::string_view op) const;
   const QueueGauge* QueueFor(std::string_view component, const Uid& owner) const;
+  const FlowCounters* FlowFor(std::string_view component, const Uid& owner) const;
   uint64_t InvocationsTo(const Uid& target) const;
 
   void Clear();
 
   // {"latency": {op: histogram...}, "queues": {"component/name": {depth,
-  // high_water, samples}}, "invocations": {name: count}}.
+  // high_water, samples}}, "flow": {"component/name": {hiwat_hits, putbacks,
+  // band_overtakes}}, "invocations": {name: count}}. The "flow" section is
+  // present only when at least one flow event was counted.
   Value Snapshot() const;
   std::string ToJson() const;
   // One line per metric, human-readable.
@@ -114,6 +139,7 @@ class MetricsRegistry {
 
   std::map<std::string, Log2Histogram> latency_;
   std::map<std::pair<std::string, Uid>, QueueGauge> queues_;
+  std::map<std::pair<std::string, Uid>, FlowCounters> flow_;
   std::map<Uid, uint64_t> invocations_;
   std::map<Uid, std::string> labels_;
 };

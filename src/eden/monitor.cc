@@ -106,18 +106,57 @@ void InvariantMonitor::OnPulled(const Uid& stage, const Uid& source, Tick,
   pull_edges_[{source, stage}] += items;
 }
 
-void InvariantMonitor::OnAccepted(const Uid& stage, Tick, uint64_t items) {
+void InvariantMonitor::OnAccepted(const Uid& stage, Tick, uint64_t items,
+                                  int band) {
   flows_[stage].accepted += items;
+  if (band >= 0) {
+    band_flows_[{stage, band}].accepted += items;
+  }
 }
 
-void InvariantMonitor::OnConsumed(const Uid& stage, Tick at, uint64_t items) {
+void InvariantMonitor::OnConsumed(const Uid& stage, Tick at, uint64_t items,
+                                  int band) {
   Flow& flow = flows_[stage];
   flow.consumed += items;
-  if (flow.consumed > flow.pulled + flow.accepted) {
+  // Put-backs return a consumed item to its buffer, so it is legitimately
+  // consumed again: net consumption is consumed - putback.
+  if (flow.consumed > flow.pulled + flow.accepted + flow.putback) {
     Report(Violation::Kind::kFlowConservation, at, stage,
            NameOf(stage) + " consumed " + std::to_string(flow.consumed) +
                " items but only " +
-               std::to_string(flow.pulled + flow.accepted) + " arrived");
+               std::to_string(flow.pulled + flow.accepted + flow.putback) +
+               " arrived");
+  }
+  if (band >= 0) {
+    BandFlow& bf = band_flows_[{stage, band}];
+    bf.taken += items;
+    if (bf.taken > bf.accepted + bf.putback) {
+      Report(Violation::Kind::kFlowConservation, at, stage,
+             NameOf(stage) + " band " + std::to_string(band) + " handed out " +
+                 std::to_string(bf.taken) + " items but only " +
+                 std::to_string(bf.accepted + bf.putback) + " arrived on it");
+    }
+  }
+}
+
+void InvariantMonitor::OnPutBack(const Uid& stage, Tick at, uint64_t items,
+                                 int band) {
+  Flow& flow = flows_[stage];
+  flow.putback += items;
+  if (flow.putback > flow.consumed) {
+    Report(Violation::Kind::kFlowConservation, at, stage,
+           NameOf(stage) + " put back " + std::to_string(flow.putback) +
+               " items but consumed only " + std::to_string(flow.consumed));
+  }
+  if (band >= 0) {
+    BandFlow& bf = band_flows_[{stage, band}];
+    bf.putback += items;
+    if (bf.putback > bf.taken) {
+      Report(Violation::Kind::kFlowConservation, at, stage,
+             NameOf(stage) + " band " + std::to_string(band) + " put back " +
+                 std::to_string(bf.putback) + " items but took only " +
+                 std::to_string(bf.taken));
+    }
   }
 }
 
@@ -245,10 +284,12 @@ std::string InvariantMonitor::ToString() const {
   for (const auto& [stage, flow] : flows_) {
     int64_t in = static_cast<int64_t>(flow.pulled + flow.accepted);
     int64_t delivered = static_cast<int64_t>(flow.served + flow.pushed);
-    // in - consumed still sits in input buffers; produced - delivered in
-    // output buffers. Both are >= 0 when conservation holds (signed so a
-    // violated run prints a legible negative, not a wrapped uint64).
-    int64_t buffered = (in - static_cast<int64_t>(flow.consumed)) +
+    // in - net consumed (put-backs return to the buffer) still sits in input
+    // buffers; produced - delivered in output buffers. Both are >= 0 when
+    // conservation holds (signed so a violated run prints a legible
+    // negative, not a wrapped uint64).
+    int64_t buffered = (in - static_cast<int64_t>(flow.consumed) +
+                        static_cast<int64_t>(flow.putback)) +
                        (static_cast<int64_t>(flow.produced) - delivered);
     char line[128];
     std::snprintf(line, sizeof(line), "  %-16s %12lld %9llu %9llu %13lld %9lld\n",
@@ -258,6 +299,13 @@ std::string InvariantMonitor::ToString() const {
                   static_cast<long long>(delivered),
                   static_cast<long long>(buffered));
     out << line;
+  }
+  if (!band_flows_.empty()) {
+    out << "  bands (accepted/taken/putback):\n";
+    for (const auto& [key, bf] : band_flows_) {
+      out << "    " << NameOf(key.first) << " band " << key.second << ": "
+          << bf.accepted << "/" << bf.taken << "/" << bf.putback << "\n";
+    }
   }
   std::vector<Violation> all = Check();
   if (all.empty()) {
@@ -294,7 +342,17 @@ Value InvariantMonitor::ToValue() const {
     entry.Set("pulled", Value(static_cast<int64_t>(flow.pulled)));
     entry.Set("accepted", Value(static_cast<int64_t>(flow.accepted)));
     entry.Set("consumed", Value(static_cast<int64_t>(flow.consumed)));
+    entry.Set("putback", Value(static_cast<int64_t>(flow.putback)));
     flows.Set(NameOf(stage), std::move(entry));
+  }
+  Value bands;
+  for (const auto& [key, bf] : band_flows_) {
+    Value entry;
+    entry.Set("accepted", Value(static_cast<int64_t>(bf.accepted)));
+    entry.Set("taken", Value(static_cast<int64_t>(bf.taken)));
+    entry.Set("putback", Value(static_cast<int64_t>(bf.putback)));
+    bands.Set(NameOf(key.first) + "/band" + std::to_string(key.second),
+              std::move(entry));
   }
   Value invocations;
   for (const auto& [op, count] : invocations_by_op_) {
@@ -310,6 +368,9 @@ Value InvariantMonitor::ToValue() const {
   Value report;
   report.Set("events", Value(static_cast<int64_t>(events_seen_)));
   report.Set("flows", std::move(flows));
+  if (!band_flows_.empty()) {
+    report.Set("bands", std::move(bands));
+  }
   report.Set("invocations", std::move(invocations));
   report.Set("ok", Value(all.empty()));
   report.Set("violations", Value(std::move(violations)));
@@ -318,6 +379,7 @@ Value InvariantMonitor::ToValue() const {
 
 void InvariantMonitor::Clear() {
   flows_.clear();
+  band_flows_.clear();
   pull_edges_.clear();
   push_edges_.clear();
   sequences_.clear();

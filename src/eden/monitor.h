@@ -76,6 +76,17 @@ class InvariantMonitor {
     uint64_t pulled = 0;    // items ingested from an upstream server
     uint64_t accepted = 0;  // items accepted from an upstream pusher
     uint64_t consumed = 0;  // items the stage's own logic took from buffers
+    uint64_t putback = 0;   // items returned to a buffer after being taken
+  };
+
+  // Per-band accounting for banded (acceptor-side) queues: every take and
+  // put-back is charged to the band it happened on, so the bands provably
+  // drop nothing — a band that hands out more than arrived (net of
+  // put-backs) is caught inline.
+  struct BandFlow {
+    uint64_t accepted = 0;  // items accepted into this band
+    uint64_t taken = 0;     // items the owner took from this band
+    uint64_t putback = 0;   // items returned to the front of this band
   };
 
   InvariantMonitor() = default;
@@ -92,8 +103,14 @@ class InvariantMonitor {
   void OnServed(const Uid& stage, Tick at, uint64_t items);
   void OnPushed(const Uid& stage, const Uid& sink, Tick at, uint64_t items);
   void OnPulled(const Uid& stage, const Uid& source, Tick at, uint64_t items);
-  void OnAccepted(const Uid& stage, Tick at, uint64_t items);
-  void OnConsumed(const Uid& stage, Tick at, uint64_t items);
+  // `band` >= 0 additionally charges a banded queue (acceptors); pass the
+  // default -1 from unbanded sites (readers consuming pulled items).
+  void OnAccepted(const Uid& stage, Tick at, uint64_t items, int band = -1);
+  void OnConsumed(const Uid& stage, Tick at, uint64_t items, int band = -1);
+  // A put-back (STREAMS putbq): `items` previously reported via OnConsumed
+  // returned to the front of their queue and will be consumed again. Nets
+  // out of the conservation checks instead of counting twice.
+  void OnPutBack(const Uid& stage, Tick at, uint64_t items, int band = -1);
   // Monotonicity check for a named per-stage counter (server next/ack,
   // acceptor next, writer ack). Violation if `value` regresses.
   void OnSequence(const Uid& stage, Tick at, std::string_view counter,
@@ -121,6 +138,9 @@ class InvariantMonitor {
   bool ok() const { return Check().empty(); }
 
   const std::map<Uid, Flow>& flows() const { return flows_; }
+  const std::map<std::pair<Uid, int>, BandFlow>& band_flows() const {
+    return band_flows_;
+  }
   uint64_t invocations_of(std::string_view op) const;
 
   // Violations are also emitted as TraceEvent::Kind::kViolation into this
@@ -142,6 +162,7 @@ class InvariantMonitor {
   static void Describe(const Violation& violation, Value& out);
 
   std::map<Uid, Flow> flows_;
+  std::map<std::pair<Uid, int>, BandFlow> band_flows_;
   // Wire accounting, recorded by the active end (which knows both parties).
   std::map<std::pair<Uid, Uid>, uint64_t> pull_edges_;  // (server, reader)
   std::map<std::pair<Uid, Uid>, uint64_t> push_edges_;  // (writer, acceptor)

@@ -34,6 +34,9 @@ namespace eden {
 //   recoveries           retry sequences that eventually succeeded
 //   redeliveries         batches re-served from a replay window
 //   redeliveries_dropped duplicate items discarded by receivers
+// Flow control (watermarks, deferred service — see PROTOCOL.md):
+//   services_run         deferred service procedures that executed
+//   services_coalesced   Schedule() calls absorbed by an already-pending run
 #define EDEN_STATS_FIELDS(X)                \
   X(invocations_sent, "invocations")        \
   X(replies_sent, "replies")                \
@@ -54,7 +57,9 @@ namespace eden {
   X(retries, "retries")                     \
   X(recoveries, "recoveries")               \
   X(redeliveries, "redeliveries")           \
-  X(redeliveries_dropped, "dupes_dropped")
+  X(redeliveries_dropped, "dupes_dropped")  \
+  X(services_run, "services_run")           \
+  X(services_coalesced, "services_coalesced")
 
 struct Stats {
 #define EDEN_STATS_DECLARE(field, label) uint64_t field = 0;

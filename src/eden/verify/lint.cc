@@ -141,6 +141,7 @@ class Linter {
     CheckRecoveryKnobs();  // ASC006
     CheckLazyDemand();     // ASC007
     CheckJunctions();      // ASC008
+    CheckWatermarks();     // ASC009
     return std::move(report_);
   }
 
@@ -518,6 +519,46 @@ class Linter {
     }
   }
 
+  // ASC009 — watermark sanity for stages declaring a bounded queue. Flow
+  // control is a hysteresis pair: producers block at hiwat and are released
+  // below lowat. lowat above hiwat inverts the hysteresis — the release
+  // condition is already false at the moment of blocking and can only get
+  // falser, so a blocked producer parks forever. A zero hiwat on a passive
+  // input withholds the very first Push reply with nothing draining the
+  // queue ahead of it; on a passive *output* a zero hiwat is the sanctioned
+  // §4 pure-laziness configuration when the stage is lazy, and a likely
+  // misconfiguration (warning) when it is not.
+  void CheckWatermarks() {
+    for (const StageSpec& stage : spec_.stages) {
+      if (!stage.bounded) {
+        continue;
+      }
+      if (stage.lowat > stage.hiwat) {
+        Report("ASC009", Severity::kError, stage.uid,
+               "lowat " + std::to_string(stage.lowat) + " above hiwat " +
+                   std::to_string(stage.hiwat) +
+                   ": producers blocked at hiwat are released only below "
+                   "lowat, which never happens",
+               "set lowat <= hiwat (or 0 to derive hiwat/2)");
+        continue;
+      }
+      if (stage.hiwat == 0 && stage.passive_input) {
+        Report("ASC009", Severity::kError, stage.uid,
+               "zero hiwat on a passive input: the first Push reply is "
+               "withheld with nothing queued ahead to drain, so the "
+               "producer parks forever",
+               "set hiwat >= 1 on the acceptor channel");
+      } else if (stage.hiwat == 0 && !stage.lazy) {
+        Report("ASC009", Severity::kWarning, stage.uid,
+               "zero hiwat (pure laziness) on a stage not marked lazy: "
+               "every Write parks until demand arrives, which is usually "
+               "an unintended loss of work-ahead",
+               "set a nonzero work-ahead/hiwat, or mark the stage "
+               "start-on-demand");
+      }
+    }
+  }
+
   const TopologySpec& spec_;
   Graph graph_;
   LintReport report_;
@@ -547,6 +588,9 @@ const std::vector<PipelineLinter::RuleInfo>& PipelineLinter::Rules() {
       {"ASC008", Severity::kError,
        "port discipline mismatch at a junction (active/active or "
        "passive/passive)"},
+      {"ASC009", Severity::kError,
+       "watermark misconfiguration (lowat above hiwat, or zero-hiwat "
+       "passive input)"},
   };
   return kRules;
 }

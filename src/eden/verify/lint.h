@@ -23,6 +23,10 @@
 //           active sink pulling through every hop)
 //   ASC008  port discipline mismatch at a junction (§3: two active or two
 //           passive correspondents cannot move data between them)
+//   ASC009  flow-control watermark misconfiguration: lowat above hiwat
+//           (producers blocked at hiwat are never released), or a zero-hiwat
+//           passive input (every Push is withheld, deadlocking the first
+//           datum; a *lazy* zero-hiwat output is legitimate §4 laziness)
 #ifndef SRC_EDEN_VERIFY_LINT_H_
 #define SRC_EDEN_VERIFY_LINT_H_
 

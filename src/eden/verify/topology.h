@@ -50,6 +50,14 @@ struct StageSpec {
   // §4 laziness: the stage does no work until the first Transfer arrives.
   // Such a stage is only ever started by demand reaching it from a sink.
   bool lazy = false;
+
+  // Flow-control watermarks on the stage's bounded queue, when it declares
+  // one (passive inputs withholding Push replies at hiwat; work-ahead
+  // outputs parking their producer at hiwat). `bounded` false = the stage
+  // declares no watermarked queue and ASC009 does not examine it.
+  bool bounded = false;
+  size_t hiwat = 0;  // block/withhold producers at this depth
+  size_t lowat = 0;  // release them below this (0 = derived at runtime)
 };
 
 // One wire. `from` is always the data producer and `to` the data consumer;

@@ -41,6 +41,24 @@ void PushLines(ShellResult& result, const std::string& text) {
   }
 }
 
+// Strict numeric parse for shell arguments: the whole word must be digits.
+// std::strtoull silently yields 0 for "abc" and accepts trailing junk in
+// "12x", turning a typo into a surprising configuration (e.g. `trace on abc`
+// setting a zero-capacity ring).
+std::optional<uint64_t> ParseCount(const std::string& word) {
+  if (word.empty() || word.size() > 19) {  // 19 digits always fit uint64_t
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  for (char c : word) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
 ShellResult SaveText(const std::string& path, const std::string& text,
                      const std::string& what) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -185,7 +203,11 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
   if (words[0] == "trace") {
     if (words.size() >= 2 && words[1] == "on" && words.size() <= 3) {
       if (words.size() == 3) {
-        recorder_.set_capacity(std::strtoull(words[2].c_str(), nullptr, 10));
+        std::optional<uint64_t> capacity = ParseCount(words[2]);
+        if (!capacity || *capacity == 0) {
+          return Fail("usage: trace on [CAP]  (CAP: positive integer)");
+        }
+        recorder_.set_capacity(*capacity);
       }
       kernel_.set_tracer(recorder_.Hook());
       trace_on_ = true;
@@ -433,9 +455,12 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
     }
     upstream = *stream;
   } else if (source_stage.command == "random" && source_stage.args.size() == 2) {
-    uint64_t seed = std::strtoull(source_stage.args[0].c_str(), nullptr, 10);
-    uint64_t total = std::strtoull(source_stage.args[1].c_str(), nullptr, 10);
-    upstream = kernel_.CreateLocal<RandomSource>(seed, total).uid();
+    std::optional<uint64_t> seed = ParseCount(source_stage.args[0]);
+    std::optional<uint64_t> total = ParseCount(source_stage.args[1]);
+    if (!seed || !total) {
+      return Fail("usage: random SEED TOTAL  (both: integers)");
+    }
+    upstream = kernel_.CreateLocal<RandomSource>(*seed, *total).uid();
   } else if (source_stage.command == "clock" && source_stage.args.empty()) {
     upstream = kernel_.CreateLocal<ClockSource>().uid();
   } else if (source_stage.command == "cmp" && source_stage.args.size() == 2) {
@@ -629,7 +654,11 @@ ShellResult EdenShell::Run(const std::string& command, uint64_t max_events) {
   } else if (sink_stage.command == "null" && sink_stage.args.size() <= 1) {
     uint64_t max_items = 0;
     if (!sink_stage.args.empty()) {
-      max_items = std::strtoull(sink_stage.args[0].c_str(), nullptr, 10);
+      std::optional<uint64_t> parsed = ParseCount(sink_stage.args[0]);
+      if (!parsed) {
+        return Fail("usage: null [N]  (N: integer; 0 = drain to end)");
+      }
+      max_items = *parsed;
     }
     NullSink& sink = kernel_.CreateLocal<NullSink>(
         upstream, Value(std::string(kChanOut)), max_items);

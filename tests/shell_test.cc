@@ -267,6 +267,27 @@ TEST(ShellTest, TraceCapacityBoundsTheRing) {
   EXPECT_GT(shell.recorder().events_dropped(), 0u);
 }
 
+TEST(ShellTest, NumericArgumentsAreValidated) {
+  // strtoull silently yields 0 for "abc" and accepts "12x": before the
+  // strict parse, `trace on abc` configured a zero-capacity ring instead
+  // of failing. Every numeric shell argument now rejects non-digits.
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("trace on abc");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("usage: trace on"), std::string::npos) << r.error;
+  EXPECT_FALSE(shell.Run("trace on 0").ok);    // zero ring is never meant
+  EXPECT_FALSE(shell.Run("trace on 12x").ok);  // trailing junk
+  EXPECT_TRUE(shell.Run("trace on 4").ok);
+
+  EXPECT_FALSE(shell.Run("random x 5 | collect").ok);
+  EXPECT_FALSE(shell.Run("random 5 x | collect").ok);
+  EXPECT_TRUE(shell.Run("random 9 3 | collect").ok);
+
+  EXPECT_FALSE(shell.Run("random 9 3 | null x").ok);
+  EXPECT_TRUE(shell.Run("random 9 3 | null 2").ok);
+}
+
 TEST(ShellTest, MetricsCommandsMeterPipelines) {
   Kernel kernel;
   EdenShell shell(kernel);

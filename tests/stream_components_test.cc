@@ -187,10 +187,14 @@ TEST(StreamAcceptorTest, WithholdsPushRepliesOverCapacity) {
   kernel.Run();
   EXPECT_LT(acknowledged, 5);  // flow control engaged
   int before = acknowledged;
-  // Drain below capacity: only then are the withheld replies released.
+  // Hysteresis: the withheld replies release only once the queue drains
+  // strictly below lowat (capacity/2 = 1 here, i.e. empty).
   for (int i = 0; i < 4; ++i) {
     sink.PopOne();
   }
+  kernel.Run();
+  EXPECT_EQ(acknowledged, before);  // still at/above lowat
+  sink.PopOne();
   kernel.Run();
   EXPECT_GT(acknowledged, before);  // draining released withheld replies
   EXPECT_EQ(acknowledged, 5);

@@ -1,5 +1,5 @@
 // Static verification layer tests: one positive and one negative case per
-// lint rule (ASC001..ASC008), the pipeline plan/describe bridge, the
+// lint rule (ASC001..ASC009), the pipeline plan/describe bridge, the
 // lint_before_activate gate, and the lockdep analyzer against both its
 // seeded self-test and real Mutexes on a live kernel.
 #include <gtest/gtest.h>
@@ -61,14 +61,6 @@ TopologySpec WriteOnlyChain() {
   t.Connect(U(1), U(2), EdgeSpec::Mode::kPush, "in");
   t.Connect(U(2), U(3), EdgeSpec::Mode::kPush, "in");
   return t;
-}
-
-std::vector<std::string> Rules(const LintReport& report) {
-  std::vector<std::string> rules;
-  for (const verify::LintDiagnostic& d : report.diagnostics) {
-    rules.push_back(d.rule);
-  }
-  return rules;
 }
 
 TEST(LintTest, CleanChainsAreWellFormed) {
@@ -288,9 +280,57 @@ TEST(LintTest, ASC008RejectsPortDisciplineMismatches) {
   EXPECT_TRUE(report.HasRule("ASC008")) << report.ToString();
 }
 
-TEST(LintTest, RuleTableCoversAllEightRules) {
+TEST(LintTest, ASC009RejectsLowatAboveHiwat) {
+  // Producers block at hiwat and are released only below lowat; with
+  // lowat > hiwat the release condition is unreachable.
+  TopologySpec t = WriteOnlyChain();
+  t.stages[1].bounded = true;
+  t.stages[1].hiwat = 4;
+  t.stages[1].lowat = 9;
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC009")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_NE(report.ToString().find("lowat"), std::string::npos);
+}
+
+TEST(LintTest, ASC009RejectsZeroHiwatPassiveInput) {
+  // hiwat 0 on a passive input withholds every Push reply forever: the
+  // first datum deadlocks its producer.
+  TopologySpec t = WriteOnlyChain();
+  t.stages[2].bounded = true;
+  t.stages[2].hiwat = 0;
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC009")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+}
+
+TEST(LintTest, ASC009AllowsLazyZeroHiwatOutput) {
+  // hiwat 0 on a *lazy* passive output is §4's pure demand-driven mode,
+  // not a misconfiguration.
+  TopologySpec t = ReadOnlyChain();
+  t.stages[0].lazy = true;
+  t.stages[0].bounded = true;
+  t.stages[0].hiwat = 0;
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_FALSE(report.HasRule("ASC009")) << report.ToString();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(LintTest, ASC009WarnsOnNonLazyZeroHiwat) {
+  // The same zero hiwat without the lazy marking is probably a mistake
+  // (the stage stalls until demand) but still runs: warning, not error.
+  TopologySpec t = ReadOnlyChain();
+  t.stages[0].bounded = true;
+  t.stages[0].hiwat = 0;
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC009")) << report.ToString();
+  EXPECT_GE(report.warning_count(), 1u);
+  EXPECT_TRUE(report.ok()) << report.ToString();  // warnings don't reject
+}
+
+TEST(LintTest, RuleTableCoversAllNineRules) {
   const std::vector<PipelineLinter::RuleInfo>& rules = PipelineLinter::Rules();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 9u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, "ASC00" + std::to_string(i + 1));
     EXPECT_FALSE(rules[i].summary.empty());
@@ -341,6 +381,34 @@ TEST(PipelinePlanTest, AllDisciplinesPlanClean) {
   PipelineOptions lazy = OptionsFor(Discipline::kReadOnly);
   lazy.start_on_demand = true;
   EXPECT_TRUE(LintPipelinePlan(3, lazy).diagnostics.empty());
+}
+
+TEST(PipelinePlanTest, ASC009CatchesBadWatermarkKnobs) {
+  // A lowat above the capacity-derived hiwat reaches the plan's stage
+  // specs and is rejected before any Eject exists.
+  PipelineOptions options = OptionsFor(Discipline::kWriteOnly);
+  options.acceptor_capacity = 4;
+  options.acceptor_lowat = 9;
+  LintReport report = LintPipelinePlan(2, options);
+  ASSERT_TRUE(report.HasRule("ASC009")) << report.ToString();
+  EXPECT_FALSE(report.ok());
+
+  // Same for the conventional pipes.
+  PipelineOptions pipes = OptionsFor(Discipline::kConventional);
+  pipes.pipe_capacity = 4;
+  pipes.pipe_lowat = 9;
+  report = LintPipelinePlan(2, pipes);
+  ASSERT_TRUE(report.HasRule("ASC009")) << report.ToString();
+
+  // And the activation gate refuses to build the bad plan.
+  Kernel kernel;
+  options.lint_before_activate = true;
+  std::vector<TransformFactory> stages = {Copy()};
+  PipelineHandle handle =
+      BuildPipeline(kernel, {Value("x")}, stages, options);
+  EXPECT_TRUE(handle.lint_rejected);
+  EXPECT_TRUE(handle.lint.HasRule("ASC009")) << handle.lint.ToString();
+  EXPECT_EQ(kernel.stats().ejects_created, 0u);
 }
 
 TEST(PipelinePlanTest, DescribePipelineMatchesAsBuilt) {
@@ -618,9 +686,9 @@ TEST(VerifyShellTest, LintRulesListsTheRuleTable) {
   EdenShell shell(kernel);
   ShellResult r = shell.Run("lint rules");
   ASSERT_TRUE(r.ok) << r.error;
-  ASSERT_EQ(r.output.size(), 8u);
+  ASSERT_EQ(r.output.size(), 9u);
   EXPECT_EQ(r.output.front().substr(0, 6), "ASC001");
-  EXPECT_EQ(r.output.back().substr(0, 6), "ASC008");
+  EXPECT_EQ(r.output.back().substr(0, 6), "ASC009");
 }
 
 TEST(VerifyShellTest, LintBeforeAnyPipelineExplainsItself) {
