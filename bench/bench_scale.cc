@@ -1,0 +1,122 @@
+// Experiment SCALE — shard-count sweep over a wide multi-node topology.
+//
+// The sharded kernel's pitch (DESIGN.md "Sharded kernel") is that inter-node
+// invocation latency is free lookahead: partition nodes across workers and
+// conservative windows keep per-seed output byte-identical while the wall
+// clock drops. This bench measures exactly that claim: the same workload —
+// `pipelines` independent read-only chains, every Eject on its own node —
+// run at 1/2/4/8 shards.
+//
+// Counters split into two families:
+//   - Deterministic identities (ejects, events, inv_per_datum,
+//     virtual_us_per_datum): shard-count-invariant by the determinism
+//     contract, compared strictly by bench_compare --counters-only.
+//   - Wall-clock rates (*_per_second): host-speed facts next to the virtual
+//     ones, excluded from the counter gate (IsStandardBenchField). Speedup
+//     at 8 shards is the events_per_second ratio to the 1-shard row —
+//     meaningful only on a multi-core host; single-core CI runs still check
+//     the identities.
+//
+// The pipelines:16384 rows build a ~100k-Eject topology (16384 chains of 6
+// Ejects); CI smokes the pipelines:64 rows only (see ci.yml), so the
+// checked-in baseline carries just those.
+#include <chrono>
+
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+struct ScaleResult {
+  uint64_t events = 0;
+  uint64_t invocations = 0;
+  uint64_t cross_shard_sends = 0;
+  Tick virtual_time = 0;
+  size_t ejects = 0;
+  size_t items_out = 0;
+  double run_seconds = 0;  // kernel Run() only; build time excluded
+};
+
+ScaleResult RunScaleSweep(int shards, int pipelines, int items, size_t depth) {
+  KernelOptions kernel_options;
+  kernel_options.shards = shards;
+  Kernel kernel(kernel_options);
+  PipelineOptions options;
+  options.discipline = Discipline::kReadOnly;
+  options.distinct_nodes = true;
+  options.work_ahead = 4;
+  std::vector<TransformFactory> chain = CopyChain(depth);
+  std::vector<PipelineHandle> handles;
+  handles.reserve(static_cast<size_t>(pipelines));
+  for (int p = 0; p < pipelines; ++p) {
+    handles.push_back(
+        BuildPipeline(kernel, BenchLines(items, 83 + static_cast<uint64_t>(p)),
+                      chain, options));
+  }
+  Stats before = kernel.stats();
+  auto wall_start = std::chrono::steady_clock::now();
+  // Independent chains all drain to quiescence; no predicate scan over
+  // thousands of handles per event.
+  kernel.Run();
+  auto wall_end = std::chrono::steady_clock::now();
+
+  ScaleResult result;
+  Stats delta = kernel.stats() - before;
+  result.invocations = delta.invocations_sent;
+  result.virtual_time = kernel.now();
+  result.ejects = kernel.stats().ejects_created;
+  for (const ShardCounters& c : kernel.shard_counters()) {
+    result.events += c.events_processed;
+    result.cross_shard_sends += c.cross_shard_sends;
+  }
+  for (const PipelineHandle& handle : handles) {
+    result.items_out += handle.output().size();
+  }
+  result.run_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+void BM_ScaleShardSweep(benchmark::State& state) {
+  const int pipelines = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const int items = 4;
+  const size_t depth = 4;
+  ScaleResult last{};
+  double run_seconds = 0;
+  for (auto _ : state) {
+    last = RunScaleSweep(shards, pipelines, items, depth);
+    run_seconds += last.run_seconds;
+    benchmark::DoNotOptimize(last.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(last.items_out));
+  // Deterministic identities: must match the baseline at every shard count.
+  state.counters["ejects"] = static_cast<double>(last.ejects);
+  state.counters["events"] = static_cast<double>(last.events);
+  state.counters["inv_per_datum"] = static_cast<double>(last.invocations) /
+                                    static_cast<double>(last.items_out);
+  state.counters["virtual_us_per_datum"] =
+      static_cast<double>(last.virtual_time) /
+      static_cast<double>(last.items_out);
+  state.counters["cross_shard_sends"] = static_cast<double>(last.cross_shard_sends);
+  // Wall-clock rates (excluded from the counter gate by the _per_second
+  // suffix): the speedup claim reads down this column.
+  double total_events =
+      static_cast<double>(last.events) * static_cast<double>(state.iterations());
+  state.counters["events_per_second"] =
+      run_seconds > 0 ? total_events / run_seconds : 0;
+  state.counters["invocations_per_second"] =
+      run_seconds > 0 ? static_cast<double>(last.invocations) *
+                            static_cast<double>(state.iterations()) / run_seconds
+                      : 0;
+}
+BENCHMARK(BM_ScaleShardSweep)
+    ->ArgsProduct({{64, 16384}, {1, 2, 4, 8}})
+    ->ArgNames({"pipelines", "shards"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace eden
+
+EDEN_BENCH_MAIN("scale")

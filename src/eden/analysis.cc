@@ -220,6 +220,10 @@ Diagnosis PipelineDoctor::Diagnose() const {
               return a.uid < b.uid;
             });
 
+  if (metrics_ != nullptr) {
+    d.shards = metrics_->ShardSnapshot();
+  }
+
   if (!d.stages.empty() && d.critical_total > 0) {
     const StageDiagnosis& top = d.stages.front();
     d.bottleneck = top.name;
@@ -241,6 +245,22 @@ Diagnosis PipelineDoctor::Diagnose() const {
     }
   } else {
     d.verdict = "no closed spans to attribute (run still in flight?)";
+  }
+  if (d.shards.size() > 1) {
+    // A parallel run: tell the one-line story of how much work crossed
+    // shard boundaries and how often the lookahead window ran dry.
+    uint64_t cross = 0;
+    uint64_t stalls = 0;
+    for (const auto& [index, counters] : d.shards) {
+      cross += counters.cross_shard_sends;
+      stalls += counters.lookahead_stalls;
+    }
+    char buf[120];
+    std::snprintf(buf, sizeof(buf),
+                  "; %zu shards, %llu cross-shard sends, %llu lookahead stalls",
+                  d.shards.size(), static_cast<unsigned long long>(cross),
+                  static_cast<unsigned long long>(stalls));
+    d.verdict += buf;
   }
   return d;
 }
@@ -326,6 +346,23 @@ std::string Diagnosis::ToString() const {
       out << "\n";
     }
   }
+  if (!shards.empty()) {
+    out << "shards:\n";
+    out << "  shard  events   cross-sends  stalls  windows  mbox-hiwat  "
+           "overflows\n";
+    for (const auto& [index, c] : shards) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-5d %8llu %12llu %7llu %8llu %11llu %10llu\n", index,
+                    static_cast<unsigned long long>(c.events_processed),
+                    static_cast<unsigned long long>(c.cross_shard_sends),
+                    static_cast<unsigned long long>(c.lookahead_stalls),
+                    static_cast<unsigned long long>(c.windows),
+                    static_cast<unsigned long long>(c.mailbox_high_water),
+                    static_cast<unsigned long long>(c.mailbox_overflows));
+      out << line;
+    }
+  }
   return out.str();
 }
 
@@ -383,6 +420,21 @@ Value Diagnosis::ToValue() const {
     stage_list.push_back(std::move(s));
   }
   v.Set("stages", Value(std::move(stage_list)));
+  if (!shards.empty()) {
+    ValueList shard_list;
+    for (const auto& [index, c] : shards) {
+      Value s;
+      s.Set("shard", Value(static_cast<int64_t>(index)));
+      s.Set("events_processed", Value(c.events_processed));
+      s.Set("cross_shard_sends", Value(c.cross_shard_sends));
+      s.Set("lookahead_stalls", Value(c.lookahead_stalls));
+      s.Set("windows", Value(c.windows));
+      s.Set("mailbox_high_water", Value(c.mailbox_high_water));
+      s.Set("mailbox_overflows", Value(c.mailbox_overflows));
+      shard_list.push_back(std::move(s));
+    }
+    v.Set("shards", Value(std::move(shard_list)));
+  }
   return v;
 }
 
@@ -402,7 +454,16 @@ bool IsStandardBenchField(const std::string& key) {
       // deterministic identities. The time comparison already covers them.
       "items_per_second", "bytes_per_second",
   };
-  return kStandard.count(key) > 0;
+  if (kStandard.count(key) > 0) {
+    return true;
+  }
+  // Any user counter named *_per_second is likewise a wall-clock rate
+  // (bench_scale reports events_per_second per shard count) and must not be
+  // treated as a deterministic identity by --counters-only comparisons.
+  static const std::string kRateSuffix = "_per_second";
+  return key.size() > kRateSuffix.size() &&
+         key.compare(key.size() - kRateSuffix.size(), kRateSuffix.size(),
+                     kRateSuffix) == 0;
 }
 
 std::map<std::string, const Value*> BenchmarksByName(const Value& doc) {

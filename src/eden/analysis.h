@@ -33,9 +33,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/eden/clock.h"
+#include "src/eden/stats.h"
 #include "src/eden/trace.h"
 #include "src/eden/uid.h"
 #include "src/eden/value.h"
@@ -92,9 +94,16 @@ struct Diagnosis {
   std::string bottleneck;          // name of stages[0], if any
   double bottleneck_share = 0;     // its critical_self / critical_total
 
+  // Per-shard kernel counters from the metrics snapshot (empty unless the
+  // run attached a MetricsRegistry to a kernel; one entry per shard). When
+  // more than one shard ran, the verdict line carries a summary and
+  // ToString() prints the full table.
+  std::vector<std::pair<int, ShardCounters>> shards;
+
   // "bottleneck: filter2, 61% of critical path, queue high-water 64" — plus
   // ", flow: N hiwat hits" when the bottleneck stage hit its hiwat, naming
-  // backpressure (not compute) as the likely cause.
+  // backpressure (not compute) as the likely cause, and "; N shards, ..."
+  // when the kernel ran parallel.
   std::string verdict;
 
   // Static-verification summary, folded in via AnnotateStatic. -1 = no lint

@@ -1,6 +1,12 @@
 #include "src/eden/kernel.h"
 
+#include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <thread>
 #include <utility>
 
 #include "src/eden/codec.h"
@@ -15,7 +21,70 @@ namespace eden {
 namespace {
 // Fixed message header size charged per message (op name charged separately).
 constexpr size_t kMessageHeaderBytes = 24;
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+// Invocation ids carry their origin: (caller node + 1) in the high bits, the
+// node's own monotone sequence in the low 40. The external driver (kNoNode)
+// maps to 0, so driver-originated ids are the small integers 1, 2, 3...
+// exactly as in the single-queue kernel. Per-node sequences make id
+// allocation a function of the topology, never of the shard count.
+constexpr InvocationId MakeInvocationId(NodeId caller_node, uint64_t seq) {
+  return (static_cast<InvocationId>(static_cast<uint64_t>(caller_node + 1))
+          << kInvocationSeqBits) |
+         seq;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Node 0 keeps the kernel's classic seed, so single-node runs draw the
+// byte-identical UID sequence the seed corpus pinned; every other stream
+// (driver, node k) is split deterministically from it.
+uint64_t UidStreamSeed(uint64_t base, NodeId node) {
+  if (node == NodeId{0}) {
+    return base;
+  }
+  return SplitMix64(base ^ (0xEDE1ULL + static_cast<uint64_t>(node + 2) * 0x9E3779B97F4A7C15ULL));
+}
+
+// A reusable N-thread rendezvous: Arrive() blocks until all participants
+// arrive; the last one runs `completion` (single-threaded, all peers parked)
+// before everyone is released. The mutex hand-off is the synchronization
+// edge that publishes one window's writes to the next.
+class SyncPoint {
+ public:
+  explicit SyncPoint(int participants) : participants_(participants) {}
+
+  template <typename Completion>
+  void Arrive(Completion&& completion) {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t generation = generation_;
+    if (++arrived_ == participants_) {
+      completion();
+      arrived_ = 0;
+      generation_++;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  const int participants_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+thread_local NodeId tls_creation_node = kNoNode;
 }  // namespace
+
+thread_local Kernel::ExecContext Kernel::tls_ctx_{};
 
 // ---------------------------------------------------------------- ReplyHandle
 
@@ -62,15 +131,14 @@ void InvokeAwaiter::await_suspend(std::coroutine_handle<> h) {
     // holds a mutex, every peer needing that mutex is parked with it.
     observer->OnBlocking(from_, "Invoke " + op_, kernel_.now());
   }
-  Kernel::PendingInvocation pending;
-  pending.caller = from_;
-  pending.caller_epoch = kernel_.EpochOf(from_);
-  pending.caller_node = kernel_.NodeOf(from_);
-  pending.deadline = deadline_;
-  pending.awaiter = this;
-  pending.waiter = h;
+  Kernel::WaitRecord wait;
+  wait.caller = from_;
+  wait.caller_epoch = kernel_.EpochOf(from_);
+  wait.caller_node = kernel_.NodeOf(from_);
+  wait.awaiter = this;
+  wait.waiter = h;
   kernel_.SendInvocation(from_, target_, std::move(op_), std::move(args_),
-                         std::move(pending));
+                         std::move(wait), deadline_);
 }
 
 void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
@@ -79,65 +147,186 @@ void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
 
 // ---------------------------------------------------------------------- Kernel
 
-Kernel::Kernel(KernelOptions options)
-    : options_(options), uid_generator_(options.uid_seed) {
+Kernel::Kernel(KernelOptions options) : options_(options) {
+  if (options_.shards < 1) {
+    options_.shards = 1;
+  }
   node_names_.push_back("node0");
+  books_.emplace_back(UidStreamSeed(options_.uid_seed, kNoNode));  // the driver
+  books_.emplace_back(UidStreamSeed(options_.uid_seed, NodeId{0}));
+  shards_.reserve(options_.shards);
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->outbox.resize(options_.shards);
+  }
 }
 
 Kernel::~Kernel() {
   shutting_down_ = true;
-  // Destroy Ejects (and their parked coroutines) before the queues they may
-  // reference. Reply handles fired from destructors are dropped by the
+  // Destroy Ejects (and their parked coroutines) before the bookkeeping they
+  // may reference. Reply handles fired from destructors are dropped by the
   // shutting_down_ guard in SendReply.
-  registry_.clear();
-  pending_.clear();
+  for (auto& shard : shards_) {
+    shard->registry.clear();
+  }
+  for (auto& shard : shards_) {
+    shard->waits.clear();
+    shard->open_replies.clear();
+  }
 }
 
 NodeId Kernel::AddNode(std::string name) {
+  assert(!parallel_active_.load(std::memory_order_relaxed));
   node_names_.push_back(std::move(name));
-  return static_cast<NodeId>(node_names_.size() - 1);
+  NodeId node = static_cast<NodeId>(node_names_.size() - 1);
+  books_.emplace_back(UidStreamSeed(options_.uid_seed, node));
+  return node;
+}
+
+bool Kernel::set_shards(int shards) {
+  if (shards < 1 || parallel_active_.load(std::memory_order_relaxed) ||
+      !quiescent()) {
+    return false;
+  }
+  if (shards == shard_count()) {
+    return true;
+  }
+  Tick global_now = MaxClock();
+  std::vector<std::unique_ptr<Shard>> old = std::move(shards_);
+  shards_.clear();
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->outbox.resize(shards);
+    shards_.back()->clock.AdvanceTo(global_now);
+  }
+  options_.shards = shards;
+  for (auto& shard : old) {
+    for (auto& [uid, entry] : shard->registry) {
+      NodeId node = entry.node;
+      shards_[ShardOf(node)]->registry[uid] = std::move(entry);
+    }
+    for (const auto& [uid, epoch] : shard->epochs) {
+      shards_[ShardOf(NodeOf(uid))]->epochs[uid] = epoch;
+    }
+    for (auto& [id, wait] : shard->waits) {
+      NodeId node = wait.caller_node;
+      shards_[ShardOf(node)]->waits[id] = std::move(wait);
+    }
+    for (auto& [id, route] : shard->open_replies) {
+      NodeId node = route.target_node;
+      shards_[ShardOf(node)]->open_replies[id] = std::move(route);
+    }
+  }
+  return true;
+}
+
+std::vector<ShardCounters> Kernel::shard_counters() const {
+  std::vector<ShardCounters> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.push_back(shard->counters);
+  }
+  return out;
+}
+
+bool Kernel::IsActive(const Uid& uid) const {
+  return HomeShard(uid).registry.count(uid) > 0;
 }
 
 Eject* Kernel::Find(const Uid& uid) {
-  auto it = registry_.find(uid);
-  return it == registry_.end() ? nullptr : it->second.instance.get();
+  Shard& shard = HomeShard(uid);
+  auto it = shard.registry.find(uid);
+  return it == shard.registry.end() ? nullptr : it->second.instance.get();
+}
+
+size_t Kernel::active_eject_count() const {
+  size_t count = 0;
+  for (const auto& shard : shards_) {
+    count += shard->registry.size();
+  }
+  return count;
+}
+
+std::vector<Uid> Kernel::ActiveUids() const {
+  std::vector<Uid> uids;
+  uids.reserve(active_eject_count());
+  for (const auto& shard : shards_) {
+    for (const auto& [uid, entry] : shard->registry) {
+      uids.push_back(uid);
+    }
+  }
+  std::sort(uids.begin(), uids.end());
+  return uids;
 }
 
 NodeId Kernel::NodeOf(const Uid& uid) const {
-  auto it = registry_.find(uid);
-  if (it != registry_.end()) {
-    return it->second.node;
+  if (uid.IsNil()) {
+    return kNoNode;
   }
-  if (const PassiveRep* rep = store_.Get(uid)) {
-    return rep->home_node;
+  if (node_names_.size() == 1) {
+    return NodeId{0};  // single-node fast path: nothing lives elsewhere
   }
-  return uid.IsNil() ? kNoNode : NodeId{0};
+  std::shared_lock<std::shared_mutex> lock(homes_mu_);
+  auto it = home_nodes_.find(uid);
+  return it != home_nodes_.end() ? it->second : NodeId{0};
+}
+
+NodeId Kernel::PushCreationNode(NodeId node) {
+  return std::exchange(tls_creation_node, node);
+}
+
+void Kernel::PopCreationNode(NodeId prev) { tls_creation_node = prev; }
+
+NodeId Kernel::CurrentNode() const {
+  return OnOwnContext() ? tls_ctx_.node : kNoNode;
+}
+
+UidGenerator& Kernel::uids() {
+  NodeId node = CurrentNode();
+  return BookFor(node == kNoNode ? kNoNode : node).uids;
 }
 
 Uid Kernel::AllocateEjectUid() {
-  Uid uid = uid_generator_.Next();
-  epochs_[uid] = 1;
+  NodeId node = tls_creation_node;
+  if (node == kNoNode) {
+    NodeId current = CurrentNode();
+    node = current == kNoNode ? NodeId{0} : current;
+  }
+  Uid uid = BookFor(node).uids.Next();
+  shards_[ShardOf(node)]->epochs[uid] = 1;
+  {
+    std::unique_lock<std::shared_mutex> lock(homes_mu_);
+    home_nodes_[uid] = node;
+  }
   return uid;
 }
 
 void Kernel::AdoptEject(std::unique_ptr<Eject> eject, NodeId node) {
   assert(node >= 0 && static_cast<size_t>(node) < node_names_.size());
+  // Parallel workers may only create Ejects on nodes they own; creation on a
+  // foreign shard would race its registry.
+  assert(!(OnOwnContext() && tls_ctx_.parallel) || ShardOf(node) == tls_ctx_.shard_index);
   Eject* raw = eject.get();
   raw->node_ = node;
   Uid uid = raw->uid();
   EjectEntry entry;
   entry.instance = std::move(eject);
   entry.node = node;
-  registry_[uid] = std::move(entry);
-  stats_.ejects_created++;
+  shards_[ShardOf(node)]->registry[uid] = std::move(entry);
+  stats_.ejects_created.fetch_add(1, std::memory_order_relaxed);
   EDEN_LOG(*this, kDebug) << "create " << raw->type_name() << " " << uid.Short()
                           << " on " << node_names_[node];
   raw->OnStart();
 }
 
 uint64_t Kernel::EpochOf(const Uid& uid) const {
-  auto it = epochs_.find(uid);
-  return it == epochs_.end() ? 0 : it->second;
+  if (uid.IsNil()) {
+    return 0;
+  }
+  const Shard& shard = HomeShard(uid);
+  auto it = shard.epochs.find(uid);
+  return it == shard.epochs.end() ? 0 : it->second;
 }
 
 bool Kernel::EpochValid(const Uid& uid, uint64_t epoch) const {
@@ -147,32 +336,62 @@ bool Kernel::EpochValid(const Uid& uid, uint64_t epoch) const {
   if (uid.IsNil()) {
     return true;  // external driver: valid for the kernel's lifetime
   }
-  if (registry_.count(uid) == 0) {
+  const Shard& shard = HomeShard(uid);
+  if (shard.registry.count(uid) == 0) {
     return false;
   }
-  auto it = epochs_.find(uid);
-  return it != epochs_.end() && it->second == epoch;
+  auto it = shard.epochs.find(uid);
+  return it != shard.epochs.end() && it->second == epoch;
+}
+
+// ------------------------------------------------------------------ scheduling
+
+void Kernel::ScheduleOn(NodeId exec, Tick at, EventQueue::Action action) {
+  NodeId origin = CurrentNode();
+  NodeBook& book = BookFor(origin);
+  EventKey key{at, origin, book.event_seq++};
+  int target = ShardOf(exec);
+  if (OnOwnContext() && tls_ctx_.parallel && target != tls_ctx_.shard_index) {
+    // Cross-shard: stage into the worker-local outbox, flushed into the
+    // target's mailbox once per window. The arrival time must honour the
+    // lookahead promise — a message into the current window would have to
+    // rewind a neighbour's clock, the one thing a conservative synchronizer
+    // must never do.
+    Tick promised = window_end_.load(std::memory_order_relaxed);
+    if (at < promised) {
+      std::fprintf(stderr,
+                   "eden: lookahead violation: cross-shard event at t=%lld "
+                   "undercuts the window promise t=%lld (lower "
+                   "KernelOptions::lookahead)\n",
+                   static_cast<long long>(at), static_cast<long long>(promised));
+      std::abort();
+    }
+    tls_ctx_.shard->outbox[target].push_back(MailItem{key, exec, std::move(action)});
+    tls_ctx_.shard->counters.cross_shard_sends++;
+    return;
+  }
+  shards_[target]->queue.Schedule(key, exec, std::move(action));
 }
 
 void Kernel::ScheduleResume(const Uid& host, uint64_t epoch,
                             std::coroutine_handle<> h, Tick delay) {
   Tick at = now() + delay + options_.costs.context_switch;
-  events_.Schedule(at, [this, host, epoch, h, span = current_span_] {
+  ScheduleOn(NodeOf(host), at, [this, host, epoch, h, span = current_span()] {
     if (EpochValid(host, epoch)) {
-      stats_.context_switches++;
+      stats_.context_switches.fetch_add(1, std::memory_order_relaxed);
       // Resume inside the span that scheduled the wakeup: a CondVar notify
       // fired while serving invocation N wakes its waiter as part of N's
       // causal subtree, which is what chains lazy demand across buffers.
-      InvocationId prev = std::exchange(current_span_, span);
+      InvocationId prev = std::exchange(tls_ctx_.span, span);
       h.resume();
-      current_span_ = prev;
+      tls_ctx_.span = prev;
     }
     // Otherwise the frame has already been destroyed with its Eject: drop.
   });
 }
 
 void Kernel::ScheduleAction(Tick delay, std::function<void()> action) {
-  events_.Schedule(now() + delay, std::move(action));
+  ScheduleOn(CurrentNode(), now() + delay, std::move(action));
 }
 
 ServiceProc::ServiceProc(Kernel& kernel, std::function<void()> fn)
@@ -208,11 +427,12 @@ InvokeAwaiter Kernel::Invoke(const Eject& from, Uid target, std::string op,
 
 void Kernel::ExternalInvoke(Uid target, std::string op, Value args,
                             std::function<void(InvokeResult)> callback) {
-  PendingInvocation pending;
-  pending.caller = Uid();  // nil: external
-  pending.caller_node = kNoNode;
-  pending.callback = std::move(callback);
-  SendInvocation(Uid(), target, std::move(op), std::move(args), std::move(pending));
+  WaitRecord wait;
+  wait.caller = Uid();  // nil: external
+  wait.caller_node = kNoNode;
+  wait.callback = std::move(callback);
+  SendInvocation(Uid(), target, std::move(op), std::move(args), std::move(wait),
+                 /*deadline=*/0);
 }
 
 InvokeResult Kernel::InvokeAndRun(Uid target, std::string op, Value args) {
@@ -238,26 +458,34 @@ void Kernel::SpawnExternal(Task<void> task) {
 }
 
 void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
-                            PendingInvocation pending) {
-  InvocationId id = next_invocation_id_++;
+                            WaitRecord wait, Tick deadline) {
+  NodeId caller_node = wait.caller_node;
+  NodeId target_node = NodeOf(target);
+  NodeBook& book = BookFor(caller_node);
+  InvocationId id = MakeInvocationId(caller_node, ++book.invocation_seq);
   size_t bytes = kMessageHeaderBytes + op.size() + Codec::EncodedSize(args);
-  stats_.invocations_sent++;
-  stats_.invocation_bytes += bytes;
+  stats_.invocations_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.invocation_bytes.fetch_add(bytes, std::memory_order_relaxed);
 
-  pending.target = target;
-  pending.target_node = NodeOf(target);
-  pending.parent = current_span_;
-  pending.sent_at = now();
+  wait.target = target;
+  wait.target_node = target_node;
+  wait.deadline = deadline;
+  wait.parent = current_span();
+  ReplyRoute route;
+  route.caller = wait.caller;
+  route.caller_node = caller_node;
+  route.target = target;
+  route.target_node = target_node;
+  route.parent = wait.parent;
+  route.sent_at = now();
   if (metrics_ != nullptr) {
     metrics_->CountInvocation(target);
-    pending.op = op;  // kept for latency attribution at reply time
+    route.op = op;  // kept for latency attribution at reply time
   }
-  if (pending.caller_node != pending.target_node && pending.caller_node != kNoNode &&
-      pending.target_node != kNoNode) {
-    stats_.cross_node_messages++;
+  if (caller_node != target_node && caller_node != kNoNode && target_node != kNoNode) {
+    stats_.cross_node_messages.fetch_add(1, std::memory_order_relaxed);
   }
-  Tick cost = options_.costs.MessageCost(bytes, pending.caller_node,
-                                         pending.target_node) +
+  Tick cost = options_.costs.MessageCost(bytes, caller_node, target_node) +
               options_.costs.dispatch;
   EDEN_LOG(*this, kDebug) << "invoke " << from.Short() << " -> " << target.Short()
                           << " " << op << " (id " << id << ")";
@@ -269,11 +497,11 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
     event.to = target;
     event.op = op;
     event.id = id;
-    event.parent = current_span_;
+    event.parent = current_span();
     Observe(event);
   }
   // Fault injection applies to inter-Eject traffic only, so external drivers
-  // keep a reliable channel. A dropped invocation leaves its pending entry in
+  // keep a reliable channel. A dropped invocation leaves its wait record in
   // place: the deadline (if any) is the caller's only way to learn of the
   // loss; without one the caller waits forever, exactly like 1983.
   bool lost = false;
@@ -281,7 +509,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
     if (fault_->ShouldDropInvocation()) {
       lost = true;
       fault_->invocations_dropped_++;
-      stats_.messages_dropped++;
+      stats_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
       EDEN_LOG(*this, kInfo) << "fault: lost invoke " << op << " (id " << id << ")";
       if (observing()) {
         TraceEvent event;
@@ -291,7 +519,7 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
         event.to = target;
         event.op = op;
         event.id = id;
-        event.parent = current_span_;
+        event.parent = current_span();
         event.ok = false;
         Observe(event);
       }
@@ -299,39 +527,45 @@ void Kernel::SendInvocation(Uid from, Uid target, std::string op, Value args,
       cost += fault_->NextJitter();
     }
   }
-  Tick deadline = pending.deadline;
-  pending_[id] = std::move(pending);
+  shards_[ShardOf(caller_node)]->waits[id] = std::move(wait);
   if (!lost) {
-    events_.Schedule(now() + cost,
-                     [this, id, target, op = std::move(op), args = std::move(args)]() mutable {
-                       DeliverInvocation(id, target, std::move(op), std::move(args));
-                     });
+    ScheduleOn(target_node, now() + cost,
+               [this, id, route = std::move(route), op = std::move(op),
+                args = std::move(args)]() mutable {
+                 DeliverInvocation(id, std::move(route), std::move(op), std::move(args));
+               });
   }
   if (deadline > 0) {
-    events_.Schedule(now() + deadline, [this, id] { FireDeadline(id); });
+    ScheduleOn(caller_node, now() + deadline, [this, id] { FireDeadline(id); });
   }
 }
 
-void Kernel::DeliverInvocation(InvocationId id, Uid target, std::string op,
+void Kernel::DeliverInvocation(InvocationId id, ReplyRoute route, std::string op,
                                Value args) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
-    return;  // caller teardown raced the delivery; nobody cares about it
+  Uid target = route.target;
+  NodeId target_node = route.target_node;
+  Shard& shard = *shards_[ShardOf(target_node)];
+  if (route.caller_node == route.target_node &&
+      shard.waits.find(id) == shard.waits.end()) {
+    return;  // caller teardown/deadline raced the delivery; nobody cares
   }
-  Eject* eject = Find(target);
-  if (eject != nullptr) {
-    it->second.delivered = true;
-    DispatchTo(*eject, id, std::move(op), std::move(args));
+  // From here the invocation is deliverable: the route parks on the target's
+  // shard and is what a (possibly stashed) ReplyHandle answers through.
+  shard.open_replies[id] = std::move(route);
+  auto it = shard.registry.find(target);
+  if (it != shard.registry.end()) {
+    DispatchTo(*it->second.instance, id, std::move(op), std::move(args));
     return;
   }
   const PassiveRep* rep = store_.Get(target);
   if (rep != nullptr && types_.Contains(rep->type_name)) {
     // Activation: the kernel reconstructs the Eject from its passive
     // representation, then delivers (paper §1).
-    events_.Schedule(now() + options_.costs.activation,
-                     [this, id, target, op = std::move(op), args = std::move(args)]() mutable {
-                       ActivateThenDispatch(id, target, std::move(op), std::move(args));
-                     });
+    ScheduleOn(target_node, now() + options_.costs.activation,
+               [this, id, target, op = std::move(op), args = std::move(args)]() mutable {
+                 ActivateThenDispatch(id, ReplyRoute{}, std::move(op), std::move(args));
+                 (void)target;
+               });
     return;
   }
   SendReply(id, Status(StatusCode::kNoSuchEject,
@@ -340,21 +574,31 @@ void Kernel::DeliverInvocation(InvocationId id, Uid target, std::string op,
             Value());
 }
 
-void Kernel::ActivateThenDispatch(InvocationId id, Uid target, std::string op,
-                                  Value args) {
-  auto pending_it = pending_.find(id);
-  if (pending_it == pending_.end()) {
+void Kernel::ActivateThenDispatch(InvocationId id, ReplyRoute /*unused*/,
+                                  std::string op, Value args) {
+  // Running on the target's shard; the parked route tells us whether anyone
+  // still cares (a same-node deadline clears it along with the wait).
+  Shard& shard = *tls_ctx_.shard;
+  auto route_it = shard.open_replies.find(id);
+  if (route_it == shard.open_replies.end()) {
     return;
   }
-  // Another invocation may have completed activation while this one waited.
-  Eject* eject = Find(target);
-  if (eject == nullptr) {
+  Uid target = route_it->second.target;
+  NodeId home = route_it->second.target_node;
+  Eject* eject = nullptr;
+  auto reg_it = shard.registry.find(target);
+  if (reg_it != shard.registry.end()) {
+    // Another invocation completed activation while this one waited.
+    eject = reg_it->second.instance.get();
+  } else {
     const PassiveRep* rep = store_.Get(target);
     if (rep == nullptr) {
       SendReply(id, Status(StatusCode::kNoSuchEject, "passive rep vanished"), Value());
       return;
     }
+    NodeId prev = PushCreationNode(home);
     std::unique_ptr<Eject> fresh = types_.Make(rep->type_name, *this);
+    PopCreationNode(prev);
     if (fresh == nullptr) {
       SendReply(id, Status(StatusCode::kNoSuchEject, "type not registered"), Value());
       return;
@@ -362,59 +606,77 @@ void Kernel::ActivateThenDispatch(InvocationId id, Uid target, std::string op,
     // Re-bind the stored identity: the reactivated instance *is* the old
     // Eject, so it keeps the old UID (a fresh one was allocated by the base
     // constructor; release it).
-    epochs_.erase(fresh->uid_);
+    shard.epochs.erase(fresh->uid_);
     fresh->uid_ = target;
     fresh->node_ = rep->home_node;
-    if (epochs_.find(target) == epochs_.end()) {
-      epochs_[target] = 1;
+    if (shard.epochs.find(target) == shard.epochs.end()) {
+      shard.epochs[target] = 1;
     }
     Eject* raw = fresh.get();
     EjectEntry entry;
     entry.instance = std::move(fresh);
     entry.node = rep->home_node;
-    registry_[target] = std::move(entry);
-    stats_.activations++;
+    shard.registry[target] = std::move(entry);
+    stats_.activations.fetch_add(1, std::memory_order_relaxed);
     std::optional<Value> state = Codec::Decode(rep->state);
     raw->RestoreState(state.has_value() ? *state : Value());
     raw->OnActivate();
     eject = raw;
     EDEN_LOG(*this, kInfo) << "activated " << raw->type_name() << " " << target.Short();
   }
-  pending_it->second.delivered = true;
   DispatchTo(*eject, id, std::move(op), std::move(args));
 }
 
 void Kernel::DispatchTo(Eject& eject, InvocationId id, std::string op, Value args) {
   // The handler runs under its own invocation's span; anything it sends (or
   // schedules — see ScheduleResume) becomes a child of this invocation.
-  InvocationId prev = std::exchange(current_span_, id);
+  InvocationId prev = std::exchange(tls_ctx_.span, id);
   eject.Dispatch(InvocationContext(std::move(op), std::move(args),
                                    ReplyHandle(this, id)));
-  current_span_ = prev;
+  tls_ctx_.span = prev;
 }
 
 void Kernel::SendReply(InvocationId id, Status status, Value result) {
   if (shutting_down_) {
     return;
   }
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
-    return;  // double reply, deadline already fired, or failed by teardown
+  // Replies are issued from the target's shard (its handlers, its teardown),
+  // so the parallel path looks only there. The sequential path searches all
+  // shards, preserving the classic anything-goes semantics for drivers.
+  Shard* shard = nullptr;
+  std::map<InvocationId, ReplyRoute>::iterator it;
+  if (OnOwnContext() && tls_ctx_.parallel) {
+    shard = tls_ctx_.shard;
+    it = shard->open_replies.find(id);
+    if (it == shard->open_replies.end()) {
+      return;  // double reply, deadline already fired, or failed by teardown
+    }
+  } else {
+    for (auto& candidate : shards_) {
+      it = candidate->open_replies.find(id);
+      if (it != candidate->open_replies.end()) {
+        shard = candidate.get();
+        break;
+      }
+    }
+    if (shard == nullptr) {
+      return;  // double reply, deadline already fired, or failed by teardown
+    }
   }
 
   size_t bytes = kMessageHeaderBytes + Codec::EncodedSize(result);
-  stats_.replies_sent++;
-  stats_.reply_bytes += bytes;
+  stats_.replies_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.reply_bytes.fetch_add(bytes, std::memory_order_relaxed);
   if (!status.ok_or_end()) {
-    stats_.failed_invocations++;
+    stats_.failed_invocations.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Fault injection: a lost reply keeps the pending entry so the caller's
+  // Fault injection: a lost reply keeps the route parked so the caller's
   // deadline can still fire (or a later teardown can answer kUnavailable).
   if (fault_ != nullptr && !it->second.caller.IsNil() &&
       fault_->ShouldDropReply()) {
     fault_->replies_dropped_++;
-    stats_.messages_dropped++;
+    stats_.messages_dropped.fetch_add(1, std::memory_order_relaxed);
     EDEN_LOG(*this, kInfo) << "fault: lost reply (id " << id << ")";
     if (observing()) {
       TraceEvent event;
@@ -431,87 +693,125 @@ void Kernel::SendReply(InvocationId id, Status status, Value result) {
     return;
   }
 
-  PendingInvocation pending = std::move(it->second);
-  pending_.erase(it);
+  ReplyRoute route = std::move(it->second);
+  shard->open_replies.erase(it);
   if (metrics_ != nullptr) {
     // Latency = invocation send to reply send, in virtual ticks; attributed
     // to the operation name captured when the invocation left.
-    metrics_->RecordLatency(pending.op, static_cast<uint64_t>(now() - pending.sent_at));
+    metrics_->RecordLatency(route.op, static_cast<uint64_t>(now() - route.sent_at));
   }
   if (observing()) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kReply;
     event.at = now();
-    event.from = pending.target;
-    event.to = pending.caller;
+    event.from = route.target;
+    event.to = route.caller;
     event.id = id;
-    event.parent = pending.parent;
+    event.parent = route.parent;
     event.ok = status.ok_or_end();
     Observe(event);
   }
-  Tick cost = options_.costs.MessageCost(bytes, pending.target_node,
-                                         pending.caller_node);
-  if (fault_ != nullptr && !pending.caller.IsNil()) {
+  Tick cost = options_.costs.MessageCost(bytes, route.target_node, route.caller_node);
+  if (fault_ != nullptr && !route.caller.IsNil()) {
     cost += fault_->NextJitter();
   }
-  events_.Schedule(
-      now() + cost,
-      [this, pending = std::move(pending), status = std::move(status),
-       result = std::move(result)]() mutable {
-        DeliverReply(std::move(pending), std::move(status), std::move(result));
-      });
-}
-
-void Kernel::DeliverReply(PendingInvocation pending, Status status, Value result) {
-  // The caller resumes inside *its* span (the one it was serving when it
-  // invoked), not inside the replying invocation's span.
-  InvocationId prev = std::exchange(current_span_, pending.parent);
-  if (pending.callback) {
-    pending.callback(InvokeResult{std::move(status), std::move(result)});
-    current_span_ = prev;
+  if (route.caller_node == route.target_node) {
+    // Same node (same shard): the wait record is consumed when the reply is
+    // *sent* — the classic semantics, under which a deadline firing after
+    // this instant is moot.
+    Shard& caller_shard = *shards_[ShardOf(route.caller_node)];
+    auto wait_it = caller_shard.waits.find(id);
+    if (wait_it == caller_shard.waits.end()) {
+      return;  // caller withdrew (teardown) between delivery and reply
+    }
+    WaitRecord wait = std::move(wait_it->second);
+    caller_shard.waits.erase(wait_it);
+    ScheduleOn(route.caller_node, now() + cost,
+               [this, wait = std::move(wait), status = std::move(status),
+                result = std::move(result)]() mutable {
+                 DeliverReplyToWait(std::move(wait), std::move(status), std::move(result));
+               });
     return;
   }
-  if (!EpochValid(pending.caller, pending.caller_epoch)) {
-    current_span_ = prev;
+  // Cross-node: the wait record lives on another shard and is consumed when
+  // the reply *arrives* there, so the deadline-vs-reply race is decided by
+  // virtual-time arrival order — identical at every shard count.
+  ScheduleOn(route.caller_node, now() + cost,
+             [this, id, status = std::move(status), result = std::move(result)]() mutable {
+               DeliverRemoteReply(id, std::move(status), std::move(result), 0);
+             });
+}
+
+void Kernel::DeliverReplyToWait(WaitRecord wait, Status status, Value result) {
+  // The caller resumes inside *its* span (the one it was serving when it
+  // invoked), not inside the replying invocation's span.
+  InvocationId prev = std::exchange(tls_ctx_.span, wait.parent);
+  if (wait.callback) {
+    wait.callback(InvokeResult{std::move(status), std::move(result)});
+    tls_ctx_.span = prev;
+    return;
+  }
+  if (!EpochValid(wait.caller, wait.caller_epoch)) {
+    tls_ctx_.span = prev;
     return;  // caller crashed while the reply was in flight
   }
-  pending.awaiter->result_ = InvokeResult{std::move(status), std::move(result)};
-  stats_.context_switches++;
-  pending.waiter.resume();
-  current_span_ = prev;
+  wait.awaiter->result_ = InvokeResult{std::move(status), std::move(result)};
+  stats_.context_switches.fetch_add(1, std::memory_order_relaxed);
+  wait.waiter.resume();
+  tls_ctx_.span = prev;
+}
+
+void Kernel::DeliverRemoteReply(InvocationId id, Status status, Value result,
+                                InvocationId /*unused*/) {
+  // Running on the caller's shard.
+  Shard& shard = *tls_ctx_.shard;
+  auto it = shard.waits.find(id);
+  if (it == shard.waits.end()) {
+    return;  // deadline fired first: the late reply is dropped on arrival
+  }
+  WaitRecord wait = std::move(it->second);
+  shard.waits.erase(it);
+  DeliverReplyToWait(std::move(wait), std::move(status), std::move(result));
 }
 
 void Kernel::FireDeadline(InvocationId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
-    return;  // a reply was sent in time; the deadline is moot
+  // Running on the caller's shard.
+  Shard& shard = *tls_ctx_.shard;
+  auto it = shard.waits.find(id);
+  if (it == shard.waits.end()) {
+    return;  // a reply was consumed in time; the deadline is moot
   }
-  PendingInvocation pending = std::move(it->second);
-  pending_.erase(it);
-  stats_.timeouts++;
+  WaitRecord wait = std::move(it->second);
+  shard.waits.erase(it);
+  if (wait.caller_node == wait.target_node) {
+    // Same shard: also retract the target side, so an undelivered invocation
+    // is skipped and a late reply finds nothing — the classic semantics.
+    shard.open_replies.erase(id);
+  }
+  stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
   EDEN_LOG(*this, kInfo) << "deadline exceeded (id " << id << ")";
   if (observing()) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kTimeout;
     event.at = now();
-    event.from = pending.target;
-    event.to = pending.caller;
+    event.from = wait.target;
+    event.to = wait.caller;
     event.id = id;
-    event.parent = pending.parent;
+    event.parent = wait.parent;
     event.ok = false;
     Observe(event);
   }
-  // Erasing the entry above is what "drops" any later reply: SendReply for
-  // this id becomes a no-op, the same path that swallows double replies.
-  DeliverReply(std::move(pending),
-               Status(StatusCode::kDeadlineExceeded, "invocation deadline exceeded"),
-               Value());
+  // Erasing the wait record above is what "drops" any later reply: its
+  // arrival (cross-node) or its send (same-node) finds nothing to consume.
+  DeliverReplyToWait(std::move(wait),
+                     Status(StatusCode::kDeadlineExceeded, "invocation deadline exceeded"),
+                     Value());
 }
 
 // ------------------------------------------------------------------- lifecycle
 
 void Kernel::Checkpoint(Eject& eject) {
-  stats_.checkpoints++;
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
   store_.Put(eject.uid(), eject.type_name(), eject.node(),
              Codec::Encode(eject.SaveState()));
 }
@@ -520,7 +820,7 @@ void Kernel::Crash(const Uid& uid) { TearDown(uid, /*is_crash=*/true); }
 
 void Kernel::CrashNode(NodeId node) {
   std::vector<Uid> victims;
-  for (const auto& [uid, entry] : registry_) {
+  for (const auto& [uid, entry] : shards_[ShardOf(node)]->registry) {
     if (entry.node == node) {
       victims.push_back(uid);
     }
@@ -537,12 +837,13 @@ void Kernel::RequestDeactivate(const Uid& uid) {
 }
 
 void Kernel::TearDown(const Uid& uid, bool is_crash) {
-  auto it = registry_.find(uid);
-  if (it == registry_.end()) {
+  Shard& shard = HomeShard(uid);
+  auto it = shard.registry.find(uid);
+  if (it == shard.registry.end()) {
     return;
   }
   if (is_crash) {
-    stats_.crashes++;
+    stats_.crashes.fetch_add(1, std::memory_order_relaxed);
     if (observing()) {
       TraceEvent event;
       event.kind = TraceEvent::Kind::kCrash;
@@ -550,27 +851,27 @@ void Kernel::TearDown(const Uid& uid, bool is_crash) {
       event.from = uid;
       event.to = uid;
       event.op = it->second.instance->type_name();
-      event.parent = current_span_;
+      event.parent = current_span();
       event.ok = false;
       Observe(event);
     }
   } else {
-    stats_.passivations++;
+    stats_.passivations.fetch_add(1, std::memory_order_relaxed);
   }
-  epochs_[uid]++;  // invalidates every scheduled resumption for this Eject
+  shard.epochs[uid]++;  // invalidates every scheduled resumption for this Eject
   // Fail invocations that were delivered but not yet answered: their reply
   // handles are about to be destroyed with the instance.
-  FailDeliveredPendingFor(uid);
+  FailDeliveredPendingFor(shard, uid);
   std::unique_ptr<Eject> dying = std::move(it->second.instance);
-  registry_.erase(it);
+  shard.registry.erase(it);
   EDEN_LOG(*this, kInfo) << (is_crash ? "crash " : "deactivate ") << uid.Short();
   dying.reset();  // destroys parked coroutines and reply handles
 }
 
-void Kernel::FailDeliveredPendingFor(const Uid& target) {
+void Kernel::FailDeliveredPendingFor(Shard& shard, const Uid& target) {
   std::vector<InvocationId> doomed;
-  for (const auto& [id, pending] : pending_) {
-    if (pending.target == target && pending.delivered) {
+  for (const auto& [id, route] : shard.open_replies) {
+    if (route.target == target) {
       doomed.push_back(id);
     }
   }
@@ -581,56 +882,313 @@ void Kernel::FailDeliveredPendingFor(const Uid& target) {
 
 // ------------------------------------------------------------------- execution
 
+Kernel::Shard* Kernel::MinShard() {
+  Shard* best = nullptr;
+  for (auto& shard : shards_) {
+    if (shard->queue.empty()) {
+      continue;
+    }
+    if (best == nullptr || shard->queue.next_key() < best->queue.next_key()) {
+      best = shard.get();
+    }
+  }
+  return best;
+}
+
+void Kernel::ExecuteEvent(Shard& shard, int shard_index,
+                          EventQueue::PoppedEvent event, bool parallel) {
+  assert(event.key.at >= shard.clock.now() && "virtual time must be monotone");
+  shard.clock.AdvanceTo(event.key.at);
+  shard.counters.events_processed++;
+  if (parallel) {
+    shard.batched_events++;  // flushed into stats_ at the window barrier
+  } else {
+    stats_.events_processed.fetch_add(1, std::memory_order_relaxed);
+  }
+  ExecContext saved = tls_ctx_;
+  tls_ctx_ = ExecContext{this, &shard, shard_index, event.exec,
+                         0,    event.key, 0,        parallel};
+  event.action();
+  tls_ctx_ = saved;
+}
+
 bool Kernel::Step() {
-  if (events_.empty()) {
+  Shard* best = MinShard();
+  if (best == nullptr) {
     return false;
   }
-  auto [at, action] = events_.Pop();
-  assert(at >= clock_.now() && "virtual time must be monotone");
-  clock_.AdvanceTo(at);
-  stats_.events_processed++;
-  action();
+  int index = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].get() == best) {
+      index = static_cast<int>(i);
+      break;
+    }
+  }
+  ExecuteEvent(*best, index, best->queue.Pop(), /*parallel=*/false);
   return true;
 }
 
-bool Kernel::Run(uint64_t max_events) {
-  for (uint64_t i = 0; i < max_events; ++i) {
-    if (!Step()) {
-      return true;
+Tick Kernel::MaxClock() const {
+  Tick max = 0;
+  for (const auto& shard : shards_) {
+    max = std::max(max, shard->clock.now());
+  }
+  return max;
+}
+
+Tick Kernel::now() const {
+  if (OnOwnContext() && tls_ctx_.shard != nullptr) {
+    return tls_ctx_.shard->clock.now();
+  }
+  return MaxClock();
+}
+
+bool Kernel::quiescent() const {
+  for (const auto& shard : shards_) {
+    if (!shard->queue.empty()) {
+      return false;
     }
   }
-  return events_.empty();
+  return true;
+}
+
+Tick Kernel::EffectiveLookahead() const {
+  return options_.lookahead > 0 ? options_.lookahead : options_.costs.invocation_send;
+}
+
+bool Kernel::CanRunParallel() const {
+  return shard_count() > 1 && EffectiveLookahead() > 0 && fault_ == nullptr;
+}
+
+bool Kernel::RunSequential(const std::function<bool()>& done, uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (done && done()) {
+      return true;
+    }
+    if (!Step()) {
+      return done ? done() : true;
+    }
+  }
+  return done ? done() : quiescent();
+}
+
+bool Kernel::Run(uint64_t max_events) {
+  bool result = CanRunParallel() ? RunSharded(nullptr, max_events)
+                                 : RunSequential(nullptr, max_events);
+  PublishShardMetrics();
+  return result;
+}
+
+bool Kernel::RunUntil(const std::function<bool()>& done, uint64_t max_events) {
+  bool result = CanRunParallel() ? RunSharded(done, max_events)
+                                 : RunSequential(done, max_events);
+  PublishShardMetrics();
+  return result;
 }
 
 void Kernel::RunFor(Tick duration, uint64_t max_events) {
   Tick deadline = now() + duration;
   for (uint64_t i = 0; i < max_events; ++i) {
-    if (events_.empty() || events_.next_time() > deadline) {
+    Shard* best = MinShard();
+    if (best == nullptr || best->queue.next_time() > deadline) {
       break;
     }
     Step();
   }
-  clock_.AdvanceTo(deadline);
-}
-
-bool Kernel::RunUntil(const std::function<bool()>& done, uint64_t max_events) {
-  for (uint64_t i = 0; i < max_events; ++i) {
-    if (done()) {
-      return true;
-    }
-    if (!Step()) {
-      return done();
+  for (auto& shard : shards_) {
+    if (shard->clock.now() < deadline) {
+      shard->clock.AdvanceTo(deadline);
     }
   }
-  return done();
+  PublishShardMetrics();
 }
 
+void Kernel::DrainMailbox(Shard& shard) {
+  std::vector<MailItem> incoming;
+  {
+    std::lock_guard<std::mutex> lock(shard.mailbox_mu);
+    incoming.swap(shard.mailbox);
+  }
+  if (incoming.size() > shard.counters.mailbox_high_water) {
+    shard.counters.mailbox_high_water = incoming.size();
+  }
+  if (incoming.size() > options_.mailbox_capacity) {
+    shard.counters.mailbox_overflows++;
+  }
+  for (MailItem& item : incoming) {
+    shard.queue.Schedule(item.key, item.exec, std::move(item.action));
+  }
+}
+
+void Kernel::FlushOutboxes(Shard& shard) {
+  for (size_t target = 0; target < shard.outbox.size(); ++target) {
+    std::vector<MailItem>& box = shard.outbox[target];
+    if (box.empty()) {
+      continue;
+    }
+    Shard& receiver = *shards_[target];
+    {
+      std::lock_guard<std::mutex> lock(receiver.mailbox_mu);
+      for (MailItem& item : box) {
+        receiver.mailbox.push_back(std::move(item));
+      }
+    }
+    box.clear();
+  }
+}
+
+bool Kernel::RunSharded(const std::function<bool()>& done, uint64_t max_events) {
+  const int workers = shard_count();
+  const Tick lookahead = EffectiveLookahead();
+  struct Control {
+    std::atomic<bool> stop{false};
+    bool result = true;
+    Tick window_end = 0;
+    uint64_t events = 0;
+  } control;
+  SyncPoint top(workers);
+  SyncPoint bottom(workers);
+  parallel_active_.store(true, std::memory_order_relaxed);
+
+  // Runs in exactly one thread per window, with every worker parked at the
+  // barrier: the only place where cross-shard state is touched together.
+  auto completion = [&] {
+    FlushObservations();
+    uint64_t batch = 0;
+    Tick t_min = kTickMax;
+    for (auto& shard : shards_) {
+      batch += shard->batched_events;
+      shard->batched_events = 0;
+      if (!shard->queue.empty()) {
+        t_min = std::min(t_min, shard->queue.next_time());
+      }
+    }
+    if (batch > 0) {
+      control.events += batch;
+      stats_.events_processed.fetch_add(batch, std::memory_order_relaxed);
+    }
+    if (t_min == kTickMax) {
+      control.stop.store(true, std::memory_order_relaxed);
+      control.result = true;  // quiescent
+      return;
+    }
+    if (done && done()) {
+      control.stop.store(true, std::memory_order_relaxed);
+      control.result = true;
+      return;
+    }
+    if (control.events >= max_events) {
+      control.stop.store(true, std::memory_order_relaxed);
+      control.result = done ? done() : false;
+      return;
+    }
+    control.window_end = t_min + lookahead;
+    window_end_.store(control.window_end, std::memory_order_relaxed);
+  };
+
+  auto worker = [&](int index) {
+    Shard& shard = *shards_[index];
+    ExecContext saved = tls_ctx_;
+    tls_ctx_ = ExecContext{this, &shard, index, kNoNode, 0, {}, 0, true};
+    while (true) {
+      DrainMailbox(shard);
+      top.Arrive(completion);
+      if (control.stop.load(std::memory_order_relaxed)) {
+        break;
+      }
+      shard.counters.windows++;
+      uint64_t before = shard.counters.events_processed;
+      while (!shard.queue.empty() && shard.queue.next_time() < control.window_end) {
+        ExecuteEvent(shard, index, shard.queue.Pop(), /*parallel=*/true);
+      }
+      if (shard.counters.events_processed == before) {
+        shard.counters.lookahead_stalls++;  // this window was pure waiting
+      }
+      FlushOutboxes(shard);
+      bottom.Arrive([] {});
+    }
+    tls_ctx_ = saved;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (int i = 1; i < workers; ++i) {
+    threads.emplace_back(worker, i);
+  }
+  worker(0);  // the calling thread drives shard 0
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  parallel_active_.store(false, std::memory_order_relaxed);
+  return control.result;
+}
+
+void Kernel::PublishShardMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    metrics_->RecordShardCounters(static_cast<int>(i), shards_[i]->counters);
+  }
+}
+
+// ----------------------------------------------------------------- observation
+
 void Kernel::Observe(const TraceEvent& event) {
+  if (OnOwnContext() && tls_ctx_.parallel) {
+    tls_ctx_.shard->observations.push_back(
+        ObsRecord{tls_ctx_.event_key, tls_ctx_.obs_sub++, event});
+    return;
+  }
   if (tracer_) {
     tracer_(event);
   }
   if (monitor_ != nullptr) {
     monitor_->OnTraceEvent(event);
+  }
+}
+
+void Kernel::FlushObservations() {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->observations.size();
+  }
+  if (total == 0) {
+    return;
+  }
+  std::vector<ObsRecord> merged;
+  merged.reserve(total);
+  for (auto& shard : shards_) {
+    for (ObsRecord& record : shard->observations) {
+      merged.push_back(std::move(record));
+    }
+    shard->observations.clear();
+  }
+  // (event key, in-event ordinal) reproduces the order a single-shard run
+  // would have fanned these out in — byte-identical traces at any width.
+  std::sort(merged.begin(), merged.end(), [](const ObsRecord& a, const ObsRecord& b) {
+    if (!(a.key < b.key) && !(b.key < a.key)) {
+      return a.sub < b.sub;
+    }
+    return a.key < b.key;
+  });
+  for (const ObsRecord& record : merged) {
+    if (tracer_) {
+      tracer_(record.event);
+    }
+    if (monitor_ != nullptr) {
+      monitor_->OnTraceEvent(record.event);
+    }
+  }
+}
+
+InvocationId Kernel::current_span() const {
+  return OnOwnContext() ? tls_ctx_.span : 0;
+}
+
+void Kernel::AdoptSpan(InvocationId span) {
+  if (OnOwnContext()) {
+    tls_ctx_.span = span;
   }
 }
 

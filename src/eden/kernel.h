@@ -9,19 +9,36 @@
 // Everything above that — files, directories, the whole transput system — is
 // built out of Ejects, which is the paper's point.
 //
-// Simulation model: a single event queue in virtual time. All computation
-// inside handlers is instantaneous; *costs* are realized exclusively as
-// scheduled delays taken from the CostModel, and *counts* (invocations,
-// replies, bytes, context switches) accumulate in Stats. Identical inputs
-// produce identical runs, byte for byte.
+// Simulation model: discrete events in virtual time. All computation inside
+// handlers is instantaneous; *costs* are realized exclusively as scheduled
+// delays taken from the CostModel, and *counts* (invocations, replies,
+// bytes, context switches) accumulate in Stats. Identical inputs produce
+// identical runs, byte for byte.
+//
+// Sharded execution (DESIGN.md "Sharded kernel"): the kernel is partitioned
+// into N shard workers, each owning a disjoint set of NodeIds (node % N)
+// with its own event queue, virtual clock, and per-node UID/sequence
+// streams. Cross-shard invocations travel through mutex-guarded mailboxes
+// and arrive at send_time + inter-node latency; since the cost model makes
+// that latency strictly positive, it is the *lookahead* of a classic
+// conservative (null-message/LBTS) synchronizer: every shard may freely
+// process events earlier than the global minimum next-event time plus the
+// lookahead without ever receiving a message from the past. All ordering is
+// keyed by (time, origin node, per-node sequence) — a function of the
+// topology, not of the shard count — so a run's output is byte-identical
+// whether it executes on 1 shard or 8.
 #ifndef SRC_EDEN_KERNEL_H_
 #define SRC_EDEN_KERNEL_H_
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -162,6 +179,25 @@ class [[nodiscard]] SleepAwaiter {
 struct KernelOptions {
   CostModel costs;
   uint64_t uid_seed = 0xEDE11EDE11EDE11EULL;
+  // Worker shards. Node k lives on shard k % shards (the external driver on
+  // shard 0). 1 = the classic single-threaded event loop. Run/RunUntil go
+  // parallel when shards > 1, the lookahead is positive, and no fault
+  // injector is installed; Step/RunFor always execute sequentially (and
+  // still produce the identical event order).
+  int shards = 1;
+  // Conservative-synchronization lookahead in ticks. 0 derives the safe
+  // default, costs.invocation_send — the smallest delay any cross-shard
+  // message can have (external-driver traffic pays no inter-node latency).
+  // Topologies whose cross-shard traffic is exclusively node-to-node may
+  // raise it toward invocation_send + cross_node_latency for fewer, larger
+  // windows; the kernel aborts if a cross-shard message ever undercuts the
+  // promise.
+  Tick lookahead = 0;
+  // Advisory bound on a shard's inbox. The window protocol self-bounds
+  // mailbox growth to one window of traffic, so overflow is counted (see
+  // ShardCounters::mailbox_overflows), never blocked on — blocking a sender
+  // mid-window could deadlock the barrier.
+  size_t mailbox_capacity = 1 << 16;
 };
 
 class Kernel {
@@ -178,11 +214,24 @@ class Kernel {
   size_t node_count() const { return node_names_.size(); }
   const std::string& node_name(NodeId node) const { return node_names_.at(node); }
 
+  // ---- Sharding.
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int ShardOf(NodeId node) const {
+    return node <= 0 ? 0 : static_cast<int>(node % static_cast<NodeId>(shards_.size()));
+  }
+  // Re-partitions the kernel across `shards` workers. Requires quiescence
+  // (no scheduled events); returns false and changes nothing otherwise.
+  bool set_shards(int shards);
+  // Per-shard counters from the most recent run (index = shard).
+  std::vector<ShardCounters> shard_counters() const;
+
   // ---- Eject lifecycle.
   // Constructs an Eject of concrete type T on `node` and registers it.
   template <typename T, typename... Args>
   T& Create(NodeId node, Args&&... args) {
+    NodeId prev = PushCreationNode(node);
     auto eject = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    PopCreationNode(prev);
     T& ref = *eject;
     AdoptEject(std::move(eject), node);
     return ref;
@@ -192,19 +241,12 @@ class Kernel {
     return Create<T>(NodeId{0}, std::forward<Args>(args)...);
   }
 
-  bool IsActive(const Uid& uid) const { return registry_.count(uid) > 0; }
+  bool IsActive(const Uid& uid) const;
   Eject* Find(const Uid& uid);
   NodeId NodeOf(const Uid& uid) const;
-  size_t active_eject_count() const { return registry_.size(); }
+  size_t active_eject_count() const;
   // All live Eject UIDs, ascending (deterministic; used by inspect.h).
-  std::vector<Uid> ActiveUids() const {
-    std::vector<Uid> uids;
-    uids.reserve(registry_.size());
-    for (const auto& [uid, entry] : registry_) {
-      uids.push_back(uid);
-    }
-    return uids;
-  }
+  std::vector<Uid> ActiveUids() const;
 
   // Simulated failure: the Eject's volatile state and processes vanish; its
   // passive representation (if any) survives and the next invocation
@@ -233,14 +275,17 @@ class Kernel {
   void SpawnExternal(Task<void> task);
 
   // ---- Execution.
-  bool Step();  // processes one event; false if queue empty
-  // Runs until quiescent; false if max_events was hit first.
+  bool Step();  // processes one event; false if queues empty
+  // Runs until quiescent; false if max_events was hit first. Goes wide
+  // (shard worker threads) when the options allow it; see KernelOptions.
   bool Run(uint64_t max_events = kDefaultMaxEvents);
   void RunFor(Tick duration, uint64_t max_events = kDefaultMaxEvents);
   bool RunUntil(const std::function<bool()>& done,
                 uint64_t max_events = kDefaultMaxEvents);
-  Tick now() const { return clock_.now(); }
-  bool quiescent() const { return events_.empty(); }
+  // Inside an event: the executing shard's clock. Outside: the maximum over
+  // all shard clocks (single-shard runs make both the classic global clock).
+  Tick now() const;
+  bool quiescent() const;
 
   // ---- Services.
   // Optional message tracing (zero cost when unset): the hook observes
@@ -264,7 +309,7 @@ class Kernel {
   // the external driver. New invocations record this as their causal parent;
   // it follows dispatches, reply deliveries and scheduled resumptions, so a
   // wakeup caused by work done under some span stays inside that span.
-  InvocationId current_span() const { return current_span_; }
+  InvocationId current_span() const;
 
   // Reparents the rest of the current event turn onto `span`. A producer
   // that proceeds because demand is already parked (the §4 vacuum's steady
@@ -272,7 +317,7 @@ class Kernel {
   // invocation's id, making its subsequent sends children of that demand.
   // The enclosing dispatch/resume restores the previous span when the event
   // ends, so adoption never leaks across turns.
-  void AdoptSpan(InvocationId span) { current_span_ = span; }
+  void AdoptSpan(InvocationId span);
 
   // Optional lock instrumentation (nullptr = none, the default; recording
   // sites cost one pointer test, like metrics). Mutex/CondVar (sync.h) and
@@ -284,20 +329,27 @@ class Kernel {
 
   // Kernel-unique id for a sync primitive (Mutex), so the lock observer can
   // tell instances apart without taking addresses of movable state.
-  uint64_t AllocateLockId() { return ++last_lock_id_; }
+  uint64_t AllocateLockId() {
+    return last_lock_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   // Optional fault injection (nullptr = perfectly reliable medium). The
   // injector only perturbs inter-Eject traffic; messages to or from the
   // external driver are always delivered. Not owned; must outlive the run.
+  // Installing one pins execution to the sequential path (the injector's
+  // RNG draw order is part of the deterministic contract).
   void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
   FaultInjector* fault_injector() const { return fault_; }
 
-  Stats& stats() { return stats_; }
-  const Stats& stats() const { return stats_; }
+  AtomicStats& stats() { return stats_; }
+  const AtomicStats& stats() const { return stats_; }
   const CostModel& costs() const { return options_.costs; }
   StableStore& store() { return store_; }
   TypeRegistry& types() { return types_; }
-  UidGenerator& uids() { return uid_generator_; }
+  // The calling context's UID stream: the executing node's inside an event,
+  // the external driver's otherwise. Per-node streams keep runtime draws
+  // (capabilities, session ids) deterministic at any shard count.
+  UidGenerator& uids();
 
   // ---- Internals used by awaitables and sync primitives.
   // Allocates a UID and its epoch; called by the Eject base constructor.
@@ -310,7 +362,7 @@ class Kernel {
                       Tick delay = 0);
   void ScheduleAction(Tick delay, std::function<void()> action);
   void CountLocalStep() {
-    stats_.local_steps++;
+    stats_.local_steps.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Reply path; no-op if `id` is unknown (double reply, crashed caller).
@@ -324,58 +376,163 @@ class Kernel {
     NodeId node = 0;
   };
 
-  struct PendingInvocation {
+  // Caller-side record of an in-flight invocation, owned by the caller's
+  // shard. Same-node invocations consume it when the reply is *sent* (the
+  // classic semantics); cross-node ones when the reply *arrives*, so the
+  // deadline-vs-reply race is decided by virtual-time arrival order — a
+  // rule both the 1-shard and N-shard executions apply identically.
+  struct WaitRecord {
     Uid caller;  // nil for external invocations
     uint64_t caller_epoch = 0;
     NodeId caller_node = kNoNode;
     Uid target;
     NodeId target_node = 0;
-    Tick deadline = 0;  // 0 = no deadline
+    Tick deadline = 0;        // 0 = no deadline
     InvocationId parent = 0;  // span being served when this was sent
-    Tick sent_at = 0;
-    std::string op;  // filled only when metrics are installed
-    bool delivered = false;
     // Exactly one of these is set.
     InvokeAwaiter* awaiter = nullptr;
     std::coroutine_handle<> waiter;
     std::function<void(InvokeResult)> callback;
   };
 
+  // Target-side record of a delivered-but-unanswered invocation, owned by
+  // the target's shard (it is what a stashed ReplyHandle answers through).
+  struct ReplyRoute {
+    Uid caller;
+    NodeId caller_node = kNoNode;
+    Uid target;
+    NodeId target_node = 0;
+    InvocationId parent = 0;
+    Tick sent_at = 0;
+    std::string op;  // filled only when metrics are installed
+  };
+
+  struct MailItem {
+    EventKey key;
+    NodeId exec = kNoNode;
+    EventQueue::Action action;
+  };
+
+  // A buffered trace observation: (event key, in-event ordinal) reproduces
+  // the sequential fan-out order exactly when shards merge their buffers.
+  struct ObsRecord {
+    EventKey key;
+    uint32_t sub = 0;
+    TraceEvent event;
+  };
+
+  // Per-node deterministic sequence state. Only the owning node's shard
+  // touches a book during a run; alignment keeps neighbours off one line.
+  struct alignas(64) NodeBook {
+    explicit NodeBook(uint64_t uid_stream_seed) : uids(uid_stream_seed) {}
+    uint64_t event_seq = 0;       // EventKey sequence for this origin
+    uint64_t invocation_seq = 0;  // InvocationId low bits
+    UidGenerator uids;            // this node's UID stream
+  };
+
+  struct alignas(64) Shard {
+    EventQueue queue;
+    VirtualClock clock;
+    std::map<Uid, EjectEntry> registry;  // ordered: determinism
+    std::unordered_map<Uid, uint64_t, Uid::Hash> epochs;
+    std::map<InvocationId, WaitRecord> waits;
+    std::map<InvocationId, ReplyRoute> open_replies;
+    // Cross-shard inbox; drained into the queue at every window top.
+    std::mutex mailbox_mu;
+    std::vector<MailItem> mailbox;
+    // Per-target staging, flushed (one lock per target) at window end.
+    std::vector<std::vector<MailItem>> outbox;
+    // Trace/monitor observations buffered during parallel execution.
+    std::vector<ObsRecord> observations;
+    Tick published_next = 0;  // earliest local event time, set at the barrier
+    ShardCounters counters;
+    uint64_t batched_events = 0;  // events_processed, flushed per window
+  };
+
+  // Thread-local execution context: which kernel/shard/node the current
+  // event runs on behalf of. `kernel` mismatching `this` means "external
+  // driver" (setup code, test drivers, another kernel's turf).
+  struct ExecContext {
+    Kernel* kernel = nullptr;
+    Shard* shard = nullptr;
+    int shard_index = 0;
+    NodeId node = kNoNode;
+    InvocationId span = 0;
+    EventKey event_key{};
+    uint32_t obs_sub = 0;
+    bool parallel = false;
+  };
+  static thread_local ExecContext tls_ctx_;
+  bool OnOwnContext() const { return tls_ctx_.kernel == this; }
+
+  size_t BookIndex(NodeId node) const { return static_cast<size_t>(node + 1); }
+  NodeBook& BookFor(NodeId node) { return books_[BookIndex(node)]; }
+  Shard& HomeShard(const Uid& uid) { return *shards_[ShardOf(NodeOf(uid))]; }
+  const Shard& HomeShard(const Uid& uid) const {
+    return *shards_[ShardOf(NodeOf(uid))];
+  }
+
+  NodeId PushCreationNode(NodeId node);
+  void PopCreationNode(NodeId prev);
+  NodeId CurrentNode() const;
+
   void AdoptEject(std::unique_ptr<Eject> eject, NodeId node);
+  // Central scheduler: stamps the shard-stable key (origin = current node)
+  // and routes to `exec`'s shard — directly, or via the outbox when called
+  // from a parallel worker targeting another shard.
+  void ScheduleOn(NodeId exec, Tick at, EventQueue::Action action);
   void SendInvocation(Uid from, Uid target, std::string op, Value args,
-                      PendingInvocation pending);
-  void DeliverInvocation(InvocationId id, Uid target, std::string op, Value args);
+                      WaitRecord wait, Tick deadline);
+  void DeliverInvocation(InvocationId id, ReplyRoute route, std::string op,
+                         Value args);
   void DispatchTo(Eject& eject, InvocationId id, std::string op, Value args);
-  void ActivateThenDispatch(InvocationId id, Uid target, std::string op, Value args);
-  void DeliverReply(PendingInvocation pending, Status status, Value result);
+  void ActivateThenDispatch(InvocationId id, ReplyRoute route, std::string op,
+                            Value args);
+  void DeliverReplyToWait(WaitRecord wait, Status status, Value result);
+  void DeliverRemoteReply(InvocationId id, Status status, Value result,
+                          InvocationId parent);
   void FireDeadline(InvocationId id);
   void TearDown(const Uid& uid, bool is_crash);
-  void FailDeliveredPendingFor(const Uid& target);
-  // Fans a trace event out to the tracer and the invariant monitor. Callers
+  void FailDeliveredPendingFor(Shard& shard, const Uid& target);
+  // Fans a trace event out to the tracer and the invariant monitor (or, in a
+  // parallel phase, buffers it for the deterministic window merge). Callers
   // gate on `observing()` so the unset fast path stays cheap.
   bool observing() const { return tracer_ != nullptr || monitor_ != nullptr; }
   void Observe(const TraceEvent& event);
+  void FlushObservations();
+
+  void ExecuteEvent(Shard& shard, int shard_index, EventQueue::PoppedEvent event,
+                    bool parallel);
+  Shard* MinShard();  // shard owning the globally earliest event, or null
+  Tick EffectiveLookahead() const;
+  bool CanRunParallel() const;
+  bool RunSequential(const std::function<bool()>& done, uint64_t max_events);
+  bool RunSharded(const std::function<bool()>& done, uint64_t max_events);
+  void DrainMailbox(Shard& shard);
+  void FlushOutboxes(Shard& shard);
+  void PublishShardMetrics();
+  Tick MaxClock() const;
 
   KernelOptions options_;
-  VirtualClock clock_;
-  EventQueue events_;
-  Stats stats_;
+  std::deque<NodeBook> books_;  // index BookIndex(node); [0] = the driver
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::shared_mutex homes_mu_;
+  std::unordered_map<Uid, NodeId, Uid::Hash> home_nodes_;
+  AtomicStats stats_;
   StableStore store_;
   TypeRegistry types_;
-  UidGenerator uid_generator_;
   std::vector<std::string> node_names_;
-  std::map<Uid, EjectEntry> registry_;              // ordered: determinism
-  std::unordered_map<Uid, uint64_t, Uid::Hash> epochs_;
-  std::map<InvocationId, PendingInvocation> pending_;
   TaskList external_tasks_;
   Tracer tracer_;
   FaultInjector* fault_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   InvariantMonitor* monitor_ = nullptr;
   LockObserver* lock_observer_ = nullptr;
-  uint64_t last_lock_id_ = 0;
-  InvocationId current_span_ = 0;
-  InvocationId next_invocation_id_ = 1;
+  std::atomic<uint64_t> last_lock_id_{0};
+  // The current window's promise: no cross-shard message may arrive before
+  // this tick while a parallel phase is running (checked at staging time).
+  std::atomic<Tick> window_end_{0};
+  std::atomic<bool> parallel_active_{false};
   bool shutting_down_ = false;
 };
 

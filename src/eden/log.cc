@@ -1,8 +1,14 @@
 #include "src/eden/log.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace eden {
+
+namespace {
+// Shard workers may log concurrently; one line at a time keeps stderr legible.
+std::mutex log_mu;
+}  // namespace
 
 LogLevel Log::level_ = LogLevel::kNone;
 
@@ -10,6 +16,7 @@ void Log::SetLevel(LogLevel level) { level_ = level; }
 LogLevel Log::level() { return level_; }
 
 void Log::Write(LogLevel level, Tick now, const std::string& message) {
+  std::lock_guard<std::mutex> lock(log_mu);
   const char* tag = level == LogLevel::kError  ? "E"
                     : level == LogLevel::kInfo ? "I"
                                                : "D";

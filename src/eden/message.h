@@ -17,6 +17,19 @@ namespace eden {
 
 using InvocationId = uint64_t;
 
+// Invocation ids are allocated per caller node: the high bits carry
+// (node + 1) — 0 for the external driver, so driver ids are the small
+// integers 1, 2, 3… — and the low 40 bits the node's own monotone sequence.
+// Allocation is therefore a function of the simulated topology alone, never
+// of the shard count executing it (DESIGN.md "Sharded kernel").
+constexpr int kInvocationSeqBits = 40;
+constexpr uint64_t InvocationOriginKey(InvocationId id) {
+  return id >> kInvocationSeqBits;
+}
+constexpr uint64_t InvocationSequence(InvocationId id) {
+  return id & ((uint64_t{1} << kInvocationSeqBits) - 1);
+}
+
 struct Invocation {
   InvocationId id = 0;
   Uid target;

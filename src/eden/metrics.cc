@@ -102,32 +102,43 @@ Value Log2Histogram::ToValue() const {
 }
 
 const Log2Histogram* MetricsRegistry::LatencyFor(std::string_view op) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = latency_.find(std::string(op));
   return it == latency_.end() ? nullptr : &it->second;
 }
 
 const MetricsRegistry::QueueGauge* MetricsRegistry::QueueFor(
     std::string_view component, const Uid& owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = queues_.find({std::string(component), owner});
   return it == queues_.end() ? nullptr : &it->second;
 }
 
 const MetricsRegistry::FlowCounters* MetricsRegistry::FlowFor(
     std::string_view component, const Uid& owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = flow_.find({std::string(component), owner});
   return it == flow_.end() ? nullptr : &it->second;
 }
 
 uint64_t MetricsRegistry::InvocationsTo(const Uid& target) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = invocations_.find(target);
   return it == invocations_.end() ? 0 : it->second;
 }
 
+std::vector<std::pair<int, ShardCounters>> MetricsRegistry::ShardSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {shards_.begin(), shards_.end()};
+}
+
 void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   latency_.clear();
   queues_.clear();
   flow_.clear();
   invocations_.clear();
+  shards_.clear();
 }
 
 std::string MetricsRegistry::NameOf(const Uid& uid) const {
@@ -136,6 +147,7 @@ std::string MetricsRegistry::NameOf(const Uid& uid) const {
 }
 
 Value MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Value latency;
   for (const auto& [op, histogram] : latency_) {
     latency.Set(op, histogram.ToValue());
@@ -160,6 +172,17 @@ Value MetricsRegistry::Snapshot() const {
   for (const auto& [uid, count] : invocations_) {
     invocations.Set(NameOf(uid), Value(count));
   }
+  Value shards;
+  for (const auto& [index, counters] : shards_) {
+    Value entry;
+    entry.Set("events_processed", Value(counters.events_processed));
+    entry.Set("cross_shard_sends", Value(counters.cross_shard_sends));
+    entry.Set("lookahead_stalls", Value(counters.lookahead_stalls));
+    entry.Set("windows", Value(counters.windows));
+    entry.Set("mailbox_high_water", Value(counters.mailbox_high_water));
+    entry.Set("mailbox_overflows", Value(counters.mailbox_overflows));
+    shards.Set("shard" + std::to_string(index), std::move(entry));
+  }
   Value snapshot;
   snapshot.Set("latency", latency.is_nil() ? Value(ValueMap{}) : std::move(latency));
   snapshot.Set("queues", queues.is_nil() ? Value(ValueMap{}) : std::move(queues));
@@ -168,12 +191,16 @@ Value MetricsRegistry::Snapshot() const {
   }
   snapshot.Set("invocations",
                invocations.is_nil() ? Value(ValueMap{}) : std::move(invocations));
+  if (!shards.is_nil()) {
+    snapshot.Set("shards", std::move(shards));
+  }
   return snapshot;
 }
 
 std::string MetricsRegistry::ToJson() const { return ValueToJson(Snapshot()); }
 
 std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char buf[256];
   for (const auto& [op, h] : latency_) {
@@ -207,6 +234,18 @@ std::string MetricsRegistry::ToString() const {
   for (const auto& [uid, count] : invocations_) {
     std::snprintf(buf, sizeof(buf), "invoked %-16s count=%llu\n",
                   NameOf(uid).c_str(), static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  for (const auto& [index, c] : shards_) {
+    std::snprintf(buf, sizeof(buf),
+                  "shard   %-4d events=%llu cross_sends=%llu stalls=%llu "
+                  "windows=%llu mbox_hiwat=%llu overflows=%llu\n",
+                  index, static_cast<unsigned long long>(c.events_processed),
+                  static_cast<unsigned long long>(c.cross_shard_sends),
+                  static_cast<unsigned long long>(c.lookahead_stalls),
+                  static_cast<unsigned long long>(c.windows),
+                  static_cast<unsigned long long>(c.mailbox_high_water),
+                  static_cast<unsigned long long>(c.mailbox_overflows));
     out += buf;
   }
   if (out.empty()) {

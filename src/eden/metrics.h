@@ -17,9 +17,13 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "src/eden/stats.h"
 #include "src/eden/uid.h"
 #include "src/eden/value.h"
 
@@ -92,13 +96,22 @@ class MetricsRegistry {
   };
 
   // ---- Recording hooks (kernel and stream components; callers gate on the
-  // registry pointer, so these assume they are wanted).
+  // registry pointer, so these assume they are wanted). All hooks take the
+  // registry mutex: shard workers record concurrently during a parallel run,
+  // and every recorded quantity is a commutative aggregate (histogram sums,
+  // counts, maxima), so the totals at rest are deterministic regardless of
+  // the interleaving.
   void RecordLatency(const std::string& op, uint64_t ticks) {
+    std::lock_guard<std::mutex> lock(mu_);
     latency_[op].Record(ticks);
   }
-  void CountInvocation(const Uid& target) { invocations_[target]++; }
+  void CountInvocation(const Uid& target) {
+    std::lock_guard<std::mutex> lock(mu_);
+    invocations_[target]++;
+  }
   void RecordQueueDepth(std::string_view component, const Uid& owner,
                         size_t depth) {
+    std::lock_guard<std::mutex> lock(mu_);
     QueueGauge& gauge = queues_[{std::string(component), owner}];
     gauge.depth = depth;
     gauge.high_water = depth > gauge.high_water ? depth : gauge.high_water;
@@ -106,6 +119,7 @@ class MetricsRegistry {
   }
   void CountFlowEvent(std::string_view component, const Uid& owner,
                       FlowEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
     FlowCounters& counters = flow_[{std::string(component), owner}];
     switch (event) {
       case FlowEvent::kHiwatHit: counters.hiwat_hits++; break;
@@ -113,15 +127,27 @@ class MetricsRegistry {
       case FlowEvent::kBandOvertake: counters.band_overtakes++; break;
     }
   }
+  // Published by the kernel after each run (replacing any previous counters
+  // for that shard, so the registry always reflects the most recent run).
+  void RecordShardCounters(int shard, const ShardCounters& counters) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_[shard] = counters;
+  }
 
   // Pretty names for snapshot keys (defaults to the short UID).
-  void Label(const Uid& uid, std::string name) { labels_[uid] = std::move(name); }
+  void Label(const Uid& uid, std::string name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    labels_[uid] = std::move(name);
+  }
 
-  // ---- Introspection.
+  // ---- Introspection. Returned pointers stay valid (node-based maps) but
+  // are meant for quiescent reads — between runs, not during one.
   const Log2Histogram* LatencyFor(std::string_view op) const;
   const QueueGauge* QueueFor(std::string_view component, const Uid& owner) const;
   const FlowCounters* FlowFor(std::string_view component, const Uid& owner) const;
   uint64_t InvocationsTo(const Uid& target) const;
+  // Per-shard counters from the most recent run, ascending by shard index.
+  std::vector<std::pair<int, ShardCounters>> ShardSnapshot() const;
 
   void Clear();
 
@@ -137,11 +163,13 @@ class MetricsRegistry {
  private:
   std::string NameOf(const Uid& uid) const;
 
+  mutable std::mutex mu_;
   std::map<std::string, Log2Histogram> latency_;
   std::map<std::pair<std::string, Uid>, QueueGauge> queues_;
   std::map<std::pair<std::string, Uid>, FlowCounters> flow_;
   std::map<Uid, uint64_t> invocations_;
   std::map<Uid, std::string> labels_;
+  std::map<int, ShardCounters> shards_;
 };
 
 }  // namespace eden

@@ -48,35 +48,51 @@ void InvariantMonitor::Report(Violation::Kind kind, Tick at, const Uid& stage,
 }
 
 void InvariantMonitor::OnTraceEvent(const TraceEvent& event) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   events_seen_++;
   if (event.kind != TraceEvent::Kind::kInvoke) {
     return;
   }
   invocations_by_op_[event.op]++;
-  // Span-tree well-formedness. The monitor observes every invocation in id
-  // order (ids are allocated sequentially at send time), so a well-formed
-  // parent link always names a strictly smaller, already-seen id; anything
-  // else is a cycle or a reference into the future. Unlike the ring-buffered
+  // Span-tree well-formedness. Ids are allocated per origin node (high bits;
+  // see message.h) in send order, and the monitor observes invocations in
+  // the deterministic trace order, so each origin's ids must arrive strictly
+  // increasing, and a well-formed parent link names an id its own origin has
+  // already issued — the parent's kInvoke necessarily preceded the child's
+  // (the child was sent while serving the parent). Unlike the ring-buffered
   // recorder there is no eviction here, so these are real defects.
-  if (event.id <= max_span_id_) {
+  uint64_t origin = InvocationOriginKey(event.id);
+  auto [origin_it, first_from_origin] = last_span_by_origin_.try_emplace(origin, 0);
+  if (!first_from_origin && event.id <= origin_it->second) {
     Report(Violation::Kind::kSpanTree, event.at, event.from,
-           "span id " + std::to_string(event.id) + " not monotone (last " +
-               std::to_string(max_span_id_) + ")");
+           "span id " + std::to_string(event.id) +
+               " not monotone for its origin (last " +
+               std::to_string(origin_it->second) + ")");
   }
-  max_span_id_ = event.id > max_span_id_ ? event.id : max_span_id_;
-  if (event.parent != 0 && event.parent >= event.id) {
-    Report(Violation::Kind::kSpanTree, event.at, event.from,
-           "span " + std::to_string(event.id) + " names parent " +
-               std::to_string(event.parent) +
-               " which it cannot causally descend from");
+  if (event.parent != 0) {
+    auto parent_it = last_span_by_origin_.find(InvocationOriginKey(event.parent));
+    bool parent_seen = parent_it != last_span_by_origin_.end() &&
+                       event.parent <= parent_it->second;
+    if (!parent_seen && event.parent != event.id) {
+      Report(Violation::Kind::kSpanTree, event.at, event.from,
+             "span " + std::to_string(event.id) + " names parent " +
+                 std::to_string(event.parent) +
+                 " which it cannot causally descend from");
+    } else if (event.parent == event.id) {
+      Report(Violation::Kind::kSpanTree, event.at, event.from,
+             "span " + std::to_string(event.id) + " names itself as parent");
+    }
   }
+  origin_it->second = event.id > origin_it->second ? event.id : origin_it->second;
 }
 
 void InvariantMonitor::OnProduced(const Uid& stage, Tick, uint64_t items) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   flows_[stage].produced += items;
 }
 
 void InvariantMonitor::OnServed(const Uid& stage, Tick at, uint64_t items) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& flow = flows_[stage];
   flow.served += items;
   if (flow.served + flow.pushed > flow.produced) {
@@ -89,6 +105,7 @@ void InvariantMonitor::OnServed(const Uid& stage, Tick at, uint64_t items) {
 
 void InvariantMonitor::OnPushed(const Uid& stage, const Uid& sink, Tick at,
                                 uint64_t items) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& flow = flows_[stage];
   flow.pushed += items;
   push_edges_[{stage, sink}] += items;
@@ -102,12 +119,14 @@ void InvariantMonitor::OnPushed(const Uid& stage, const Uid& sink, Tick at,
 
 void InvariantMonitor::OnPulled(const Uid& stage, const Uid& source, Tick,
                                 uint64_t items) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   flows_[stage].pulled += items;
   pull_edges_[{source, stage}] += items;
 }
 
 void InvariantMonitor::OnAccepted(const Uid& stage, Tick, uint64_t items,
                                   int band) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   flows_[stage].accepted += items;
   if (band >= 0) {
     band_flows_[{stage, band}].accepted += items;
@@ -116,6 +135,7 @@ void InvariantMonitor::OnAccepted(const Uid& stage, Tick, uint64_t items,
 
 void InvariantMonitor::OnConsumed(const Uid& stage, Tick at, uint64_t items,
                                   int band) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& flow = flows_[stage];
   flow.consumed += items;
   // Put-backs return a consumed item to its buffer, so it is legitimately
@@ -141,6 +161,7 @@ void InvariantMonitor::OnConsumed(const Uid& stage, Tick at, uint64_t items,
 
 void InvariantMonitor::OnPutBack(const Uid& stage, Tick at, uint64_t items,
                                  int band) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& flow = flows_[stage];
   flow.putback += items;
   if (flow.putback > flow.consumed) {
@@ -162,6 +183,7 @@ void InvariantMonitor::OnPutBack(const Uid& stage, Tick at, uint64_t items,
 
 void InvariantMonitor::OnSequence(const Uid& stage, Tick at,
                                   std::string_view counter, uint64_t value) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto key = std::make_pair(stage, std::string(counter));
   auto it = sequences_.find(key);
   if (it == sequences_.end()) {
@@ -178,10 +200,12 @@ void InvariantMonitor::OnSequence(const Uid& stage, Tick at,
 
 void InvariantMonitor::OnStaticFinding(Tick at, const Uid& stage,
                                        std::string detail) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Report(Violation::Kind::kStatic, at, stage, std::move(detail));
 }
 
 void InvariantMonitor::ExpectInvocations(std::string op, uint64_t count) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   expected_invocations_[std::move(op)] = count;
 }
 
@@ -193,11 +217,13 @@ void InvariantMonitor::ExpectReadOnlyPipeline(uint64_t filters,
 }
 
 uint64_t InvariantMonitor::invocations_of(std::string_view op) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = invocations_by_op_.find(op);
   return it == invocations_by_op_.end() ? 0 : it->second;
 }
 
 std::vector<InvariantMonitor::Violation> InvariantMonitor::Check() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<Violation> result = violations_;
   auto report = [&result](Violation::Kind kind, const Uid& stage,
                           std::string detail) {
@@ -267,6 +293,7 @@ std::vector<InvariantMonitor::Violation> InvariantMonitor::Check() const {
 }
 
 void InvariantMonitor::Label(const Uid& uid, std::string name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   labels_[uid] = std::move(name);
 }
 
@@ -276,6 +303,7 @@ std::string InvariantMonitor::NameOf(const Uid& uid) const {
 }
 
 std::string InvariantMonitor::ToString() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::ostringstream out;
   out << "invariant monitor: " << events_seen_ << " events, " << flows_.size()
       << " stages\n";
@@ -333,6 +361,7 @@ void InvariantMonitor::Describe(const Violation& violation, Value& out) {
 }
 
 Value InvariantMonitor::ToValue() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Value flows;
   for (const auto& [stage, flow] : flows_) {
     Value entry;
@@ -378,6 +407,7 @@ Value InvariantMonitor::ToValue() const {
 }
 
 void InvariantMonitor::Clear() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   flows_.clear();
   band_flows_.clear();
   pull_edges_.clear();
@@ -385,7 +415,7 @@ void InvariantMonitor::Clear() {
   sequences_.clear();
   invocations_by_op_.clear();
   expected_invocations_.clear();
-  max_span_id_ = 0;
+  last_span_by_origin_.clear();
   events_seen_ = 0;
   violations_.clear();
   labels_.clear();

@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -169,11 +170,19 @@ class InvariantMonitor {
   std::map<std::pair<Uid, std::string>, uint64_t, std::less<>> sequences_;
   std::map<std::string, uint64_t, std::less<>> invocations_by_op_;
   std::map<std::string, uint64_t, std::less<>> expected_invocations_;
-  InvocationId max_span_id_ = 0;
+  // Last span id seen per origin (an InvocationId's high bits name the node
+  // that allocated it — see message.h). Ids are monotone per origin, not
+  // globally, so the well-formedness checks track each origin's frontier.
+  std::map<uint64_t, InvocationId> last_span_by_origin_;
   uint64_t events_seen_ = 0;
   std::vector<Violation> violations_;
   Tracer trace_sink_;
   std::map<Uid, std::string> labels_;
+  // Shard workers feed the stream-primitive hooks concurrently during a
+  // parallel run; every recorded quantity is a commutative aggregate, so the
+  // state at rest is deterministic. Recursive: ToString/ToValue re-enter
+  // through Check().
+  mutable std::recursive_mutex mu_;
 };
 
 }  // namespace eden

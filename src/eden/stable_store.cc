@@ -6,6 +6,7 @@ namespace eden {
 
 void StableStore::Put(const Uid& uid, std::string type_name, NodeId home_node,
                       Bytes state) {
+  std::lock_guard<std::mutex> lock(mu_);
   PassiveRep& rep = reps_[uid];
   total_bytes_ -= rep.state.size();
   total_bytes_ += state.size();
@@ -16,11 +17,13 @@ void StableStore::Put(const Uid& uid, std::string type_name, NodeId home_node,
 }
 
 const PassiveRep* StableStore::Get(const Uid& uid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = reps_.find(uid);
   return it == reps_.end() ? nullptr : &it->second;
 }
 
 bool StableStore::Erase(const Uid& uid) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = reps_.find(uid);
   if (it == reps_.end()) {
     return false;
@@ -31,6 +34,7 @@ bool StableStore::Erase(const Uid& uid) {
 }
 
 std::vector<Uid> StableStore::AllUids() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Uid> uids;
   uids.reserve(reps_.size());
   for (const auto& [uid, rep] : reps_) {

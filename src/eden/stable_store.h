@@ -8,11 +8,17 @@
 // The store survives Eject crashes and node crashes (it models disk), but is
 // in-memory so tests stay hermetic. Each Put bumps a version; tests use the
 // version to assert exactly-once checkpointing behaviour.
+//
+// Access is mutex-guarded: shards checkpoint and activate concurrently
+// during a parallel run. The node-based map keeps returned PassiveRep
+// pointers stable; an Eject's rep is only ever rewritten from its own home
+// shard, so a pointer a shard reads stays valid while that shard uses it.
 #ifndef SRC_EDEN_STABLE_STORE_H_
 #define SRC_EDEN_STABLE_STORE_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,12 +48,19 @@ class StableStore {
   // arranging for its rep to be deleted disappears permanently).
   bool Erase(const Uid& uid);
 
-  size_t size() const { return reps_.size(); }
-  uint64_t total_bytes() const { return total_bytes_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reps_.size();
+  }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
 
   std::vector<Uid> AllUids() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<Uid, PassiveRep> reps_;  // ordered: deterministic iteration
   uint64_t total_bytes_ = 0;
 };

@@ -11,6 +11,7 @@
 #ifndef SRC_EDEN_STATS_H_
 #define SRC_EDEN_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -81,6 +82,58 @@ struct Stats {
   std::string ToString() const;
   // A map of label -> count (every field; plus the derived totals).
   Value ToValue() const;
+};
+
+// The kernel's live counters, safe to bump from shard worker threads.
+// Fields are relaxed atomics: every counter is a commutative sum, so the
+// totals are exact regardless of interleaving and a snapshot taken while the
+// kernel is quiescent (between runs) is deterministic. Generated from the
+// same X-macro as Stats so the two can never drift apart.
+struct AtomicStats {
+#define EDEN_STATS_DECLARE(field, label) std::atomic<uint64_t> field{0};
+  EDEN_STATS_FIELDS(EDEN_STATS_DECLARE)
+#undef EDEN_STATS_DECLARE
+
+  AtomicStats() = default;
+  AtomicStats(const AtomicStats&) = delete;
+  AtomicStats& operator=(const AtomicStats&) = delete;
+
+  // Plain-value snapshot; also lets `Stats s = kernel.stats();` keep working.
+  Stats Snapshot() const {
+    Stats s;
+#define EDEN_STATS_LOAD(field, label) s.field = field.load(std::memory_order_relaxed);
+    EDEN_STATS_FIELDS(EDEN_STATS_LOAD)
+#undef EDEN_STATS_LOAD
+    return s;
+  }
+  operator Stats() const { return Snapshot(); }
+
+  Stats operator-(const Stats& rhs) const { return Snapshot() - rhs; }
+
+  uint64_t total_messages() const {
+    return invocations_sent.load(std::memory_order_relaxed) +
+           replies_sent.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes() const {
+    return invocation_bytes.load(std::memory_order_relaxed) +
+           reply_bytes.load(std::memory_order_relaxed);
+  }
+
+  std::string ToString() const { return Snapshot().ToString(); }
+  Value ToValue() const { return Snapshot().ToValue(); }
+};
+
+// Per-shard execution counters for the sharded kernel (DESIGN.md "Sharded
+// kernel"). Each shard worker owns one instance and mutates it without
+// synchronization; the kernel publishes copies into the MetricsRegistry at
+// the end of every run, and the PipelineDoctor renders them per shard.
+struct ShardCounters {
+  uint64_t events_processed = 0;    // events executed by this shard
+  uint64_t cross_shard_sends = 0;   // events staged into another shard's mailbox
+  uint64_t lookahead_stalls = 0;    // windows in which the shard only waited
+  uint64_t windows = 0;             // synchronization windows participated in
+  uint64_t mailbox_high_water = 0;  // largest inbox seen at a drain
+  uint64_t mailbox_overflows = 0;   // drains exceeding the advisory capacity
 };
 
 }  // namespace eden

@@ -7,6 +7,7 @@ namespace eden {
 
 Tracer TraceRecorder::Hook() {
   return [this](const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (capacity_ > 0 && events_.size() >= capacity_) {
       events_.pop_front();
       events_dropped_++;
@@ -16,6 +17,7 @@ Tracer TraceRecorder::Hook() {
 }
 
 void TraceRecorder::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
   while (capacity_ > 0 && events_.size() > capacity_) {
     events_.pop_front();
@@ -24,6 +26,7 @@ void TraceRecorder::set_capacity(size_t capacity) {
 }
 
 void TraceRecorder::Label(const Uid& uid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   labels_[uid] = std::move(name);
 }
 
@@ -36,6 +39,7 @@ std::string TraceRecorder::NameOf(const Uid& uid) const {
 }
 
 void TraceRecorder::FilterOps(const std::vector<std::string>& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::set<InvocationId> kept_ids;
   std::deque<TraceEvent> kept;
   for (const TraceEvent& event : events_) {
@@ -52,6 +56,7 @@ void TraceRecorder::FilterOps(const std::vector<std::string>& ops) {
 }
 
 std::map<InvocationId, TraceRecorder::Span> TraceRecorder::SpanIndex() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<InvocationId, Span> spans;
   for (const TraceEvent& event : events_) {
     switch (event.kind) {
@@ -106,10 +111,24 @@ std::map<InvocationId, TraceRecorder::Span> TraceRecorder::SpanIndex() const {
       }
     }
   }
+  // Children chronologically: ids are per-origin (message.h), so sort by
+  // (start, id) rather than relying on id order meaning time order.
+  for (auto& [id, span] : spans) {
+    std::sort(span.children.begin(), span.children.end(),
+              [&spans](InvocationId a, InvocationId b) {
+                const Span& sa = spans.at(a);
+                const Span& sb = spans.at(b);
+                if (sa.start != sb.start) {
+                  return sa.start < sb.start;
+                }
+                return a < b;
+              });
+  }
   return spans;
 }
 
 size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const TraceEvent& event : events_) {
     if (event.kind == TraceEvent::Kind::kInvoke) {
@@ -120,6 +139,7 @@ size_t TraceRecorder::span_count() const {
 }
 
 std::string TraceRecorder::Render(size_t max_rows) const {
+  std::lock_guard<std::mutex> lock(mu_);
   // Lifelines in order of first appearance.
   std::vector<Uid> parties;
   auto index_of = [&parties](const Uid& uid) {

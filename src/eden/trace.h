@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,12 @@ using Tracer = std::function<void(const TraceEvent&)>;
 // Memory is bounded: with a nonzero capacity the recorder keeps the most
 // recent `capacity` events as a ring, counting what it evicts in
 // events_dropped() — long fault-injection runs can trace indefinitely.
+//
+// Ring writes are mutex-guarded: the kernel itself fans events out from
+// single-threaded contexts (events, or the window barrier of a sharded run),
+// but the monitor's violation sink and other instrumentation may append from
+// shard worker threads. The `events()` reference is for quiescent reads —
+// between runs, not during one.
 class TraceRecorder {
  public:
   // capacity 0 = unbounded (the classic behaviour).
@@ -70,8 +77,12 @@ class TraceRecorder {
   const std::map<Uid, std::string>& labels() const { return labels_; }
 
   const std::deque<TraceEvent>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
     events_dropped_ = 0;
   }
@@ -96,7 +107,9 @@ class TraceRecorder {
     // rewritten to 0) so no link dangles, and flagged so analyses can tell
     // true roots from eviction artifacts.
     bool orphaned = false;
-    std::vector<InvocationId> children;  // ascending span ids
+    // Chronological: ascending (start, id). Ids are allocated per origin
+    // node (message.h), so id order alone is not time order.
+    std::vector<InvocationId> children;
   };
 
   // Builds the index from the retained events. Ring eviction can orphan a
@@ -115,6 +128,7 @@ class TraceRecorder {
   std::string Render(size_t max_rows = 40) const;
 
  private:
+  mutable std::mutex mu_;
   size_t capacity_ = 0;  // 0 = unbounded
   uint64_t events_dropped_ = 0;
   std::deque<TraceEvent> events_;

@@ -61,6 +61,7 @@ bool LockOrderAnalyzer::FindPath(uint64_t from, uint64_t to,
 
 void LockOrderAnalyzer::OnAcquire(const Uid& holder, uint64_t lock,
                                   std::string_view name, Tick at) {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   lock_names_[lock] = std::string(name);
   std::vector<uint64_t>& stack = held_[holder];
   for (uint64_t outer : stack) {
@@ -97,6 +98,7 @@ void LockOrderAnalyzer::OnAcquire(const Uid& holder, uint64_t lock,
 }
 
 void LockOrderAnalyzer::OnRelease(const Uid& holder, uint64_t lock, Tick) {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   auto it = held_.find(holder);
   if (it == held_.end()) {
     return;
@@ -113,6 +115,7 @@ void LockOrderAnalyzer::OnRelease(const Uid& holder, uint64_t lock, Tick) {
 
 void LockOrderAnalyzer::OnBlocking(const Uid& holder, std::string_view what,
                                    Tick at) {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   auto it = held_.find(holder);
   if (it == held_.end() || it->second.empty()) {
     return;
@@ -140,6 +143,7 @@ void LockOrderAnalyzer::OnBlocking(const Uid& holder, std::string_view what,
 }
 
 size_t LockOrderAnalyzer::edges_seen() const {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   size_t n = 0;
   for (const auto& [from, tos] : order_) {
     n += tos.size();
@@ -148,6 +152,7 @@ size_t LockOrderAnalyzer::edges_seen() const {
 }
 
 std::string LockOrderAnalyzer::NameOf(uint64_t lock) const {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   auto it = lock_names_.find(lock);
   if (it == lock_names_.end() || it->second.empty()) {
     return "lock#" + std::to_string(lock);
@@ -156,6 +161,7 @@ std::string LockOrderAnalyzer::NameOf(uint64_t lock) const {
 }
 
 std::string LockOrderAnalyzer::ToString() const {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   std::ostringstream out;
   out << "lockdep: " << lock_names_.size() << " locks, " << edges_seen()
       << " order edges\n";
@@ -177,6 +183,7 @@ std::string LockOrderAnalyzer::ToString() const {
 }
 
 Value LockOrderAnalyzer::ToValue() const {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   Value v;
   v.Set("locks", Value(static_cast<int64_t>(lock_names_.size())));
   v.Set("order_edges", Value(static_cast<int64_t>(edges_seen())));
@@ -201,6 +208,7 @@ Value LockOrderAnalyzer::ToValue() const {
 }
 
 void LockOrderAnalyzer::Clear() {
+  std::lock_guard<std::recursive_mutex> lock_guard(mu_);
   lock_names_.clear();
   held_.clear();
   order_.clear();

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -97,6 +98,9 @@ class LockOrderAnalyzer : public LockObserver {
   std::set<std::pair<Uid, std::string>> reported_blocking_;
   std::vector<LockViolation> violations_;
   Tracer trace_sink_;
+  // Shard workers feed the observer concurrently during a parallel run;
+  // recursive because OnAcquire/OnBlocking re-enter through Report.
+  mutable std::recursive_mutex mu_;
 };
 
 }  // namespace eden::verify

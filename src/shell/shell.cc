@@ -186,7 +186,7 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
   if (words.empty() ||
       (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics" &&
        words[0] != "monitor" && words[0] != "doctor" && words[0] != "lint" &&
-       words[0] != "lockdep")) {
+       words[0] != "lockdep" && words[0] != "shards")) {
     return std::nullopt;
   }
   ShellResult result;
@@ -199,6 +199,35 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
       return Fail("usage: stats [json]");
     }
     return result;
+  }
+  if (words[0] == "shards") {
+    if (words.size() == 1) {
+      std::ostringstream out;
+      out << "shards: " << kernel_.shard_count();
+      std::vector<ShardCounters> counters = kernel_.shard_counters();
+      for (size_t i = 0; i < counters.size(); ++i) {
+        const ShardCounters& c = counters[i];
+        out << "\n  shard " << i << ": events=" << c.events_processed
+            << " cross_sends=" << c.cross_shard_sends
+            << " stalls=" << c.lookahead_stalls << " windows=" << c.windows
+            << " mbox_hiwat=" << c.mailbox_high_water
+            << " overflows=" << c.mailbox_overflows;
+      }
+      result.output.push_back(out.str());
+      return result;
+    }
+    if (words.size() == 2) {
+      std::optional<uint64_t> count = ParseCount(words[1]);
+      if (!count || *count == 0) {
+        return Fail("usage: shards [N]  (N: positive integer)");
+      }
+      if (!kernel_.set_shards(static_cast<int>(*count))) {
+        return Fail("shards: kernel is not quiescent (drain pipelines first)");
+      }
+      result.output.push_back("shards: " + std::to_string(*count));
+      return result;
+    }
+    return Fail("usage: shards [N]  (N: positive integer)");
   }
   if (words[0] == "trace") {
     if (words.size() >= 2 && words[1] == "on" && words.size() <= 3) {

@@ -23,10 +23,38 @@ TEST(EventQueueTest, PopsInTimeThenInsertionOrder) {
   queue.Schedule(10, [&] { order.push_back(3); });  // same time as #1: FIFO
   queue.Schedule(1, [&] { order.push_back(4); });
   while (!queue.empty()) {
-    auto [at, action] = queue.Pop();
-    action();
+    auto popped = queue.Pop();
+    popped.action();
   }
   EXPECT_EQ(order, (std::vector<int>{4, 2, 1, 3}));
+}
+
+// The sharded kernel's determinism rests on this ordering being a pure
+// function of (time, origin node, per-origin sequence) — independent of the
+// order events were pushed into the queue, which is the one thing that
+// differs between a 1-shard and an N-shard run.
+TEST(EventQueueTest, TieBreakIsShardStable) {
+  std::vector<int> a_order;
+  {
+    EventQueue queue;  // insertion order: node2 first
+    queue.Schedule(EventKey{10, 2, 0}, 2, [&] { a_order.push_back(2); });
+    queue.Schedule(EventKey{10, 1, 5}, 1, [&] { a_order.push_back(1); });
+    queue.Schedule(EventKey{10, 1, 4}, 1, [&] { a_order.push_back(0); });
+    queue.Schedule(EventKey{10, kNoNode, 9}, kNoNode, [&] { a_order.push_back(-1); });
+    while (!queue.empty()) queue.Pop().action();
+  }
+  std::vector<int> b_order;
+  {
+    EventQueue queue;  // reversed insertion order: same pops regardless
+    queue.Schedule(EventKey{10, kNoNode, 9}, kNoNode, [&] { b_order.push_back(-1); });
+    queue.Schedule(EventKey{10, 1, 4}, 1, [&] { b_order.push_back(0); });
+    queue.Schedule(EventKey{10, 1, 5}, 1, [&] { b_order.push_back(1); });
+    queue.Schedule(EventKey{10, 2, 0}, 2, [&] { b_order.push_back(2); });
+    while (!queue.empty()) queue.Pop().action();
+  }
+  // Driver origin (kNoNode) sorts first, then by (origin, seq).
+  EXPECT_EQ(a_order, (std::vector<int>{-1, 0, 1, 2}));
+  EXPECT_EQ(b_order, a_order);
 }
 
 TEST(EventQueueTest, NextTimeTracksEarliest) {

@@ -121,7 +121,7 @@ TEST_P(InvocationFormulaTest, CountsFollowClosedForm) {
     }
     ValueList output = RunPipeline(kernel, input, chain, options);
     EXPECT_EQ(output.size(), static_cast<size_t>(items));
-    return kernel.stats().invocations_sent;
+    return kernel.stats().invocations_sent.load();
   };
 
   for (Discipline discipline :

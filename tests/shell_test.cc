@@ -49,6 +49,28 @@ TEST(ShellTest, EchoThroughFiltersToCollect) {
   EXPECT_EQ(r.output, (std::vector<std::string>{"AA", "AB"}));
 }
 
+TEST(ShellTest, ShardsCommandRepartitionsAndReports) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult r = shell.Run("shards 4");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output.front(), "shards: 4");
+  EXPECT_EQ(kernel.shard_count(), 4);
+  // Pipelines still run (and deterministically) on the repartitioned kernel.
+  r = shell.Run("echo aa bb | upper | collect");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output, (std::vector<std::string>{"AA", "BB"}));
+  // The bare form reports the per-shard counter table.
+  r = shell.Run("shards");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_FALSE(r.output.empty());
+  EXPECT_NE(r.output.front().find("shards: 4"), std::string::npos);
+  EXPECT_NE(r.output.front().find("shard 0:"), std::string::npos);
+  // Bad arguments are rejected.
+  EXPECT_FALSE(shell.Run("shards zero").ok);
+  EXPECT_FALSE(shell.Run("shards 0").ok);
+}
+
 TEST(ShellTest, PipelineEjectCensusIsLean) {
   // A read-only shell pipeline with n filters creates exactly n+2 Ejects.
   Kernel kernel;

@@ -85,7 +85,7 @@ TEST(StreamTest, BatchedTransferMovesFewerMessages) {
         source.uid(), Value(std::string(kChanOut)), options);
     kernel.RunUntil([&] { return sink.done(); });
     EXPECT_EQ(sink.items().size(), 64u);
-    return kernel.stats().invocations_sent;
+    return kernel.stats().invocations_sent.load();
   };
   uint64_t unbatched = run(1);
   uint64_t batched = run(8);
@@ -221,7 +221,7 @@ double MeasuredInvocationsPerDatum(Discipline discipline, size_t stages,
     }
     ValueList out = RunPipeline(kernel, MakeInts(n), factories, options);
     EXPECT_EQ(out.size(), static_cast<size_t>(n));
-    return kernel.stats().invocations_sent;
+    return kernel.stats().invocations_sent.load();
   };
   uint64_t small = run(items_small);
   uint64_t large = run(items_large);
