@@ -7,7 +7,9 @@
 // BASELINE and CURRENT are either two JSON files (compared directly) or two
 // directories (every BENCH_*.json present in *both* is compared; baselines
 // that never ran are reported but only count as regressions in file mode).
-// Exits 0 when nothing regressed, 1 on any regression or unreadable input.
+// Exits 0 when nothing regressed, 1 on any regression, 2 on bad usage or
+// unreadable/unparseable input — input problems always name the offending
+// path on stderr, so a CI log never shows a bare nonzero exit.
 //
 // Host times are only comparable on one machine, so CI passes
 // --counters-only: the repo's counters (inv_per_datum, msgs_per_datum, ...)
@@ -42,6 +44,10 @@ bool ReadFile(const fs::path& path, std::string* out) {
 }
 
 bool LoadJson(const fs::path& path, eden::Value* out) {
+  if (!fs::exists(path)) {
+    std::fprintf(stderr, "bench_compare: no such file: %s\n", path.c_str());
+    return false;
+  }
   std::string text;
   if (!ReadFile(path, &text)) {
     std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
@@ -50,7 +56,8 @@ bool LoadJson(const fs::path& path, eden::Value* out) {
   std::string error;
   std::optional<eden::Value> parsed = eden::JsonParse(text, &error);
   if (!parsed) {
-    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(), error.c_str());
+    std::fprintf(stderr, "bench_compare: cannot parse %s: %s\n", path.c_str(),
+                 error.c_str());
     return false;
   }
   *out = std::move(*parsed);
@@ -116,7 +123,7 @@ int main(int argc, char** argv) {
       eden::Value base, cur;
       if (!LoadJson(base_path / name, &base) ||
           !LoadJson(cur_path / name, &cur)) {
-        return 1;
+        return 2;
       }
       eden::BenchComparison cmp = eden::CompareBenchRuns(base, cur, options);
       std::printf("== %s\n%s", name.c_str(), cmp.ToString().c_str());
@@ -124,13 +131,16 @@ int main(int argc, char** argv) {
       compared++;
     }
     if (compared == 0) {
-      std::fprintf(stderr, "bench_compare: no BENCH_*.json pairs to compare\n");
-      return 1;
+      std::fprintf(stderr,
+                   "bench_compare: no BENCH_*.json pairs to compare between "
+                   "%s and %s\n",
+                   base_path.c_str(), cur_path.c_str());
+      return 2;
     }
   } else {
     eden::Value base, cur;
     if (!LoadJson(base_path, &base) || !LoadJson(cur_path, &cur)) {
-      return 1;
+      return 2;
     }
     eden::BenchComparison cmp = eden::CompareBenchRuns(base, cur, options);
     std::printf("%s", cmp.ToString().c_str());

@@ -5,6 +5,7 @@
 // n+1 invocations per datum. Compare each row with the matching row of
 // bench_fig1_unix_pipeline: the invocation ratio approaches 2x as n grows.
 #include "bench/bench_util.h"
+#include "src/eden/trace_export.h"
 
 namespace eden {
 namespace {
@@ -25,6 +26,43 @@ void BM_Fig2ReadOnlyPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig2ReadOnlyPipeline)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+
+// The n = 3 pipeline again, with the full observability stack installed:
+// bounded trace ring + metrics + monitor + wall-clock profiler. CI's
+// instrumentation-overhead job compares this row's time against
+// BM_Fig2ReadOnlyPipeline/3 and fails when the ratio exceeds 2x — the
+// one-pointer-test hook contract, measured. The last iteration's profiler
+// timeline lands in PROFILE_fig2.json for the artifact upload.
+void BM_Fig2Instrumented(benchmark::State& state) {
+  int items = 2000;
+  TraceRecorder trace(65536);
+  MetricsRegistry metrics;
+  InvariantMonitor monitor;
+  ShardProfiler profiler;
+  PipelineRunStats last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    trace.Clear();
+    metrics.Clear();
+    monitor.Clear();
+    profiler.Clear();
+    state.ResumeTiming();
+    PipelineInstruments instruments;
+    instruments.metrics = &metrics;
+    instruments.trace = &trace;
+    instruments.monitor = &monitor;
+    instruments.profiler = &profiler;
+    PipelineOptions options;
+    options.discipline = Discipline::kReadOnly;
+    last = RunPipelineMeasured(KernelOptions(), BenchLines(items),
+                               CopyChain(3), options, instruments);
+    benchmark::DoNotOptimize(last.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  ReportPipelineCounters(state, last, 3, Discipline::kReadOnly);
+  ShardProfileExporter(profiler).WriteFile("PROFILE_fig2.json");
+}
+BENCHMARK(BM_Fig2Instrumented)->Unit(benchmark::kMillisecond);
 
 // Head-to-head at Figure 1/2's n = 3: the counter "saving_vs_unix" is the
 // §4 "roughly half as many invocations" claim, measured.

@@ -11,18 +11,27 @@
 //   - Deterministic identities (ejects, events, inv_per_datum,
 //     virtual_us_per_datum): shard-count-invariant by the determinism
 //     contract, compared strictly by bench_compare --counters-only.
-//   - Wall-clock rates (*_per_second): host-speed facts next to the virtual
-//     ones, excluded from the counter gate (IsStandardBenchField). Speedup
-//     at 8 shards is the events_per_second ratio to the 1-shard row —
-//     meaningful only on a multi-core host; single-core CI runs still check
-//     the identities.
+//   - Wall-clock rates (*_per_second) and the profiler-derived wall_*
+//     efficiency columns: host-speed facts next to the virtual ones,
+//     excluded from the counter gate (IsStandardBenchField). Speedup at 8
+//     shards is the events_per_second ratio to the 1-shard row — meaningful
+//     only on a multi-core host; single-core CI runs still check the
+//     identities.
+//
+// Each row runs under a ShardProfiler and reports the parallel verdict
+// (wall_speedup / wall_efficiency / wall_serial_fraction, from
+// DiagnoseParallel); the per-shard wall-clock timeline is written to
+// PROFILE_scale_p<pipelines>_s<shards>.json (Perfetto JSON, loadable in
+// ui.perfetto.dev next to the virtual-time trace export).
 //
 // The pipelines:16384 rows build a ~100k-Eject topology (16384 chains of 6
 // Ejects); CI smokes the pipelines:64 rows only (see ci.yml), so the
 // checked-in baseline carries just those.
 #include <chrono>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/eden/trace_export.h"
 
 namespace eden {
 namespace {
@@ -37,10 +46,14 @@ struct ScaleResult {
   double run_seconds = 0;  // kernel Run() only; build time excluded
 };
 
-ScaleResult RunScaleSweep(int shards, int pipelines, int items, size_t depth) {
+ScaleResult RunScaleSweep(int shards, int pipelines, int items, size_t depth,
+                          ShardProfiler* profiler) {
   KernelOptions kernel_options;
   kernel_options.shards = shards;
   Kernel kernel(kernel_options);
+  if (profiler != nullptr) {
+    kernel.set_profiler(profiler);
+  }
   PipelineOptions options;
   options.discipline = Discipline::kReadOnly;
   options.distinct_nodes = true;
@@ -84,8 +97,9 @@ void BM_ScaleShardSweep(benchmark::State& state) {
   const size_t depth = 4;
   ScaleResult last{};
   double run_seconds = 0;
+  ShardProfiler profiler;
   for (auto _ : state) {
-    last = RunScaleSweep(shards, pipelines, items, depth);
+    last = RunScaleSweep(shards, pipelines, items, depth, &profiler);
     run_seconds += last.run_seconds;
     benchmark::DoNotOptimize(last.items_out);
   }
@@ -109,6 +123,19 @@ void BM_ScaleShardSweep(benchmark::State& state) {
       run_seconds > 0 ? static_cast<double>(last.invocations) *
                             static_cast<double>(state.iterations()) / run_seconds
                       : 0;
+  // Profiler-derived efficiency columns (wall_* prefix keeps them out of the
+  // counter gate too). A 1-shard row has no parallel windows: identity values.
+  ParallelVerdict verdict = DiagnoseParallel(profiler);
+  state.counters["wall_speedup"] = verdict.valid ? verdict.speedup : 1.0;
+  state.counters["wall_efficiency"] = verdict.valid ? verdict.efficiency : 1.0;
+  state.counters["wall_serial_fraction"] =
+      verdict.valid ? verdict.serial_fraction : 1.0;
+  state.counters["wall_imbalance_pct"] =
+      verdict.valid ? verdict.imbalance_pct : 0.0;
+  // The per-shard wall timeline for this row, for ui.perfetto.dev.
+  ShardProfileExporter(profiler).WriteFile("PROFILE_scale_p" +
+                                           std::to_string(pipelines) + "_s" +
+                                           std::to_string(shards) + ".json");
 }
 BENCHMARK(BM_ScaleShardSweep)
     ->ArgsProduct({{64, 16384}, {1, 2, 4, 8}})

@@ -23,6 +23,7 @@
 #include "src/eden/fault.h"
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
+#include "src/eden/profile.h"
 #include "src/eden/random.h"
 #include "src/eden/trace.h"
 
@@ -62,6 +63,7 @@ struct PipelineInstruments {
   MetricsRegistry* metrics = nullptr;  // stages labeled with their role names
   TraceRecorder* trace = nullptr;      // hooked and labeled likewise
   InvariantMonitor* monitor = nullptr; // online invariant checking
+  ShardProfiler* profiler = nullptr;   // wall-clock shard phase timings
   // Run the PipelineDoctor over `trace` (+ `metrics`) after the run and
   // attach the Diagnosis to the stats. Requires `trace`.
   bool diagnose = false;
@@ -131,6 +133,9 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
       instruments.monitor->set_trace_sink(instruments.trace->Hook());
     }
     kernel.set_monitor(instruments.monitor);
+  }
+  if (instruments.profiler != nullptr) {
+    kernel.set_profiler(instruments.profiler);
   }
   Stats before = kernel.stats();
   Tick start = kernel.now();

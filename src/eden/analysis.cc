@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/eden/metrics.h"
+#include "src/eden/profile.h"
 
 namespace eden {
 
@@ -262,7 +263,107 @@ Diagnosis PipelineDoctor::Diagnose() const {
                   static_cast<unsigned long long>(stalls));
     d.verdict += buf;
   }
+  if (profiler_ != nullptr) {
+    d.parallel = DiagnoseParallel(*profiler_);
+    if (d.parallel.valid) {
+      d.verdict += "; " + d.parallel.ToLine();
+    }
+  }
   return d;
+}
+
+std::string ParallelVerdict::ToLine() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "parallel: speedup %.2fx on %d shards (%.0f%% efficient), "
+                "serial fraction %.0f%% (Karp-Flatt), top stall %s, "
+                "imbalance %.0f%%",
+                speedup, shards, efficiency * 100, serial_fraction * 100,
+                top_stall.c_str(), imbalance_pct);
+  return buf;
+}
+
+Value ParallelVerdict::ToValue() const {
+  Value v;
+  v.Set("shards", Value(static_cast<int64_t>(shards)));
+  v.Set("windows", Value(static_cast<int64_t>(windows)));
+  v.Set("wall_seconds", Value(wall_seconds));
+  v.Set("speedup", Value(speedup));
+  v.Set("efficiency", Value(efficiency));
+  v.Set("serial_fraction", Value(serial_fraction));
+  v.Set("imbalance_pct", Value(imbalance_pct));
+  v.Set("top_stall", Value(top_stall));
+  ValueList rows;
+  for (size_t i = 0; i < per_shard.size(); ++i) {
+    const ShardWall& w = per_shard[i];
+    Value s;
+    s.Set("shard", Value(static_cast<int64_t>(i)));
+    s.Set("windows", Value(static_cast<int64_t>(w.windows)));
+    s.Set("events", Value(static_cast<int64_t>(w.events)));
+    s.Set("execute_ms", Value(w.execute_ms));
+    s.Set("drain_ms", Value(w.drain_ms));
+    s.Set("stall_ms", Value(w.stall_ms));
+    s.Set("barrier_ms", Value(w.barrier_ms));
+    rows.push_back(std::move(s));
+  }
+  v.Set("per_shard", Value(std::move(rows)));
+  return v;
+}
+
+ParallelVerdict DiagnoseParallel(const ShardProfiler& profiler) {
+  ParallelVerdict v;
+  std::vector<ShardProfiler::ShardProfile> shards = profiler.Snapshot();
+  const uint64_t wall_ns = profiler.parallel_wall_ns();
+  if (profiler.parallel_runs() == 0 || wall_ns == 0 || shards.empty()) {
+    return v;  // nothing parallel was profiled
+  }
+  uint64_t busy = 0, max_busy = 0, drain = 0, stall = 0, barrier = 0;
+  for (const ShardProfiler::ShardProfile& p : shards) {
+    busy += p.execute_ns;
+    max_busy = std::max(max_busy, p.execute_ns);
+    drain += p.drain_ns;
+    stall += p.stall_ns;
+    barrier += p.barrier_ns;
+    v.windows = std::max(v.windows, p.windows);
+    ParallelVerdict::ShardWall w;
+    w.windows = p.windows;
+    w.events = p.events;
+    w.execute_ms = static_cast<double>(p.execute_ns) / 1e6;
+    w.drain_ms = static_cast<double>(p.drain_ns) / 1e6;
+    w.stall_ms = static_cast<double>(p.stall_ns) / 1e6;
+    w.barrier_ms = static_cast<double>(p.barrier_ns) / 1e6;
+    v.per_shard.push_back(w);
+  }
+  if (busy == 0) {
+    return v;  // windows ran but no shard executed anything measurable
+  }
+  v.valid = true;
+  const int p = static_cast<int>(shards.size());
+  v.shards = p;
+  v.wall_seconds = static_cast<double>(wall_ns) / 1e9;
+  v.speedup = static_cast<double>(busy) / static_cast<double>(wall_ns);
+  v.efficiency = v.speedup / p;
+  if (p > 1) {
+    // Karp-Flatt: e = (1/psi - 1/p) / (1 - 1/p). psi > p (clock skew) or
+    // psi < 1 both land outside the model; clamp to the meaningful range.
+    double e = (1.0 / v.speedup - 1.0 / p) / (1.0 - 1.0 / p);
+    v.serial_fraction = std::min(1.0, std::max(0.0, e));
+  } else {
+    v.serial_fraction = 1.0;
+  }
+  const double mean = static_cast<double>(busy) / p;
+  v.imbalance_pct =
+      mean > 0 ? (static_cast<double>(max_busy) - mean) / mean * 100.0 : 0.0;
+  if (drain == 0 && stall == 0 && barrier == 0) {
+    v.top_stall = "none";
+  } else if (barrier >= drain && barrier >= stall) {
+    v.top_stall = "barrier-wait";
+  } else if (stall >= drain) {
+    v.top_stall = "lookahead-stall";
+  } else {
+    v.top_stall = "mailbox-drain";
+  }
+  return v;
 }
 
 void Diagnosis::AnnotateStatic(size_t errors, size_t warnings,
@@ -363,6 +464,21 @@ std::string Diagnosis::ToString() const {
       out << line;
     }
   }
+  if (parallel.valid) {
+    out << "wall clock (per shard):\n";
+    out << "  shard  windows  events   execute-ms  drain-ms  stall-ms  "
+           "barrier-ms\n";
+    for (size_t i = 0; i < parallel.per_shard.size(); ++i) {
+      const ParallelVerdict::ShardWall& w = parallel.per_shard[i];
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-5zu %8llu %8llu %11.3f %9.3f %9.3f %11.3f\n", i,
+                    static_cast<unsigned long long>(w.windows),
+                    static_cast<unsigned long long>(w.events), w.execute_ms,
+                    w.drain_ms, w.stall_ms, w.barrier_ms);
+      out << line;
+    }
+  }
   return out.str();
 }
 
@@ -435,6 +551,9 @@ Value Diagnosis::ToValue() const {
     }
     v.Set("shards", Value(std::move(shard_list)));
   }
+  if (parallel.valid) {
+    v.Set("parallel", parallel.ToValue());
+  }
   return v;
 }
 
@@ -461,9 +580,15 @@ bool IsStandardBenchField(const std::string& key) {
   // (bench_scale reports events_per_second per shard count) and must not be
   // treated as a deterministic identity by --counters-only comparisons.
   static const std::string kRateSuffix = "_per_second";
-  return key.size() > kRateSuffix.size() &&
-         key.compare(key.size() - kRateSuffix.size(), kRateSuffix.size(),
-                     kRateSuffix) == 0;
+  if (key.size() > kRateSuffix.size() &&
+      key.compare(key.size() - kRateSuffix.size(), kRateSuffix.size(),
+                  kRateSuffix) == 0) {
+    return true;
+  }
+  // wall_* counters (bench_scale's profiler-derived speedup / efficiency /
+  // serial-fraction columns) are host-speed facts too.
+  static const std::string kWallPrefix = "wall_";
+  return key.compare(0, kWallPrefix.size(), kWallPrefix) == 0;
 }
 
 std::map<std::string, const Value*> BenchmarksByName(const Value& doc) {

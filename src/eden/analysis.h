@@ -45,6 +45,7 @@
 namespace eden {
 
 class MetricsRegistry;
+class ShardProfiler;
 
 // One hop on the critical chain.
 struct CriticalStep {
@@ -76,6 +77,56 @@ struct StageDiagnosis {
   uint64_t band_overtakes = 0;
 };
 
+// The wall-clock side of the diagnosis, folded from a ShardProfiler's
+// samples (see src/eden/profile.h). All figures describe the profiler's
+// *parallel* runs; `valid` is false when none happened (1-shard kernels,
+// RunFor, fault-injected runs) or no host time was measured.
+//
+// Within one profiled run the measured speedup is
+//     psi = (sum of per-shard execute time) / (parallel wall time)
+// — how much busy work the workers packed into each wall second, i.e. the
+// speedup over the same work run serially. Karp–Flatt then attributes the
+// gap to an experimentally determined serial fraction
+//     e = (1/psi - 1/p) / (1 - 1/p)          for p shards
+// (e -> 0: embarrassingly parallel; e -> 1: effectively serial — barriers,
+// stalls and drains ate the machine). The dominant non-execute phase is
+// named so the tuner knows *which* overhead to attack, and imbalance is how
+// far the busiest shard sits above the mean (a placement problem, not a
+// synchronization problem).
+struct ParallelVerdict {
+  bool valid = false;
+  int shards = 0;
+  uint64_t windows = 0;        // max window count over shards
+  double wall_seconds = 0;     // parallel wall time, cumulative
+  double speedup = 0;          // psi
+  double efficiency = 0;       // psi / shards
+  double serial_fraction = 0;  // Karp–Flatt e, clamped to [0, 1]
+  double imbalance_pct = 0;    // (max shard execute - mean) / mean * 100
+  std::string top_stall;       // "barrier-wait" | "mailbox-drain" |
+                               // "lookahead-stall" | "none"
+
+  // One wall-clock row per shard, for the doctor's table.
+  struct ShardWall {
+    uint64_t windows = 0;
+    uint64_t events = 0;
+    double execute_ms = 0;
+    double drain_ms = 0;
+    double stall_ms = 0;
+    double barrier_ms = 0;
+  };
+  std::vector<ShardWall> per_shard;
+
+  // "parallel: speedup 3.1x on 4 shards (78% efficient), serial fraction
+  // 9%, top stall barrier-wait, imbalance 12%"
+  std::string ToLine() const;
+  Value ToValue() const;
+};
+
+// Computes the verdict from the profiler's aggregates. Quiescent read, like
+// ShardProfiler::Snapshot(). Also used directly by the shell's
+// `profile show`.
+ParallelVerdict DiagnoseParallel(const ShardProfiler& profiler);
+
 struct Diagnosis {
   size_t span_count = 0;
   size_t root_count = 0;
@@ -100,6 +151,10 @@ struct Diagnosis {
   // ToString() prints the full table.
   std::vector<std::pair<int, ShardCounters>> shards;
 
+  // Wall-clock parallel efficiency, folded from a ShardProfiler when one was
+  // passed to the doctor. Invalid (and absent from output) otherwise.
+  ParallelVerdict parallel;
+
   // "bottleneck: filter2, 61% of critical path, queue high-water 64" — plus
   // ", flow: N hiwat hits" when the bottleneck stage hit its hiwat, naming
   // backpressure (not compute) as the likely cause, and "; N shards, ..."
@@ -122,19 +177,22 @@ struct Diagnosis {
 };
 
 // Folds the span tree (and optionally the metrics snapshot, for queue
-// high-water marks) into a Diagnosis. Reads only; both sources must outlive
-// the doctor.
+// high-water marks, and the shard profiler, for the wall-clock parallel
+// verdict) into a Diagnosis. Reads only; all sources must outlive the
+// doctor.
 class PipelineDoctor {
  public:
   explicit PipelineDoctor(const TraceRecorder& trace,
-                          const MetricsRegistry* metrics = nullptr)
-      : trace_(trace), metrics_(metrics) {}
+                          const MetricsRegistry* metrics = nullptr,
+                          const ShardProfiler* profiler = nullptr)
+      : trace_(trace), metrics_(metrics), profiler_(profiler) {}
 
   Diagnosis Diagnose() const;
 
  private:
   const TraceRecorder& trace_;
   const MetricsRegistry* metrics_;
+  const ShardProfiler* profiler_;
 };
 
 // ---------------------------------------------------------- bench comparison

@@ -15,6 +15,7 @@
 #include "src/eden/log.h"
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
+#include "src/eden/profile.h"
 
 namespace eden {
 
@@ -364,6 +365,8 @@ void Kernel::ScheduleOn(NodeId exec, Tick at, EventQueue::Action action) {
                    "undercuts the window promise t=%lld (lower "
                    "KernelOptions::lookahead)\n",
                    static_cast<long long>(at), static_cast<long long>(promised));
+      // Post-mortem breadcrumbs: the synchronizer's last few windows.
+      FlightRecorder::Instance().Dump(stderr);
       std::abort();
     }
     tls_ctx_.shard->outbox[target].push_back(MailItem{key, exec, std::move(action)});
@@ -973,20 +976,47 @@ bool Kernel::RunSequential(const std::function<bool()>& done, uint64_t max_event
 }
 
 bool Kernel::Run(uint64_t max_events) {
-  bool result = CanRunParallel() ? RunSharded(nullptr, max_events)
-                                 : RunSequential(nullptr, max_events);
+  const bool parallel = CanRunParallel();
+  uint64_t events_before = 0;
+  if (profiler_ != nullptr) {
+    profiler_->OnRunStart(shard_count());
+    events_before = stats_.events_processed.load(std::memory_order_relaxed);
+  }
+  bool result = parallel ? RunSharded(nullptr, max_events)
+                         : RunSequential(nullptr, max_events);
   PublishShardMetrics();
+  if (profiler_ != nullptr) {
+    profiler_->OnRunEnd(
+        stats_.events_processed.load(std::memory_order_relaxed) - events_before,
+        parallel);
+  }
   return result;
 }
 
 bool Kernel::RunUntil(const std::function<bool()>& done, uint64_t max_events) {
-  bool result = CanRunParallel() ? RunSharded(done, max_events)
-                                 : RunSequential(done, max_events);
+  const bool parallel = CanRunParallel();
+  uint64_t events_before = 0;
+  if (profiler_ != nullptr) {
+    profiler_->OnRunStart(shard_count());
+    events_before = stats_.events_processed.load(std::memory_order_relaxed);
+  }
+  bool result = parallel ? RunSharded(done, max_events)
+                         : RunSequential(done, max_events);
   PublishShardMetrics();
+  if (profiler_ != nullptr) {
+    profiler_->OnRunEnd(
+        stats_.events_processed.load(std::memory_order_relaxed) - events_before,
+        parallel);
+  }
   return result;
 }
 
 void Kernel::RunFor(Tick duration, uint64_t max_events) {
+  uint64_t events_before = 0;
+  if (profiler_ != nullptr) {
+    profiler_->OnRunStart(shard_count());
+    events_before = stats_.events_processed.load(std::memory_order_relaxed);
+  }
   Tick deadline = now() + duration;
   for (uint64_t i = 0; i < max_events; ++i) {
     Shard* best = MinShard();
@@ -1001,6 +1031,11 @@ void Kernel::RunFor(Tick duration, uint64_t max_events) {
     }
   }
   PublishShardMetrics();
+  if (profiler_ != nullptr) {
+    profiler_->OnRunEnd(
+        stats_.events_processed.load(std::memory_order_relaxed) - events_before,
+        /*parallel=*/false);
+  }
 }
 
 void Kernel::DrainMailbox(Shard& shard) {
@@ -1084,15 +1119,27 @@ bool Kernel::RunSharded(const std::function<bool()>& done, uint64_t max_events) 
     }
     control.window_end = t_min + lookahead;
     window_end_.store(control.window_end, std::memory_order_relaxed);
+    // One always-on breadcrumb per window (not per event): if a later
+    // cross-shard send undercuts this promise, the abort dump shows the
+    // windows that led up to it.
+    FlightRecorder::Instance().Record(t_min, control.window_end, batch,
+                                      workers);
   };
 
+  // Read once: the profiler must not be (un)installed mid-run, and a local
+  // keeps the per-window gate a register test.
+  ShardProfiler* const profiler = profiler_;
   auto worker = [&](int index) {
     Shard& shard = *shards_[index];
     ExecContext saved = tls_ctx_;
     tls_ctx_ = ExecContext{this, &shard, index, kNoNode, 0, {}, 0, true};
     while (true) {
+      uint64_t t0 = 0, t1 = 0, t2 = 0;
+      if (profiler != nullptr) t0 = profiler->NowNs();
       DrainMailbox(shard);
+      if (profiler != nullptr) t1 = profiler->NowNs();
       top.Arrive(completion);
+      if (profiler != nullptr) t2 = profiler->NowNs();
       if (control.stop.load(std::memory_order_relaxed)) {
         break;
       }
@@ -1105,7 +1152,23 @@ bool Kernel::RunSharded(const std::function<bool()>& done, uint64_t max_events) 
         shard.counters.lookahead_stalls++;  // this window was pure waiting
       }
       FlushOutboxes(shard);
-      bottom.Arrive([] {});
+      if (profiler != nullptr) {
+        // Host-clock phases only; virtual time never sees any of this.
+        ShardProfiler::WindowSample sample;
+        const uint64_t t3 = profiler->NowNs();
+        sample.window = shard.counters.windows;
+        sample.window_end = control.window_end;
+        sample.events = shard.counters.events_processed - before;
+        sample.start_ns = t0;
+        sample.drain_ns = t1 - t0;
+        sample.top_barrier_ns = t2 - t1;
+        sample.execute_ns = t3 - t2;  // the outbox flush rides on its tail
+        bottom.Arrive([] {});
+        sample.bottom_barrier_ns = profiler->NowNs() - t3;
+        profiler->OnWindow(index, sample);
+      } else {
+        bottom.Arrive([] {});
+      }
     }
     tls_ctx_ = saved;
   };

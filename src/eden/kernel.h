@@ -65,6 +65,7 @@ class FaultInjector;
 class InvariantMonitor;
 class Kernel;
 class MetricsRegistry;
+class ShardProfiler;
 
 // Move-only capability to reply (once) to a delivered invocation. Handlers
 // may reply inline, or stash the handle and reply later — stashing is how
@@ -333,6 +334,16 @@ class Kernel {
     return last_lock_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
+  // Optional wall-clock shard profiler (nullptr = none, the default; the
+  // recording sites cost one pointer test, like metrics). Records host-clock
+  // phase timings — mailbox drain, barrier waits, execute, lookahead stalls —
+  // per shard and per window during parallel runs, and one execute-only
+  // sample per sequential run. Observation only: virtual time and event
+  // order are untouched, so profiled runs stay byte-identical. Not owned;
+  // must outlive the run. See src/eden/profile.h.
+  void set_profiler(ShardProfiler* profiler) { profiler_ = profiler; }
+  ShardProfiler* profiler() const { return profiler_; }
+
   // Optional fault injection (nullptr = perfectly reliable medium). The
   // injector only perturbs inter-Eject traffic; messages to or from the
   // external driver are always delivered. Not owned; must outlive the run.
@@ -528,6 +539,7 @@ class Kernel {
   MetricsRegistry* metrics_ = nullptr;
   InvariantMonitor* monitor_ = nullptr;
   LockObserver* lock_observer_ = nullptr;
+  ShardProfiler* profiler_ = nullptr;
   std::atomic<uint64_t> last_lock_id_{0};
   // The current window's promise: no cross-shard message may arrive before
   // this tick while a parallel phase is running (checked at staging time).

@@ -141,4 +141,102 @@ bool ChromeTraceExporter::WriteFile(const std::string& path) const {
   return static_cast<bool>(file);
 }
 
+namespace {
+
+// Wall-clock events live under pid 1 so a merged view keeps them apart from
+// the virtual-time export's pid 0. Timestamps are fractional microseconds
+// (Perfetto's native unit) from nanosecond samples.
+std::string ProfileCommon(const char* ph, const char* name, int tid,
+                          uint64_t ts_ns) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,"
+                "\"ts\":%.3f",
+                name, ph, tid, static_cast<double>(ts_ns) / 1000.0);
+  return buf;
+}
+
+void AppendSlice(std::string& out, bool& first, const char* name, int tid,
+                 uint64_t ts_ns, uint64_t dur_ns, const std::string& args) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f,\"cat\":\"wall\"",
+                static_cast<double>(dur_ns) / 1000.0);
+  std::string body = ProfileCommon("X", name, tid, ts_ns) + buf;
+  if (!args.empty()) {
+    body += ",\"args\":" + args;
+  }
+  body += "}";
+  AppendEvent(out, first, body);
+}
+
+}  // namespace
+
+std::string ShardProfileExporter::Export() const {
+  std::vector<ShardProfiler::ShardProfile> shards = profiler_.Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  AppendEvent(out, first,
+              "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+              "\"args\":{\"name\":\"shard workers (wall clock)\"}}");
+  for (size_t i = 0; i < shards.size(); ++i) {
+    AppendEvent(out, first,
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+                    std::to_string(i) + ",\"args\":{\"name\":\"shard " +
+                    std::to_string(i) + "\"}}");
+  }
+
+  char args[192];
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const int tid = static_cast<int>(i);
+    for (const ShardProfiler::WindowSample& s : shards[i].samples) {
+      uint64_t at = s.start_ns;
+      if (s.drain_ns > 0) {
+        AppendSlice(out, first, "mailbox-drain", tid, at, s.drain_ns, "");
+      }
+      at += s.drain_ns;
+      if (s.top_barrier_ns > 0) {
+        AppendSlice(out, first, "barrier-wait", tid, at, s.top_barrier_ns, "");
+      }
+      at += s.top_barrier_ns;
+      std::snprintf(args, sizeof(args),
+                    "{\"window\":%llu,\"window_end\":%lld,\"events\":%llu"
+                    "%s}",
+                    static_cast<unsigned long long>(s.window),
+                    static_cast<long long>(s.window_end),
+                    static_cast<unsigned long long>(s.events),
+                    s.sequential ? ",\"sequential\":true" : "");
+      AppendSlice(out, first, s.stalled() ? "lookahead-stall" : "execute", tid,
+                  at, s.execute_ns, args);
+      at += s.execute_ns;
+      if (s.sequential) {
+        continue;  // a folded sequential run has no barriers or window end
+      }
+      if (s.bottom_barrier_ns > 0) {
+        AppendSlice(out, first, "barrier-wait", tid, at, s.bottom_barrier_ns,
+                    "");
+      }
+      at += s.bottom_barrier_ns;
+      std::snprintf(args, sizeof(args),
+                    ",\"s\":\"t\",\"cat\":\"wall\",\"args\":{\"window\":%llu,"
+                    "\"window_end\":%lld}}",
+                    static_cast<unsigned long long>(s.window),
+                    static_cast<long long>(s.window_end));
+      AppendEvent(out, first, ProfileCommon("i", "window", tid, at) + args);
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool ShardProfileExporter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  file << Export();
+  return static_cast<bool>(file);
+}
+
 }  // namespace eden

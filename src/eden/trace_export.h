@@ -11,11 +11,19 @@
 //   * instant events ("ph":"i") for message drops, deadline timeouts and
 //     crashes.
 // Virtual ticks map 1:1 onto trace microseconds.
+//
+// ShardProfileExporter is the wall-clock sibling: the same JSON object
+// format, but from a ShardProfiler's sample rings — one track per shard
+// worker, phase slices (mailbox-drain / barrier / execute / lookahead-stall)
+// in real microseconds, and a window-barrier instant per synchronization
+// window. Loading both files into ui.perfetto.dev gives the virtual-time and
+// host-time views of the same run side by side.
 #ifndef SRC_EDEN_TRACE_EXPORT_H_
 #define SRC_EDEN_TRACE_EXPORT_H_
 
 #include <string>
 
+#include "src/eden/profile.h"
 #include "src/eden/trace.h"
 
 namespace eden {
@@ -36,6 +44,25 @@ class ChromeTraceExporter {
 
  private:
   const TraceRecorder& recorder_;
+};
+
+class ShardProfileExporter {
+ public:
+  explicit ShardProfileExporter(const ShardProfiler& profiler)
+      : profiler_(profiler) {}
+
+  // The JSON document: tracks "shard 0".."shard N-1" under pid 1 (pid 0 is
+  // the virtual-time export), phase slices from each shard's retained
+  // samples, a "window" instant at each window's end. Timestamps are host
+  // nanoseconds since the profiler's epoch, rendered as fractional
+  // microseconds.
+  std::string Export() const;
+
+  // Writes Export() to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  const ShardProfiler& profiler_;
 };
 
 }  // namespace eden

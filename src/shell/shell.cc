@@ -19,6 +19,11 @@
 namespace eden {
 namespace {
 
+// `trace on` without a capacity: bounded by default. Unbounded recording is
+// a soak-run footgun; 64 Ki events cover any shell session while capping the
+// ring at a few MB. `trace on CAP` still overrides.
+constexpr size_t kDefaultTraceCapacity = 65536;
+
 std::string AsLine(const Value& item) {
   if (const std::string* s = item.AsStr()) {
     return *s;
@@ -186,10 +191,29 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
   if (words.empty() ||
       (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics" &&
        words[0] != "monitor" && words[0] != "doctor" && words[0] != "lint" &&
-       words[0] != "lockdep" && words[0] != "shards")) {
+       words[0] != "lockdep" && words[0] != "shards" &&
+       words[0] != "profile" && words[0] != "help")) {
     return std::nullopt;
   }
   ShellResult result;
+  if (words[0] == "help") {
+    result.output = {
+        "pipelines:  SOURCE | FILTER ... | SINK   (see shell.h for stages)",
+        "stats [json]                      kernel counters",
+        "shards [N]                        show / set kernel shard count",
+        "trace on [CAP]|off|show|json|clear|save FILE   span recorder "
+        "(default ring 65536)",
+        "metrics on|off|show|json|clear|save FILE       latency/queue "
+        "metrics",
+        "monitor on|off|show|json|clear    online invariant checks",
+        "profile on|off|show|json|clear|save FILE       wall-clock shard "
+        "profiler (Perfetto)",
+        "doctor [json]|doctor save FILE    bottleneck + parallel verdict",
+        "lint [json|rules]                 static pipeline checks",
+        "lockdep on|off|show|json|clear|selftest        lock-order analysis",
+    };
+    return result;
+  }
   if (words[0] == "stats") {
     if (words.size() == 2 && words[1] == "json") {
       PushLines(result, ValueToJson(kernel_.stats().ToValue()));
@@ -237,6 +261,8 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
           return Fail("usage: trace on [CAP]  (CAP: positive integer)");
         }
         recorder_.set_capacity(*capacity);
+      } else if (recorder_.capacity() == 0) {
+        recorder_.set_capacity(kDefaultTraceCapacity);
       }
       kernel_.set_tracer(recorder_.Hook());
       trace_on_ = true;
@@ -364,8 +390,42 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
     }
     return result;
   }
+  if (words[0] == "profile") {
+    if (words.size() == 2 && words[1] == "on") {
+      kernel_.set_profiler(&profiler_);
+      profile_on_ = true;
+      result.output.push_back("profile on");
+    } else if (words.size() == 2 && words[1] == "off") {
+      kernel_.set_profiler(nullptr);
+      profile_on_ = false;
+      result.output.push_back("profile off");
+    } else if (words.size() == 2 && words[1] == "show") {
+      PushLines(result, profiler_.ToString());
+      ParallelVerdict verdict = DiagnoseParallel(profiler_);
+      if (verdict.valid) {
+        result.output.push_back(verdict.ToLine());
+      }
+    } else if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, ShardProfileExporter(profiler_).Export());
+    } else if (words.size() == 2 && words[1] == "clear") {
+      profiler_.Clear();
+      result.output.push_back("profile cleared");
+    } else if (words.size() == 3 && words[1] == "save") {
+      return SaveText(words[2], ShardProfileExporter(profiler_).Export(),
+                      "profile");
+    } else {
+      return Fail("usage: profile on|off|show|json|clear|save FILE");
+    }
+    return result;
+  }
   // doctor
-  PipelineDoctor doctor(recorder_, metrics_on_ ? &metrics_ : nullptr);
+  if (!trace_on_ && recorder_.size() == 0) {
+    result.output.push_back(
+        "no trace recorder installed — run `trace on` first");
+    return result;
+  }
+  PipelineDoctor doctor(recorder_, metrics_on_ ? &metrics_ : nullptr,
+                        profile_on_ ? &profiler_ : nullptr);
   auto diagnose = [&] {
     Diagnosis d = doctor.Diagnose();
     if (have_topology_) {

@@ -45,6 +45,7 @@
 #include "src/eden/kernel.h"
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
+#include "src/eden/profile.h"
 #include "src/eden/trace.h"
 #include "src/eden/verify/lint.h"
 #include "src/eden/verify/lockdep.h"
@@ -76,7 +77,7 @@ class EdenShell {
   // Besides pipelines, the shell understands observability commands:
   //   stats [json]             kernel counters since boot
   //   trace on [CAP]|off       install/remove the shell's TraceRecorder
-  //                            (CAP bounds the event ring; default unbounded)
+  //                            (CAP bounds the event ring; default 65536)
   //   trace show|json|clear    ASCII chart / Chrome trace JSON / reset
   //   metrics on|off           install/remove the shell's MetricsRegistry
   //   metrics show|json|clear  human-readable / JSON snapshot / reset
@@ -84,8 +85,15 @@ class EdenShell {
   //                            violations also land in the trace as events)
   //   monitor show|json|clear  flow table + violations / JSON / reset
   //   doctor [json]            PipelineDoctor diagnosis of the recorded
-  //                            trace (+ metrics when on): critical path,
-  //                            bottleneck verdict, per-stage attribution
+  //                            trace (+ metrics / profile when on): critical
+  //                            path, bottleneck verdict, per-stage
+  //                            attribution, parallel wall-clock verdict
+  //   profile on|off           install/remove the wall-clock ShardProfiler
+  //                            (host-time phases per shard window; output
+  //                            stays byte-identical while it is on)
+  //   profile show             per-shard phase totals + parallel verdict
+  //   profile json|clear       Perfetto JSON (wall-clock tracks) / reset
+  //   profile save FILE        write the Perfetto JSON to FILE
   //   trace save FILE          write the Chrome trace JSON to FILE
   //   metrics save FILE        write the metrics snapshot JSON to FILE
   //   doctor save FILE         write the diagnosis JSON to FILE
@@ -100,6 +108,7 @@ class EdenShell {
   //   lockdep [show|json|clear]  order graph + potential deadlocks / reset
   //   lockdep selftest         seed an AB/BA inversion through the analyzer
   //                            and report whether it was caught
+  //   help                     one line per command above
   // While tracing, metering or monitoring is on, pipeline stages are labeled
   // with their command names, so charts read "grep" rather than a raw UID.
   ShellResult Run(const std::string& command, uint64_t max_events = 2'000'000);
@@ -108,6 +117,7 @@ class EdenShell {
   TraceRecorder& recorder() { return recorder_; }
   MetricsRegistry& metrics() { return metrics_; }
   InvariantMonitor& monitor() { return monitor_; }
+  ShardProfiler& profiler() { return profiler_; }
   verify::LockOrderAnalyzer& lockdep() { return lockdep_; }
   // The lint report for the last pipeline this shell wired (empty before the
   // first pipeline). Every pipeline is linted as it is built.
@@ -144,6 +154,7 @@ class EdenShell {
   TraceRecorder recorder_;
   MetricsRegistry metrics_;
   InvariantMonitor monitor_;
+  ShardProfiler profiler_;
   verify::LockOrderAnalyzer lockdep_;
   verify::TopologySpec last_topology_;
   verify::LintReport last_lint_;
@@ -152,6 +163,7 @@ class EdenShell {
   bool metrics_on_ = false;
   bool monitor_on_ = false;
   bool lockdep_on_ = false;
+  bool profile_on_ = false;
   std::map<std::string, Uid> bindings_;
   std::map<std::string, TerminalSink*> terminals_;
   std::map<std::string, PrinterSink*> printers_;

@@ -361,5 +361,48 @@ TEST(ChromeTraceExportTest, WritesFile) {
   EXPECT_EQ(contents, exporter.Export());
 }
 
+// ------------------------------------------------------- shard counters
+
+// The per-shard counters published into the registry after a run are an
+// identity, not an estimate: summed over shards they must equal the kernel's
+// own event total, and every shard reports the same window count (all shards
+// arrive at every window barrier, working or not). Checked at 1 shard (the
+// sequential degenerate case) and 4.
+TEST(MetricsShardTest, ShardCountersSumToKernelTotals) {
+  for (int shards : {1, 4}) {
+    KernelOptions kernel_options;
+    kernel_options.shards = shards;
+    Kernel kernel(kernel_options);
+    MetricsRegistry metrics;
+    kernel.set_metrics(&metrics);
+
+    ValueList input;
+    for (int i = 0; i < 16; ++i) {
+      input.push_back(Value(int64_t{i}));
+    }
+    PipelineOptions options;
+    options.discipline = Discipline::kReadOnly;
+    options.distinct_nodes = true;
+    PipelineHandle handle =
+        BuildPipeline(kernel, std::move(input), Copies(3), options);
+    kernel.RunUntil([&handle] { return handle.done(); });
+    ASSERT_EQ(handle.output().size(), 16u) << "shards=" << shards;
+
+    std::vector<std::pair<int, ShardCounters>> snapshot =
+        metrics.ShardSnapshot();
+    ASSERT_EQ(snapshot.size(), static_cast<size_t>(shards))
+        << "shards=" << shards;
+    uint64_t events_total = 0;
+    for (const auto& [shard, counters] : snapshot) {
+      events_total += counters.events_processed;
+      // Window barriers are collective: every shard sees the same count.
+      EXPECT_EQ(counters.windows, snapshot.front().second.windows)
+          << "shards=" << shards << " shard=" << shard;
+    }
+    EXPECT_EQ(events_total, kernel.stats().events_processed)
+        << "shards=" << shards;
+  }
+}
+
 }  // namespace
 }  // namespace eden

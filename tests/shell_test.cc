@@ -289,6 +289,19 @@ TEST(ShellTest, TraceCapacityBoundsTheRing) {
   EXPECT_GT(shell.recorder().events_dropped(), 0u);
 }
 
+TEST(ShellTest, TraceOnDefaultsToBoundedRing) {
+  // A bare `trace on` must not install an unbounded recorder: long soak
+  // sessions would grow without limit. The default is a 65536-event ring;
+  // an explicit capacity still wins.
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("trace on").ok);
+  EXPECT_EQ(shell.recorder().capacity(), 65536u);
+  ASSERT_TRUE(shell.Run("trace off").ok);
+  ASSERT_TRUE(shell.Run("trace on 4").ok);
+  EXPECT_EQ(shell.recorder().capacity(), 4u);
+}
+
 TEST(ShellTest, NumericArgumentsAreValidated) {
   // strtoull silently yields 0 for "abc" and accepts "12x": before the
   // strict parse, `trace on abc` configured a zero-capacity ring instead
@@ -361,8 +374,9 @@ TEST(ShellTest, MonitorCommandsCheckInvariants) {
 TEST(ShellTest, DoctorDiagnosesTheRecordedTrace) {
   Kernel kernel;
   EdenShell shell(kernel);
-  // Without a trace there is nothing to diagnose.
-  EXPECT_NE(Joined(shell.Run("doctor")).find("no spans"), std::string::npos);
+  // Without a recorder installed the doctor says how to get one.
+  EXPECT_NE(Joined(shell.Run("doctor")).find("no trace recorder installed"),
+            std::string::npos);
 
   ASSERT_TRUE(shell.Run("trace on").ok);
   ASSERT_TRUE(shell.Run("metrics on").ok);
@@ -378,6 +392,47 @@ TEST(ShellTest, DoctorDiagnosesTheRecordedTrace) {
   std::string error;
   EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
   EXPECT_FALSE(shell.Run("doctor backwards").ok);
+}
+
+TEST(ShellTest, ProfileCommandsTimeTheShardWorkers) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("shards 2").ok);
+  ASSERT_TRUE(shell.Run("profile on").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | collect").ok);
+
+  ShellResult show = shell.Run("profile show");
+  ASSERT_TRUE(show.ok) << show.error;
+  EXPECT_NE(Joined(show).find("profiler:"), std::string::npos);
+  EXPECT_GT(shell.profiler().runs(), 0u);
+
+  // The wall-clock timeline is a valid Chrome/Perfetto trace.
+  ShellResult json = shell.Run("profile json");
+  ASSERT_TRUE(json.ok) << json.error;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
+  EXPECT_NE(Joined(json).find("traceEvents"), std::string::npos);
+  EXPECT_NE(Joined(json).find("shard 0"), std::string::npos);
+
+  std::string path = ::testing::TempDir() + "shell_profile.json";
+  ASSERT_TRUE(shell.Run("profile save " + path).ok);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+
+  ASSERT_TRUE(shell.Run("profile clear").ok);
+  EXPECT_EQ(shell.profiler().runs(), 0u);
+  ASSERT_TRUE(shell.Run("profile off").ok);
+  EXPECT_FALSE(shell.Run("profile sideways").ok);
+}
+
+TEST(ShellTest, HelpListsTheObservabilityCommands) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ShellResult help = shell.Run("help");
+  ASSERT_TRUE(help.ok) << help.error;
+  EXPECT_NE(Joined(help).find("profile"), std::string::npos);
+  EXPECT_NE(Joined(help).find("trace"), std::string::npos);
+  EXPECT_NE(Joined(help).find("doctor"), std::string::npos);
 }
 
 TEST(ShellTest, SaveCommandsWriteJsonFiles) {
