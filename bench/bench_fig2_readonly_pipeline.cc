@@ -64,6 +64,33 @@ void BM_Fig2Instrumented(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig2Instrumented)->Unit(benchmark::kMillisecond);
 
+// The n = 3 pipeline with ONLY the telemetry sampler installed: CI's
+// overhead job compares this row against BM_Fig2ReadOnlyPipeline/3 too, so
+// the windowed-sampling hooks (trace feed + queue-depth observations) carry
+// the same <= 2x contract as the full stack.
+void BM_Fig2Telemetry(benchmark::State& state) {
+  int items = 2000;
+  TelemetrySampler telemetry;
+  PipelineRunStats last;
+  for (auto _ : state) {
+    state.PauseTiming();
+    telemetry.Clear();
+    state.ResumeTiming();
+    PipelineInstruments instruments;
+    instruments.telemetry = &telemetry;
+    PipelineOptions options;
+    options.discipline = Discipline::kReadOnly;
+    last = RunPipelineMeasured(KernelOptions(), BenchLines(items),
+                               CopyChain(3), options, instruments);
+    benchmark::DoNotOptimize(last.items_out);
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+  ReportPipelineCounters(state, last, 3, Discipline::kReadOnly);
+  TelemetryVerdict tv = DiagnoseTelemetry(telemetry);
+  state.counters["peak_rate_invoke"] = tv.valid ? tv.peak_rate : 0;
+}
+BENCHMARK(BM_Fig2Telemetry)->Unit(benchmark::kMillisecond);
+
 // Head-to-head at Figure 1/2's n = 3: the counter "saving_vs_unix" is the
 // §4 "roughly half as many invocations" claim, measured.
 void BM_Fig2VsFig1Saving(benchmark::State& state) {

@@ -13,9 +13,22 @@
 //   control_latency_ticks  (write-only bench) virtual ticks from injecting a
 //                 control-band push mid-overload to the sink draining it:
 //                 bands keep control latency independent of data saturation.
+//
+// The conventional sweep additionally runs under a TelemetrySampler with a
+// `backlog count:hiwat >= 1` SLO rule: peak_rate_* / topk_* columns report
+// the peak-window invocation rate and the sketch's hottest stage (excluded
+// from the bench_compare counter gate by prefix), and two sidecars land per
+// hiwat — TELEMETRY_overload_h<hiwat>.json (the windowed series; the hiwat
+// crossing window is visible in the `hiwat` counter ring) and
+// TELEMETRY_overload_tracks_h<hiwat>.json (Chrome trace with Perfetto
+// counter tracks riding next to the spans).
+#include <fstream>
+
 #include "bench/bench_util.h"
 
 #include "src/core/stream.h"
+#include "src/eden/slo.h"
+#include "src/eden/trace_export.h"
 
 namespace eden {
 namespace {
@@ -61,12 +74,27 @@ void BM_OverloadConventional(benchmark::State& state) {
   uint64_t hiwat_hits = 0;
   uint64_t queue_hw = 0;
   bool survived = false;
+  // Telemetry instruments live across iterations (cleared per run) so the
+  // last iteration's series can be written as sidecars after the loop.
+  TraceRecorder trace;
+  TelemetrySampler telemetry;
+  SloEngine slo;
+  // Fires on the first window with a hiwat hit: the overload's onset, dated
+  // by the window that completed the (sustain=1) streak.
+  slo.Add("backlog count:hiwat >= 1");
   for (auto _ : state) {
     MetricsRegistry metrics;
     InvariantMonitor monitor;
+    trace.Clear();
+    telemetry.Clear();
+    slo.ClearFirings();
+    telemetry.set_slo(&slo);
+    slo.set_trace_sink(trace.Hook());
     PipelineInstruments instruments;
     instruments.metrics = &metrics;
     instruments.monitor = &monitor;
+    instruments.trace = &trace;
+    instruments.telemetry = &telemetry;
     PipelineOptions options;
     options.discipline = Discipline::kConventional;
     options.processing_cost = kSlowConsumer;
@@ -90,6 +118,24 @@ void BM_OverloadConventional(benchmark::State& state) {
   state.counters["queue_bounded"] = queue_hw <= hiwat ? 1 : 0;
   state.counters["virtual_us_per_datum"] =
       static_cast<double>(last.virtual_time) / static_cast<double>(items);
+  // Telemetry columns: peak-window rate and heavy hitters (peak_rate_* /
+  // topk_* are excluded from the counter gate; slo_fired is deterministic
+  // and gated). The doctor's time axis for this data lives in the sidecars.
+  TelemetryVerdict tv = DiagnoseTelemetry(telemetry);
+  state.counters["peak_rate_invoke"] = tv.valid ? tv.peak_rate : 0;
+  state.counters["peak_rate_window"] =
+      tv.valid ? static_cast<double>(tv.peak_window) : -1;
+  state.counters["topk_hot_count"] = static_cast<double>(tv.hot_count);
+  state.counters["topk_hiwat_count"] = static_cast<double>(
+      tv.top_hiwat.empty() ? 0 : tv.top_hiwat.front().count);
+  state.counters["slo_fired"] = static_cast<double>(slo.firings().size());
+  const std::string suffix = "_h" + std::to_string(hiwat) + ".json";
+  std::ofstream("TELEMETRY_overload" + suffix,
+                std::ios::binary | std::ios::trunc)
+      << telemetry.ToJson();
+  ChromeTraceExporter tracks(trace);
+  tracks.set_telemetry(&telemetry);
+  tracks.WriteFile("TELEMETRY_overload_tracks" + suffix);
 }
 BENCHMARK(BM_OverloadConventional)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);

@@ -11,12 +11,12 @@
 //   - Deterministic identities (ejects, events, inv_per_datum,
 //     virtual_us_per_datum): shard-count-invariant by the determinism
 //     contract, compared strictly by bench_compare --counters-only.
-//   - Wall-clock rates (*_per_second) and the profiler-derived wall_*
-//     efficiency columns: host-speed facts next to the virtual ones,
-//     excluded from the counter gate (IsStandardBenchField). Speedup at 8
-//     shards is the events_per_second ratio to the 1-shard row — meaningful
-//     only on a multi-core host; single-core CI runs still check the
-//     identities.
+//   - Wall-clock rates (*_per_second), the profiler-derived wall_*
+//     efficiency columns, and the telemetry-derived peak_rate_* / topk_*
+//     columns: advisory facts next to the virtual ones, excluded from the
+//     counter gate (IsStandardBenchField). Speedup at 8 shards is the
+//     events_per_second ratio to the 1-shard row — meaningful only on a
+//     multi-core host; single-core CI runs still check the identities.
 //
 // Each row runs under a ShardProfiler and reports the parallel verdict
 // (wall_speedup / wall_efficiency / wall_serial_fraction, from
@@ -47,12 +47,17 @@ struct ScaleResult {
 };
 
 ScaleResult RunScaleSweep(int shards, int pipelines, int items, size_t depth,
-                          ShardProfiler* profiler) {
+                          ShardProfiler* profiler,
+                          TelemetrySampler* telemetry) {
   KernelOptions kernel_options;
   kernel_options.shards = shards;
   Kernel kernel(kernel_options);
   if (profiler != nullptr) {
     kernel.set_profiler(profiler);
+  }
+  if (telemetry != nullptr) {
+    telemetry->Clear();
+    kernel.set_telemetry(telemetry);
   }
   PipelineOptions options;
   options.discipline = Discipline::kReadOnly;
@@ -98,8 +103,9 @@ void BM_ScaleShardSweep(benchmark::State& state) {
   ScaleResult last{};
   double run_seconds = 0;
   ShardProfiler profiler;
+  TelemetrySampler telemetry;
   for (auto _ : state) {
-    last = RunScaleSweep(shards, pipelines, items, depth, &profiler);
+    last = RunScaleSweep(shards, pipelines, items, depth, &profiler, &telemetry);
     run_seconds += last.run_seconds;
     benchmark::DoNotOptimize(last.items_out);
   }
@@ -132,6 +138,16 @@ void BM_ScaleShardSweep(benchmark::State& state) {
       verdict.valid ? verdict.serial_fraction : 1.0;
   state.counters["wall_imbalance_pct"] =
       verdict.valid ? verdict.imbalance_pct : 0.0;
+  // Telemetry columns (peak_rate_* / topk_* prefixes keep them out of the
+  // counter gate): the peak-window invocation rate on the virtual-time axis
+  // and the Space-Saving sketch's hottest stage. Shard-count-invariant by
+  // the merged-observation-stream contract, but advisory, not gated.
+  TelemetryVerdict tv = DiagnoseTelemetry(telemetry);
+  state.counters["peak_rate_invoke"] = tv.valid ? tv.peak_rate : 0.0;
+  state.counters["peak_rate_window"] =
+      tv.valid ? static_cast<double>(tv.peak_window) : -1.0;
+  state.counters["topk_hot_count"] = static_cast<double>(tv.hot_count);
+  state.counters["topk_hot_error"] = static_cast<double>(tv.hot_error);
   // The per-shard wall timeline for this row, for ui.perfetto.dev.
   ShardProfileExporter(profiler).WriteFile("PROFILE_scale_p" +
                                            std::to_string(pipelines) + "_s" +

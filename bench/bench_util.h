@@ -25,6 +25,7 @@
 #include "src/eden/monitor.h"
 #include "src/eden/profile.h"
 #include "src/eden/random.h"
+#include "src/eden/telemetry.h"
 #include "src/eden/trace.h"
 
 namespace eden {
@@ -64,6 +65,7 @@ struct PipelineInstruments {
   TraceRecorder* trace = nullptr;      // hooked and labeled likewise
   InvariantMonitor* monitor = nullptr; // online invariant checking
   ShardProfiler* profiler = nullptr;   // wall-clock shard phase timings
+  TelemetrySampler* telemetry = nullptr;  // windowed virtual-time series
   // Run the PipelineDoctor over `trace` (+ `metrics`) after the run and
   // attach the Diagnosis to the stats. Requires `trace`.
   bool diagnose = false;
@@ -137,6 +139,9 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
   if (instruments.profiler != nullptr) {
     kernel.set_profiler(instruments.profiler);
   }
+  if (instruments.telemetry != nullptr) {
+    kernel.set_telemetry(instruments.telemetry);
+  }
   Stats before = kernel.stats();
   Tick start = kernel.now();
   PipelineHandle handle = BuildPipeline(kernel, std::move(input), chain, options);
@@ -148,6 +153,9 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
   }
   if (instruments.monitor != nullptr) {
     handle.LabelAll(*instruments.monitor);
+  }
+  if (instruments.telemetry != nullptr) {
+    handle.LabelAll(*instruments.telemetry);
   }
   if (instruments.on_built) {
     instruments.on_built(kernel, handle);
@@ -173,7 +181,9 @@ inline PipelineRunStats RunPipelineMeasured(const KernelOptions& kernel_options,
   }
   if (instruments.diagnose && instruments.trace != nullptr) {
     Diagnosis diagnosis =
-        PipelineDoctor(*instruments.trace, instruments.metrics).Diagnose();
+        PipelineDoctor(*instruments.trace, instruments.metrics,
+                       instruments.profiler, instruments.telemetry)
+            .Diagnose();
     result.verdict = diagnosis.verdict;
     result.diagnosis = diagnosis.ToValue();
   }

@@ -49,6 +49,9 @@ Task<void> PassiveBuffer::BandLoop(Band band) {
       m->RecordQueueDepth("pipe", uid(),
                           acceptor_.buffered(kChanIn) + server_.buffered(kChanOut));
     }
+    kernel().ObserveQueueDepth(
+        "pipe", uid(),
+        acceptor_.buffered(kChanIn) + server_.buffered(kChanOut));
   }
   if (++loops_done_ == 2) {
     server_.Close(std::string(kChanOut));

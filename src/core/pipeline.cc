@@ -8,6 +8,7 @@
 
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
+#include "src/eden/telemetry.h"
 #include "src/eden/trace.h"
 
 namespace eden {
@@ -413,6 +414,15 @@ void PipelineHandle::LabelAll(InvariantMonitor& checker) const {
   }
   if (!monitor.IsNil()) {
     checker.Label(monitor, "monitor");
+  }
+}
+
+void PipelineHandle::LabelAll(TelemetrySampler& telemetry) const {
+  for (size_t i = 0; i < ejects.size() && i < stage_names.size(); ++i) {
+    telemetry.Label(ejects[i], stage_names[i]);
+  }
+  if (!monitor.IsNil()) {
+    telemetry.Label(monitor, "monitor");
   }
 }
 

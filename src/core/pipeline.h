@@ -31,6 +31,7 @@ namespace eden {
 
 class InvariantMonitor;
 class MetricsRegistry;
+class TelemetrySampler;
 class TraceRecorder;
 
 enum class Discipline { kReadOnly, kWriteOnly, kConventional };
@@ -122,6 +123,7 @@ struct PipelineHandle {
   void LabelAll(TraceRecorder& recorder) const;
   void LabelAll(MetricsRegistry& metrics) const;
   void LabelAll(InvariantMonitor& checker) const;
+  void LabelAll(TelemetrySampler& telemetry) const;
 };
 
 // Builds the pipeline and starts it; run the kernel until handle.done().

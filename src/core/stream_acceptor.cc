@@ -61,6 +61,7 @@ void StreamAcceptor::RecordDepth(const InChannel& channel) const {
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("acceptor", owner_.uid(), Depth(channel));
   }
+  owner_.kernel().ObserveQueueDepth("acceptor", owner_.uid(), Depth(channel));
 }
 
 void StreamAcceptor::HandlePush(InvocationContext ctx) {
@@ -136,6 +137,8 @@ void StreamAcceptor::HandlePush(InvocationContext ctx) {
     if (MetricsRegistry* m = owner_.kernel().metrics()) {
       m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kHiwatHit);
     }
+    owner_.kernel().ObserveFlowEvent("acceptor", owner_.uid(),
+                                     FlowEvent::kHiwatHit);
     ch->withheld.push_back(ctx.TakeReply());
     return;
   }
@@ -190,6 +193,8 @@ Task<std::optional<StreamAcceptor::Taken>> StreamAcceptor::Take(
       if (MetricsRegistry* m = owner_.kernel().metrics()) {
         m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kBandOvertake);
       }
+      owner_.kernel().ObserveFlowEvent("acceptor", owner_.uid(),
+                                       FlowEvent::kBandOvertake);
     }
   } else {
     taken.band = Band::kData;
@@ -225,6 +230,8 @@ Task<std::optional<Value>> StreamAcceptor::NextOnBand(std::string_view channel,
     if (MetricsRegistry* m = owner_.kernel().metrics()) {
       m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kBandOvertake);
     }
+    owner_.kernel().ObserveFlowEvent("acceptor", owner_.uid(),
+                                     FlowEvent::kBandOvertake);
   }
   Value item = std::move(queue.front());
   queue.pop_front();
@@ -274,6 +281,8 @@ void StreamAcceptor::PutBack(std::string_view channel, Value item, Band band) {
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->CountFlowEvent("acceptor", owner_.uid(), FlowEvent::kPutBack);
   }
+  owner_.kernel().ObserveFlowEvent("acceptor", owner_.uid(),
+                                   FlowEvent::kPutBack);
   RecordDepth(*ch);
 }
 

@@ -79,6 +79,7 @@ void StreamReader::Ingest(InvokeResult result) {
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
   }
+  owner_.kernel().ObserveQueueDepth("reader", owner_.uid(), buffer_.size());
 }
 
 Task<void> StreamReader::FetchOnce() {
@@ -160,6 +161,7 @@ Task<std::optional<Value>> StreamReader::Next() {
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
   }
+  owner_.kernel().ObserveQueueDepth("reader", owner_.uid(), buffer_.size());
   if (options_.lookahead > 0) {
     // Only the lookahead fetch process ever waits on room_; in inline mode
     // there is no such process and nothing to wake.
@@ -200,6 +202,7 @@ Task<ValueList> StreamReader::NextBatch() {
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("reader", owner_.uid(), buffer_.size());
   }
+  owner_.kernel().ObserveQueueDepth("reader", owner_.uid(), buffer_.size());
   if (options_.lookahead > 0) {
     room_.NotifyAll();
   }

@@ -56,6 +56,8 @@ bool StreamServer::WriteBlocked(OutChannel& channel) {
       if (MetricsRegistry* m = owner_.kernel().metrics()) {
         m->CountFlowEvent("server", owner_.uid(), FlowEvent::kHiwatHit);
       }
+      owner_.kernel().ObserveFlowEvent("server", owner_.uid(),
+                                       FlowEvent::kHiwatHit);
     }
     return true;
   }
@@ -102,6 +104,7 @@ Task<void> StreamServer::Write(std::string_view channel, Value item, Band band) 
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("server", owner_.uid(), Depth(*ch));
   }
+  owner_.kernel().ObserveQueueDepth("server", owner_.uid(), Depth(*ch));
   Pump(*ch);
 }
 
@@ -143,6 +146,8 @@ void StreamServer::PutBack(std::string_view channel, Value item, Band band) {
     m->CountFlowEvent("server", owner_.uid(), FlowEvent::kPutBack);
     m->RecordQueueDepth("server", owner_.uid(), Depth(*ch));
   }
+  owner_.kernel().ObserveFlowEvent("server", owner_.uid(), FlowEvent::kPutBack);
+  owner_.kernel().ObserveQueueDepth("server", owner_.uid(), Depth(*ch));
 }
 
 void StreamServer::Close(std::string_view channel) {
@@ -267,9 +272,13 @@ void StreamServer::Pump(OutChannel& channel) {
     }
     if (overtakes > 0) {
       if (MetricsRegistry* m = owner_.kernel().metrics()) {
-        while (overtakes-- > 0) {
+        for (size_t n = overtakes; n > 0; --n) {
           m->CountFlowEvent("server", owner_.uid(), FlowEvent::kBandOvertake);
         }
+      }
+      for (; overtakes > 0; --overtakes) {
+        owner_.kernel().ObserveFlowEvent("server", owner_.uid(),
+                                         FlowEvent::kBandOvertake);
       }
     }
     request.reply.Reply(channel.sequenced
@@ -279,6 +288,7 @@ void StreamServer::Pump(OutChannel& channel) {
   if (MetricsRegistry* m = owner_.kernel().metrics()) {
     m->RecordQueueDepth("server", owner_.uid(), Depth(channel));
   }
+  owner_.kernel().ObserveQueueDepth("server", owner_.uid(), Depth(channel));
   // Back-enable the producer under the lowat rule: closed channels and
   // parked demand always release; a watermarked channel releases only once
   // drained below lowat (clearing the hysteresis latch). Deferred service

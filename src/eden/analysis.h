@@ -46,6 +46,7 @@ namespace eden {
 
 class MetricsRegistry;
 class ShardProfiler;
+class TelemetrySampler;
 
 // One hop on the critical chain.
 struct CriticalStep {
@@ -127,6 +128,73 @@ struct ParallelVerdict {
 // `profile show`.
 ParallelVerdict DiagnoseParallel(const ShardProfiler& profiler);
 
+// The virtual-time axis of the diagnosis, folded from a TelemetrySampler
+// (src/eden/telemetry.h) when one was passed to the doctor. Where the span
+// tree answers *where* ticks went, the windowed series answer *when*: which
+// window carried the peak invocation rate, which queue crossed its high
+// watermark first and whether it ever drained, and which stages the
+// Space-Saving sketch names hottest. `valid` is false when no window ever
+// closed (run shorter than one cadence).
+struct TelemetryVerdict {
+  bool valid = false;
+  Tick cadence = 0;
+  int64_t windows = 0;  // closed windows
+  uint64_t invocations = 0;  // cumulative kInvoke count
+
+  // The closed window with the most invocations (earliest wins ties).
+  int64_t peak_window = -1;
+  Tick peak_window_end = 0;    // exclusive end tick of that window
+  uint64_t peak_invokes = 0;
+  double peak_rate = 0;        // invokes per virtual second in that window
+
+  // Hottest stage by sketch invocation count (empty if none recorded).
+  std::string hot_stage;
+  uint64_t hot_count = 0;
+  uint64_t hot_error = 0;  // sketch overestimation bound for that count
+
+  // The ramp story for the queue that crossed its hiwat first: "queue
+  // server/filter2 crossed hiwat at t=412 and never drained" (or "... and
+  // drained by t=9731"). Empty when no queue ever crossed.
+  std::string ramp;
+
+  struct Top {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t error = 0;
+  };
+  std::vector<Top> top_invocations;
+  std::vector<Top> top_hiwat;
+
+  // One row per retained closed window of the global counters, for the
+  // doctor's time-axis table.
+  struct WindowRow {
+    int64_t window = 0;
+    Tick end = 0;          // exclusive end tick
+    uint64_t invokes = 0;
+    uint64_t replies = 0;
+    uint64_t drops = 0;
+    uint64_t hiwat = 0;
+  };
+  std::vector<WindowRow> rows;
+  uint64_t rows_evicted = 0;  // windows lost off the ring front
+
+  // Fired SLO rules (from the sampler's attached engine, if any): firing
+  // count, the distinct rule names that fired, and one detail line each.
+  size_t slo_fired = 0;
+  std::vector<std::string> slo_rules;
+  std::vector<std::string> slo_lines;
+
+  // "telemetry: peak 12000 ev/s in window 4 (t<5000), hot stage filter2,
+  // queue server/filter2 crossed hiwat at t=412 and never drained; slo: 1
+  // rule fired"
+  std::string ToLine() const;
+  Value ToValue() const;
+};
+
+// Folds the sampler's series, sketches and SLO engine into the verdict.
+// Quiescent read. Also used directly by the shell's `telemetry show`.
+TelemetryVerdict DiagnoseTelemetry(const TelemetrySampler& telemetry);
+
 struct Diagnosis {
   size_t span_count = 0;
   size_t root_count = 0;
@@ -155,6 +223,10 @@ struct Diagnosis {
   // passed to the doctor. Invalid (and absent from output) otherwise.
   ParallelVerdict parallel;
 
+  // Virtual-time axis, folded from a TelemetrySampler when one was passed to
+  // the doctor. Invalid (and absent from output) otherwise.
+  TelemetryVerdict telemetry;
+
   // "bottleneck: filter2, 61% of critical path, queue high-water 64" — plus
   // ", flow: N hiwat hits" when the bottleneck stage hit its hiwat, naming
   // backpressure (not compute) as the likely cause, and "; N shards, ..."
@@ -177,15 +249,19 @@ struct Diagnosis {
 };
 
 // Folds the span tree (and optionally the metrics snapshot, for queue
-// high-water marks, and the shard profiler, for the wall-clock parallel
-// verdict) into a Diagnosis. Reads only; all sources must outlive the
-// doctor.
+// high-water marks, the shard profiler, for the wall-clock parallel verdict,
+// and the telemetry sampler, for the virtual-time axis) into a Diagnosis.
+// Reads only; all sources must outlive the doctor.
 class PipelineDoctor {
  public:
   explicit PipelineDoctor(const TraceRecorder& trace,
                           const MetricsRegistry* metrics = nullptr,
-                          const ShardProfiler* profiler = nullptr)
-      : trace_(trace), metrics_(metrics), profiler_(profiler) {}
+                          const ShardProfiler* profiler = nullptr,
+                          const TelemetrySampler* telemetry = nullptr)
+      : trace_(trace),
+        metrics_(metrics),
+        profiler_(profiler),
+        telemetry_(telemetry) {}
 
   Diagnosis Diagnose() const;
 
@@ -193,6 +269,7 @@ class PipelineDoctor {
   const TraceRecorder& trace_;
   const MetricsRegistry* metrics_;
   const ShardProfiler* profiler_;
+  const TelemetrySampler* telemetry_;
 };
 
 // ---------------------------------------------------------- bench comparison

@@ -16,6 +16,7 @@
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
 #include "src/eden/profile.h"
+#include "src/eden/telemetry.h"
 
 namespace eden {
 
@@ -1199,8 +1200,11 @@ void Kernel::PublishShardMetrics() {
 
 void Kernel::Observe(const TraceEvent& event) {
   if (OnOwnContext() && tls_ctx_.parallel) {
-    tls_ctx_.shard->observations.push_back(
-        ObsRecord{tls_ctx_.event_key, tls_ctx_.obs_sub++, event});
+    ObsRecord record;
+    record.key = tls_ctx_.event_key;
+    record.sub = tls_ctx_.obs_sub++;
+    record.event = event;
+    tls_ctx_.shard->observations.push_back(std::move(record));
     return;
   }
   if (tracer_) {
@@ -1209,6 +1213,43 @@ void Kernel::Observe(const TraceEvent& event) {
   if (monitor_ != nullptr) {
     monitor_->OnTraceEvent(event);
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->OnTraceEvent(event);
+  }
+}
+
+void Kernel::ObserveQueueDepthSlow(std::string_view component, const Uid& owner,
+                                   size_t depth) {
+  if (OnOwnContext() && tls_ctx_.parallel) {
+    ObsRecord record;
+    record.key = tls_ctx_.event_key;
+    record.sub = tls_ctx_.obs_sub++;
+    record.kind = ObsRecord::Kind::kQueueDepth;
+    record.component = std::string(component);
+    record.owner = owner;
+    record.at = now();
+    record.value = depth;
+    tls_ctx_.shard->observations.push_back(std::move(record));
+    return;
+  }
+  telemetry_->OnQueueDepth(component, owner, now(), depth);
+}
+
+void Kernel::ObserveFlowEventSlow(std::string_view component, const Uid& owner,
+                                  FlowEvent event) {
+  if (OnOwnContext() && tls_ctx_.parallel) {
+    ObsRecord record;
+    record.key = tls_ctx_.event_key;
+    record.sub = tls_ctx_.obs_sub++;
+    record.kind = ObsRecord::Kind::kFlowEvent;
+    record.component = std::string(component);
+    record.owner = owner;
+    record.at = now();
+    record.value = static_cast<uint64_t>(event);
+    tls_ctx_.shard->observations.push_back(std::move(record));
+    return;
+  }
+  telemetry_->OnFlowEvent(component, owner, now(), event);
 }
 
 void Kernel::FlushObservations() {
@@ -1236,11 +1277,30 @@ void Kernel::FlushObservations() {
     return a.key < b.key;
   });
   for (const ObsRecord& record : merged) {
-    if (tracer_) {
-      tracer_(record.event);
-    }
-    if (monitor_ != nullptr) {
-      monitor_->OnTraceEvent(record.event);
+    switch (record.kind) {
+      case ObsRecord::Kind::kTrace:
+        if (tracer_) {
+          tracer_(record.event);
+        }
+        if (monitor_ != nullptr) {
+          monitor_->OnTraceEvent(record.event);
+        }
+        if (telemetry_ != nullptr) {
+          telemetry_->OnTraceEvent(record.event);
+        }
+        break;
+      case ObsRecord::Kind::kQueueDepth:
+        if (telemetry_ != nullptr) {
+          telemetry_->OnQueueDepth(record.component, record.owner, record.at,
+                                   record.value);
+        }
+        break;
+      case ObsRecord::Kind::kFlowEvent:
+        if (telemetry_ != nullptr) {
+          telemetry_->OnFlowEvent(record.component, record.owner, record.at,
+                                  static_cast<FlowEvent>(record.value));
+        }
+        break;
     }
   }
 }

@@ -40,6 +40,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -66,6 +67,8 @@ class InvariantMonitor;
 class Kernel;
 class MetricsRegistry;
 class ShardProfiler;
+class TelemetrySampler;
+enum class FlowEvent : uint8_t;  // metrics.h; fixed underlying type
 
 // Move-only capability to reply (once) to a delivered invocation. Handlers
 // may reply inline, or stash the handle and reply later — stashing is how
@@ -344,6 +347,32 @@ class Kernel {
   void set_profiler(ShardProfiler* profiler) { profiler_ = profiler; }
   ShardProfiler* profiler() const { return profiler_; }
 
+  // Optional telemetry time-series (nullptr = none, the default; the
+  // recording sites cost one pointer test, like metrics). The sampler is fed
+  // from the *merged* observation stream — sequential execution, or the
+  // single-threaded window barrier of a sharded run — so its windows,
+  // sketches and JSON export are byte-identical at any shard count. Not
+  // owned; must outlive the run. See src/eden/telemetry.h.
+  void set_telemetry(TelemetrySampler* telemetry) { telemetry_ = telemetry; }
+  TelemetrySampler* telemetry() const { return telemetry_; }
+
+  // Telemetry feed from the stream primitives: a queue-depth sample, or a
+  // flow-control incident (FlowEvent, metrics.h). Stamped with now() and
+  // routed through the same deterministic observation merge as trace events.
+  // One pointer test when no sampler is installed.
+  void ObserveQueueDepth(std::string_view component, const Uid& owner,
+                         size_t depth) {
+    if (telemetry_ != nullptr) {
+      ObserveQueueDepthSlow(component, owner, depth);
+    }
+  }
+  void ObserveFlowEvent(std::string_view component, const Uid& owner,
+                        FlowEvent event) {
+    if (telemetry_ != nullptr) {
+      ObserveFlowEventSlow(component, owner, event);
+    }
+  }
+
   // Optional fault injection (nullptr = perfectly reliable medium). The
   // injector only perturbs inter-Eject traffic; messages to or from the
   // external driver are always delivered. Not owned; must outlive the run.
@@ -424,12 +453,20 @@ class Kernel {
     EventQueue::Action action;
   };
 
-  // A buffered trace observation: (event key, in-event ordinal) reproduces
-  // the sequential fan-out order exactly when shards merge their buffers.
+  // A buffered observation: (event key, in-event ordinal) reproduces the
+  // sequential fan-out order exactly when shards merge their buffers. Trace
+  // events fan out to tracer/monitor/telemetry; queue-depth and flow-event
+  // records (payload in component/owner/at/value) feed telemetry only.
   struct ObsRecord {
+    enum class Kind : uint8_t { kTrace, kQueueDepth, kFlowEvent };
     EventKey key;
     uint32_t sub = 0;
+    Kind kind = Kind::kTrace;
     TraceEvent event;
+    std::string component;
+    Uid owner;
+    Tick at = 0;
+    uint64_t value = 0;
   };
 
   // Per-node deterministic sequence state. Only the owning node's shard
@@ -508,9 +545,15 @@ class Kernel {
   // Fans a trace event out to the tracer and the invariant monitor (or, in a
   // parallel phase, buffers it for the deterministic window merge). Callers
   // gate on `observing()` so the unset fast path stays cheap.
-  bool observing() const { return tracer_ != nullptr || monitor_ != nullptr; }
+  bool observing() const {
+    return tracer_ != nullptr || monitor_ != nullptr || telemetry_ != nullptr;
+  }
   void Observe(const TraceEvent& event);
   void FlushObservations();
+  void ObserveQueueDepthSlow(std::string_view component, const Uid& owner,
+                             size_t depth);
+  void ObserveFlowEventSlow(std::string_view component, const Uid& owner,
+                            FlowEvent event);
 
   void ExecuteEvent(Shard& shard, int shard_index, EventQueue::PoppedEvent event,
                     bool parallel);
@@ -540,6 +583,7 @@ class Kernel {
   InvariantMonitor* monitor_ = nullptr;
   LockObserver* lock_observer_ = nullptr;
   ShardProfiler* profiler_ = nullptr;
+  TelemetrySampler* telemetry_ = nullptr;
   std::atomic<uint64_t> last_lock_id_{0};
   // The current window's promise: no cross-shard message may arrive before
   // this tick while a parallel phase is running (checked at staging time).

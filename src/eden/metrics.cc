@@ -77,6 +77,43 @@ uint64_t Log2Histogram::Percentile(double p) const {
   return max_;
 }
 
+void Log2Histogram::Merge(const Log2Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Log2Histogram Log2Histogram::Subtract(const Log2Histogram& earlier) const {
+  Log2Histogram delta;
+  size_t lowest = kBucketCount;
+  size_t highest = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    delta.buckets_[b] = buckets_[b] - earlier.buckets_[b];
+    if (delta.buckets_[b] > 0) {
+      lowest = std::min(lowest, b);
+      highest = b;
+    }
+  }
+  delta.count_ = count_ - earlier.count_;
+  delta.sum_ = sum_ - earlier.sum_;
+  if (delta.count_ > 0) {
+    // The delta's exact min/max are not recoverable from two cumulative
+    // snapshots; bucket bounds clamped to the later snapshot's observed
+    // range are the tightest deterministic approximation.
+    delta.min_ = std::max(BucketLow(lowest), min_);
+    delta.max_ = std::min(BucketHigh(highest), max_);
+    delta.min_ = std::min(delta.min_, delta.max_);
+  }
+  return delta;
+}
+
 Value Log2Histogram::ToValue() const {
   Value v;
   v.Set("count", Value(count_));

@@ -62,6 +62,21 @@ class Log2Histogram {
   // observed [min, max] — exact when min == max. Returns 0 when empty.
   uint64_t Percentile(double p) const;
 
+  // Bucketwise accumulation of `other` into this histogram: counts, sums and
+  // buckets add exactly; min/max combine exactly (an empty side contributes
+  // nothing). Merging disjoint windows reproduces the histogram a single
+  // accumulation over both would have built.
+  void Merge(const Log2Histogram& other);
+
+  // The windowed delta of two cumulative snapshots: `*this` must be a later
+  // snapshot of the same accumulation as `earlier` (every bucket, the count
+  // and the sum of `earlier` are <= ours). Buckets, count and sum subtract
+  // exactly. The delta's min/max are NOT recoverable from cumulative state;
+  // they are approximated by the bounds of the delta's outermost non-empty
+  // buckets, clamped to this snapshot's observed [min, max] — tight enough
+  // for percentile clamping, and deterministic.
+  Log2Histogram Subtract(const Log2Histogram& earlier) const;
+
   // {count, sum, min, max, mean, p50, p90, p99, buckets: [...]} — buckets
   // are trimmed to the last non-empty one.
   Value ToValue() const;
@@ -75,7 +90,9 @@ class Log2Histogram {
 };
 
 // Flow-control incidents on one queue (see PROTOCOL.md "Flow control").
-enum class FlowEvent {
+// The fixed underlying type lets kernel.h forward-declare the enum for its
+// telemetry observation hooks without pulling this header into every Eject.
+enum class FlowEvent : uint8_t {
   kHiwatHit,       // a producer was blocked/withheld at the high watermark
   kPutBack,        // an item was returned to the front of its band (putbq)
   kBandOvertake,   // a control item was served ahead of queued data

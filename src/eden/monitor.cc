@@ -21,6 +21,8 @@ const char* KindName(InvariantMonitor::Violation::Kind kind) {
       return "sequence";
     case Kind::kStatic:
       return "static-lint";
+    case Kind::kSlo:
+      return "slo";
   }
   return "unknown";
 }
@@ -202,6 +204,12 @@ void InvariantMonitor::OnStaticFinding(Tick at, const Uid& stage,
                                        std::string detail) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   Report(Violation::Kind::kStatic, at, stage, std::move(detail));
+}
+
+void InvariantMonitor::OnSloViolation(Tick at, const Uid& stage,
+                                      std::string detail) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Report(Violation::Kind::kSlo, at, stage, std::move(detail));
 }
 
 void InvariantMonitor::ExpectInvocations(std::string op, uint64_t count) {

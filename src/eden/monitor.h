@@ -62,6 +62,7 @@ class InvariantMonitor {
       kSpanTree,           // orphan parent / cycle in the causal tree
       kSequence,           // a seq/ack counter moved backwards
       kStatic,             // a lint finding from the verification layer
+      kSlo,                // an SLO rule fired over a telemetry series
     };
     Kind kind = Kind::kFlowConservation;
     Tick at = 0;
@@ -120,6 +121,10 @@ class InvariantMonitor {
   // the violation stream here (kind kStatic), so one `monitor` report and
   // one kViolation trace carry both the runtime and the static story.
   void OnStaticFinding(Tick at, const Uid& stage, std::string detail);
+  // ---- SLO feed. A fired alert rule (slo.h) joins the violation stream as
+  // kind kSlo: `at` is the end tick of the window that completed the
+  // sustain streak; `stage` is usually nil (rules watch global series).
+  void OnSloViolation(Tick at, const Uid& stage, std::string detail);
 
   // ---- Expectations, checked by Check().
   // Exactly `count` invocations of `op` by the end of the run.

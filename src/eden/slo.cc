@@ -1,0 +1,222 @@
+#include "src/eden/slo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "src/eden/monitor.h"
+#include "src/eden/telemetry.h"
+
+namespace eden {
+
+namespace {
+
+// %g keeps thresholds and series values compact and byte-stable ("5000",
+// "2.5") across every surface that renders a firing.
+std::string FormatNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return std::string(buf);
+}
+
+std::vector<std::string> Tokenize(std::string_view spec) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(spec)};
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool Breaches(SloEngine::Cmp cmp, double value, double threshold) {
+  switch (cmp) {
+    case SloEngine::Cmp::kGt: return value > threshold;
+    case SloEngine::Cmp::kGe: return value >= threshold;
+    case SloEngine::Cmp::kLt: return value < threshold;
+    case SloEngine::Cmp::kLe: return value <= threshold;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view SloEngine::CmpName(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kGt: return ">";
+    case Cmp::kGe: return ">=";
+    case Cmp::kLt: return "<";
+    case Cmp::kLe: return "<=";
+  }
+  return "?";
+}
+
+Status SloEngine::Add(std::string_view spec) {
+  std::vector<std::string> tokens = Tokenize(spec);
+  if (tokens.size() != 4 && tokens.size() != 6) {
+    return Status(StatusCode::kInvalidArgument,
+                  "slo rule syntax: NAME SERIES CMP THRESHOLD [for N]");
+  }
+  Rule rule;
+  rule.name = tokens[0];
+  rule.series = tokens[1];
+  if (tokens[2] == ">") {
+    rule.cmp = Cmp::kGt;
+  } else if (tokens[2] == ">=") {
+    rule.cmp = Cmp::kGe;
+  } else if (tokens[2] == "<") {
+    rule.cmp = Cmp::kLt;
+  } else if (tokens[2] == "<=") {
+    rule.cmp = Cmp::kLe;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "slo comparator must be one of > >= < <=, got '" +
+                      tokens[2] + "'");
+  }
+  char* end = nullptr;
+  rule.threshold = std::strtod(tokens[3].c_str(), &end);
+  if (end == tokens[3].c_str() || *end != '\0') {
+    return Status(StatusCode::kInvalidArgument,
+                  "slo threshold is not a number: '" + tokens[3] + "'");
+  }
+  if (tokens.size() == 6) {
+    if (tokens[4] != "for") {
+      return Status(StatusCode::kInvalidArgument,
+                    "slo rule syntax: NAME SERIES CMP THRESHOLD [for N]");
+    }
+    char* nend = nullptr;
+    long n = std::strtol(tokens[5].c_str(), &nend, 10);
+    if (nend == tokens[5].c_str() || *nend != '\0' || n < 1) {
+      return Status(StatusCode::kInvalidArgument,
+                    "slo sustain count must be a positive integer, got '" +
+                        tokens[5] + "'");
+    }
+    rule.sustain = static_cast<int>(n);
+  }
+  AddRule(std::move(rule));
+  return Status::Ok();
+}
+
+void SloEngine::AddRule(Rule rule) {
+  if (rule.sustain < 1) {
+    rule.sustain = 1;
+  }
+  rules_.push_back(std::move(rule));
+  states_.push_back(RuleState{});
+}
+
+void SloEngine::OnWindowClosed(int64_t window, Tick window_end,
+                               const TelemetrySampler& telemetry) {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    RuleState& state = states_[i];
+    std::optional<double> value = telemetry.WindowValue(rule.series);
+    bool breach =
+        value.has_value() && Breaches(rule.cmp, *value, rule.threshold);
+    if (!breach) {
+      state.streak = 0;
+      state.armed = true;
+      continue;
+    }
+    state.streak++;
+    if (!state.armed || state.streak < rule.sustain) {
+      continue;
+    }
+    state.armed = false;
+    firings_.push_back(Firing{rule.name, rule.series, window, window_end,
+                              *value});
+    std::string detail = "rule '" + rule.name + "': " + rule.series + " " +
+                         std::string(CmpName(rule.cmp)) + " " +
+                         FormatNumber(rule.threshold);
+    if (rule.sustain > 1) {
+      detail += " for " + std::to_string(rule.sustain) + " windows";
+    }
+    detail += " (value " + FormatNumber(*value) + " at t=" +
+              std::to_string(window_end) + ")";
+    if (trace_sink_) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kViolation;
+      event.at = window_end;
+      event.op = "slo: " + detail;
+      event.ok = false;
+      trace_sink_(event);
+    }
+    if (monitor_ != nullptr) {
+      monitor_->OnSloViolation(window_end, Uid(), detail);
+    }
+  }
+}
+
+void SloEngine::Clear() {
+  rules_.clear();
+  states_.clear();
+  firings_.clear();
+}
+
+void SloEngine::ClearFirings() {
+  firings_.clear();
+  for (RuleState& state : states_) {
+    state = RuleState{};
+  }
+}
+
+std::string SloEngine::ToString() const {
+  if (rules_.empty()) {
+    return "no slo rules\n";
+  }
+  std::string out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    out += rule.name + ": " + rule.series + " " +
+           std::string(CmpName(rule.cmp)) + " " + FormatNumber(rule.threshold);
+    if (rule.sustain > 1) {
+      out += " for " + std::to_string(rule.sustain) + " windows";
+    }
+    uint64_t fired = 0;
+    for (const Firing& firing : firings_) {
+      if (firing.rule == rule.name) {
+        fired++;
+      }
+    }
+    if (fired > 0) {
+      out += "  (fired " + std::to_string(fired) + "x)";
+    }
+    out += "\n";
+  }
+  for (const Firing& firing : firings_) {
+    out += "fired: " + firing.rule + " on " + firing.series + " at t=" +
+           std::to_string(firing.at) + " (value " + FormatNumber(firing.value) +
+           ")\n";
+  }
+  return out;
+}
+
+Value SloEngine::ToValue() const {
+  Value v;
+  ValueList rules;
+  for (const Rule& rule : rules_) {
+    Value r;
+    r.Set("name", Value(rule.name));
+    r.Set("series", Value(rule.series));
+    r.Set("cmp", Value(std::string(CmpName(rule.cmp))));
+    r.Set("threshold", Value(rule.threshold));
+    r.Set("sustain", Value(int64_t{rule.sustain}));
+    rules.push_back(std::move(r));
+  }
+  v.Set("rules", Value(std::move(rules)));
+  ValueList firings;
+  for (const Firing& firing : firings_) {
+    Value f;
+    f.Set("rule", Value(firing.rule));
+    f.Set("series", Value(firing.series));
+    f.Set("window", Value(firing.window));
+    f.Set("at", Value(firing.at));
+    f.Set("value", Value(firing.value));
+    firings.push_back(std::move(f));
+  }
+  v.Set("firings", Value(std::move(firings)));
+  return v;
+}
+
+}  // namespace eden

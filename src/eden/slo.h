@@ -1,0 +1,103 @@
+// SloEngine: threshold + sustained-for-N-windows alert rules over telemetry.
+//
+// A rule names a telemetry series (TelemetrySampler::WindowValue grammar), a
+// comparison, a threshold and a sustain count: the rule *fires* when the
+// predicate holds for `sustain` consecutive closed windows. Firing is
+// edge-triggered — one Firing per breach episode; the rule re-arms after the
+// first non-breaching window — so a sustained overload produces one alert,
+// not one per window.
+//
+// Rule specs parse from one line (shell `slo add`):
+//   NAME SERIES CMP THRESHOLD [for N]
+//   e.g.  overload rate:invoke > 5000 for 3
+//         backlog  queue:server/filter1 >= 8
+//
+// Firings fan out to the installed sinks: a kViolation trace event (so
+// alerts land in the trace next to the spans that caused them) and
+// InvariantMonitor::OnSloViolation (so the doctor's verdict line and the
+// monitor's violation list carry them).
+//
+// The engine is driven by TelemetrySampler::CloseWindow on the merged
+// observation stream (single-threaded; see telemetry.h), so rule state needs
+// no lock and firings are deterministic at any shard count.
+#ifndef SRC_EDEN_SLO_H_
+#define SRC_EDEN_SLO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/eden/clock.h"
+#include "src/eden/status.h"
+#include "src/eden/trace.h"
+#include "src/eden/value.h"
+
+namespace eden {
+
+class InvariantMonitor;
+class TelemetrySampler;
+
+class SloEngine {
+ public:
+  enum class Cmp { kGt, kGe, kLt, kLe };
+
+  struct Rule {
+    std::string name;
+    std::string series;  // TelemetrySampler::WindowValue grammar
+    Cmp cmp = Cmp::kGt;
+    double threshold = 0;
+    int sustain = 1;  // consecutive breaching windows required to fire
+  };
+
+  struct Firing {
+    std::string rule;
+    std::string series;
+    int64_t window = 0;  // the window that completed the sustain streak
+    Tick at = 0;         // that window's end tick
+    double value = 0;    // the series value in that window
+  };
+
+  // Parses "NAME SERIES CMP THRESHOLD [for N]" (CMP one of > >= < <=).
+  // Returns kInvalidArgument with a one-line message on malformed input.
+  Status Add(std::string_view spec);
+  void AddRule(Rule rule);
+
+  // Called by the sampler after each window's deltas are pushed.
+  void OnWindowClosed(int64_t window, Tick window_end,
+                      const TelemetrySampler& telemetry);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::vector<Firing>& firings() const { return firings_; }
+
+  // Drops rules, state and firings.
+  void Clear();
+  // Drops firings and re-arms every rule; rules stay.
+  void ClearFirings();
+
+  // kViolation events for firings go here (e.g. TraceRecorder::Hook()).
+  void set_trace_sink(Tracer sink) { trace_sink_ = std::move(sink); }
+  // Firings also reach the monitor's violation list (not owned).
+  void set_monitor(InvariantMonitor* monitor) { monitor_ = monitor; }
+
+  static std::string_view CmpName(Cmp cmp);
+  // One line per rule; "(fired)" marks rules with at least one firing.
+  std::string ToString() const;
+  // {"rules": [...], "firings": [...]}.
+  Value ToValue() const;
+
+ private:
+  struct RuleState {
+    int streak = 0;    // consecutive breaching windows so far
+    bool armed = true; // false between a firing and the next clean window
+  };
+
+  std::vector<Rule> rules_;
+  std::vector<RuleState> states_;
+  std::vector<Firing> firings_;
+  Tracer trace_sink_;
+  InvariantMonitor* monitor_ = nullptr;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_SLO_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/eden/json.h"
+#include "src/eden/telemetry.h"
 
 namespace eden {
 
@@ -128,6 +129,45 @@ std::string ChromeTraceExporter::Export() const {
       }
     }
   }
+
+  if (telemetry_ != nullptr) {
+    // Counter tracks: one "ph":"C" sample per retained closed window, at the
+    // window's *start* tick, so Perfetto draws each window's delta as a step
+    // held for one cadence. Only closed windows are emitted (the open window
+    // is still accumulating), which keeps the export deterministic.
+    const Tick cadence = telemetry_->cadence();
+    for (const TelemetrySampler::CounterView& series :
+         telemetry_->CounterSeries()) {
+      if (series.total == 0) {
+        continue;  // an all-zero track is noise
+      }
+      for (size_t i = 0; i < series.windows.size(); ++i) {
+        Tick ts = (series.first_window + static_cast<int64_t>(i)) * cadence;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"telemetry:%s\",\"ph\":\"C\",\"pid\":0,"
+                      "\"ts\":%lld,\"args\":{\"value\":%llu}}",
+                      series.name.c_str(), static_cast<long long>(ts),
+                      static_cast<unsigned long long>(series.windows[i]));
+        AppendEvent(out, first, buf);
+      }
+    }
+    for (const TelemetrySampler::QueueView& queue : telemetry_->QueueSeries()) {
+      const std::string name =
+          JsonEscape("telemetry:queue " + queue.component + "/" + queue.name);
+      for (size_t i = 0; i < queue.windows.size(); ++i) {
+        Tick ts = (queue.first_window + static_cast<int64_t>(i)) * cadence;
+        const TelemetrySampler::GaugeWindow& w = queue.windows[i];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"ts\":%lld,"
+                      "\"args\":{\"depth\":%llu,\"max\":%llu}}",
+                      name.c_str(), static_cast<long long>(ts),
+                      static_cast<unsigned long long>(w.last),
+                      static_cast<unsigned long long>(w.max));
+        AppendEvent(out, first, buf);
+      }
+    }
+  }
+
   out += "\n]}\n";
   return out;
 }

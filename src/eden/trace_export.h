@@ -28,10 +28,22 @@
 
 namespace eden {
 
+class TelemetrySampler;
+
 class ChromeTraceExporter {
  public:
   explicit ChromeTraceExporter(const TraceRecorder& recorder)
       : recorder_(recorder) {}
+
+  // Attach a TelemetrySampler (not owned) and Export() additionally emits
+  // Perfetto counter tracks ("ph":"C") under pid 0 — one per non-empty
+  // global counter series ("telemetry:invoke", ...) and one per queue-depth
+  // series ("telemetry:queue server/filter1", graphing depth and window
+  // max) — with one sample per retained closed window at the window's start
+  // tick, so the series render as continuous graphs next to the spans.
+  void set_telemetry(const TelemetrySampler* telemetry) {
+    telemetry_ = telemetry;
+  }
 
   // The JSON document. One complete ("ph":"X") event is emitted per retained
   // invocation event, so the span count equals recorder.span_count().
@@ -44,6 +56,7 @@ class ChromeTraceExporter {
 
  private:
   const TraceRecorder& recorder_;
+  const TelemetrySampler* telemetry_ = nullptr;
 };
 
 class ShardProfileExporter {

@@ -64,15 +64,18 @@ std::optional<uint64_t> ParseCount(const std::string& word) {
   return value;
 }
 
+// Shared by every `... save FILE` command. Errors are one line naming both
+// the command and the path (the bench_compare CLI contract: "bench_compare:
+// no such file: X"), so CI logs pinpoint which artifact failed to land.
 ShellResult SaveText(const std::string& path, const std::string& text,
                      const std::string& what) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    return Fail("cannot open " + path + " for writing");
+    return Fail(what + " save: cannot open file: " + path);
   }
   out << text;
   if (!out) {
-    return Fail("write to " + path + " failed");
+    return Fail(what + " save: write failed: " + path);
   }
   ShellResult result;
   result.output.push_back(what + " saved to " + path);
@@ -179,6 +182,9 @@ void EdenShell::LabelStage(const Uid& uid, const std::string& name) {
   if (monitor_on_) {
     monitor_.Label(uid, name);
   }
+  if (telemetry_on_) {
+    telemetry_.Label(uid, name);
+  }
 }
 
 std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
@@ -192,7 +198,8 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
       (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics" &&
        words[0] != "monitor" && words[0] != "doctor" && words[0] != "lint" &&
        words[0] != "lockdep" && words[0] != "shards" &&
-       words[0] != "profile" && words[0] != "help")) {
+       words[0] != "profile" && words[0] != "telemetry" && words[0] != "slo" &&
+       words[0] != "help")) {
     return std::nullopt;
   }
   ShellResult result;
@@ -208,7 +215,12 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
         "monitor on|off|show|json|clear    online invariant checks",
         "profile on|off|show|json|clear|save FILE       wall-clock shard "
         "profiler (Perfetto)",
-        "doctor [json]|doctor save FILE    bottleneck + parallel verdict",
+        "doctor [json]|doctor save FILE    bottleneck + parallel + telemetry "
+        "verdict",
+        "telemetry on [CADENCE]|off|show|json|topk|clear|save FILE  windowed "
+        "time-series + heavy hitters",
+        "slo add SPEC|list|clear           alert rules over telemetry series "
+        "(NAME SERIES CMP THRESHOLD [for N])",
         "lint [json|rules]                 static pipeline checks",
         "lockdep on|off|show|json|clear|selftest        lock-order analysis",
     };
@@ -273,14 +285,21 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
       result.output.push_back("trace off");
     } else if (words.size() == 2 && words[1] == "show") {
       PushLines(result, recorder_.Render());
-    } else if (words.size() == 2 && words[1] == "json") {
-      PushLines(result, ChromeTraceExporter(recorder_).Export());
+    } else if ((words.size() == 2 && words[1] == "json") ||
+               (words.size() == 3 && words[1] == "save")) {
+      // Counter tracks ride along when the sampler is on, so the series
+      // graph next to the spans in Perfetto.
+      ChromeTraceExporter exporter(recorder_);
+      if (telemetry_on_) {
+        exporter.set_telemetry(&telemetry_);
+      }
+      if (words[1] == "save") {
+        return SaveText(words[2], exporter.Export(), "trace");
+      }
+      PushLines(result, exporter.Export());
     } else if (words.size() == 2 && words[1] == "clear") {
       recorder_.Clear();
       result.output.push_back("trace cleared");
-    } else if (words.size() == 3 && words[1] == "save") {
-      return SaveText(words[2], ChromeTraceExporter(recorder_).Export(),
-                      "trace");
     } else {
       return Fail("usage: trace on [CAP]|off|show|json|clear|save FILE");
     }
@@ -418,6 +437,93 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
     }
     return result;
   }
+  if (words[0] == "telemetry") {
+    if (words.size() >= 2 && words[1] == "on" && words.size() <= 3) {
+      if (words.size() == 3) {
+        std::optional<uint64_t> cadence = ParseCount(words[2]);
+        if (!cadence || *cadence == 0) {
+          return Fail("usage: telemetry on [CADENCE]  (CADENCE: positive "
+                      "ticks per window)");
+        }
+        TelemetrySampler::Options options = telemetry_.options();
+        options.cadence = static_cast<Tick>(*cadence);
+        telemetry_.Reset(options);
+      }
+      // Alert firings join the trace (kViolation events next to the spans
+      // that caused them) and the monitor's violation ledger.
+      telemetry_.set_slo(&slo_);
+      slo_.set_trace_sink(recorder_.Hook());
+      slo_.set_monitor(&monitor_);
+      kernel_.set_telemetry(&telemetry_);
+      telemetry_on_ = true;
+      result.output.push_back("telemetry on");
+    } else if (words.size() == 2 && words[1] == "off") {
+      kernel_.set_telemetry(nullptr);
+      telemetry_on_ = false;
+      result.output.push_back("telemetry off");
+    } else if (words.size() == 2 && words[1] == "show") {
+      PushLines(result, telemetry_.ToString());
+      TelemetryVerdict verdict = DiagnoseTelemetry(telemetry_);
+      if (verdict.valid) {
+        result.output.push_back(verdict.ToLine());
+      }
+    } else if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, telemetry_.ToJson());
+    } else if (words.size() == 2 && words[1] == "topk") {
+      auto push_top = [&result](const std::string& title,
+                                const std::vector<TelemetrySampler::TopEntry>&
+                                    top,
+                                uint64_t total) {
+        std::ostringstream out;
+        out << title << " (of " << total << "):";
+        if (top.empty()) {
+          out << " none";
+        }
+        for (const TelemetrySampler::TopEntry& entry : top) {
+          out << " " << entry.name << "=" << entry.count;
+          if (entry.error > 0) {
+            out << "(-" << entry.error << ")";
+          }
+        }
+        result.output.push_back(out.str());
+      };
+      push_top("top stages by invocations", telemetry_.TopInvocations(),
+               telemetry_.invocation_total());
+      push_top("top queues by hiwat hits", telemetry_.TopHiwat(),
+               telemetry_.hiwat_total());
+    } else if (words.size() == 2 && words[1] == "clear") {
+      telemetry_.Clear();
+      result.output.push_back("telemetry cleared");
+    } else if (words.size() == 3 && words[1] == "save") {
+      return SaveText(words[2], telemetry_.ToJson(), "telemetry");
+    } else {
+      return Fail(
+          "usage: telemetry on [CADENCE]|off|show|json|topk|clear|save FILE");
+    }
+    return result;
+  }
+  if (words[0] == "slo") {
+    if (words.size() >= 3 && words[1] == "add") {
+      std::string spec;
+      for (size_t i = 2; i < words.size(); ++i) {
+        spec += (i == 2 ? "" : " ") + words[i];
+      }
+      Status status = slo_.Add(spec);
+      if (!status.ok()) {
+        return Fail(status.message());
+      }
+      result.output.push_back("slo rule added: " + slo_.rules().back().name);
+    } else if (words.size() == 2 && words[1] == "list") {
+      PushLines(result, slo_.ToString());
+    } else if (words.size() == 2 && words[1] == "clear") {
+      slo_.Clear();
+      result.output.push_back("slo cleared");
+    } else {
+      return Fail(
+          "usage: slo add NAME SERIES CMP THRESHOLD [for N]|list|clear");
+    }
+    return result;
+  }
   // doctor
   if (!trace_on_ && recorder_.size() == 0) {
     result.output.push_back(
@@ -425,7 +531,8 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
     return result;
   }
   PipelineDoctor doctor(recorder_, metrics_on_ ? &metrics_ : nullptr,
-                        profile_on_ ? &profiler_ : nullptr);
+                        profile_on_ ? &profiler_ : nullptr,
+                        telemetry_on_ ? &telemetry_ : nullptr);
   auto diagnose = [&] {
     Diagnosis d = doctor.Diagnose();
     if (have_topology_) {
@@ -441,8 +548,7 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
   } else if (words.size() == 2 && words[1] == "json") {
     PushLines(result, ValueToJson(diagnose().ToValue()));
   } else if (words.size() == 3 && words[1] == "save") {
-    return SaveText(words[2], ValueToJson(diagnose().ToValue()),
-                    "diagnosis");
+    return SaveText(words[2], ValueToJson(diagnose().ToValue()), "doctor");
   } else {
     return Fail("usage: doctor [json]|doctor save FILE");
   }

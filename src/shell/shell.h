@@ -46,6 +46,8 @@
 #include "src/eden/metrics.h"
 #include "src/eden/monitor.h"
 #include "src/eden/profile.h"
+#include "src/eden/slo.h"
+#include "src/eden/telemetry.h"
 #include "src/eden/trace.h"
 #include "src/eden/verify/lint.h"
 #include "src/eden/verify/lockdep.h"
@@ -95,8 +97,24 @@ class EdenShell {
   //   profile json|clear       Perfetto JSON (wall-clock tracks) / reset
   //   profile save FILE        write the Perfetto JSON to FILE
   //   trace save FILE          write the Chrome trace JSON to FILE
+  //                            (telemetry counter tracks ride along when the
+  //                            sampler is on)
   //   metrics save FILE        write the metrics snapshot JSON to FILE
   //   doctor save FILE         write the diagnosis JSON to FILE
+  //   telemetry on [CADENCE]   install the TelemetrySampler (windowed
+  //                            time-series on the merged observation stream;
+  //                            CADENCE ticks per window, default 1000)
+  //   telemetry off            remove it (series are kept until clear)
+  //   telemetry show|json      time-series tables / byte-stable JSON
+  //   telemetry topk           heavy-hitter tables (hottest stages by
+  //                            invocations, slowest consumers by hiwat hits)
+  //   telemetry clear          drop all series and sketches
+  //   telemetry save FILE      write the telemetry JSON to FILE
+  //   slo add SPEC             add an alert rule over a telemetry series:
+  //                            NAME SERIES CMP THRESHOLD [for N], e.g.
+  //                            `slo add lag rate:invoke > 5000 for 3`
+  //   slo list                 rules and firings
+  //   slo clear                drop rules and firings
   //   lint [json]              PipelineLinter report for the last pipeline
   //                            this shell wired (re-lints on every pipeline;
   //                            errors also join the monitor's violations and
@@ -118,6 +136,8 @@ class EdenShell {
   MetricsRegistry& metrics() { return metrics_; }
   InvariantMonitor& monitor() { return monitor_; }
   ShardProfiler& profiler() { return profiler_; }
+  TelemetrySampler& telemetry() { return telemetry_; }
+  SloEngine& slo() { return slo_; }
   verify::LockOrderAnalyzer& lockdep() { return lockdep_; }
   // The lint report for the last pipeline this shell wired (empty before the
   // first pipeline). Every pipeline is linted as it is built.
@@ -155,6 +175,8 @@ class EdenShell {
   MetricsRegistry metrics_;
   InvariantMonitor monitor_;
   ShardProfiler profiler_;
+  TelemetrySampler telemetry_;
+  SloEngine slo_;
   verify::LockOrderAnalyzer lockdep_;
   verify::TopologySpec last_topology_;
   verify::LintReport last_lint_;
@@ -164,6 +186,7 @@ class EdenShell {
   bool monitor_on_ = false;
   bool lockdep_on_ = false;
   bool profile_on_ = false;
+  bool telemetry_on_ = false;
   std::map<std::string, Uid> bindings_;
   std::map<std::string, TerminalSink*> terminals_;
   std::map<std::string, PrinterSink*> printers_;

@@ -144,6 +144,82 @@ TEST(Log2HistogramTest, PercentilesAtBucketBoundaries) {
   }
 }
 
+TEST(Log2HistogramTest, MergeAddsBucketwiseAndTracksExtremes) {
+  Log2Histogram a;
+  a.Record(10);
+  a.Record(100);
+  Log2Histogram b;
+  b.Record(3);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 1113u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.bucket(Log2Histogram::BucketOf(3)), 1u);
+  EXPECT_EQ(a.bucket(Log2Histogram::BucketOf(1000)), 1u);
+
+  // Merging an empty histogram is a no-op (min must not collapse to 0).
+  Log2Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 3u);
+
+  // Merging INTO an empty histogram adopts the other's extremes.
+  Log2Histogram c;
+  c.Merge(b);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.min(), 3u);
+  EXPECT_EQ(c.max(), 1000u);
+}
+
+TEST(Log2HistogramTest, SubtractYieldsWindowDelta) {
+  // later = earlier + delta samples, bucket by bucket; counts and sums are
+  // exact, min/max are bucket-bound approximations clamped to the later
+  // histogram's observed range.
+  Log2Histogram earlier;
+  earlier.Record(10);
+  earlier.Record(20);
+  Log2Histogram later = earlier;
+  later.Record(100);
+  later.Record(200);
+  Log2Histogram delta = later.Subtract(earlier);
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_EQ(delta.sum(), 300u);
+  EXPECT_EQ(delta.bucket(Log2Histogram::BucketOf(100)), 1u);
+  EXPECT_EQ(delta.bucket(Log2Histogram::BucketOf(200)), 1u);
+  EXPECT_EQ(delta.bucket(Log2Histogram::BucketOf(10)), 0u);
+  // The delta samples {100, 200} live in buckets [64,127] and [128,255]:
+  // the approximate min/max are the outermost non-empty delta bucket bounds.
+  EXPECT_GE(delta.min(), 64u);
+  EXPECT_LE(delta.min(), 100u);
+  EXPECT_GE(delta.max(), 200u);
+  EXPECT_LE(delta.max(), 255u);
+
+  // Subtracting equal snapshots is the empty histogram.
+  Log2Histogram zero = later.Subtract(later);
+  EXPECT_EQ(zero.count(), 0u);
+  EXPECT_EQ(zero.sum(), 0u);
+  EXPECT_EQ(zero.min(), 0u);
+  EXPECT_EQ(zero.max(), 0u);
+}
+
+TEST(Log2HistogramTest, SubtractClampsToLaterObservedRange) {
+  // Boundary: all delta samples share the earlier samples' buckets, so the
+  // bucket bounds alone would under/overshoot; the clamp to [min, max] of
+  // the later histogram keeps estimates inside observed values.
+  Log2Histogram earlier;
+  earlier.Record(40);  // bucket [32, 63]
+  Log2Histogram later = earlier;
+  later.Record(60);  // same bucket
+  Log2Histogram delta = later.Subtract(earlier);
+  EXPECT_EQ(delta.count(), 1u);
+  EXPECT_EQ(delta.sum(), 60u);
+  EXPECT_GE(delta.min(), 40u);  // clamped to later.min(), not bucket low 32
+  EXPECT_LE(delta.max(), 60u);  // clamped to later.max(), not bucket high 63
+  EXPECT_LE(delta.min(), delta.max());
+}
+
 // ----------------------------------------------------------------- registry
 
 TEST(MetricsRegistryTest, RecordsAndSnapshots) {

@@ -433,6 +433,69 @@ TEST(ShellTest, HelpListsTheObservabilityCommands) {
   EXPECT_NE(Joined(help).find("profile"), std::string::npos);
   EXPECT_NE(Joined(help).find("trace"), std::string::npos);
   EXPECT_NE(Joined(help).find("doctor"), std::string::npos);
+  EXPECT_NE(Joined(help).find("telemetry"), std::string::npos);
+  EXPECT_NE(Joined(help).find("slo"), std::string::npos);
+}
+
+TEST(ShellTest, TelemetryCommandsSampleTheRun) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("telemetry on 500").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | nl | collect").ok);
+
+  ShellResult show = shell.Run("telemetry show");
+  ASSERT_TRUE(show.ok) << show.error;
+  EXPECT_NE(Joined(show).find("telemetry: cadence 500 ticks"),
+            std::string::npos);
+  EXPECT_GT(shell.telemetry().invocation_total(), 0u);
+
+  ShellResult json = shell.Run("telemetry json");
+  ASSERT_TRUE(json.ok) << json.error;
+  std::string error;
+  EXPECT_TRUE(JsonValidate(Joined(json), &error)) << error;
+
+  ShellResult topk = shell.Run("telemetry topk");
+  ASSERT_TRUE(topk.ok) << topk.error;
+  EXPECT_NE(Joined(topk).find("top stages by invocations"), std::string::npos);
+
+  std::string path = ::testing::TempDir() + "shell_telemetry.json";
+  ASSERT_TRUE(shell.Run("telemetry save " + path).ok);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+
+  ASSERT_TRUE(shell.Run("telemetry clear").ok);
+  EXPECT_EQ(shell.telemetry().invocation_total(), 0u);
+  ASSERT_TRUE(shell.Run("telemetry off").ok);
+  EXPECT_FALSE(shell.Run("telemetry sideways").ok);
+  EXPECT_FALSE(shell.Run("telemetry on zero").ok);
+}
+
+TEST(ShellTest, SloRulesFireIntoTheDoctorVerdict) {
+  Kernel kernel;
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("trace on").ok);
+  ASSERT_TRUE(shell.Run("telemetry on 100").ok);
+  ShellResult added = shell.Run("slo add busy count:invoke >= 1");
+  ASSERT_TRUE(added.ok) << added.error;
+  EXPECT_NE(Joined(added).find("slo rule added: busy"), std::string::npos);
+  EXPECT_FALSE(shell.Run("slo add broken count:invoke !! 3").ok);
+
+  ASSERT_TRUE(shell.Run("echo a b c | upper | nl | collect").ok);
+  ShellResult list = shell.Run("slo list");
+  ASSERT_TRUE(list.ok) << list.error;
+  EXPECT_NE(Joined(list).find("busy: count:invoke >= 1"), std::string::npos);
+  ASSERT_FALSE(shell.slo().firings().empty());
+
+  // The firing reaches the doctor's verdict line and the monitor's ledger.
+  ShellResult report = shell.Run("doctor");
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NE(Joined(report).find("slo:"), std::string::npos);
+  EXPECT_NE(Joined(report).find("time axis"), std::string::npos);
+  EXPECT_FALSE(shell.monitor().violations().empty());
+
+  ASSERT_TRUE(shell.Run("slo clear").ok);
+  EXPECT_TRUE(shell.slo().rules().empty());
+  EXPECT_FALSE(shell.Run("slo sideways").ok);
 }
 
 TEST(ShellTest, SaveCommandsWriteJsonFiles) {
@@ -457,8 +520,23 @@ TEST(ShellTest, SaveCommandsWriteJsonFiles) {
   check_file(dir + "shell_metrics.json");
   ASSERT_TRUE(shell.Run("doctor save " + dir + "shell_doctor.json").ok);
   check_file(dir + "shell_doctor.json");
-  // An unwritable path fails cleanly.
-  EXPECT_FALSE(shell.Run("trace save /nonexistent-dir/x.json").ok);
+  // An unwritable path fails with the one-line error naming the command and
+  // the path — the same contract for every `... save FILE` command.
+  ShellResult bad = shell.Run("trace save /nonexistent-dir/x.json");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, "trace save: cannot open file: /nonexistent-dir/x.json");
+  bad = shell.Run("metrics save /nonexistent-dir/x.json");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error,
+            "metrics save: cannot open file: /nonexistent-dir/x.json");
+  bad = shell.Run("doctor save /nonexistent-dir/x.json");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, "doctor save: cannot open file: /nonexistent-dir/x.json");
+  ASSERT_TRUE(shell.Run("telemetry on").ok);
+  bad = shell.Run("telemetry save /nonexistent-dir/x.json");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error,
+            "telemetry save: cannot open file: /nonexistent-dir/x.json");
 }
 
 }  // namespace
