@@ -27,11 +27,21 @@
 // The pipelines:16384 rows build a ~100k-Eject topology (16384 chains of 6
 // Ejects); CI smokes the pipelines:64 rows only (see ci.yml), so the
 // checked-in baseline carries just those.
+// The partitioned:1 rows re-run the same workload with every chain pinned to
+// one shard (PipelineOptions::partition_shard, the fix ASC011 points at):
+// cross_shard_sends collapses to zero while every identity column — and the
+// determinism certificate — stays exactly the sweep's. Each row runs under a
+// ShardRaceAnalyzer; the audit_* columns carry its event count and violation
+// count (certificates, excluded from the counter gate), and the benchmark
+// itself asserts the merged digest is identical across all shard counts and
+// both placements of one workload, failing the row on any mismatch.
 #include <chrono>
+#include <map>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "src/eden/trace_export.h"
+#include "src/eden/verify/shard_audit.h"
 
 namespace eden {
 namespace {
@@ -47,11 +57,14 @@ struct ScaleResult {
 };
 
 ScaleResult RunScaleSweep(int shards, int pipelines, int items, size_t depth,
-                          ShardProfiler* profiler,
-                          TelemetrySampler* telemetry) {
+                          bool partitioned, ShardProfiler* profiler,
+                          TelemetrySampler* telemetry,
+                          verify::RunDigest* digest_out) {
   KernelOptions kernel_options;
   kernel_options.shards = shards;
   Kernel kernel(kernel_options);
+  verify::ShardRaceAnalyzer auditor;
+  kernel.set_auditor(&auditor);
   if (profiler != nullptr) {
     kernel.set_profiler(profiler);
   }
@@ -67,6 +80,10 @@ ScaleResult RunScaleSweep(int shards, int pipelines, int items, size_t depth,
   std::vector<PipelineHandle> handles;
   handles.reserve(static_cast<size_t>(pipelines));
   for (int p = 0; p < pipelines; ++p) {
+    // Partitioned placement: chain p lives entirely on shard p % shards, so
+    // stage-to-stage traffic never crosses a shard while the chains still
+    // spread evenly over the workers.
+    options.partition_shard = partitioned ? p % shards : -1;
     handles.push_back(
         BuildPipeline(kernel, BenchLines(items, 83 + static_cast<uint64_t>(p)),
                       chain, options));
@@ -92,22 +109,45 @@ ScaleResult RunScaleSweep(int shards, int pipelines, int items, size_t depth,
   }
   result.run_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
+  if (digest_out != nullptr) {
+    *digest_out = auditor.Digest();
+  }
   return result;
 }
 
 void BM_ScaleShardSweep(benchmark::State& state) {
   const int pipelines = static_cast<int>(state.range(0));
   const int shards = static_cast<int>(state.range(1));
+  const bool partitioned = state.range(2) != 0;
   const int items = 4;
   const size_t depth = 4;
   ScaleResult last{};
   double run_seconds = 0;
   ShardProfiler profiler;
   TelemetrySampler telemetry;
+  verify::RunDigest digest;
   for (auto _ : state) {
-    last = RunScaleSweep(shards, pipelines, items, depth, &profiler, &telemetry);
+    last = RunScaleSweep(shards, pipelines, items, depth, partitioned,
+                         &profiler, &telemetry, &digest);
     run_seconds += last.run_seconds;
     benchmark::DoNotOptimize(last.items_out);
+  }
+  // The dual-run comparison, in-bench: one workload (keyed by `pipelines`
+  // alone — neither the shard count nor the placement is allowed to matter)
+  // must produce the same certificate on every row. Benchmarks run
+  // sequentially, so a plain static map across rows is safe.
+  static std::map<int, verify::RunDigest> expected_by_workload;
+  auto it = expected_by_workload.emplace(pipelines, digest).first;
+  std::string mismatch = verify::RunDigest::Compare(it->second, digest);
+  if (!mismatch.empty()) {
+    state.SkipWithError(("determinism " + mismatch).c_str());
+    return;
+  }
+  if (!digest.certified()) {
+    state.SkipWithError(("shard audit: " + std::to_string(digest.violations) +
+                         " violation(s)")
+                            .c_str());
+    return;
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(last.items_out));
   // Deterministic identities: must match the baseline at every shard count.
@@ -119,6 +159,10 @@ void BM_ScaleShardSweep(benchmark::State& state) {
       static_cast<double>(last.virtual_time) /
       static_cast<double>(last.items_out);
   state.counters["cross_shard_sends"] = static_cast<double>(last.cross_shard_sends);
+  // Determinism-audit columns (audit_ prefix keeps them out of the counter
+  // gate; the digest equality above is the real assertion).
+  state.counters["audit_events"] = static_cast<double>(digest.events);
+  state.counters["audit_violations"] = static_cast<double>(digest.violations);
   // Wall-clock rates (excluded from the counter gate by the _per_second
   // suffix): the speedup claim reads down this column.
   double total_events =
@@ -149,13 +193,15 @@ void BM_ScaleShardSweep(benchmark::State& state) {
   state.counters["topk_hot_count"] = static_cast<double>(tv.hot_count);
   state.counters["topk_hot_error"] = static_cast<double>(tv.hot_error);
   // The per-shard wall timeline for this row, for ui.perfetto.dev.
-  ShardProfileExporter(profiler).WriteFile("PROFILE_scale_p" +
-                                           std::to_string(pipelines) + "_s" +
-                                           std::to_string(shards) + ".json");
+  if (!partitioned) {
+    ShardProfileExporter(profiler).WriteFile("PROFILE_scale_p" +
+                                             std::to_string(pipelines) + "_s" +
+                                             std::to_string(shards) + ".json");
+  }
 }
 BENCHMARK(BM_ScaleShardSweep)
-    ->ArgsProduct({{64, 16384}, {1, 2, 4, 8}})
-    ->ArgNames({"pipelines", "shards"})
+    ->ArgsProduct({{64, 16384}, {1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"pipelines", "shards", "partitioned"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

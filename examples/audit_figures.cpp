@@ -1,0 +1,185 @@
+// audit_figures: run the paper's figure pipelines (Fig. 1 conventional,
+// Fig. 2 read-only, Fig. 3 write-only, Fig. 4 read-only with report
+// channels) at shard counts 1, 2, 4 and 8 under the ShardRaceAnalyzer, and
+// emit one determinism certificate per (figure, shard count) as
+// AUDIT_fig<k>_s<n>.json.
+//
+// The tool is its own checker: the certificate JSON deliberately carries no
+// shard count, so for each figure the four files must be byte-identical and
+// every run must certify (zero happens-before violations). Any mismatch or
+// violation prints one loud line and exits 1 — CI runs this binary in the
+// tier-1 and TSan jobs and uploads the certificates next to the BENCH_*.json
+// artifacts.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/devices/devices.h"
+#include "src/eden/random.h"
+#include "src/eden/verify/shard_audit.h"
+#include "src/filters/transforms.h"
+
+namespace eden {
+namespace {
+
+ValueList MakeLines(int n, uint64_t seed = 83) {
+  Rng rng(seed);
+  ValueList items;
+  items.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string line = rng.Chance(0.25) ? "C " : "      ";
+    line += rng.Word(3, 10) + " = " + rng.Word(1, 6);
+    items.push_back(Value(std::move(line)));
+  }
+  return items;
+}
+
+std::vector<TransformFactory> CopyChain(size_t n) {
+  std::vector<TransformFactory> chain;
+  for (size_t i = 0; i < n; ++i) {
+    chain.push_back([] {
+      return std::make_unique<LambdaTransform>(
+          "copy", [](const Value& v, const Transform::EmitFn& emit) {
+            emit(kChanOut, v);
+          });
+    });
+  }
+  return chain;
+}
+
+// Figures 1-3: the three BuildPipeline disciplines, every Eject on its own
+// node so shard counts > 1 really split the topology.
+std::string RunFigure(Discipline discipline, int shards, int items,
+                      size_t stages) {
+  KernelOptions kernel_options;
+  kernel_options.shards = shards;
+  Kernel kernel(kernel_options);
+  verify::ShardRaceAnalyzer auditor;
+  kernel.set_auditor(&auditor);
+
+  PipelineOptions options;
+  options.discipline = discipline;
+  options.distinct_nodes = true;
+  PipelineHandle handle =
+      BuildPipeline(kernel, MakeLines(items), CopyChain(stages), options);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  kernel.Run();
+  return auditor.ToJson();
+}
+
+// Figure 4: read-only with report channels — multi-source, hand-wired.
+std::string RunFigure4(int shards, int items, int report_every) {
+  KernelOptions kernel_options;
+  kernel_options.shards = shards;
+  Kernel kernel(kernel_options);
+  verify::ShardRaceAnalyzer auditor;
+  kernel.set_auditor(&auditor);
+
+  NodeId n1 = kernel.AddNode("fig4-source");
+  NodeId n2 = kernel.AddNode("fig4-f1");
+  NodeId n3 = kernel.AddNode("fig4-f2");
+  NodeId n4 = kernel.AddNode("fig4-sink");
+  NodeId n5 = kernel.AddNode("fig4-window");
+
+  VectorSource::Options source_options;
+  source_options.report_every = report_every;
+  VectorSource& source =
+      kernel.Create<VectorSource>(n1, MakeLines(items), source_options);
+
+  ReadOnlyFilter::Options f1_options;
+  f1_options.source = source.uid();
+  ReadOnlyFilter& f1 = kernel.Create<ReadOnlyFilter>(
+      n2,
+      std::make_unique<ReportingTransform>(std::make_unique<CopyTransform>(),
+                                           report_every),
+      f1_options);
+
+  ReadOnlyFilter::Options f2_options;
+  f2_options.source = f1.uid();
+  ReadOnlyFilter& f2 = kernel.Create<ReadOnlyFilter>(
+      n3, std::make_unique<CopyTransform>(), f2_options);
+
+  PullSink& sink =
+      kernel.Create<PullSink>(n4, f2.uid(), Value(std::string(kChanOut)));
+  ReportWindow& window = kernel.Create<ReportWindow>(n5);
+  window.Attach(source.uid(), Value(std::string(kChanReport)), "source");
+  window.Attach(f1.uid(), Value(std::string(kChanReport)), "F1");
+
+  kernel.RunUntil([&] { return sink.done() && window.idle(); });
+  kernel.Run();
+  return auditor.ToJson();
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "audit_figures: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int Main() {
+  struct Figure {
+    std::string name;
+    std::string (*run)(int shards);
+  };
+  const std::vector<Figure> figures = {
+      {"fig1", [](int shards) {
+         return RunFigure(Discipline::kConventional, shards, 120, 4);
+       }},
+      {"fig2", [](int shards) {
+         return RunFigure(Discipline::kReadOnly, shards, 120, 4);
+       }},
+      {"fig3", [](int shards) {
+         return RunFigure(Discipline::kWriteOnly, shards, 120, 4);
+       }},
+      {"fig4", [](int shards) { return RunFigure4(shards, 120, 25); }},
+  };
+
+  int failures = 0;
+  for (const Figure& figure : figures) {
+    std::string base;
+    for (int shards : {1, 2, 4, 8}) {
+      std::string certificate = figure.run(shards);
+      std::string path =
+          "AUDIT_" + figure.name + "_s" + std::to_string(shards) + ".json";
+      if (!WriteFile(path, certificate)) {
+        failures++;
+        continue;
+      }
+      if (certificate.find("\"violations\": 0") == std::string::npos) {
+        std::fprintf(stderr,
+                     "audit_figures: %s at %d shard(s) did NOT certify\n",
+                     figure.name.c_str(), shards);
+        failures++;
+      }
+      if (shards == 1) {
+        base = certificate;
+      } else if (certificate != base) {
+        std::fprintf(stderr,
+                     "audit_figures: %s certificate at %d shard(s) differs "
+                     "from the 1-shard certificate\n",
+                     figure.name.c_str(), shards);
+        failures++;
+      }
+    }
+    std::printf("audit_figures: %s certified at shards 1/2/4/8%s\n",
+                figure.name.c_str(), failures > 0 ? " (with failures)" : "");
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "audit_figures: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("audit_figures: all certificates byte-identical across shard "
+              "counts\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace eden
+
+int main() { return eden::Main(); }

@@ -31,7 +31,8 @@ NodeId PlaceNext(Kernel& kernel, const PipelineOptions& options, int& counter) {
   if (!options.distinct_nodes) {
     return NodeId{0};
   }
-  return kernel.AddNode("pipe-node-" + std::to_string(counter++));
+  return kernel.AddNode("pipe-node-" + std::to_string(counter++),
+                        options.partition_shard);
 }
 
 // ---- Recovery scaffolding.
@@ -431,7 +432,7 @@ PipelineHandle BuildPipeline(Kernel& kernel, ValueList input,
                              const PipelineOptions& options) {
   verify::LintReport lint;
   if (options.lint_before_activate) {
-    lint = LintPipelinePlan(stages.size(), options);
+    lint = LintPipelinePlan(stages.size(), options, kernel);
     if (!lint.ok()) {
       // Refuse activation: no Eject was created, the kernel is untouched.
       PipelineHandle rejected;

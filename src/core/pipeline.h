@@ -73,6 +73,13 @@ struct PipelineOptions {
   Tick processing_cost = 0;      // virtual compute per item in every filter
   // Place every Eject on its own node (distribution experiments).
   bool distinct_nodes = false;
+  // With distinct_nodes under a sharded kernel: pin every pipeline node to
+  // this shard (Kernel::AddNode shard hint), so a chain whose stages only
+  // ever talk to their neighbours stops paying a cross-shard hop per edge
+  // (the ASC011 lint points here). -1 = default round-robin placement.
+  // Placement never enters event keys, so output and virtual time are
+  // byte-identical either way — only cross_shard_sends drops.
+  int partition_shard = -1;
   // Run the PipelineLinter over the plan before creating any Eject, and
   // refuse activation (empty handle, lint_rejected set, report attached) if
   // it finds errors. Catches e.g. recovery knob inconsistencies (ASC006)

@@ -167,6 +167,27 @@ verify::TopologySpec PlanTopology(size_t stage_count,
                    [](size_t i) { return Uid(0, i + 1); });
 }
 
+verify::TopologySpec PlanTopology(size_t stage_count,
+                                  const PipelineOptions& options,
+                                  const Kernel& kernel) {
+  verify::TopologySpec spec = PlanTopology(stage_count, options);
+  spec.has_concurrency = true;
+  spec.shards = kernel.shard_count();
+  spec.lookahead = kernel.options().lookahead;
+  spec.costs = kernel.costs();
+  if (options.distinct_nodes) {
+    // PlaceNext mints one fresh node per Eject in creation order, which for
+    // every discipline is BuildSpec's position order; relative ids keep the
+    // same shard arithmetic (consecutive nodes -> consecutive shards).
+    NodeId node = 1;
+    for (verify::StageSpec& stage : spec.stages) {
+      stage.node = node++;
+      stage.shard_hint = options.partition_shard;
+    }
+  }
+  return spec;
+}
+
 verify::TopologySpec DescribePipeline(const PipelineHandle& handle,
                                       const PipelineOptions& options) {
   size_t stage_count = 0;
@@ -190,6 +211,13 @@ verify::TopologySpec DescribePipeline(const PipelineHandle& handle,
 verify::LintReport LintPipelinePlan(size_t stage_count,
                                     const PipelineOptions& options) {
   return verify::PipelineLinter().Lint(PlanTopology(stage_count, options));
+}
+
+verify::LintReport LintPipelinePlan(size_t stage_count,
+                                    const PipelineOptions& options,
+                                    const Kernel& kernel) {
+  return verify::PipelineLinter().Lint(
+      PlanTopology(stage_count, options, kernel));
 }
 
 }  // namespace eden

@@ -21,6 +21,15 @@ namespace eden {
 verify::TopologySpec PlanTopology(size_t stage_count,
                                   const PipelineOptions& options);
 
+// Same plan, with the concurrency context (shard count, configured
+// lookahead, cost model) read off `kernel` and node placement stamped the
+// way the builders will mint it (distinct_nodes: position i -> the (i+1)-th
+// fresh node, shard_hint = options.partition_shard). Arms the ASC010-ASC012
+// shard-safety rules; without a kernel they stay silent.
+verify::TopologySpec PlanTopology(size_t stage_count,
+                                  const PipelineOptions& options,
+                                  const Kernel& kernel);
+
 // The as-built topology of a finished pipeline: real UIDs, same shape.
 verify::TopologySpec DescribePipeline(const PipelineHandle& handle,
                                       const PipelineOptions& options);
@@ -29,6 +38,14 @@ verify::TopologySpec DescribePipeline(const PipelineHandle& handle,
 // lint_before_activate gate in BuildPipeline runs.
 verify::LintReport LintPipelinePlan(size_t stage_count,
                                     const PipelineOptions& options);
+
+// Kernel-aware lint: the structural rules plus ASC010-ASC012 against the
+// kernel's actual shard count, lookahead and cost model. This is what the
+// lint_before_activate gate runs, so a lookahead undercut is an activation
+// error instead of a runtime abort.
+verify::LintReport LintPipelinePlan(size_t stage_count,
+                                    const PipelineOptions& options,
+                                    const Kernel& kernel);
 
 }  // namespace eden
 

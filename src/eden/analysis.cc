@@ -576,6 +576,19 @@ void Diagnosis::AnnotateStatic(size_t errors, size_t warnings,
   }
 }
 
+void Diagnosis::AnnotateAudit(uint64_t events, size_t violations,
+                              std::string digest_hex) {
+  audit_events = static_cast<int64_t>(events);
+  audit_violations = static_cast<int64_t>(violations);
+  audit_digest = std::move(digest_hex);
+  if (violations == 0) {
+    verdict += "; audit certified (digest " + audit_digest + ")";
+    return;
+  }
+  verdict += "; audit: " + std::to_string(violations) +
+             (violations == 1 ? " shard-race violation" : " shard-race violations");
+}
+
 std::string Diagnosis::ToString() const {
   std::ostringstream out;
   out << "pipeline doctor: " << span_count << " spans, " << root_count
@@ -736,6 +749,13 @@ Value Diagnosis::ToValue() const {
     lint.Set("summary", Value(lint_summary));
     v.Set("lint", std::move(lint));
   }
+  if (audit_events >= 0) {
+    Value audit;
+    audit.Set("events", Value(audit_events));
+    audit.Set("violations", Value(audit_violations));
+    audit.Set("digest", Value(audit_digest));
+    v.Set("audit", std::move(audit));
+  }
   ValueList path;
   for (const CriticalStep& step : critical_path) {
     Value s;
@@ -837,7 +857,15 @@ bool IsStandardBenchField(const std::string& key) {
   // wall_* counters (bench_scale's profiler-derived speedup / efficiency /
   // serial-fraction columns) are host-speed facts too.
   static const std::string kWallPrefix = "wall_";
-  return key.compare(0, kWallPrefix.size(), kWallPrefix) == 0;
+  if (key.compare(0, kWallPrefix.size(), kWallPrefix) == 0) {
+    return true;
+  }
+  // audit_* columns (bench_scale's determinism-audit event counts and digest
+  // words) are certificates, not §4 cost identities: the digest is already
+  // asserted for exact cross-shard equality by the benchmark itself, and a
+  // 64-bit digest word does not survive the gate's double round-trip.
+  static const std::string kAuditPrefix = "audit_";
+  return key.compare(0, kAuditPrefix.size(), kAuditPrefix) == 0;
 }
 
 std::map<std::string, const Value*> BenchmarksByName(const Value& doc) {

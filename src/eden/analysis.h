@@ -244,6 +244,18 @@ struct Diagnosis {
   // and the static story.
   void AnnotateStatic(size_t errors, size_t warnings, std::string summary);
 
+  // Determinism-audit summary, folded in via AnnotateAudit when a
+  // ShardRaceAnalyzer watched the run. -1 = no audit ran.
+  int64_t audit_events = -1;
+  int64_t audit_violations = 0;
+  std::string audit_digest;  // merged digest, "0x..." hex
+
+  // Appends the auditor's outcome to the verdict line ("; audit certified
+  // (digest 0x...)" or "; audit: N shard-race violation(s)") so the verdict
+  // carries the happens-before story next to the lint and runtime ones.
+  void AnnotateAudit(uint64_t events, size_t violations,
+                     std::string digest_hex);
+
   std::string ToString() const;
   Value ToValue() const;
 };

@@ -1,0 +1,55 @@
+// ShardAuditor: the kernel-side feed for cross-shard determinism auditing.
+//
+// Abstract for the same reason LockObserver is: the kernel cannot include
+// the verify library (verify links eden), so it owns only this interface and
+// verify::ShardRaceAnalyzer implements it. Installed via
+// Kernel::set_auditor, nullptr by default; every feed site costs one pointer
+// test when unset, the same contract as the tracer/metrics/profiler hooks.
+//
+// The feed exposes the three facts the conservative-sync contract
+// (DESIGN.md "Sharded kernel") quantifies over:
+//   * every committed event, identified by its (time, origin, seq) EventKey
+//     and the shard that executed it — concurrent across shard workers
+//     during a parallel window, single-threaded otherwise;
+//   * every window the barrier opens (t_min, the promise window_end) — from
+//     the single-threaded completion step, all workers parked;
+//   * every cross-shard send staged during a parallel window, with the
+//     promise in force when it was staged — from the sending worker.
+//
+// Installing an auditor also changes the kernel's response to a lookahead
+// undercut: instead of aborting the process, the send is reported through
+// OnCrossShardSend and its delivery time clamped up to the promise, so the
+// run completes (non-deterministically — the auditor's certificate records
+// the violation and the digest exposes any divergence).
+#ifndef SRC_EDEN_AUDIT_H_
+#define SRC_EDEN_AUDIT_H_
+
+#include "src/eden/clock.h"
+#include "src/eden/event_queue.h"
+
+namespace eden {
+
+class ShardAuditor {
+ public:
+  virtual ~ShardAuditor() = default;
+
+  // An event is about to execute on `shard` with its clock advanced to
+  // key.at. Parallel windows call this concurrently from distinct workers,
+  // but any single shard index is fed by exactly one thread.
+  virtual void OnEventCommit(int shard, const EventKey& key, bool parallel) = 0;
+
+  // The window barrier opened [t_min, window_end) across `shards` workers.
+  // Single-threaded: all workers are parked at the barrier.
+  virtual void OnWindowOpen(Tick t_min, Tick window_end, int shards) = 0;
+
+  // A parallel worker on `from_shard` staged a message for `to_shard`,
+  // scheduled at key.at while the window promised no cross-shard arrival
+  // before `promised`. key.at < promised is the lookahead violation the
+  // kernel would otherwise abort on.
+  virtual void OnCrossShardSend(int from_shard, int to_shard,
+                                const EventKey& key, Tick promised) = 0;
+};
+
+}  // namespace eden
+
+#endif  // SRC_EDEN_AUDIT_H_

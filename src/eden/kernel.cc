@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/eden/audit.h"
 #include "src/eden/codec.h"
 #include "src/eden/eject.h"
 #include "src/eden/fault.h"
@@ -154,6 +155,7 @@ Kernel::Kernel(KernelOptions options) : options_(options) {
     options_.shards = 1;
   }
   node_names_.push_back("node0");
+  shard_hints_.push_back(-1);
   books_.emplace_back(UidStreamSeed(options_.uid_seed, kNoNode));  // the driver
   books_.emplace_back(UidStreamSeed(options_.uid_seed, NodeId{0}));
   shards_.reserve(options_.shards);
@@ -177,9 +179,10 @@ Kernel::~Kernel() {
   }
 }
 
-NodeId Kernel::AddNode(std::string name) {
+NodeId Kernel::AddNode(std::string name, int shard_hint) {
   assert(!parallel_active_.load(std::memory_order_relaxed));
   node_names_.push_back(std::move(name));
+  shard_hints_.push_back(shard_hint);
   NodeId node = static_cast<NodeId>(node_names_.size() - 1);
   books_.emplace_back(UidStreamSeed(options_.uid_seed, node));
   return node;
@@ -360,15 +363,26 @@ void Kernel::ScheduleOn(NodeId exec, Tick at, EventQueue::Action action) {
     // rewind a neighbour's clock, the one thing a conservative synchronizer
     // must never do.
     Tick promised = window_end_.load(std::memory_order_relaxed);
+    if (auditor_ != nullptr) {
+      auditor_->OnCrossShardSend(tls_ctx_.shard_index, target, key, promised);
+    }
     if (at < promised) {
-      std::fprintf(stderr,
-                   "eden: lookahead violation: cross-shard event at t=%lld "
-                   "undercuts the window promise t=%lld (lower "
-                   "KernelOptions::lookahead)\n",
-                   static_cast<long long>(at), static_cast<long long>(promised));
-      // Post-mortem breadcrumbs: the synchronizer's last few windows.
-      FlightRecorder::Instance().Dump(stderr);
-      std::abort();
+      if (auditor_ != nullptr) {
+        // The auditor recorded the undercut (the run is no longer
+        // certifiable); clamp the arrival up to the promise so the neighbour
+        // never sees a message from its past and the run can complete.
+        key.at = promised;
+      } else {
+        std::fprintf(
+            stderr,
+            "eden: lookahead violation: cross-shard event at t=%lld "
+            "undercuts the window promise t=%lld (lower "
+            "KernelOptions::lookahead)\n",
+            static_cast<long long>(at), static_cast<long long>(promised));
+        // Post-mortem breadcrumbs: the synchronizer's last few windows.
+        FlightRecorder::Instance().Dump(stderr);
+        std::abort();
+      }
     }
     tls_ctx_.shard->outbox[target].push_back(MailItem{key, exec, std::move(action)});
     tls_ctx_.shard->counters.cross_shard_sends++;
@@ -903,6 +917,9 @@ void Kernel::ExecuteEvent(Shard& shard, int shard_index,
                           EventQueue::PoppedEvent event, bool parallel) {
   assert(event.key.at >= shard.clock.now() && "virtual time must be monotone");
   shard.clock.AdvanceTo(event.key.at);
+  if (auditor_ != nullptr) {
+    auditor_->OnEventCommit(shard_index, event.key, parallel);
+  }
   shard.counters.events_processed++;
   if (parallel) {
     shard.batched_events++;  // flushed into stats_ at the window barrier
@@ -1120,6 +1137,9 @@ bool Kernel::RunSharded(const std::function<bool()>& done, uint64_t max_events) 
     }
     control.window_end = t_min + lookahead;
     window_end_.store(control.window_end, std::memory_order_relaxed);
+    if (auditor_ != nullptr) {
+      auditor_->OnWindowOpen(t_min, control.window_end, workers);
+    }
     // One always-on breadcrumb per window (not per event): if a later
     // cross-shard send undercuts this promise, the abort dump shows the
     // windows that led up to it.

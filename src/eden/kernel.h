@@ -66,6 +66,7 @@ class FaultInjector;
 class InvariantMonitor;
 class Kernel;
 class MetricsRegistry;
+class ShardAuditor;
 class ShardProfiler;
 class TelemetrySampler;
 enum class FlowEvent : uint8_t;  // metrics.h; fixed underlying type
@@ -214,14 +215,27 @@ class Kernel {
   ~Kernel();
 
   // ---- Topology. Node 0 ("node0") always exists.
-  NodeId AddNode(std::string name);
+  // `shard_hint` >= 0 pins the node to shard `hint % shards` instead of the
+  // default `node % shards` round robin (partition-aware placement: adjacent
+  // pipeline stages hinted to one shard stop paying cross-shard mailbox
+  // traffic). Hints survive set_shards. Placement never enters EventKeys or
+  // virtual time, so hinted runs stay byte-identical to unhinted ones.
+  NodeId AddNode(std::string name, int shard_hint = -1);
   size_t node_count() const { return node_names_.size(); }
   const std::string& node_name(NodeId node) const { return node_names_.at(node); }
 
   // ---- Sharding.
   int shard_count() const { return static_cast<int>(shards_.size()); }
   int ShardOf(NodeId node) const {
-    return node <= 0 ? 0 : static_cast<int>(node % static_cast<NodeId>(shards_.size()));
+    if (node <= 0) {
+      return 0;
+    }
+    if (static_cast<size_t>(node) < shard_hints_.size() &&
+        shard_hints_[static_cast<size_t>(node)] >= 0) {
+      return shard_hints_[static_cast<size_t>(node)] %
+             static_cast<int>(shards_.size());
+    }
+    return static_cast<int>(node % static_cast<NodeId>(shards_.size()));
   }
   // Re-partitions the kernel across `shards` workers. Requires quiescence
   // (no scheduled events); returns false and changes nothing otherwise.
@@ -356,6 +370,17 @@ class Kernel {
   void set_telemetry(TelemetrySampler* telemetry) { telemetry_ = telemetry; }
   TelemetrySampler* telemetry() const { return telemetry_; }
 
+  // Optional determinism auditor (nullptr = none, the default; the feed
+  // sites cost one pointer test, like metrics). Receives every committed
+  // EventKey, every window the barrier opens, and every cross-shard send
+  // with the promise it was staged under — enough to check the conservative
+  // sync contract and digest the committed stream (see src/eden/audit.h and
+  // verify::ShardRaceAnalyzer). While installed, a lookahead undercut is
+  // reported and clamped instead of aborting the process. Not owned; must
+  // outlive the run.
+  void set_auditor(ShardAuditor* auditor) { auditor_ = auditor; }
+  ShardAuditor* auditor() const { return auditor_; }
+
   // Telemetry feed from the stream primitives: a queue-depth sample, or a
   // flow-control incident (FlowEvent, metrics.h). Stamped with now() and
   // routed through the same deterministic observation merge as trace events.
@@ -384,6 +409,10 @@ class Kernel {
   AtomicStats& stats() { return stats_; }
   const AtomicStats& stats() const { return stats_; }
   const CostModel& costs() const { return options_.costs; }
+  // The effective options: `shards` tracks set_shards re-partitions. The
+  // verify plan bridge reads this to lint a pipeline against the concurrency
+  // configuration it will actually run under.
+  const KernelOptions& options() const { return options_; }
   StableStore& store() { return store_; }
   TypeRegistry& types() { return types_; }
   // The calling context's UID stream: the executing node's inside an event,
@@ -584,6 +613,9 @@ class Kernel {
   LockObserver* lock_observer_ = nullptr;
   ShardProfiler* profiler_ = nullptr;
   TelemetrySampler* telemetry_ = nullptr;
+  ShardAuditor* auditor_ = nullptr;
+  // Per-node placement overrides (index = node id; -1 = round robin).
+  std::vector<int> shard_hints_;
   std::atomic<uint64_t> last_lock_id_{0};
   // The current window's promise: no cross-shard message may arrive before
   // this tick while a parallel phase is running (checked at staging time).

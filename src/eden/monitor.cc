@@ -23,6 +23,8 @@ const char* KindName(InvariantMonitor::Violation::Kind kind) {
       return "static-lint";
     case Kind::kSlo:
       return "slo";
+    case Kind::kShardRace:
+      return "shard-race";
   }
   return "unknown";
 }
@@ -210,6 +212,12 @@ void InvariantMonitor::OnSloViolation(Tick at, const Uid& stage,
                                       std::string detail) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   Report(Violation::Kind::kSlo, at, stage, std::move(detail));
+}
+
+void InvariantMonitor::OnShardRace(Tick at, const Uid& stage,
+                                   std::string detail) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Report(Violation::Kind::kShardRace, at, stage, std::move(detail));
 }
 
 void InvariantMonitor::ExpectInvocations(std::string op, uint64_t count) {

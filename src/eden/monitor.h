@@ -63,6 +63,8 @@ class InvariantMonitor {
       kSequence,           // a seq/ack counter moved backwards
       kStatic,             // a lint finding from the verification layer
       kSlo,                // an SLO rule fired over a telemetry series
+      kShardRace,          // the determinism auditor caught a cross-shard
+                           // ordering breach (happens-before violation)
     };
     Kind kind = Kind::kFlowConservation;
     Tick at = 0;
@@ -125,6 +127,11 @@ class InvariantMonitor {
   // kind kSlo: `at` is the end tick of the window that completed the
   // sustain streak; `stage` is usually nil (rules watch global series).
   void OnSloViolation(Tick at, const Uid& stage, std::string detail);
+  // ---- Determinism-audit feed. The ShardRaceAnalyzer's happens-before
+  // breaches join the violation stream as kind kShardRace: `at` is the
+  // offending event's virtual time; `stage` is nil (the breach belongs to
+  // the shard schedule, not to one Eject).
+  void OnShardRace(Tick at, const Uid& stage, std::string detail);
 
   // ---- Expectations, checked by Check().
   // Exactly `count` invocations of `op` by the end of the run.

@@ -133,15 +133,18 @@ class Linter {
   explicit Linter(const TopologySpec& spec) : spec_(spec), graph_(spec) {}
 
   LintReport Run() {
-    CheckFanOut();         // ASC001
-    CheckFanIn();          // ASC002
-    CheckCycles();         // ASC003
-    CheckReachability();   // ASC004
-    CheckCapabilities();   // ASC005
-    CheckRecoveryKnobs();  // ASC006
-    CheckLazyDemand();     // ASC007
-    CheckJunctions();      // ASC008
-    CheckWatermarks();     // ASC009
+    CheckFanOut();            // ASC001
+    CheckFanIn();             // ASC002
+    CheckCycles();            // ASC003
+    CheckReachability();      // ASC004
+    CheckCapabilities();      // ASC005
+    CheckRecoveryKnobs();     // ASC006
+    CheckLazyDemand();        // ASC007
+    CheckJunctions();         // ASC008
+    CheckWatermarks();        // ASC009
+    CheckLookahead();         // ASC010
+    CheckPlacement();         // ASC011
+    CheckLookaheadHeadroom(); // ASC012
     return std::move(report_);
   }
 
@@ -559,6 +562,138 @@ class Linter {
     }
   }
 
+  // ---- The concurrency rules (ASC010-ASC012). They quantify over the
+  // spec's node placement and cost model, so they run only when the plan
+  // bridge filled the concurrency context (has_concurrency). The paper's
+  // determinism story (and DESIGN.md "Sharded kernel") rests on conservative
+  // windows: a shard may run ahead only up to the cheapest message that
+  // could still arrive from a peer, so the safe lookahead is the minimum
+  // cost-model latency over the cross-shard edges that actually exist.
+
+  // The cheapest message that can cross shards in this topology: the min of
+  // MessageCost(0, from, to) over edges whose endpoints land on different
+  // shards. Returns false when no edge crosses (single shard, or co-located
+  // placement) — there is nothing for lookahead to undercut.
+  bool MinCrossShardCost(Tick& min_cost, size_t& edge_index) const {
+    bool found = false;
+    for (size_t e = 0; e < spec_.edges.size(); ++e) {
+      const StageSpec* from = spec_.Find(spec_.edges[e].from);
+      const StageSpec* to = spec_.Find(spec_.edges[e].to);
+      if (from == nullptr || to == nullptr) {
+        continue;  // ASC004 already reported the dangling endpoint
+      }
+      if (spec_.ShardOf(*from) == spec_.ShardOf(*to)) {
+        continue;
+      }
+      // A pull edge moves the Transfer invocation consumer -> producer and
+      // the reply back; both directions cross, so the invocation cost (an
+      // empty message) bounds the cheapest crossing either way.
+      Tick cost = spec_.costs.MessageCost(0, from->node, to->node);
+      if (!found || cost < min_cost) {
+        found = true;
+        min_cost = cost;
+        edge_index = e;
+      }
+    }
+    return found;
+  }
+
+  // ASC010 — the static form of the kernel's runtime lookahead abort: a
+  // configured KernelOptions::lookahead larger than the cheapest cross-shard
+  // message lets a shard's window promise exceed what a peer can keep, and
+  // the first such send aborts the run mid-flight. The same arithmetic the
+  // kernel applies per send (cost model, shard placement) is decidable here,
+  // before any Eject exists.
+  void CheckLookahead() {
+    if (!spec_.has_concurrency || spec_.shards <= 1 || spec_.lookahead <= 0) {
+      return;  // lookahead 0 derives the conservative invocation-send floor
+    }
+    Tick min_cost = 0;
+    size_t edge = 0;
+    if (!MinCrossShardCost(min_cost, edge)) {
+      return;
+    }
+    if (spec_.lookahead > min_cost) {
+      Report("ASC010", Severity::kError, spec_.edges[edge].from,
+             "configured lookahead " + std::to_string(spec_.lookahead) +
+                 " exceeds the minimum cross-shard message latency " +
+                 std::to_string(min_cost) + " on edge " +
+                 spec_.NameOf(spec_.edges[edge].from) + " -> " +
+                 spec_.NameOf(spec_.edges[edge].to) +
+                 "; a parallel run would abort on the first undercut",
+             "set KernelOptions::lookahead <= " + std::to_string(min_cost) +
+                 " (or 0 to derive the safe default)");
+    }
+  }
+
+  // ASC011 — placement headroom: a connected graph split across k shards
+  // needs only k-1 cut edges, but the distinct_nodes round robin assigns
+  // consecutive stages to consecutive shards and cuts *every* edge. Each
+  // unnecessary cut turns an intra-shard event into mailbox traffic and a
+  // window-barrier dependency.
+  void CheckPlacement() {
+    if (!spec_.has_concurrency || spec_.shards <= 1) {
+      return;
+    }
+    size_t cross = 0;
+    std::set<int> used;
+    for (const StageSpec& stage : spec_.stages) {
+      used.insert(spec_.ShardOf(stage));
+    }
+    for (const EdgeSpec& edge : spec_.edges) {
+      const StageSpec* from = spec_.Find(edge.from);
+      const StageSpec* to = spec_.Find(edge.to);
+      if (from != nullptr && to != nullptr &&
+          spec_.ShardOf(*from) != spec_.ShardOf(*to)) {
+        cross++;
+      }
+    }
+    size_t min_cuts = used.empty() ? 0 : used.size() - 1;
+    if (cross > min_cuts) {
+      Report("ASC011", Severity::kWarning, Uid(),
+             "shard placement cuts " + std::to_string(cross) + " of " +
+                 std::to_string(spec_.edges.size()) + " pipeline edges; " +
+                 std::to_string(used.size()) +
+                 " shards need only " + std::to_string(min_cuts) +
+                 " cuts of a connected chain — every extra cut is mailbox "
+                 "traffic and a window-barrier dependency",
+             "co-locate adjacent stages (PipelineOptions::partition_shard, "
+             "or Kernel::AddNode shard hints)");
+    }
+  }
+
+  // ASC012 — lookahead headroom, the flip side of ASC010: every edge that
+  // actually crosses shards here is node-to-node, so it pays the inter-node
+  // latency on top of the invocation send — but a configuration that leaves
+  // lookahead at 0 gets only the conservative invocation-send floor (the
+  // kernel cannot rule out cheaper external-driver traffic statically).
+  // Wider windows mean fewer barriers per unit of virtual time. Warning, not
+  // error: the bound holds only while no external driver invocation crosses
+  // shards mid-run (a quiescence-driven Run() satisfies that).
+  void CheckLookaheadHeadroom() {
+    if (!spec_.has_concurrency || spec_.shards <= 1) {
+      return;
+    }
+    Tick min_cost = 0;
+    size_t edge = 0;
+    if (!MinCrossShardCost(min_cost, edge)) {
+      return;
+    }
+    Tick effective = spec_.lookahead > 0 ? spec_.lookahead
+                                         : spec_.costs.invocation_send;
+    if (effective < min_cost) {
+      Report("ASC012", Severity::kWarning, Uid(),
+             "effective lookahead " + std::to_string(effective) +
+                 " is below the derivable node-to-node bound " +
+                 std::to_string(min_cost) +
+                 ": every cross-shard edge pays the inter-node latency, so "
+                 "windows are narrower (more barriers) than the cost model "
+                 "requires",
+             "set KernelOptions::lookahead = " + std::to_string(min_cost) +
+                 " if no external-driver invocation crosses shards mid-run");
+    }
+  }
+
   const TopologySpec& spec_;
   Graph graph_;
   LintReport report_;
@@ -591,6 +726,15 @@ const std::vector<PipelineLinter::RuleInfo>& PipelineLinter::Rules() {
       {"ASC009", Severity::kError,
        "watermark misconfiguration (lowat above hiwat, or zero-hiwat "
        "passive input)"},
+      {"ASC010", Severity::kError,
+       "configured lookahead exceeds the minimum cross-shard message "
+       "latency (the sharded kernel would abort at runtime)"},
+      {"ASC011", Severity::kWarning,
+       "shard placement cuts edges that could be co-located (k shards "
+       "need only k-1 cuts of a connected chain)"},
+      {"ASC012", Severity::kWarning,
+       "larger safe lookahead derivable from the cost model for a "
+       "node-to-node topology (bound in the fix hint)"},
   };
   return kRules;
 }

@@ -27,6 +27,20 @@
 //           (producers blocked at hiwat are never released), or a zero-hiwat
 //           passive input (every Push is withheld, deadlocking the first
 //           datum; a *lazy* zero-hiwat output is legitimate §4 laziness)
+//   ASC010  configured lookahead exceeds the cost model's minimum
+//           cross-shard message latency on some edge — the sharded kernel
+//           would abort the run on the first undercut; caught here before
+//           any Eject exists
+//   ASC011  shard placement cuts pipeline edges that could be co-located
+//           (distinct_nodes round robin cuts *every* edge; k shards need
+//           only k-1 cuts of a connected chain)
+//   ASC012  a larger safe lookahead is derivable from the cost model for a
+//           node-to-node topology: the derived default is the conservative
+//           invocation-send floor, but every cross-shard edge also pays the
+//           inter-node latency (warning carries the computed bound)
+//
+// ASC010-ASC012 run only when the spec carries concurrency context
+// (TopologySpec::has_concurrency, filled by the Kernel-taking plan bridge).
 #ifndef SRC_EDEN_VERIFY_LINT_H_
 #define SRC_EDEN_VERIFY_LINT_H_
 

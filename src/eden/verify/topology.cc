@@ -56,4 +56,14 @@ std::string TopologySpec::NameOf(const Uid& uid) const {
   return uid.Short();
 }
 
+int TopologySpec::ShardOf(const StageSpec& stage) const {
+  if (shards <= 1 || stage.node <= 0) {
+    return 0;
+  }
+  if (stage.shard_hint >= 0) {
+    return stage.shard_hint % shards;
+  }
+  return static_cast<int>(stage.node % static_cast<NodeId>(shards));
+}
+
 }  // namespace eden::verify

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/eden/clock.h"
+#include "src/eden/cost_model.h"
 #include "src/eden/uid.h"
 
 namespace eden::verify {
@@ -58,6 +59,15 @@ struct StageSpec {
   bool bounded = false;
   size_t hiwat = 0;  // block/withhold producers at this depth
   size_t lowat = 0;  // release them below this (0 = derived at runtime)
+
+  // Node placement, for the concurrency lints (ASC010-ASC012). `node` is the
+  // kernel node the stage lives on — for a *plan* it is the relative id the
+  // builders will mint (distinct_nodes: position + 1), which determines the
+  // same shard arithmetic modulo the shard count. `shard_hint` mirrors
+  // Kernel::AddNode's hint: >= 0 pins the node to `hint % shards` instead of
+  // the default `node % shards` round robin.
+  NodeId node = 0;
+  int shard_hint = -1;
 };
 
 // One wire. `from` is always the data producer and `to` the data consumer;
@@ -100,6 +110,16 @@ struct TopologySpec {
   std::vector<EdgeSpec> edges;
   RecoveryKnobs recovery;
 
+  // Concurrency context for ASC010-ASC012: the shard count, the configured
+  // lookahead, and the cost model the topology will run under. The rules are
+  // skipped entirely unless `has_concurrency` is set — a bare wiring spec
+  // (hand-built tests, the legacy plan bridge) stays exactly as analysable
+  // as before. The Kernel-taking PlanTopology overloads fill these in.
+  bool has_concurrency = false;
+  int shards = 1;
+  Tick lookahead = 0;  // KernelOptions::lookahead; 0 = derive the safe default
+  CostModel costs;
+
   StageSpec& AddStage(StageSpec stage);
   EdgeSpec& AddEdge(EdgeSpec edge);
   // Convenience for hand-built specs (tests, shell): wire `from` -> `to`.
@@ -108,6 +128,9 @@ struct TopologySpec {
 
   const StageSpec* Find(const Uid& uid) const;
   std::string NameOf(const Uid& uid) const;  // stage name or short UID
+  // The shard a stage's node lands on under this spec's shard count
+  // (mirrors Kernel::ShardOf including the shard_hint override).
+  int ShardOf(const StageSpec& stage) const;
 };
 
 }  // namespace eden::verify

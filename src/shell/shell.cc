@@ -1,5 +1,6 @@
 #include "src/shell/shell.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -197,7 +198,7 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
   if (words.empty() ||
       (words[0] != "stats" && words[0] != "trace" && words[0] != "metrics" &&
        words[0] != "monitor" && words[0] != "doctor" && words[0] != "lint" &&
-       words[0] != "lockdep" && words[0] != "shards" &&
+       words[0] != "lockdep" && words[0] != "audit" && words[0] != "shards" &&
        words[0] != "profile" && words[0] != "telemetry" && words[0] != "slo" &&
        words[0] != "help")) {
     return std::nullopt;
@@ -223,6 +224,8 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
         "(NAME SERIES CMP THRESHOLD [for N])",
         "lint [json|rules]                 static pipeline checks",
         "lockdep on|off|show|json|clear|selftest        lock-order analysis",
+        "audit on|off|show|json|clear|save FILE         cross-shard "
+        "determinism audit + run certificate",
     };
     return result;
   }
@@ -409,6 +412,33 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
     }
     return result;
   }
+  if (words[0] == "audit") {
+    if (words.size() == 2 && words[1] == "on") {
+      // Breaches double as trace events and monitor violations (same
+      // contract as lockdep and the SLO engine).
+      audit_.set_trace_sink(recorder_.Hook());
+      audit_.set_monitor(monitor_on_ ? &monitor_ : nullptr);
+      kernel_.set_auditor(&audit_);
+      audit_on_ = true;
+      result.output.push_back("audit on");
+    } else if (words.size() == 2 && words[1] == "off") {
+      kernel_.set_auditor(nullptr);
+      audit_on_ = false;
+      result.output.push_back("audit off");
+    } else if (words.size() == 1 || (words.size() == 2 && words[1] == "show")) {
+      PushLines(result, audit_.ToString());
+    } else if (words.size() == 2 && words[1] == "json") {
+      PushLines(result, audit_.ToJson());
+    } else if (words.size() == 2 && words[1] == "clear") {
+      audit_.Clear();
+      result.output.push_back("audit cleared");
+    } else if (words.size() == 3 && words[1] == "save") {
+      return SaveText(words[2], audit_.ToJson(), "audit");
+    } else {
+      return Fail("usage: audit on|off|show|json|clear|save FILE");
+    }
+    return result;
+  }
   if (words[0] == "profile") {
     if (words.size() == 2 && words[1] == "on") {
       kernel_.set_profiler(&profiler_);
@@ -540,6 +570,13 @@ std::optional<ShellResult> EdenShell::RunControl(const std::string& command) {
       // the static lint outcome for the pipeline that produced the trace.
       d.AnnotateStatic(last_lint_.error_count(), last_lint_.warning_count(),
                        last_lint_.Summary());
+    }
+    if (audit_on_) {
+      verify::RunDigest digest = audit_.Digest();
+      char hex[19];
+      std::snprintf(hex, sizeof(hex), "0x%016llx",
+                    static_cast<unsigned long long>(digest.merged));
+      d.AnnotateAudit(digest.events, digest.violations, hex);
     }
     return d;
   };

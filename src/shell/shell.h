@@ -51,6 +51,7 @@
 #include "src/eden/trace.h"
 #include "src/eden/verify/lint.h"
 #include "src/eden/verify/lockdep.h"
+#include "src/eden/verify/shard_audit.h"
 #include "src/eden/verify/topology.h"
 #include "src/fs/unix_fs.h"
 
@@ -126,6 +127,12 @@ class EdenShell {
   //   lockdep [show|json|clear]  order graph + potential deadlocks / reset
   //   lockdep selftest         seed an AB/BA inversion through the analyzer
   //                            and report whether it was caught
+  //   audit on|off             install/remove the ShardRaceAnalyzer as the
+  //                            kernel's determinism auditor (happens-before
+  //                            checker + run-digest certifier; breaches land
+  //                            in the trace and the monitor like lockdep's)
+  //   audit show|json|clear    digest + violations / certificate JSON / reset
+  //   audit save FILE          write the run certificate JSON to FILE
   //   help                     one line per command above
   // While tracing, metering or monitoring is on, pipeline stages are labeled
   // with their command names, so charts read "grep" rather than a raw UID.
@@ -139,6 +146,7 @@ class EdenShell {
   TelemetrySampler& telemetry() { return telemetry_; }
   SloEngine& slo() { return slo_; }
   verify::LockOrderAnalyzer& lockdep() { return lockdep_; }
+  verify::ShardRaceAnalyzer& audit() { return audit_; }
   // The lint report for the last pipeline this shell wired (empty before the
   // first pipeline). Every pipeline is linted as it is built.
   const verify::LintReport& last_lint() const { return last_lint_; }
@@ -178,6 +186,7 @@ class EdenShell {
   TelemetrySampler telemetry_;
   SloEngine slo_;
   verify::LockOrderAnalyzer lockdep_;
+  verify::ShardRaceAnalyzer audit_;
   verify::TopologySpec last_topology_;
   verify::LintReport last_lint_;
   bool have_topology_ = false;
@@ -185,6 +194,7 @@ class EdenShell {
   bool metrics_on_ = false;
   bool monitor_on_ = false;
   bool lockdep_on_ = false;
+  bool audit_on_ = false;
   bool profile_on_ = false;
   bool telemetry_on_ = false;
   std::map<std::string, Uid> bindings_;

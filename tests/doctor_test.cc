@@ -218,6 +218,39 @@ TEST(BenchCompareTest, CountersOnlyIgnoresTime) {
   EXPECT_FALSE(CompareBenchRuns(base, drift, options).ok());
 }
 
+TEST(BenchCompareTest, AdvisoryColumnFamiliesAreExcludedByPrefix) {
+  // The gate pins deterministic identities only. Wall-clock families
+  // (wall_*, *_per_second, peak_rate_*, topk_*) and the determinism-audit
+  // certificate columns (audit_*) may drift between hosts and re-baselines
+  // without flagging — audit equality is asserted in-bench by digest, not
+  // here. A doubled identity counter in the same row still trips the gate,
+  // so the exclusion is by name, not by accident.
+  Value base_bench = MakeBench("scale", 100.0, 4.0);
+  base_bench.Set("wall_speedup", Value(2.0));
+  base_bench.Set("events_per_second", Value(1e6));
+  base_bench.Set("audit_events", Value(1234.0));
+  base_bench.Set("audit_violations", Value(0.0));
+  Value cur_bench = MakeBench("scale", 100.0, 4.0);
+  cur_bench.Set("wall_speedup", Value(7.5));
+  cur_bench.Set("events_per_second", Value(3e6));
+  cur_bench.Set("audit_events", Value(9999.0));
+  cur_bench.Set("audit_violations", Value(3.0));
+  BenchCompareOptions options;
+  options.counters_only = true;
+  Value base = MakeDoc({std::move(base_bench)});
+  Value cur = MakeDoc({std::move(cur_bench)});
+  EXPECT_TRUE(CompareBenchRuns(base, cur, options).ok())
+      << CompareBenchRuns(base, cur, options).ToString();
+
+  Value drift_bench = MakeBench("scale", 100.0, 8.0);
+  drift_bench.Set("audit_events", Value(9999.0));
+  Value drift = MakeDoc({std::move(drift_bench)});
+  BenchComparison cmp = CompareBenchRuns(base, drift, options);
+  ASSERT_FALSE(cmp.ok());
+  EXPECT_NE(cmp.rows[0].counter_changes[0].find("inv_per_datum"),
+            std::string::npos);
+}
+
 TEST(BenchCompareTest, MissingBenchmarkIsARegressionNewOneIsNot) {
   Value base = MakeDoc({MakeBench("fig2", 100.0, 4.0)});
   Value cur = MakeDoc({MakeBench("fig3", 100.0, 4.0)});

@@ -1,9 +1,16 @@
 // Static verification layer tests: one positive and one negative case per
-// lint rule (ASC001..ASC009), the pipeline plan/describe bridge, the
-// lint_before_activate gate, and the lockdep analyzer against both its
-// seeded self-test and real Mutexes on a live kernel.
+// lint rule (ASC001..ASC012), the pipeline plan/describe bridge, the
+// lint_before_activate gate, the lockdep analyzer against both its seeded
+// self-test and real Mutexes on a live kernel (sequential and sharded), the
+// cross-shard determinism auditor (ShardRaceAnalyzer + RunDigest
+// certificates), and a drift guard keeping the STATIC_ANALYSIS.md rule
+// table in sync with PipelineLinter::Rules().
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +23,7 @@
 #include "src/eden/trace.h"
 #include "src/eden/verify/lint.h"
 #include "src/eden/verify/lockdep.h"
+#include "src/eden/verify/shard_audit.h"
 #include "src/eden/verify/topology.h"
 #include "src/shell/shell.h"
 
@@ -328,11 +336,13 @@ TEST(LintTest, ASC009WarnsOnNonLazyZeroHiwat) {
   EXPECT_TRUE(report.ok()) << report.ToString();  // warnings don't reject
 }
 
-TEST(LintTest, RuleTableCoversAllNineRules) {
+TEST(LintTest, RuleTableCoversAllTwelveRules) {
   const std::vector<PipelineLinter::RuleInfo>& rules = PipelineLinter::Rules();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 12u);
   for (size_t i = 0; i < rules.size(); ++i) {
-    EXPECT_EQ(rules[i].id, "ASC00" + std::to_string(i + 1));
+    char id[32];
+    std::snprintf(id, sizeof(id), "ASC%03zu", i + 1);
+    EXPECT_EQ(rules[i].id, id);
     EXPECT_FALSE(rules[i].summary.empty());
   }
 }
@@ -686,9 +696,9 @@ TEST(VerifyShellTest, LintRulesListsTheRuleTable) {
   EdenShell shell(kernel);
   ShellResult r = shell.Run("lint rules");
   ASSERT_TRUE(r.ok) << r.error;
-  ASSERT_EQ(r.output.size(), 9u);
+  ASSERT_EQ(r.output.size(), 12u);
   EXPECT_EQ(r.output.front().substr(0, 6), "ASC001");
-  EXPECT_EQ(r.output.back().substr(0, 6), "ASC009");
+  EXPECT_EQ(r.output.back().substr(0, 6), "ASC012");
 }
 
 TEST(VerifyShellTest, LintBeforeAnyPipelineExplainsItself) {
@@ -727,6 +737,480 @@ TEST(VerifyShellTest, DoctorVerdictAnnotatedAfterLintedPipeline) {
   ShellResult r = shell.Run("doctor");
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_NE(Joined(r).find("lint clean"), std::string::npos) << Joined(r);
+}
+
+// Deterministic input for the audit runs (no RNG: the certificates are
+// asserted byte-identical, so the workload itself must be a constant).
+ValueList MakeAuditLines(int n) {
+  ValueList items;
+  items.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    items.push_back(Value("line " + std::to_string(i)));
+  }
+  return items;
+}
+
+// ---- Concurrency lints (ASC010-ASC012).
+
+// ReadOnlyChain with nodes 1..3 and the concurrency context armed. At the
+// default cost model every node-to-node edge costs invocation_send (100) +
+// cross_node_latency (400) = 500 when it crosses a shard.
+TopologySpec ShardedChain(int shards, Tick lookahead) {
+  TopologySpec t = ReadOnlyChain();
+  for (size_t i = 0; i < t.stages.size(); ++i) {
+    t.stages[i].node = static_cast<NodeId>(i + 1);
+  }
+  t.has_concurrency = true;
+  t.shards = shards;
+  t.lookahead = lookahead;
+  return t;
+}
+
+TEST(LintTest, ASC010RejectsLookaheadAboveMinCrossShardCost) {
+  TopologySpec t = ShardedChain(2, 600);  // > 500: the kernel would abort
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC010")) << report.ToString();
+  EXPECT_GE(report.error_count(), 1u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToString().find("abort"), std::string::npos);
+}
+
+TEST(LintTest, ASC010AllowsLookaheadAtTheBound) {
+  // lookahead == min cross-shard cost is exactly safe: no error, and no
+  // ASC012 headroom warning either (nothing larger is derivable).
+  TopologySpec t = ShardedChain(2, 500);
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_FALSE(report.HasRule("ASC010")) << report.ToString();
+  EXPECT_FALSE(report.HasRule("ASC012")) << report.ToString();
+}
+
+TEST(LintTest, ConcurrencyRulesStaySilentWithoutContext) {
+  // The same shape without has_concurrency (a bare wiring spec, the legacy
+  // plan bridge): ASC010-ASC012 must not fire regardless of placement.
+  TopologySpec t = ShardedChain(2, 600);
+  t.has_concurrency = false;
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.diagnostics.empty()) << report.ToString();
+}
+
+TEST(LintTest, ASC011WarnsOnRoundRobinCuttingEveryEdge) {
+  // Nodes 1,2,3 round-robin on 2 shards: both edges cross, but 2 shards
+  // need only 1 cut of a connected chain.
+  TopologySpec t = ShardedChain(2, 0);
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC011")) << report.ToString();
+  EXPECT_GE(report.warning_count(), 1u);
+  EXPECT_TRUE(report.ok());  // warning, not error
+  EXPECT_NE(report.ToString().find("partition_shard"), std::string::npos);
+}
+
+TEST(LintTest, ASC011AllowsCoLocatedPlacement) {
+  // Shard hints pin the whole chain to shard 0: no edge is cut.
+  TopologySpec t = ShardedChain(2, 0);
+  for (StageSpec& stage : t.stages) {
+    stage.shard_hint = 0;
+  }
+  LintReport report = PipelineLinter().Lint(t);
+  EXPECT_FALSE(report.HasRule("ASC011")) << report.ToString();
+}
+
+TEST(LintTest, ASC012SuggestsLargerSafeLookahead) {
+  // lookahead 0 derives the conservative invocation_send default (100),
+  // but every cross-shard edge costs >= 500: the warning names the bound.
+  TopologySpec t = ShardedChain(2, 0);
+  LintReport report = PipelineLinter().Lint(t);
+  ASSERT_TRUE(report.HasRule("ASC012")) << report.ToString();
+  bool named_bound = false;
+  for (const verify::LintDiagnostic& diag : report.diagnostics) {
+    if (diag.rule == "ASC012") {
+      named_bound = named_bound ||
+                    diag.fix_hint.find("500") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(named_bound) << report.ToString();
+}
+
+TEST(LintTest, ASC012SilentWhenNoEdgeCrossesShards) {
+  // One shard (or a fully co-located placement): no cross-shard edge, no
+  // derivable bound, no warning.
+  TopologySpec one = ShardedChain(1, 0);
+  EXPECT_FALSE(PipelineLinter().Lint(one).HasRule("ASC012"));
+  TopologySpec pinned = ShardedChain(4, 0);
+  for (StageSpec& stage : pinned.stages) {
+    stage.shard_hint = 2;
+  }
+  EXPECT_FALSE(PipelineLinter().Lint(pinned).HasRule("ASC012"));
+}
+
+// ---- The Kernel-aware plan bridge.
+
+TEST(PipelinePlanTest, KernelOverloadCarriesConcurrencyContext) {
+  KernelOptions kernel_options;
+  kernel_options.shards = 4;
+  Kernel kernel(kernel_options);
+  PipelineOptions options = OptionsFor(Discipline::kReadOnly);
+  options.distinct_nodes = true;
+  verify::TopologySpec spec = PlanTopology(2, options, kernel);
+  EXPECT_TRUE(spec.has_concurrency);
+  EXPECT_EQ(spec.shards, 4);
+  ASSERT_EQ(spec.stages.size(), 4u);  // source, filter1, filter2, sink
+  for (size_t i = 0; i < spec.stages.size(); ++i) {
+    EXPECT_EQ(spec.stages[i].node, static_cast<NodeId>(i + 1));
+  }
+  // Same options on a 1-shard kernel: context armed but nothing to cut.
+  Kernel sequential;
+  verify::TopologySpec flat = PlanTopology(2, options, sequential);
+  EXPECT_TRUE(flat.has_concurrency);
+  EXPECT_EQ(flat.shards, 1);
+  EXPECT_TRUE(PipelineLinter().Lint(flat).diagnostics.empty());
+}
+
+TEST(LintGateTest, SeededLookaheadUndercutIsCaughtBeforeActivation) {
+  // KernelOptions::lookahead = 1000 on a 4-shard kernel exceeds every
+  // cross-shard edge cost (500 at defaults): before this rule existed the
+  // run would std::abort() on the first undercut. The gate must catch it
+  // statically — no Eject created, no runtime abort.
+  KernelOptions kernel_options;
+  kernel_options.shards = 4;
+  kernel_options.lookahead = 1000;
+  Kernel kernel(kernel_options);
+  PipelineOptions options = OptionsFor(Discipline::kReadOnly);
+  options.distinct_nodes = true;
+  options.lint_before_activate = true;
+  std::vector<TransformFactory> stages = {Copy(), Copy()};
+  PipelineHandle handle =
+      BuildPipeline(kernel, {Value("x"), Value("y")}, stages, options);
+  EXPECT_TRUE(handle.lint_rejected);
+  EXPECT_TRUE(handle.lint.HasRule("ASC010")) << handle.lint.ToString();
+  EXPECT_EQ(kernel.stats().ejects_created, 0u);
+
+  // The same plan with a safe lookahead activates.
+  KernelOptions safe_options;
+  safe_options.shards = 4;
+  safe_options.lookahead = 500;
+  Kernel safe(safe_options);
+  PipelineHandle ok_handle =
+      BuildPipeline(safe, {Value("x"), Value("y")}, stages, options);
+  EXPECT_FALSE(ok_handle.lint_rejected) << ok_handle.lint.ToString();
+  safe.Run();
+  EXPECT_TRUE(ok_handle.done());
+}
+
+// ---- The runtime happens-before checker (ShardRaceAnalyzer).
+
+using verify::AuditViolation;
+using verify::RunDigest;
+using verify::ShardRaceAnalyzer;
+
+TEST(ShardAuditTest, RuntimeUndercutIsReportedNotAborted) {
+  // The same seeded undercut as above, injected at runtime (no lint gate).
+  // With the auditor installed the kernel reports each undercut and clamps
+  // the delivery instead of calling std::abort(): the run completes, all
+  // items arrive, and the violations are on record in the analyzer, the
+  // monitor (kShardRace) and the trace (kViolation).
+  KernelOptions kernel_options;
+  kernel_options.shards = 4;
+  kernel_options.lookahead = 1000;
+  Kernel kernel(kernel_options);
+  ShardRaceAnalyzer auditor;
+  TraceRecorder recorder;
+  InvariantMonitor monitor;
+  auditor.set_trace_sink(recorder.Hook());
+  auditor.set_monitor(&monitor);
+  kernel.set_auditor(&auditor);
+
+  PipelineOptions options = OptionsFor(Discipline::kReadOnly);
+  options.distinct_nodes = true;
+  std::vector<TransformFactory> stages = {Copy(), Copy()};
+  ValueList input;
+  for (int i = 0; i < 40; ++i) {
+    input.push_back(Value("item" + std::to_string(i)));
+  }
+  PipelineHandle handle = BuildPipeline(kernel, input, stages, options);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  EXPECT_TRUE(kernel.Run());
+
+  EXPECT_EQ(handle.output().size(), input.size());
+  ASSERT_GT(auditor.violation_count(), 0u) << auditor.ToString();
+  bool undercut = false;
+  for (const AuditViolation& v : auditor.Violations()) {
+    undercut = undercut || v.kind == AuditViolation::Kind::kWindowUndercut;
+  }
+  EXPECT_TRUE(undercut) << auditor.ToString();
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_FALSE(auditor.Digest().certified());
+
+  bool monitored = false;
+  for (const InvariantMonitor::Violation& v : monitor.violations()) {
+    monitored =
+        monitored || v.kind == InvariantMonitor::Violation::Kind::kShardRace;
+  }
+  EXPECT_TRUE(monitored);
+  bool traced = false;
+  for (const TraceEvent& event : recorder.events()) {
+    if (event.kind == TraceEvent::Kind::kViolation &&
+        event.op.find("shard-race") != std::string::npos) {
+      traced = true;
+    }
+  }
+  EXPECT_TRUE(traced);
+}
+
+// One figure-2 run under the auditor; returns the certificate JSON.
+std::string CertifiedFig2(int shards, int items) {
+  KernelOptions kernel_options;
+  kernel_options.shards = shards;
+  Kernel kernel(kernel_options);
+  ShardRaceAnalyzer auditor;
+  kernel.set_auditor(&auditor);
+  PipelineOptions options = OptionsFor(Discipline::kReadOnly);
+  options.distinct_nodes = true;
+  std::vector<TransformFactory> stages = {Copy(), Copy()};
+  PipelineHandle handle = BuildPipeline(
+      kernel, MakeAuditLines(items), stages, options);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  EXPECT_TRUE(kernel.Run());
+  EXPECT_TRUE(auditor.ok()) << auditor.ToString();
+  return auditor.ToJson();
+}
+
+TEST(ShardAuditTest, Fig2CertificatesAreByteIdenticalAcrossShardCounts) {
+  const int items = 60;
+  std::string base = CertifiedFig2(1, items);
+  EXPECT_NE(base.find("eden-run-digest-v1"), std::string::npos);
+  EXPECT_NE(base.find("\"violations\": 0"), std::string::npos);
+  for (int shards : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_EQ(CertifiedFig2(shards, items), base);
+  }
+}
+
+TEST(ShardAuditTest, PerturbedDigestFailsLoudly) {
+  KernelOptions kernel_options;
+  kernel_options.shards = 2;
+  Kernel kernel(kernel_options);
+  ShardRaceAnalyzer auditor;
+  kernel.set_auditor(&auditor);
+  PipelineOptions options = OptionsFor(Discipline::kReadOnly);
+  options.distinct_nodes = true;
+  std::vector<TransformFactory> stages = {Copy()};
+  PipelineHandle handle =
+      BuildPipeline(kernel, MakeAuditLines(20), stages, options);
+  kernel.RunUntil([&handle] { return handle.done(); });
+  kernel.Run();
+
+  RunDigest actual = auditor.Digest();
+  ASSERT_TRUE(actual.certified());
+  EXPECT_TRUE(RunDigest::Compare(actual, actual).empty());
+
+  RunDigest perturbed = actual;
+  perturbed.merged ^= 1;  // one flipped bit must be loud
+  std::string mismatch = RunDigest::Compare(perturbed, actual);
+  ASSERT_FALSE(mismatch.empty());
+  EXPECT_NE(mismatch.find("mismatch"), std::string::npos) << mismatch;
+
+  // The --expect-digest form: exact hex passes, a perturbed hex fails
+  // naming both digests, and an uncertified run never passes.
+  char hex[19];
+  std::snprintf(hex, sizeof(hex), "0x%016llx",
+                static_cast<unsigned long long>(actual.merged));
+  EXPECT_TRUE(RunDigest::ExpectDigest(actual, hex).empty());
+  std::snprintf(hex, sizeof(hex), "0x%016llx",
+                static_cast<unsigned long long>(actual.merged ^ 1));
+  std::string failed = RunDigest::ExpectDigest(actual, hex);
+  ASSERT_FALSE(failed.empty());
+  EXPECT_NE(failed.find("digest mismatch"), std::string::npos) << failed;
+  EXPECT_FALSE(RunDigest::ExpectDigest(actual, "zzz").empty());
+
+  RunDigest uncertified = actual;
+  uncertified.violations = 2;
+  std::snprintf(hex, sizeof(hex), "0x%016llx",
+                static_cast<unsigned long long>(uncertified.merged));
+  std::string rejected = RunDigest::ExpectDigest(uncertified, hex);
+  ASSERT_FALSE(rejected.empty());
+  EXPECT_NE(rejected.find("NOT certified"), std::string::npos) << rejected;
+}
+
+TEST(ShardAuditTest, PartitionPlacementEliminatesCrossShardSendsByteIdentically) {
+  // The ASC011 fix: partition_shard pins the whole chain to one shard.
+  // Output, virtual time and the determinism certificate are unchanged
+  // (placement never enters event keys); only cross_shard_sends collapses.
+  auto run = [](int partition_shard, uint64_t& cross_sends,
+                std::string& certificate) {
+    KernelOptions kernel_options;
+    kernel_options.shards = 4;
+    Kernel kernel(kernel_options);
+    ShardRaceAnalyzer auditor;
+    kernel.set_auditor(&auditor);
+    PipelineOptions options = OptionsFor(Discipline::kReadOnly);
+    options.distinct_nodes = true;
+    options.partition_shard = partition_shard;
+    std::vector<TransformFactory> stages = {Copy(), Copy()};
+    PipelineHandle handle =
+        BuildPipeline(kernel, MakeAuditLines(60), stages, options);
+    kernel.RunUntil([&handle] { return handle.done(); });
+    kernel.Run();
+    cross_sends = 0;
+    for (const ShardCounters& c : kernel.shard_counters()) {
+      cross_sends += c.cross_shard_sends;
+    }
+    certificate = auditor.ToJson();
+    struct Result {
+      ValueList output;
+      Tick virtual_time;
+    };
+    return Result{handle.output(), kernel.now()};
+  };
+
+  uint64_t spread_sends = 0, pinned_sends = 0;
+  std::string spread_cert, pinned_cert;
+  auto spread = run(-1, spread_sends, spread_cert);
+  auto pinned = run(1, pinned_sends, pinned_cert);
+  EXPECT_EQ(pinned.output, spread.output);
+  EXPECT_EQ(pinned.virtual_time, spread.virtual_time);
+  EXPECT_EQ(pinned_cert, spread_cert);
+  EXPECT_GT(spread_sends, 0u);   // round-robin cuts every edge
+  EXPECT_EQ(pinned_sends, 0u);   // co-located chain never crosses
+}
+
+// ---- Lockdep under a sharded kernel (the analyzer is installed while
+// workers run in parallel; violations must surface identically).
+
+TEST(LockdepTest, InversionIsReportedUnderShardedKernels) {
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    KernelOptions kernel_options;
+    kernel_options.shards = shards;
+    Kernel kernel(kernel_options);
+    LockOrderAnalyzer analyzer;
+    kernel.set_lock_observer(&analyzer);
+    InvertedLocker& host = kernel.CreateLocal<InvertedLocker>();
+    host.Spawn(host.LockAB());
+    kernel.Run();
+    host.Spawn(host.LockBA());
+    kernel.Run();
+    ASSERT_EQ(analyzer.violations().size(), 1u) << analyzer.ToString();
+    EXPECT_EQ(analyzer.violations().front().kind,
+              LockOrderAnalyzer::LockViolation::Kind::kOrderCycle);
+    kernel.set_lock_observer(nullptr);
+  }
+}
+
+TEST(VerifyShellTest, LockdepSelfTestRunsUnderShardedKernels) {
+  for (int shards : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    KernelOptions kernel_options;
+    kernel_options.shards = shards;
+    Kernel kernel(kernel_options);
+    EdenShell shell(kernel);
+    ShellResult r = shell.Run("lockdep selftest");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_NE(Joined(r).find("selftest passed"), std::string::npos);
+  }
+}
+
+// ---- The shell's audit command.
+
+TEST(VerifyShellTest, AuditCommandLifecycle) {
+  KernelOptions kernel_options;
+  kernel_options.shards = 2;
+  Kernel kernel(kernel_options);
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("audit on").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | collect").ok);
+  ShellResult r = shell.Run("audit show");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("run digest"), std::string::npos) << Joined(r);
+  EXPECT_NE(Joined(r).find("certified deterministic"), std::string::npos);
+  r = shell.Run("audit json");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("eden-run-digest-v1"), std::string::npos);
+  ShellResult bad = shell.Run("audit save /nonexistent-dir/audit.json");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("audit save: cannot open file"), std::string::npos)
+      << bad.error;
+  ASSERT_TRUE(shell.Run("audit clear").ok);
+  EXPECT_EQ(shell.audit().events(), 0u);
+  ASSERT_TRUE(shell.Run("audit off").ok);
+  EXPECT_FALSE(shell.Run("audit frobnicate").ok);
+}
+
+TEST(VerifyShellTest, DoctorVerdictCarriesAuditOutcome) {
+  KernelOptions kernel_options;
+  kernel_options.shards = 2;
+  Kernel kernel(kernel_options);
+  EdenShell shell(kernel);
+  ASSERT_TRUE(shell.Run("trace on").ok);
+  ASSERT_TRUE(shell.Run("audit on").ok);
+  ASSERT_TRUE(shell.Run("echo a b c | upper | collect").ok);
+  ShellResult r = shell.Run("doctor");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(Joined(r).find("audit certified (digest 0x"), std::string::npos)
+      << Joined(r);
+}
+
+TEST(VerifyWiringTest, MonitorRecordsShardRaces) {
+  InvariantMonitor monitor;
+  monitor.OnShardRace(42, Uid(), "window-undercut on shard 1: ...");
+  ASSERT_EQ(monitor.violations().size(), 1u);
+  EXPECT_EQ(monitor.violations().front().kind,
+            InvariantMonitor::Violation::Kind::kShardRace);
+  EXPECT_NE(monitor.ToString().find("shard-race"), std::string::npos);
+}
+
+TEST(VerifyWiringTest, DoctorVerdictCarriesAuditAnnotation) {
+  Diagnosis certified;
+  certified.verdict = "verdict: bottleneck: filter1";
+  certified.AnnotateAudit(1234, 0, "0x00000000deadbeef");
+  EXPECT_NE(certified.verdict.find("verdict: bottleneck"), std::string::npos);
+  EXPECT_NE(certified.verdict.find("audit certified (digest 0x00000000deadbeef)"),
+            std::string::npos);
+
+  Diagnosis raced;
+  raced.verdict = "verdict: bottleneck: filter1";
+  raced.AnnotateAudit(1234, 2, "0x00000000deadbeef");
+  EXPECT_NE(raced.verdict.find("audit: 2 shard-race violations"),
+            std::string::npos);
+}
+
+// ---- Doc drift guard: STATIC_ANALYSIS.md's rule table vs Rules().
+
+TEST(DocDriftTest, StaticAnalysisDocMatchesRuleTable) {
+  // EDEN_SOURCE_DIR is stamped by tests/CMakeLists.txt. Every rule in
+  // PipelineLinter::Rules() must appear as a table row `| ASCNNN | sev |`
+  // whose severity cell names the rule's worst severity, and the doc must
+  // not list rules the linter no longer has.
+  std::ifstream doc(std::string(EDEN_SOURCE_DIR) + "/STATIC_ANALYSIS.md");
+  ASSERT_TRUE(doc.is_open()) << "cannot open STATIC_ANALYSIS.md";
+  std::map<std::string, std::string> doc_severity;  // id -> severity cell
+  std::string line;
+  while (std::getline(doc, line)) {
+    if (line.rfind("| ASC", 0) != 0) {
+      continue;
+    }
+    size_t id_end = line.find(' ', 2);
+    ASSERT_NE(id_end, std::string::npos) << line;
+    std::string id = line.substr(2, id_end - 2);
+    size_t sev_start = line.find('|', 1);
+    ASSERT_NE(sev_start, std::string::npos) << line;
+    size_t sev_end = line.find('|', sev_start + 1);
+    ASSERT_NE(sev_end, std::string::npos) << line;
+    doc_severity[id] = line.substr(sev_start + 1, sev_end - sev_start - 1);
+  }
+  const std::vector<PipelineLinter::RuleInfo>& rules = PipelineLinter::Rules();
+  EXPECT_EQ(doc_severity.size(), rules.size())
+      << "STATIC_ANALYSIS.md rule table and PipelineLinter::Rules() have "
+         "drifted apart";
+  for (const PipelineLinter::RuleInfo& rule : rules) {
+    auto it = doc_severity.find(std::string(rule.id));
+    ASSERT_NE(it, doc_severity.end())
+        << rule.id << " missing from STATIC_ANALYSIS.md";
+    EXPECT_NE(it->second.find(verify::SeverityName(rule.worst)),
+              std::string::npos)
+        << rule.id << ": doc severity cell '" << it->second
+        << "' does not mention '" << verify::SeverityName(rule.worst) << "'";
+  }
 }
 
 }  // namespace
